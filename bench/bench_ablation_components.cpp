@@ -1,0 +1,130 @@
+// Ablation study (DESIGN.md): contribution of each csTuner component.
+// Variants replace one pipeline stage with the naive alternative the paper
+// argues against:
+//   full            — the paper's csTuner
+//   no-grouping     — singleton parameter groups (no Algorithm 1)
+//   dim-grouping    — Garvey-style expert grouping by dimension
+//   random-sampling — uniform subset instead of PMNF-guided filtering
+//   no-approx       — fixed generation cap instead of CV(top-n) early stop
+// Expected: the full pipeline matches or beats every ablation on final
+// quality at an iso-time budget.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::GroupingMode grouping;
+  core::SamplingMode sampling;
+  bool approximation;
+};
+
+}  // namespace
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Ablation: csTuner component contributions (A100, budget "
+            << config.budget_s << " virtual s, mean best in ms) ===\n\n";
+
+  const Variant variants[] = {
+      {"full", core::GroupingMode::kStatistical, core::SamplingMode::kPmnf,
+       true},
+      {"no-grouping", core::GroupingMode::kSingleton,
+       core::SamplingMode::kPmnf, true},
+      {"dim-grouping", core::GroupingMode::kByDimension,
+       core::SamplingMode::kPmnf, true},
+      {"random-sampling", core::GroupingMode::kStatistical,
+       core::SamplingMode::kRandom, true},
+      {"no-approx", core::GroupingMode::kStatistical,
+       core::SamplingMode::kPmnf, false},
+  };
+
+  std::vector<std::string> header{"stencil"};
+  for (const auto& v : variants) header.emplace_back(v.name);
+  TextTable table(header);
+  // Time-to-quality: virtual seconds until each variant reached 105% of the
+  // full pipeline's final best (this is where approximation shows its value
+  // — it saves search time, not endpoint quality).
+  TextTable ttq_table(std::move(header));
+  std::vector<double> sums(std::size(variants), 0.0);
+  std::vector<double> ttq_sums(std::size(variants), 0.0);
+  std::vector<std::size_t> ttq_counts(std::size(variants), 0);
+
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<std::string> row{name};
+    std::vector<std::string> ttq_row{name};
+    std::vector<std::vector<tuner::ConvergenceTrace>> traces(
+        std::size(variants));
+    double full_best = 0.0;
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      std::vector<double> bests;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        core::CsTunerOptions options;
+        options.dataset_size = config.dataset_size;
+        options.universe_size = config.universe_size;
+        options.ga = bench::paper_ga_options();
+        options.grouping_mode = variants[v].grouping;
+        options.sampling_mode = variants[v].sampling;
+        options.use_approximation = variants[v].approximation;
+        if (!variants[v].approximation) {
+          options.ga.max_generations = 10;  // the manual cap regime
+        }
+        options.seed = 6000 + r;
+        core::CsTuner tuner(options);
+        tuner.set_dataset(entry.dataset);
+        tuner.set_universe(entry.universe);
+        tuner::Evaluator evaluator(*entry.simulator, *entry.space, {},
+                                   6000 + r);
+        tuner.tune(evaluator, {.max_virtual_seconds = config.budget_s});
+        bests.push_back(evaluator.best_time_ms());
+        traces[v].push_back(evaluator.trace());
+      }
+      const double mean = tuner::mean_finite(bests);
+      if (v == 0) full_best = mean;
+      row.push_back(TextTable::fmt(mean));
+      sums[v] += mean / full_best;  // relative to the full pipeline
+    }
+    table.add_row(std::move(row));
+
+    // Time-to-quality vs the full pipeline's endpoint.
+    const double target = full_best * 1.05;
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      std::vector<double> times;
+      for (const auto& trace : traces[v]) {
+        times.push_back(trace.time_to_reach(target));
+      }
+      const double mean_ttq = tuner::mean_finite(times);
+      if (std::isfinite(mean_ttq)) {
+        ttq_row.push_back(TextTable::fmt(mean_ttq, 1) + "s");
+        ttq_sums[v] += mean_ttq;
+        ++ttq_counts[v];
+      } else {
+        ttq_row.push_back("never");
+      }
+    }
+    ttq_table.add_row(std::move(ttq_row));
+  }
+  table.print(std::cout);
+  std::cout << "\nvirtual seconds to reach 105% of the full pipeline's "
+               "final best:\n";
+  ttq_table.print(std::cout);
+  std::cout << "\nmean slowdown vs full pipeline:";
+  for (std::size_t v = 1; v < std::size(variants); ++v) {
+    std::cout << "  " << variants[v].name << " "
+              << TextTable::fmt(
+                     sums[v] / static_cast<double>(config.stencils.size()),
+                     3)
+              << "x";
+  }
+  std::cout << '\n';
+  return 0;
+}

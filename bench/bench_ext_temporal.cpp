@@ -1,0 +1,54 @@
+// Extension benchmark: temporal blocking (§VII future work, AN5D-style).
+// Tunes each single-grid stencil twice — Table I space vs the extended
+// space with TF in {1,2,4} — under the same virtual budget. Memory-bound
+// stencils should profit from fusing time steps; the extension must never
+// hurt (TF=1 remains available).
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  std::cout << "=== Extension: temporal blocking on single-grid stencils "
+               "(A100, budget "
+            << config.budget_s << " virtual s) ===\n\n";
+
+  TextTable table({"stencil", "tableI_best_ms", "temporal_best_ms",
+                   "speedup", "best_TF"});
+  for (const std::string name : {"j3d7pt", "j3d27pt", "helmholtz"}) {
+    const auto spec = stencil::make_stencil(name);
+    double bests[2];
+    std::int64_t chosen_tf = 1;
+    for (int variant = 0; variant < 2; ++variant) {
+      space::SpaceLimits limits;
+      limits.max_temporal = variant == 0 ? 1 : 4;
+      space::SearchSpace space(spec, limits);
+      gpusim::Simulator sim(gpusim::a100());
+      Rng rng(fnv1a(name.data(), name.size()) + variant);
+      core::CsTunerOptions options;
+      options.universe_size = config.universe_size;
+      options.dataset_size = config.dataset_size;
+      options.ga = bench::paper_ga_options();
+      options.seed = 7000;
+      core::CsTuner tuner(options);
+      tuner.set_universe(space.sample_universe(rng, config.universe_size));
+      tuner::Evaluator evaluator(sim, space, {}, 7000);
+      tuner.tune(evaluator, {.max_virtual_seconds = config.budget_s});
+      bests[variant] = evaluator.best_time_ms();
+      if (variant == 1) {
+        chosen_tf = evaluator.best_setting()->get(space::kTemporal);
+      }
+    }
+    table.add_row({name, TextTable::fmt(bests[0]), TextTable::fmt(bests[1]),
+                   TextTable::fmt(bests[0] / bests[1], 2) + "x",
+                   std::to_string(chosen_tf)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(time reported per time step; TF is the fusion factor of "
+               "the winning setting)\n";
+  return 0;
+}

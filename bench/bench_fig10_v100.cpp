@@ -1,0 +1,55 @@
+// Fig. 10: generality on other GPU hardware — iso-time performance on the
+// V100 platform normalized to Garvey (higher is better). The stencil
+// dataset is re-collected on the V100 model, exactly as §V-D prescribes.
+// Paper averages: csTuner 1.7x / OpenTuner ~1.4x / Artemis ~1.4x of Garvey
+// (csTuner = 1.2x over OpenTuner and Artemis).
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 10: iso-time performance normalized to Garvey "
+               "(V100, budget "
+            << config.budget_s << " virtual s) ===\n\n";
+
+  TextTable table({"stencil", "csTuner", "Garvey", "OpenTuner", "Artemis"});
+  std::vector<double> sums(4, 0.0);
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "v100");
+    std::vector<double> finals;
+    for (const auto& method : bench::method_names()) {
+      std::vector<double> bests;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        tuner::StopCriteria stop;
+        stop.max_virtual_seconds = config.budget_s;
+        const auto result =
+            bench::run_tuning(entry, method, config, stop, 3000 + r);
+        bests.push_back(result.trace.final_best());
+      }
+      finals.push_back(tuner::mean_finite(bests));
+    }
+    const double garvey = finals[1];
+    std::vector<std::string> row{name};
+    for (std::size_t m = 0; m < finals.size(); ++m) {
+      const double normalized = garvey / finals[m];  // perf ratio
+      row.push_back(TextTable::fmt(normalized, 2));
+      sums[m] += normalized;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  const auto n = static_cast<double>(config.stencils.size());
+  std::cout << "\naverages (paper: csTuner 1.7x over Garvey, 1.2x over "
+               "OpenTuner/Artemis):\n  csTuner "
+            << TextTable::fmt(sums[0] / n, 2) << "  Garvey "
+            << TextTable::fmt(sums[1] / n, 2) << "  OpenTuner "
+            << TextTable::fmt(sums[2] / n, 2) << "  Artemis "
+            << TextTable::fmt(sums[3] / n, 2) << '\n';
+  return 0;
+}

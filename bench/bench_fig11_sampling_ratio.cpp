@@ -1,0 +1,64 @@
+// Fig. 11: sensitivity of csTuner to the sampling ratio (5%..50%, stride
+// 5%). Expected shape: 5% is the worst for about half the stencils; the
+// middle range (15-40%) is stable thanks to the PMNF filter.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 11: csTuner iso-time performance vs sampling ratio "
+               "(A100, budget "
+            << config.budget_s
+            << " virtual s; values normalized to the best ratio per "
+               "stencil) ===\n\n";
+
+  std::vector<double> ratios;
+  for (int p = 5; p <= 50; p += 5) ratios.push_back(p / 100.0);
+
+  std::vector<std::string> header{"stencil"};
+  for (double r : ratios) {
+    header.push_back(TextTable::fmt(r * 100.0, 0) + "%");
+  }
+  TextTable table(std::move(header));
+
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<double> finals;
+    for (double ratio : ratios) {
+      std::vector<double> bests;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        core::CsTunerOptions options;
+        options.dataset_size = config.dataset_size;
+        options.universe_size = config.universe_size;
+        options.sampling.ratio = ratio;
+        options.ga = bench::paper_ga_options();
+        options.seed = 4000 + r;
+        core::CsTuner tuner(options);
+        tuner.set_dataset(entry.dataset);
+        tuner.set_universe(entry.universe);
+        tuner::Evaluator evaluator(*entry.simulator, *entry.space, {},
+                                   4000 + r);
+        tuner::StopCriteria stop;
+        stop.max_virtual_seconds = config.budget_s;
+        tuner.tune(evaluator, stop);
+        bests.push_back(evaluator.best_time_ms());
+      }
+      finals.push_back(tuner::mean_finite(bests));
+    }
+    double best_final = finals[0];
+    for (double f : finals) best_final = std::min(best_final, f);
+    std::vector<std::string> row{name};
+    for (double f : finals) {
+      row.push_back(TextTable::fmt(best_final / f, 3));  // perf, 1.0 = best
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

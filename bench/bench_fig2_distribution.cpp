@@ -1,0 +1,50 @@
+// Fig. 2: speedup distribution of parameter settings over the optimum.
+// Paper headline: only ~5.1% of settings land within 20% of the optimum and
+// ~24.2% are >5x slower — the space is biased toward poor settings.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 2: speedup distribution over the optimum (A100) ==="
+            << "\n(speedup = t_opt / t, binned [0,1] stride 0.2)\n\n";
+
+  TextTable table({"stencil", "[0,0.2)", "[0.2,0.4)", "[0.4,0.6)",
+                   "[0.6,0.8)", "[0.8,1.0]", "settings"});
+  double sum_top = 0.0, sum_bottom = 0.0;
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<double> times;
+    times.reserve(entry.universe.size());
+    for (std::size_t i = 0; i < entry.universe.size(); ++i) {
+      times.push_back(entry.simulator->measure_ms(
+          entry.spec, entry.universe[i], /*run_index=*/i));
+    }
+    const double best = stats::min(times);
+    stats::Histogram hist(0.0, 1.0, 5);
+    for (double t : times) hist.add(best / t);
+    std::vector<std::string> row{name};
+    for (std::size_t b = 0; b < 5; ++b) {
+      row.push_back(TextTable::fmt_pct(hist.fraction(b)));
+    }
+    row.push_back(std::to_string(times.size()));
+    table.add_row(std::move(row));
+    sum_top += hist.fraction(4);
+    sum_bottom += hist.fraction(0);
+  }
+  table.print(std::cout);
+  const auto n = static_cast<double>(config.stencils.size());
+  std::cout << "\naverage within 20% of optimum: "
+            << TextTable::fmt_pct(sum_top / n) << "  (paper: 5.1%)\n"
+            << "average >5x slowdown:          "
+            << TextTable::fmt_pct(sum_bottom / n) << "  (paper: 24.2%)\n";
+  return 0;
+}

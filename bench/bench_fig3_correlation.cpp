@@ -1,0 +1,94 @@
+// Fig. 3: percentage distribution of parameter pairs with the other
+// parameters free. For each ordered pair (Pi, Pj): over each observed value
+// v of Pi, the best-performing sampled setting with Pi == v nominates a Pj
+// value; the pair's percentage is the fraction of nominations that disagree
+// with the global optimum's Pj. Paper headline: 28.6% of pairs disagree with
+// the optimum on average, 22.3% of pairs by more than 40%.
+
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "stats/histogram.hpp"
+
+using namespace cstuner;
+using space::kParamCount;
+using space::ParamId;
+
+namespace {
+
+double pair_percentage(const std::vector<space::Setting>& settings,
+                       const std::vector<double>& times, ParamId pi,
+                       ParamId pj, const space::Setting& optimum) {
+  std::map<std::int64_t, std::pair<double, std::int64_t>> best_by_value;
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    auto [it, inserted] =
+        best_by_value.try_emplace(settings[i].get(pi), times[i],
+                                  settings[i].get(pj));
+    if (!inserted && times[i] < it->second.first) {
+      it->second = {times[i], settings[i].get(pj)};
+    }
+  }
+  if (best_by_value.empty()) return 0.0;
+  std::size_t differing = 0;
+  for (const auto& [v, best] : best_by_value) {
+    (void)v;
+    if (best.second != optimum.get(pj)) ++differing;
+  }
+  return static_cast<double>(differing) /
+         static_cast<double>(best_by_value.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 3: parameter-pair disagreement with the optimum ==="
+            << "\n(fraction of pairs per disagreement-percentage bin)\n\n";
+
+  TextTable table({"stencil", "[0,20%)", "[20,40%)", "[40,60%)", "[60,80%)",
+                   "[80,100%]"});
+  double sum_nonzero = 0.0, sum_over40 = 0.0;
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<double> times;
+    times.reserve(entry.universe.size());
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < entry.universe.size(); ++i) {
+      times.push_back(entry.simulator->measure_ms(entry.spec,
+                                                  entry.universe[i], i));
+      if (times[i] < times[best]) best = i;
+    }
+    const auto& optimum = entry.universe[best];
+    stats::Histogram hist(0.0, 1.0, 5);
+    double pairs_nonzero = 0.0, pairs_over40 = 0.0, total = 0.0;
+    for (std::size_t a = 0; a < kParamCount; ++a) {
+      for (std::size_t b = 0; b < kParamCount; ++b) {
+        if (a == b) continue;
+        const double pct =
+            pair_percentage(entry.universe, times, static_cast<ParamId>(a),
+                            static_cast<ParamId>(b), optimum);
+        hist.add(pct);
+        total += 1.0;
+        if (pct > 0.0) pairs_nonzero += 1.0;
+        if (pct > 0.4) pairs_over40 += 1.0;
+      }
+    }
+    std::vector<std::string> row{name};
+    for (std::size_t bin = 0; bin < 5; ++bin) {
+      row.push_back(TextTable::fmt_pct(hist.fraction(bin)));
+    }
+    table.add_row(std::move(row));
+    sum_nonzero += pairs_nonzero / total;
+    sum_over40 += pairs_over40 / total;
+  }
+  table.print(std::cout);
+  const auto n = static_cast<double>(config.stencils.size());
+  std::cout << "\naverage pairs disagreeing with optimum: "
+            << TextTable::fmt_pct(sum_nonzero / n) << "  (paper: 28.6%)\n"
+            << "average pairs differing by >40%:        "
+            << TextTable::fmt_pct(sum_over40 / n) << "  (paper: 22.3%)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 4: speedup of the top-n parameter settings over the optimum — the
+// near-optimal plateau that justifies approximation. Paper: top-10/50/100
+// retain 96.7% / 92.4% / 90.1% of optimal performance on average.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 4: speedup of the top-n settings over the optimum "
+               "(A100) ===\n\n";
+
+  TextTable table({"stencil", "top-10", "top-50", "top-100"});
+  double sums[3] = {0.0, 0.0, 0.0};
+  const std::size_t ns[3] = {10, 50, 100};
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<double> times;
+    times.reserve(entry.universe.size());
+    for (std::size_t i = 0; i < entry.universe.size(); ++i) {
+      times.push_back(entry.simulator->measure_ms(entry.spec,
+                                                  entry.universe[i], i));
+    }
+    std::sort(times.begin(), times.end());
+    std::vector<std::string> row{name};
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t n = std::min(ns[k], times.size()) - 1;
+      const double speedup = times[0] / times[n];
+      row.push_back(TextTable::fmt_pct(speedup));
+      sums[k] += speedup;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  const auto count = static_cast<double>(config.stencils.size());
+  std::cout << "\naverages: top-10 " << TextTable::fmt_pct(sums[0] / count)
+            << " (paper 96.7%), top-50 "
+            << TextTable::fmt_pct(sums[1] / count)
+            << " (paper 92.4%), top-100 "
+            << TextTable::fmt_pct(sums[2] / count) << " (paper 90.1%)\n";
+  return 0;
+}

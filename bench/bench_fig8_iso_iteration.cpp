@@ -1,0 +1,62 @@
+// Fig. 8: iso-iteration comparison — best kernel time found by each method
+// after k tuner iterations (one iteration = one population of evaluations),
+// averaged over repeats. Expected shape: csTuner starts better (dataset +
+// PMNF sampling) and converges faster; OpenTuner converges slowly on the
+// global space.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 8: iso-iteration comparison (A100, mean of "
+            << config.repeats << " runs, best time in ms) ===\n\n";
+
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<std::string> header{"iteration"};
+    for (const auto& m : bench::method_names()) header.push_back(m);
+    TextTable table(std::move(header));
+
+    // method -> per-iteration mean best.
+    std::vector<std::vector<double>> series;
+    for (const auto& method : bench::method_names()) {
+      std::vector<std::vector<double>> per_repeat;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        tuner::StopCriteria stop;
+        stop.max_iterations = config.max_iterations;
+        const auto result =
+            bench::run_tuning(entry, method, config, stop, 1000 + r);
+        std::vector<double> bests;
+        for (std::size_t k = 1; k <= config.max_iterations; ++k) {
+          bests.push_back(result.trace.best_at_iteration(k));
+        }
+        per_repeat.push_back(std::move(bests));
+      }
+      std::vector<double> mean(config.max_iterations);
+      for (std::size_t k = 0; k < config.max_iterations; ++k) {
+        std::vector<double> column;
+        for (const auto& rep : per_repeat) column.push_back(rep[k]);
+        mean[k] = tuner::mean_finite(column);
+      }
+      series.push_back(std::move(mean));
+    }
+    for (std::size_t k = 0; k < config.max_iterations; ++k) {
+      std::vector<std::string> row{std::to_string(k + 1)};
+      for (const auto& s : series) {
+        row.push_back(std::isfinite(s[k]) ? TextTable::fmt(s[k]) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "stencil " << name << '\n';
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 9: iso-time comparison — best kernel time found within a fixed
+// search-time budget (paper: 100 s wall clock on the GPU; here: the
+// evaluator's virtual clock, which charges compile + timing-run costs).
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  std::cout << "=== Fig. 9: iso-time comparison (A100, budget "
+            << config.budget_s << " virtual s, mean of " << config.repeats
+            << " runs) ===\n\n";
+
+  TextTable final_table({"stencil", "csTuner", "Garvey", "OpenTuner",
+                         "Artemis", "cs/Garvey", "cs/OpenTuner",
+                         "cs/Artemis"});
+  std::vector<double> speedup_sums(3, 0.0);
+
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    std::vector<std::string> header{"time_s"};
+    for (const auto& m : bench::method_names()) header.push_back(m);
+    TextTable table(std::move(header));
+
+    std::vector<std::vector<double>> series;  // method -> per-checkpoint
+    std::vector<double> finals;
+    const std::size_t checkpoints = 10;
+    for (const auto& method : bench::method_names()) {
+      std::vector<std::vector<double>> per_repeat;
+      std::vector<double> final_bests;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        tuner::StopCriteria stop;
+        stop.max_virtual_seconds = config.budget_s;
+        const auto result =
+            bench::run_tuning(entry, method, config, stop, 2000 + r);
+        std::vector<double> bests;
+        for (std::size_t c = 1; c <= checkpoints; ++c) {
+          bests.push_back(result.trace.best_at_time(
+              config.budget_s * static_cast<double>(c) / checkpoints));
+        }
+        per_repeat.push_back(std::move(bests));
+        final_bests.push_back(result.trace.final_best());
+      }
+      std::vector<double> mean(checkpoints);
+      for (std::size_t c = 0; c < checkpoints; ++c) {
+        std::vector<double> column;
+        for (const auto& rep : per_repeat) column.push_back(rep[c]);
+        mean[c] = tuner::mean_finite(column);
+      }
+      series.push_back(std::move(mean));
+      finals.push_back(tuner::mean_finite(final_bests));
+    }
+    for (std::size_t c = 0; c < checkpoints; ++c) {
+      std::vector<std::string> row{TextTable::fmt(
+          config.budget_s * static_cast<double>(c + 1) / checkpoints, 0)};
+      for (const auto& s : series) {
+        row.push_back(std::isfinite(s[c]) ? TextTable::fmt(s[c]) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "stencil " << name << '\n';
+    table.print(std::cout);
+    std::cout << '\n';
+
+    std::vector<std::string> frow{name};
+    for (double f : finals) frow.push_back(TextTable::fmt(f));
+    for (int b = 1; b <= 3; ++b) {
+      const double speedup = finals[static_cast<std::size_t>(b)] / finals[0];
+      frow.push_back(TextTable::fmt(speedup, 2) + "x");
+      speedup_sums[static_cast<std::size_t>(b - 1)] += speedup;
+    }
+    final_table.add_row(std::move(frow));
+  }
+
+  std::cout << "final best after " << config.budget_s
+            << " virtual s (ms; cs/X = csTuner speedup over X)\n";
+  final_table.print(std::cout);
+  const auto n = static_cast<double>(config.stencils.size());
+  std::cout << "\naverage csTuner speedup: vs Garvey "
+            << TextTable::fmt(speedup_sums[0] / n, 2) << "x, vs OpenTuner "
+            << TextTable::fmt(speedup_sums[1] / n, 2) << "x, vs Artemis "
+            << TextTable::fmt(speedup_sums[2] / n, 2) << "x\n";
+  return 0;
+}

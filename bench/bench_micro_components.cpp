@@ -1,0 +1,127 @@
+// Component micro-benchmarks (google-benchmark): throughput of the pieces
+// the auto-tuning pipeline leans on. Not a paper figure; used to verify the
+// framework itself stays out of the way (cf. §V-F overhead discussion).
+
+#include <benchmark/benchmark.h>
+
+#include "core/grouping.hpp"
+#include "core/sampling.hpp"
+#include "cstuner.hpp"
+
+using namespace cstuner;
+
+namespace {
+
+const stencil::StencilSpec& bench_spec() {
+  static const auto spec = stencil::make_stencil("j3d7pt");
+  return spec;
+}
+
+space::SearchSpace& bench_space() {
+  static space::SearchSpace space(bench_spec());
+  return space;
+}
+
+space::Setting valid_setting() {
+  Rng rng(99);
+  return bench_space().random_valid(rng);
+}
+
+}  // namespace
+
+static void BM_ConstraintCheck(benchmark::State& state) {
+  const auto s = valid_setting();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_space().is_valid(s));
+  }
+}
+BENCHMARK(BM_ConstraintCheck);
+
+static void BM_SimulatorProfile(benchmark::State& state) {
+  gpusim::Simulator sim(gpusim::a100());
+  const auto s = valid_setting();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.profile(bench_spec(), s).time_ms);
+  }
+}
+BENCHMARK(BM_SimulatorProfile);
+
+static void BM_RandomValidSetting(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_space().random_valid(rng));
+  }
+}
+BENCHMARK(BM_RandomValidSetting);
+
+static void BM_KernelCodegen(benchmark::State& state) {
+  const auto spec =
+      stencil::make_stencil(state.range(0) == 0 ? "j3d7pt" : "rhs4center");
+  space::SearchSpace space(spec);
+  Rng rng(13);
+  const auto s = space.random_valid(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate_kernel(spec, s).source);
+  }
+}
+BENCHMARK(BM_KernelCodegen)->Arg(0)->Arg(1);
+
+static void BM_PairCvGrouping(benchmark::State& state) {
+  gpusim::Simulator sim(gpusim::a100());
+  Rng rng(3);
+  const auto dataset = tuner::collect_dataset(bench_space(), sim, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::group_parameters(bench_space(), dataset));
+  }
+}
+BENCHMARK(BM_PairCvGrouping);
+
+static void BM_PmnfFit(benchmark::State& state) {
+  gpusim::Simulator sim(gpusim::a100());
+  Rng rng(3);
+  const auto dataset = tuner::collect_dataset(bench_space(), sim, 128, rng);
+  const auto groups = core::group_parameters(bench_space(), dataset);
+  const auto x = dataset.feature_matrix();
+  const regress::PmnfFitter fitter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fitter.fit_best(x, dataset.times_ms, groups).rse);
+  }
+}
+BENCHMARK(BM_PmnfFit);
+
+static void BM_GaGeneration(benchmark::State& state) {
+  // One full island-GA run of a few generations over a synthetic fitness.
+  for (auto _ : state) {
+    ga::GaOptions options;
+    options.sub_populations = 2;
+    options.population_size = 16;
+    options.max_generations = 5;
+    options.seed = 21;
+    ga::IslandGa island({64, 64, 64}, options);
+    auto result = island.run(
+        [](const ga::Genome& g) {
+          double f = 0.0;
+          for (auto v : g) f -= static_cast<double>(v) * v;
+          return f;
+        },
+        [](const ga::GaState&) { return false; });
+    benchmark::DoNotOptimize(result.best_fitness);
+  }
+}
+BENCHMARK(BM_GaGeneration);
+
+static void BM_TiledExecutorSweep(benchmark::State& state) {
+  const auto spec = stencil::scaled_stencil("j3d7pt", 32);
+  space::SearchSpace space(spec);
+  Rng rng(31);
+  const auto setting = space.random_valid(rng);
+  auto grids = stencil::make_grids(spec);
+  for (auto _ : state) {
+    exec::run_tiled(spec, setting, grids.inputs, grids.outputs);
+    benchmark::DoNotOptimize(grids.outputs[0].at(0, 0, 0));
+  }
+}
+BENCHMARK(BM_TiledExecutorSweep);
+
+BENCHMARK_MAIN();

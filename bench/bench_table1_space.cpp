@@ -1,0 +1,54 @@
+// Table I: the parameterized optimization space. Prints each parameter's
+// range per stencil class plus the constrained-space statistics the paper
+// quotes (">100 million settings" before implicit pruning).
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  std::cout << "=== Table I: parameterized optimization space ===\n\n";
+
+  // Parameter ranges for one representative of each grid size.
+  for (const std::string name : {"j3d7pt", "hypterm"}) {
+    const auto spec = stencil::make_stencil(name);
+    space::SearchSpace sp(spec);
+    std::cout << "stencil " << name << " (grid " << spec.grid[0] << "^3)\n";
+    TextTable table({"parameter", "kind", "cardinality", "range"});
+    for (const auto& p : sp.parameters()) {
+      const char* kind = p.kind == space::ParamKind::kBool   ? "bool"
+                         : p.kind == space::ParamKind::kEnum ? "enum"
+                                                             : "pow2";
+      table.add_row({p.name, kind, std::to_string(p.cardinality()),
+                     "[" + std::to_string(p.values.front()) + ", " +
+                         std::to_string(p.values.back()) + "]"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Constrained-space statistics (" << config.universe_size
+            << "-setting probes):\n";
+  TextTable stats({"stencil", "log10(cartesian)", "valid_fraction",
+                   "universe_size"});
+  bench::ArtifactCache cache(config);
+  for (const auto& name : config.stencils) {
+    const auto& entry = cache.get(name, "a100");
+    Rng rng(42);
+    std::size_t valid = 0;
+    const std::size_t probes = 20000;
+    for (std::size_t i = 0; i < probes; ++i) {
+      if (entry.space->is_valid(entry.space->random_setting(rng))) ++valid;
+    }
+    stats.add_row({name,
+                   TextTable::fmt(entry.space->log10_cartesian_size(), 1),
+                   TextTable::fmt_pct(static_cast<double>(valid) / probes, 2),
+                   std::to_string(entry.universe.size())});
+  }
+  stats.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The §VII extension in action: re-targeting the csTuner pipeline at
+// multicore CPUs. The optimization space swaps thread blocks and shared
+// memory for OpenMP-style threads, tiling, SIMD width and scheduling; the
+// statistics (CV grouping), PMNF sampling and approximate evolutionary
+// search are the same components the GPU pipeline uses.
+
+#include <algorithm>
+#include <iostream>
+
+#include "cputune/cpu_tuner.hpp"
+#include "cstuner.hpp"
+
+using namespace cstuner;
+using namespace cstuner::cputune;
+
+namespace {
+
+void tune_on(const CpuArch& arch, const stencil::StencilSpec& spec) {
+  CpuSpace space(spec, arch);
+  CpuSimulator simulator(arch);
+  CpuTuner tuner;
+  const auto result = tuner.tune(space, simulator);
+
+  // Compare against random search at the same evaluation budget.
+  Rng rng(41);
+  double random_best = 1e300;
+  for (std::size_t i = 0; i < result.evaluations; ++i) {
+    random_best = std::min(
+        random_best, simulator.measure_ms(spec, space.random_valid(rng), i));
+  }
+
+  std::cout << arch.name << " (" << arch.cores << " cores, "
+            << arch.vector_doubles << "-wide SIMD):\n"
+            << "  best " << result.best_time_ms << " ms after "
+            << result.evaluations << " evaluations ("
+            << result.groups.size() << " parameter groups, "
+            << result.sampled_count << " sampled settings)\n"
+            << "  " << result.best.to_string() << '\n'
+            << "  random search at the same budget: " << random_best
+            << " ms  (csTuner pipeline "
+            << random_best / result.best_time_ms << "x better)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "helmholtz";
+  const auto spec = stencil::make_stencil(name);
+  std::cout << "CPU auto-tuning of stencil " << name << " (grid "
+            << spec.grid[0] << "^3, " << spec.flops << " FLOPs/point)\n\n";
+  tune_on(xeon_8380(), spec);
+  tune_on(epyc_7742(), spec);
+  std::cout << "The same pipeline adapts to either microarchitecture purely "
+               "through the\nparameterized space, as §VII anticipates.\n";
+  return 0;
+}

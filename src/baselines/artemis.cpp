@@ -1,0 +1,98 @@
+#include "baselines/artemis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/subspace.hpp"
+#include "common/error.hpp"
+
+namespace cstuner::baselines {
+
+using namespace space;
+
+Artemis::Artemis(ArtemisOptions options) : options_(options) {}
+
+void Artemis::tune(tuner::Evaluator& evaluator,
+                   const tuner::StopCriteria& stop) {
+  const auto& space = evaluator.space();
+  Rng rng(options_.seed);
+
+  // Expert-knowledge stage ordering: computation-shaping optimizations
+  // first (the paper: "Artemis tunes the computation for high-impact
+  // optimizations first and then selects a few high-performance
+  // candidates").
+  const std::vector<std::vector<ParamId>> stages = {
+      {kTBx, kTBy, kTBz, kUseShared},            // launch shape + tiling
+      {kUseStreaming, kSD, kSB, kUsePrefetching},// streaming pipeline
+      {kCMx, kCMy, kCMz, kBMx, kBMy, kBMz},      // thread coarsening
+      {kUFx, kUFy, kUFz, kUseRetiming, kUseConstant},  // register tuning
+  };
+
+  struct Candidate {
+    Setting setting;
+    double time_ms = std::numeric_limits<double>::infinity();
+  };
+
+  // Seed candidates: the naive mapping plus random valid settings.
+  std::vector<Candidate> survivors;
+  {
+    Setting naive;  // all parameters at 1 (one thread per point)
+    naive.set(kTBx, 32);
+    naive = space.checker().canonicalized(naive);
+    if (space.is_valid(naive)) {
+      survivors.push_back({naive, evaluator.evaluate(naive)});
+    }
+    while (survivors.size() < options_.survivors) {
+      const Setting s = space.random_valid(rng);
+      survivors.push_back({s, evaluator.evaluate(s)});
+    }
+  }
+  std::size_t since_mark = survivors.size();
+
+  for (const auto& stage : stages) {
+    if (stop.reached(evaluator)) break;
+    const auto combos_per_candidate = std::max<std::size_t>(
+        1, options_.max_stage_combos / std::max<std::size_t>(
+                                           1, survivors.size()));
+    std::vector<Candidate> pool = survivors;  // survivors stay eligible
+    for (const auto& candidate : survivors) {
+      if (stop.reached(evaluator)) break;
+      auto combos =
+          enumerate_combos(space, stage, combos_per_candidate, rng);
+      for (const auto& combo : combos) {
+        if (stop.reached(evaluator)) break;
+        const Setting trial =
+            apply_combo(space, stage, combo, candidate.setting);
+        const double t = evaluator.evaluate(trial);
+        if (std::isfinite(t)) pool.push_back({trial, t});
+        if (++since_mark ==
+            static_cast<std::size_t>(options_.evals_per_iteration)) {
+          evaluator.mark_iteration();
+          since_mark = 0;
+        }
+      }
+    }
+    // Keep the best distinct survivors.
+    std::sort(pool.begin(), pool.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.time_ms < b.time_ms;
+              });
+    std::vector<Candidate> next;
+    for (const auto& c : pool) {
+      bool duplicate = false;
+      for (const auto& kept : next) {
+        if (kept.setting == c.setting) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) next.push_back(c);
+      if (next.size() == options_.survivors) break;
+    }
+    if (!next.empty()) survivors = std::move(next);
+  }
+  if (since_mark > 0) evaluator.mark_iteration();
+}
+
+}  // namespace cstuner::baselines

@@ -1,0 +1,121 @@
+#include "baselines/garvey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/subspace.hpp"
+#include "common/error.hpp"
+
+namespace cstuner::baselines {
+
+using namespace space;
+
+Garvey::Garvey(GarveyOptions options) : options_(options) {}
+
+void Garvey::set_dataset(tuner::PerfDataset dataset) {
+  preset_dataset_ = std::move(dataset);
+}
+
+void Garvey::tune(tuner::Evaluator& evaluator,
+                  const tuner::StopCriteria& stop) {
+  const auto& space = evaluator.space();
+  Rng rng(options_.seed);
+
+  // --- Offline dataset for the random forest.
+  tuner::PerfDataset dataset =
+      preset_dataset_.has_value()
+          ? *preset_dataset_
+          : tuner::collect_dataset(space, evaluator.simulator(),
+                                   options_.dataset_size, rng);
+
+  // --- Stage 1: random forest predicts the best memory type. The forest is
+  // a regression model time = f(setting); we query it for each of the four
+  // (shared, constant) combinations averaged over the dataset settings and
+  // fix the flags to the predicted-fastest combination.
+  std::vector<double> features;
+  features.reserve(dataset.size() * kParamCount);
+  for (const auto& s : dataset.settings) {
+    const auto row = SearchSpace::to_feature_row(s);
+    features.insert(features.end(), row.begin(), row.end());
+  }
+  ml::TableView table{features, dataset.size(), kParamCount};
+  std::vector<double> log_times(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    log_times[i] = std::log(std::max(dataset.times_ms[i], 1e-9));
+  }
+  ml::RandomForest forest(ml::TreeTask::kRegression, options_.forest);
+  forest.fit(table, log_times, rng);
+
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (std::int64_t sh : {kOff, kOn}) {
+    for (std::int64_t co : {kOff, kOn}) {
+      double sum = 0.0;
+      for (const auto& s : dataset.settings) {
+        Setting probe = s;
+        probe.set(kUseShared, sh);
+        probe.set(kUseConstant, co);
+        sum += forest.predict(SearchSpace::to_feature_row(probe));
+      }
+      if (sum < best_pred) {
+        best_pred = sum;
+        chosen_memory_ = {sh, co};
+      }
+    }
+  }
+
+  // --- Stage 2: grouping by dimension (expert knowledge).
+  const std::vector<std::vector<ParamId>> groups = {
+      {kTBx, kUFx, kCMx, kBMx},
+      {kTBy, kUFy, kCMy, kBMy},
+      {kTBz, kUFz, kCMz, kBMz},
+      {kUseStreaming, kSD, kSB},
+      {kUseRetiming, kUsePrefetching},
+  };
+
+  // Base: the naive launch configuration with the predicted memory flags —
+  // Garvey starts its per-group exhaustive search from scratch; only the
+  // memory-type decision carries over from the forest.
+  Setting base;
+  base.set(kTBx, 32);
+  base.set(kUseShared, chosen_memory_.first);
+  base.set(kUseConstant, chosen_memory_.second);
+  base = space.checker().repaired(base);
+  evaluator.evaluate(base);
+
+  // --- Stage 3: per-group exhaustive search over a random sample.
+  for (const auto& group : groups) {
+    if (stop.reached(evaluator)) break;
+    auto combos =
+        enumerate_combos(space, group, options_.max_group_combos, rng);
+    rng.shuffle(combos);
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.sampling_ratio *
+                                    static_cast<double>(combos.size())));
+    combos.resize(std::min(combos.size(), keep));
+
+    Combo best_combo;
+    double best_time = std::numeric_limits<double>::infinity();
+    std::size_t since_mark = 0;
+    for (const auto& combo : combos) {
+      if (stop.reached(evaluator)) break;
+      const Setting candidate = apply_combo(space, group, combo, base);
+      const double t = evaluator.evaluate(candidate);
+      if (t < best_time) {
+        best_time = t;
+        best_combo = combo;
+      }
+      if (++since_mark ==
+          static_cast<std::size_t>(options_.evals_per_iteration)) {
+        evaluator.mark_iteration();
+        since_mark = 0;
+      }
+    }
+    if (since_mark > 0) evaluator.mark_iteration();
+    if (!best_combo.empty() && std::isfinite(best_time)) {
+      base = apply_combo(space, group, best_combo, base);
+    }
+  }
+}
+
+}  // namespace cstuner::baselines

@@ -1,0 +1,217 @@
+#include "baselines/opentuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cstuner::baselines {
+
+using space::kParamCount;
+using space::ParamId;
+using space::Setting;
+
+namespace {
+
+double fitness_of(double time_ms) {
+  if (!std::isfinite(time_ms) || time_ms <= 0.0) return 1e-9;
+  return 1000.0 / time_ms;
+}
+
+Setting genome_to_setting(const space::SearchSpace& space,
+                          const ga::Genome& genome) {
+  Setting s;
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    const auto& p = space.parameters()[i];
+    s.set(static_cast<ParamId>(i), p.values[genome[i] % p.values.size()]);
+  }
+  // The global GA searches the raw Table I space; only the trivial
+  // streaming-field canonicalization is applied. Invalid combinations
+  // evaluate to a penalty fitness — the blindness to stencil-specific
+  // structure the paper attributes to OpenTuner (§II-C).
+  return space.checker().canonicalized(s);
+}
+
+ga::Genome setting_to_genome(const space::SearchSpace& space,
+                             const Setting& setting) {
+  ga::Genome genome(kParamCount);
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    const auto& p = space.parameters()[i];
+    genome[i] = static_cast<std::uint32_t>(
+        p.value_index(setting.get(static_cast<ParamId>(i))));
+  }
+  return genome;
+}
+
+std::vector<std::uint32_t> parameter_cardinalities(
+    const space::SearchSpace& space) {
+  std::vector<std::uint32_t> cards;
+  cards.reserve(kParamCount);
+  for (const auto& p : space.parameters()) {
+    cards.push_back(static_cast<std::uint32_t>(p.cardinality()));
+  }
+  return cards;
+}
+
+}  // namespace
+
+OpenTuner::OpenTuner(OpenTunerOptions options) : options_(options) {}
+
+std::string OpenTuner::name() const {
+  switch (options_.technique) {
+    case OpenTunerTechnique::kGlobalGa:
+      return "OpenTuner";
+    case OpenTunerTechnique::kHillClimber:
+      return "OpenTuner/hill";
+    case OpenTunerTechnique::kDifferentialEvolution:
+      return "OpenTuner/de";
+  }
+  return "OpenTuner";
+}
+
+void OpenTuner::tune(tuner::Evaluator& evaluator,
+                     const tuner::StopCriteria& stop) {
+  switch (options_.technique) {
+    case OpenTunerTechnique::kGlobalGa:
+      return tune_global_ga(evaluator, stop);
+    case OpenTunerTechnique::kHillClimber:
+      return tune_hill_climber(evaluator, stop);
+    case OpenTunerTechnique::kDifferentialEvolution:
+      return tune_differential_evolution(evaluator, stop);
+  }
+}
+
+void OpenTuner::tune_global_ga(tuner::Evaluator& evaluator,
+                               const tuner::StopCriteria& stop) {
+  const auto& space = evaluator.space();
+  ga::GaOptions ga_options = options_.ga;
+  ga_options.seed = options_.seed;
+  // Seed with valid configurations (any practical tuner starts from
+  // launchable kernels); evolution itself explores the raw space.
+  ga_options.initializer = [&space](Rng& rng) {
+    return setting_to_genome(space, space.random_valid(rng));
+  };
+  ga::IslandGa island(parameter_cardinalities(space), ga_options);
+  auto evaluate = [&](const ga::Genome& genome) {
+    return fitness_of(
+        evaluator.evaluate(genome_to_setting(space, genome)));
+  };
+  auto should_stop = [&](const ga::GaState&) {
+    evaluator.mark_iteration();
+    return stop.reached(evaluator);
+  };
+  island.run(evaluate, should_stop);
+}
+
+void OpenTuner::tune_hill_climber(tuner::Evaluator& evaluator,
+                                  const tuner::StopCriteria& stop) {
+  const auto& space = evaluator.space();
+  Rng rng(options_.seed);
+  Setting current = space.random_valid(rng);
+  double current_time = evaluator.evaluate(current);
+  const int moves_per_iteration =
+      options_.ga.sub_populations * options_.ga.population_size;
+
+  while (!stop.reached(evaluator)) {
+    Setting best_neighbor = current;
+    double best_time = current_time;
+    for (int m = 0; m < moves_per_iteration; ++m) {
+      // One-parameter move to an adjacent admissible value.
+      Setting neighbor = current;
+      const auto pid =
+          static_cast<ParamId>(rng.index(kParamCount));
+      const auto& p = space.parameter(pid);
+      const std::size_t idx = p.value_index(neighbor.get(pid));
+      const std::size_t next =
+          (idx == 0 || rng.bernoulli(0.5))
+              ? std::min(idx + 1, p.cardinality() - 1)
+              : idx - 1;
+      neighbor.set(pid, p.values[next]);
+      neighbor = space.checker().repaired(neighbor);
+      const double t = evaluator.evaluate(neighbor);
+      if (t < best_time) {
+        best_time = t;
+        best_neighbor = neighbor;
+      }
+      if (stop.reached(evaluator)) break;
+    }
+    evaluator.mark_iteration();
+    if (best_time < current_time) {
+      current = best_neighbor;
+      current_time = best_time;
+    } else {
+      // Local optimum: random restart, the OpenTuner escape hatch.
+      current = space.random_valid(rng);
+      current_time = evaluator.evaluate(current);
+    }
+  }
+}
+
+void OpenTuner::tune_differential_evolution(
+    tuner::Evaluator& evaluator, const tuner::StopCriteria& stop) {
+  const auto& space = evaluator.space();
+  Rng rng(options_.seed);
+  const auto cards = parameter_cardinalities(space);
+  const std::size_t pop_size = static_cast<std::size_t>(
+      options_.ga.sub_populations * options_.ga.population_size);
+  constexpr double kF = 0.5;   // differential weight
+  constexpr double kCr = 0.9;  // crossover probability
+
+  // Population over continuous index space (rounded for evaluation).
+  std::vector<std::vector<double>> population(pop_size);
+  std::vector<double> times(pop_size);
+  auto eval_vec = [&](const std::vector<double>& v) {
+    ga::Genome genome(kParamCount);
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+      const double clamped = std::clamp(
+          v[i], 0.0, static_cast<double>(cards[i] - 1));
+      genome[i] = static_cast<std::uint32_t>(std::lround(clamped));
+    }
+    return evaluator.evaluate(genome_to_setting(space, genome));
+  };
+  for (std::size_t i = 0; i < pop_size; ++i) {
+    // Seed from valid configurations; evolution explores the raw space.
+    const Setting seed_setting = space.random_valid(rng);
+    population[i].resize(kParamCount);
+    for (std::size_t d = 0; d < kParamCount; ++d) {
+      const auto& p = space.parameters()[d];
+      population[i][d] = static_cast<double>(
+          p.value_index(seed_setting.get(static_cast<ParamId>(d))));
+    }
+    times[i] = eval_vec(population[i]);
+  }
+  evaluator.mark_iteration();
+
+  // Stop once the population has stopped discovering new settings for a
+  // while: further generations would only replay cached evaluations.
+  int stale_generations = 0;
+  while (!stop.reached(evaluator) && stale_generations < 50) {
+    const std::size_t evals_before = evaluator.unique_evaluations();
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      // DE/rand/1/bin mutant.
+      std::size_t a = rng.index(pop_size), b = rng.index(pop_size),
+                  c = rng.index(pop_size);
+      std::vector<double> trial = population[i];
+      const std::size_t forced = rng.index(kParamCount);
+      for (std::size_t d = 0; d < kParamCount; ++d) {
+        if (d == forced || rng.bernoulli(kCr)) {
+          trial[d] = population[a][d] +
+                     kF * (population[b][d] - population[c][d]);
+        }
+      }
+      const double t = eval_vec(trial);
+      if (t < times[i]) {
+        population[i] = std::move(trial);
+        times[i] = t;
+      }
+      if (stop.reached(evaluator)) break;
+    }
+    evaluator.mark_iteration();
+    stale_generations = (evaluator.unique_evaluations() == evals_before)
+                            ? stale_generations + 1
+                            : 0;
+  }
+}
+
+}  // namespace cstuner::baselines

@@ -1,0 +1,77 @@
+#include "baselines/subspace.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cstuner::baselines {
+
+std::vector<Combo> enumerate_combos(const space::SearchSpace& space,
+                                    const std::vector<space::ParamId>& params,
+                                    std::size_t cap, Rng& rng) {
+  CSTUNER_CHECK(!params.empty());
+  CSTUNER_CHECK(cap >= 1);
+  // Cartesian size (saturating).
+  std::size_t total = 1;
+  bool overflow = false;
+  for (auto id : params) {
+    const std::size_t card = space.parameter(id).cardinality();
+    if (total > cap * 4 / card + 1) overflow = true;
+    total *= card;
+    if (total > (cap << 4)) {
+      overflow = true;
+      break;
+    }
+  }
+  std::vector<Combo> combos;
+  if (!overflow && total <= cap) {
+    combos.reserve(total);
+    Combo current(params.size());
+    // Odometer enumeration.
+    std::vector<std::size_t> idx(params.size(), 0);
+    for (;;) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        current[i] = space.parameter(params[i]).values[idx[i]];
+      }
+      combos.push_back(current);
+      std::size_t d = 0;
+      while (d < params.size()) {
+        if (++idx[d] < space.parameter(params[d]).cardinality()) break;
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == params.size()) break;
+    }
+    return combos;
+  }
+  // Random distinct sample.
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t attempts = 0;
+  while (combos.size() < cap && attempts < cap * 64) {
+    ++attempts;
+    Combo c(params.size());
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto& p = space.parameter(params[i]);
+      c[i] = p.values[rng.index(p.cardinality())];
+      h = hash_combine(h, static_cast<std::uint64_t>(c[i]));
+    }
+    if (seen.insert(h).second) combos.push_back(std::move(c));
+  }
+  return combos;
+}
+
+space::Setting apply_combo(const space::SearchSpace& space,
+                           const std::vector<space::ParamId>& params,
+                           const Combo& combo, space::Setting setting) {
+  CSTUNER_CHECK(combo.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    setting.set(params[i], combo[i]);
+  }
+  // Group/stage values grafted onto a base can violate cross-group rules;
+  // both Garvey and Artemis generate compilable variants, so repair into
+  // the valid space rather than discarding the sample.
+  return space.checker().repaired(setting);
+}
+
+}  // namespace cstuner::baselines

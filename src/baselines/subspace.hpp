@@ -1,0 +1,26 @@
+#pragma once
+// Shared helper for the Garvey and Artemis baselines: enumerate (or
+// random-sample, when too large) the cartesian value combinations of a
+// subset of parameters.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "space/search_space.hpp"
+
+namespace cstuner::baselines {
+
+using Combo = std::vector<std::int64_t>;  ///< one value per subset parameter
+
+/// All combos when the subset's cartesian size is <= cap, otherwise `cap`
+/// distinct random combos.
+std::vector<Combo> enumerate_combos(const space::SearchSpace& space,
+                                    const std::vector<space::ParamId>& params,
+                                    std::size_t cap, Rng& rng);
+
+/// Writes a combo into `setting` and canonicalizes.
+space::Setting apply_combo(const space::SearchSpace& space,
+                           const std::vector<space::ParamId>& params,
+                           const Combo& combo, space::Setting setting);
+
+}  // namespace cstuner::baselines

@@ -1,0 +1,48 @@
+#pragma once
+// CUDA-C kernel source generation for a (stencil, setting) pair.
+//
+// The paper's pre-processing stage "writes the sampled parameter settings
+// into CUDA kernels for the subsequent auto-tuning process" (§V-F, Fig. 12).
+// We emit complete, human-readable CUDA-C translation units realizing the
+// selected optimizations: thread-block mapping, shared-memory tiling,
+// constant-memory coefficients, 2.5-D streaming with concurrent tiles,
+// block/cyclic merging, loop unrolling pragmas, register prefetching and
+// retimed accumulation. Without an NVIDIA toolchain the output is consumed
+// by structural tests and the overhead benchmark rather than nvcc; the
+// launch geometry and resource footprint it encodes are exactly what the
+// GPU model simulates.
+
+#include <string>
+
+#include "space/resource_model.hpp"
+#include "space/setting.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::codegen {
+
+struct KernelSource {
+  std::string name;        ///< kernel function name
+  std::string source;      ///< full translation unit text
+  std::string launch;      ///< dim3 grid/block launch snippet
+  space::ResourceUsage resources;
+};
+
+/// Launch geometry implied by a setting (blocks per dimension).
+struct LaunchGeometry {
+  std::int64_t grid[3] = {1, 1, 1};   ///< thread blocks per dimension
+  std::int64_t block[3] = {1, 1, 1};  ///< threads per dimension
+
+  std::int64_t total_blocks() const { return grid[0] * grid[1] * grid[2]; }
+  std::int64_t threads_per_block() const {
+    return block[0] * block[1] * block[2];
+  }
+};
+
+LaunchGeometry compute_launch_geometry(const stencil::StencilSpec& spec,
+                                       const space::Setting& setting);
+
+/// Generates the full kernel source for a valid setting.
+KernelSource generate_kernel(const stencil::StencilSpec& spec,
+                             const space::Setting& setting);
+
+}  // namespace cstuner::codegen

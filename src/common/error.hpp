@@ -1,0 +1,51 @@
+#pragma once
+// Error types and invariant-checking macros used throughout the framework.
+
+#include <stdexcept>
+#include <string>
+
+namespace cstuner {
+
+/// Base class for all csTuner errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parameter setting violates an explicit or implicit constraint.
+class ConstraintError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Numerical routine failure (singular system, non-finite input, ...).
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Misuse of an API (bad argument, wrong call order).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+
+}  // namespace cstuner
+
+/// Runtime invariant check, active in all build types.
+#define CSTUNER_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::cstuner::throw_check_failure(#expr, __FILE__, __LINE__, "");     \
+    }                                                                    \
+  } while (0)
+
+#define CSTUNER_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::cstuner::throw_check_failure(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (0)

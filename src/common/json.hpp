@@ -1,0 +1,50 @@
+#pragma once
+// Minimal JSON emission (writer only) for machine-readable tuning reports.
+// Deliberately tiny: objects, arrays, strings, numbers, bools — enough for
+// the CLI's --json output and the trace exports.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cstuner {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return os_.str(); }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+
+  std::ostringstream os_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace cstuner

@@ -1,0 +1,25 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace cstuner {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[cstuner:" << kNames[static_cast<int>(level)] << "] "
+            << message << '\n';
+}
+
+namespace detail {
+
+LogLine::~LogLine() { Logger::instance().write(level_, os_.str()); }
+
+}  // namespace detail
+
+}  // namespace cstuner

@@ -1,0 +1,57 @@
+#pragma once
+// Minimal leveled logger. Single global sink (stderr by default); thread-safe.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cstuner {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace cstuner
+
+#define CSTUNER_LOG(lvl)                                               \
+  if (static_cast<int>(lvl) <                                          \
+      static_cast<int>(::cstuner::Logger::instance().level())) {       \
+  } else                                                               \
+    ::cstuner::detail::LogLine(lvl)
+
+#define CSTUNER_DEBUG CSTUNER_LOG(::cstuner::LogLevel::kDebug)
+#define CSTUNER_INFO CSTUNER_LOG(::cstuner::LogLevel::kInfo)
+#define CSTUNER_WARN CSTUNER_LOG(::cstuner::LogLevel::kWarn)
+#define CSTUNER_ERROR CSTUNER_LOG(::cstuner::LogLevel::kError)

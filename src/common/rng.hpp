@@ -1,0 +1,92 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the framework (search-space sampling, genetic
+// operators, simulated measurement noise) draw from Xoshiro256** seeded via
+// SplitMix64, so every experiment is exactly reproducible from its seed.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cstuner {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state and to derive independent child seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p);
+
+  /// Uniformly chosen index into a container of the given size (size > 0).
+  std::size_t index(std::size_t size);
+
+  /// Derive an independent child generator (for per-rank / per-run streams).
+  Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(bounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit hash mixing, for deriving seeds from structured keys.
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+
+/// FNV-1a over a byte range; convenient for hashing strings into seeds.
+std::uint64_t fnv1a(const void* data, std::size_t n);
+
+}  // namespace cstuner

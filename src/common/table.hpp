@@ -1,0 +1,33 @@
+#pragma once
+// Aligned-text and CSV table emission for the benchmark harnesses.
+//
+// Every experiment binary prints the series the paper reports; TextTable
+// renders them as aligned console output and can also dump CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cstuner {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double ratio, int precision = 1);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cstuner

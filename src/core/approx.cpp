@@ -1,0 +1,22 @@
+#include "core/approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace cstuner::core {
+
+bool approximation_reached(const std::vector<double>& fitnesses_desc,
+                           const ApproxConfig& config) {
+  std::vector<double> top;
+  for (double f : fitnesses_desc) {
+    if (!std::isfinite(f) || f <= 0.0) continue;
+    top.push_back(f);
+    if (top.size() == config.top_n) break;
+  }
+  if (top.size() < 2) return false;
+  return stats::coefficient_of_variation(top) < config.cv_threshold;
+}
+
+}  // namespace cstuner::core

@@ -1,0 +1,24 @@
+#pragma once
+// Approximation-based early termination (§IV-E): a parameter group's tuning
+// stops once the coefficient of variation of the top-n fitnesses drops below
+// a threshold — the population has converged onto the near-optimal plateau
+// that Fig. 4 shows always exists, so further generations buy little.
+
+#include <cstddef>
+#include <vector>
+
+namespace cstuner::core {
+
+struct ApproxConfig {
+  std::size_t top_n = 8;
+  double cv_threshold = 0.02;
+  std::size_t min_generations = 2;  ///< never stop before this many
+};
+
+/// True when CV(top-n of `fitnesses_desc`) < threshold. `fitnesses_desc`
+/// must be sorted descending and strictly positive (csTuner uses
+/// fitness = 1000 / time_ms). Fewer than two finite entries -> false.
+bool approximation_reached(const std::vector<double>& fitnesses_desc,
+                           const ApproxConfig& config);
+
+}  // namespace cstuner::core

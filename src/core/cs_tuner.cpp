@@ -1,0 +1,229 @@
+#include "core/cs_tuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "codegen/cuda_codegen.hpp"
+#include "core/grouping.hpp"
+
+namespace cstuner::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fitness used throughout: strictly positive, higher = faster, so CV-based
+/// approximation (Eq. 1) is well defined.
+double fitness_of(double time_ms) {
+  if (!std::isfinite(time_ms) || time_ms <= 0.0) return 1e-9;
+  return 1000.0 / time_ms;
+}
+
+}  // namespace
+
+CsTuner::CsTuner(CsTunerOptions options) : options_(std::move(options)) {}
+
+void CsTuner::set_dataset(tuner::PerfDataset dataset) {
+  preset_dataset_ = std::move(dataset);
+}
+
+void CsTuner::set_universe(std::vector<space::Setting> universe) {
+  preset_universe_ = std::move(universe);
+}
+
+void CsTuner::tune(tuner::Evaluator& evaluator,
+                   const tuner::StopCriteria& stop) {
+  report_ = PreprocessReport{};
+  const auto& space = evaluator.space();
+  Rng rng(options_.seed);
+
+  // --- Offline: candidate universe + performance dataset (§IV-A). ---------
+  auto t0 = Clock::now();
+  std::vector<space::Setting> universe;
+  if (preset_universe_.has_value()) {
+    universe = *preset_universe_;
+  } else {
+    universe = space.sample_universe(rng, options_.universe_size);
+  }
+  tuner::PerfDataset dataset;
+  if (preset_dataset_.has_value()) {
+    dataset = *preset_dataset_;
+  } else {
+    dataset = tuner::collect_dataset(space, evaluator.simulator(),
+                                     options_.dataset_size, rng);
+  }
+  report_.dataset_s = seconds_since(t0);
+  report_.universe_count = universe.size();
+
+  // --- Pre-processing 1: parameter grouping (§IV-C). ----------------------
+  t0 = Clock::now();
+  switch (options_.grouping_mode) {
+    case GroupingMode::kStatistical:
+      report_.groups = group_parameters(space, dataset);
+      break;
+    case GroupingMode::kSingleton:
+      for (std::size_t p = 0; p < space::kParamCount; ++p) {
+        report_.groups.push_back({p});
+      }
+      break;
+    case GroupingMode::kByDimension:
+      report_.groups = {
+          {space::kTBx, space::kUFx, space::kCMx, space::kBMx},
+          {space::kTBy, space::kUFy, space::kCMy, space::kBMy},
+          {space::kTBz, space::kUFz, space::kCMz, space::kBMz},
+          {space::kUseStreaming, space::kSD, space::kSB,
+           space::kUsePrefetching},
+          {space::kUseShared, space::kUseConstant, space::kUseRetiming},
+      };
+      break;
+  }
+  report_.grouping_s = seconds_since(t0);
+
+  // --- Pre-processing 2: metric combination + PMNF sampling (§IV-D). ------
+  t0 = Clock::now();
+  SampledSpace sampled;
+  if (options_.sampling_mode == SamplingMode::kPmnf) {
+    sampled = sample_search_space(space, dataset, report_.groups, universe,
+                                  options_.sampling);
+  } else {
+    // Ablation: plain random subset, no model guidance.
+    std::vector<space::Setting> shuffled = universe;
+    rng.shuffle(shuffled);
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.sampling.ratio *
+                                    static_cast<double>(shuffled.size())));
+    shuffled.resize(std::min(shuffled.size(), keep));
+    sampled.settings = std::move(shuffled);
+  }
+  report_.sampling_s = seconds_since(t0);
+  report_.sampled_count = sampled.settings.size();
+  report_.models = sampled.models;
+
+  // --- Pre-processing 3: code generation for the sampled settings. --------
+  if (options_.generate_kernels) {
+    t0 = Clock::now();
+    for (const auto& setting : sampled.settings) {
+      const auto kernel = codegen::generate_kernel(space.spec(), setting);
+      report_.generated_kernel_bytes += kernel.source.size();
+    }
+    report_.codegen_s = seconds_since(t0);
+  }
+
+  // --- Re-indexing of group value tuples (Fig. 7). -------------------------
+  auto indices = build_group_indices(report_.groups, sampled.settings);
+
+  // Base setting: the optimum of the performance dataset (§IV-C). Measure
+  // it first — it is the starting point of the convergence curve (and the
+  // reason csTuner "has a better starting point" in Fig. 8).
+  space::Setting base = dataset.settings[dataset.best_index()];
+  evaluator.evaluate(base);
+
+  // Tune large groups first: they carry the most performance variance and
+  // fix the context for the smaller ones.
+  std::vector<std::size_t> group_order(indices.size());
+  for (std::size_t i = 0; i < group_order.size(); ++i) group_order[i] = i;
+  std::sort(group_order.begin(), group_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return indices[a].cardinality() > indices[b].cardinality();
+            });
+
+  const std::size_t pop_total =
+      static_cast<std::size_t>(options_.ga.sub_populations) *
+      static_cast<std::size_t>(options_.ga.population_size);
+
+  // Iterative per-group tuning (§IV-E). One pass tunes every group once;
+  // remaining budget funds refinement passes around the improved base until
+  // a pass stops paying off.
+  for (std::size_t pass = 0; !stop.reached(evaluator); ++pass) {
+    const double best_before_pass = evaluator.best_time_ms();
+    for (std::size_t gi : group_order) {
+    if (stop.reached(evaluator)) break;
+    const GroupIndex& group = indices[gi];
+    if (group.cardinality() == 0) continue;
+
+    std::size_t best_tuple = GroupIndex::npos;
+    double best_time = std::numeric_limits<double>::infinity();
+    auto consider = [&](std::size_t tuple, double time_ms) {
+      if (time_ms < best_time) {
+        best_time = time_ms;
+        best_tuple = tuple;
+      }
+    };
+
+    if (group.cardinality() <= pop_total) {
+      // Degenerate case (§V-A2): exhaustive search over the group.
+      std::size_t since_mark = 0;
+      for (std::size_t t = 0; t < group.cardinality(); ++t) {
+        if (stop.reached(evaluator)) break;
+        space::Setting candidate = base;
+        group.apply(t, candidate);
+        // Grafting a tuple onto the base can violate cross-group rules;
+        // repair instead of discarding so the whole group stays searchable.
+        candidate = space.checker().repaired(candidate);
+        consider(t, evaluator.evaluate(candidate));
+        if (++since_mark ==
+            static_cast<std::size_t>(options_.ga.population_size)) {
+          evaluator.mark_iteration();
+          since_mark = 0;
+        }
+      }
+      if (since_mark > 0) evaluator.mark_iteration();
+    } else {
+      // Evolutionary search with approximation over the re-indexed tuples.
+      ga::GaOptions ga_options = options_.ga;
+      ga_options.seed =
+          hash_combine(hash_combine(options_.seed, gi + 1), pass);
+      ga::IslandGa island({static_cast<std::uint32_t>(group.cardinality())},
+                          ga_options);
+      auto evaluate = [&](const ga::Genome& genome) {
+        space::Setting candidate = base;
+        group.apply(genome[0], candidate);
+        candidate = space.checker().repaired(candidate);
+        const double time_ms = evaluator.evaluate(candidate);
+        consider(genome[0], time_ms);
+        return fitness_of(time_ms);
+      };
+      auto should_stop = [&](const ga::GaState& state) {
+        evaluator.mark_iteration();
+        if (stop.reached(evaluator)) return true;
+        if (!options_.use_approximation) return false;  // cap-only regime
+        if (state.generation < options_.approx.min_generations) return false;
+        return approximation_reached(state.fitnesses, options_.approx);
+      };
+      island.run(evaluate, should_stop);
+    }
+
+    if (best_tuple != GroupIndex::npos &&
+        std::isfinite(best_time)) {
+      group.apply(best_tuple, base);
+      base = space.checker().repaired(base);
+    }
+    }
+    // A pass that improved nothing has converged; further passes would
+    // only replay cached evaluations.
+    if (evaluator.best_time_ms() >= best_before_pass * 0.999) break;
+  }
+
+  // Polish: any remaining budget walks the sampled settings in PMNF-ranked
+  // order (they are sorted best-predicted first), so iso-time comparisons
+  // never leave csTuner idle while baselines keep searching.
+  std::size_t since_mark = 0;
+  for (const auto& setting : sampled.settings) {
+    if (stop.reached(evaluator)) break;
+    evaluator.evaluate(setting);
+    if (++since_mark ==
+        static_cast<std::size_t>(options_.ga.population_size)) {
+      evaluator.mark_iteration();
+      since_mark = 0;
+    }
+  }
+  if (since_mark > 0) evaluator.mark_iteration();
+}
+
+}  // namespace cstuner::core

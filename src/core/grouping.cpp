@@ -1,0 +1,76 @@
+#include "core/grouping.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cstuner::core {
+
+using space::kParamCount;
+using space::ParamId;
+
+namespace {
+
+/// Ordered CV of best-partner values for (pi -> pj); +inf when fewer than
+/// two of pi's values are observed.
+double ordered_cv(const space::SearchSpace& space,
+                  const tuner::PerfDataset& dataset, ParamId pi,
+                  ParamId pj) {
+  // value of pi -> (best time seen, pj value at that entry)
+  std::map<std::int64_t, std::pair<double, std::int64_t>> best_by_value;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& s = dataset.settings[i];
+    const double t = dataset.times_ms[i];
+    auto [it, inserted] =
+        best_by_value.try_emplace(s.get(pi), t, s.get(pj));
+    if (!inserted && t < it->second.first) {
+      it->second = {t, s.get(pj)};
+    }
+  }
+  if (best_by_value.size() < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> partners;
+  partners.reserve(best_by_value.size());
+  for (const auto& [value, best] : best_by_value) {
+    (void)value;
+    partners.push_back(space::SearchSpace::cv_encoded(pj, best.second));
+  }
+  (void)space;
+  return stats::coefficient_of_variation(partners);
+}
+
+}  // namespace
+
+std::vector<stats::ScoredPair> compute_pair_cvs(
+    const space::SearchSpace& space, const tuner::PerfDataset& dataset) {
+  CSTUNER_CHECK(dataset.size() >= 2);
+  std::vector<stats::ScoredPair> pairs;
+  for (std::size_t a = 0; a < kParamCount; ++a) {
+    for (std::size_t b = a + 1; b < kParamCount; ++b) {
+      const double cv_ab = ordered_cv(space, dataset, static_cast<ParamId>(a),
+                                      static_cast<ParamId>(b));
+      const double cv_ba = ordered_cv(space, dataset, static_cast<ParamId>(b),
+                                      static_cast<ParamId>(a));
+      double score;
+      if (std::isinf(cv_ab) || std::isinf(cv_ba)) {
+        score = std::numeric_limits<double>::max();  // sortable "weakest"
+      } else {
+        score = 0.5 * (cv_ab + cv_ba);
+      }
+      pairs.push_back({a, b, score});
+    }
+  }
+  return pairs;
+}
+
+stats::Groups group_parameters(const space::SearchSpace& space,
+                               const tuner::PerfDataset& dataset) {
+  auto deque = stats::build_deque(compute_pair_cvs(space, dataset));
+  return stats::group_parameters(std::move(deque), kParamCount);
+}
+
+}  // namespace cstuner::core

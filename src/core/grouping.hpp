@@ -1,0 +1,30 @@
+#pragma once
+// Parameter grouping (§IV-C): quantifies pairwise parameter correlation on
+// the performance dataset via the coefficient of variation of best-partner
+// values, then groups parameters with the deque algorithm (Alg. 1).
+
+#include <vector>
+
+#include "stats/deque_group.hpp"
+#include "tuner/dataset.hpp"
+
+namespace cstuner::core {
+
+/// CV-based correlation score for every unordered parameter pair.
+///
+/// For the ordered pair (Pi, Pj): for each admissible value v of Pi that
+/// occurs in the dataset, find the best-performing dataset entry with
+/// Pi == v and record its Pj value (log2-encoded for numeric parameters, as
+/// the paper prescribes for fair CV comparison). The CV of those recorded
+/// values measures how much the best Pj moves as Pi changes — low CV means
+/// the pair is strongly coupled. The unordered score is the mean of the two
+/// ordered CVs. Pairs with fewer than two observations score +inf
+/// (uninformative -> weakest end of the deque).
+std::vector<stats::ScoredPair> compute_pair_cvs(
+    const space::SearchSpace& space, const tuner::PerfDataset& dataset);
+
+/// Full grouping pipeline: pair CVs -> ascending deque -> Algorithm 1.
+stats::Groups group_parameters(const space::SearchSpace& space,
+                               const tuner::PerfDataset& dataset);
+
+}  // namespace cstuner::core

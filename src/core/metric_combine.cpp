@@ -1,0 +1,53 @@
+#include "core/metric_combine.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/correlation.hpp"
+
+namespace cstuner::core {
+
+std::vector<stats::ScoredPair> compute_metric_pccs(
+    const tuner::PerfDataset& dataset) {
+  CSTUNER_CHECK(dataset.size() >= 2);
+  const std::size_t n = gpusim::kMetricCount;
+  std::vector<std::vector<double>> columns(n);
+  for (std::size_t m = 0; m < n; ++m) columns[m] = dataset.metric_column(m);
+  std::vector<stats::ScoredPair> pairs;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double pcc = stats::pearson(columns[a], columns[b]);
+      pairs.push_back({a, b, std::fabs(pcc)});
+    }
+  }
+  return pairs;
+}
+
+MetricSelection combine_metrics(const tuner::PerfDataset& dataset,
+                                std::size_t num_collections) {
+  MetricSelection sel;
+  auto deque = stats::build_deque(compute_metric_pccs(dataset));
+  sel.collections = stats::combine_metrics(std::move(deque),
+                                           gpusim::kMetricCount,
+                                           num_collections);
+  // Representative per collection: strongest |PCC| against execution time.
+  for (const auto& collection : sel.collections) {
+    double best_abs = -1.0;
+    double best_pcc = 0.0;
+    std::size_t best_metric = collection.front();
+    for (std::size_t m : collection) {
+      const auto column = dataset.metric_column(m);
+      const double pcc = stats::pearson(column, dataset.times_ms);
+      if (std::fabs(pcc) > best_abs) {
+        best_abs = std::fabs(pcc);
+        best_pcc = pcc;
+        best_metric = m;
+      }
+    }
+    sel.selected.push_back(best_metric);
+    sel.time_correlation.push_back(best_pcc);
+  }
+  return sel;
+}
+
+}  // namespace cstuner::core

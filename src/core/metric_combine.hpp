@@ -1,0 +1,28 @@
+#pragma once
+// Metric combination (§IV-D, Alg. 2): pairwise |PCC| of the collected GPU
+// metrics drives the deque combination into collections; the representative
+// of each collection is the member most strongly correlated with execution
+// time, and only representatives get PMNF models.
+
+#include <vector>
+
+#include "stats/deque_group.hpp"
+#include "tuner/dataset.hpp"
+
+namespace cstuner::core {
+
+struct MetricSelection {
+  stats::Groups collections;            ///< metric ids per collection
+  std::vector<std::size_t> selected;    ///< one representative per collection
+  std::vector<double> time_correlation; ///< PCC vs time for each selected
+};
+
+/// |PCC| for every unordered metric pair (constant columns score 0).
+std::vector<stats::ScoredPair> compute_metric_pccs(
+    const tuner::PerfDataset& dataset);
+
+/// Full pipeline; `num_collections` is Alg. 2's numCollection input.
+MetricSelection combine_metrics(const tuner::PerfDataset& dataset,
+                                std::size_t num_collections);
+
+}  // namespace cstuner::core

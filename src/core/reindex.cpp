@@ -1,0 +1,53 @@
+#include "core/reindex.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace cstuner::core {
+
+void GroupIndex::apply(std::size_t index, space::Setting& setting) const {
+  CSTUNER_CHECK(index < tuples.size());
+  const auto& tuple = tuples[index];
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    setting.set(params[i], tuple[i]);
+  }
+}
+
+std::size_t GroupIndex::index_of(const space::Setting& setting) const {
+  std::vector<std::int64_t> current;
+  current.reserve(params.size());
+  for (auto p : params) current.push_back(setting.get(p));
+  const auto it = std::lower_bound(tuples.begin(), tuples.end(), current);
+  if (it != tuples.end() && *it == current) {
+    return static_cast<std::size_t>(it - tuples.begin());
+  }
+  return npos;
+}
+
+std::vector<GroupIndex> build_group_indices(
+    const stats::Groups& parameter_groups,
+    const std::vector<space::Setting>& sampled) {
+  CSTUNER_CHECK(!sampled.empty());
+  std::vector<GroupIndex> indices;
+  indices.reserve(parameter_groups.size());
+  for (const auto& group : parameter_groups) {
+    GroupIndex gi;
+    for (std::size_t p : group) {
+      gi.params.push_back(static_cast<space::ParamId>(p));
+    }
+    std::set<std::vector<std::int64_t>> distinct;
+    for (const auto& setting : sampled) {
+      std::vector<std::int64_t> tuple;
+      tuple.reserve(gi.params.size());
+      for (auto p : gi.params) tuple.push_back(setting.get(p));
+      distinct.insert(std::move(tuple));
+    }
+    gi.tuples.assign(distinct.begin(), distinct.end());
+    indices.push_back(std::move(gi));
+  }
+  return indices;
+}
+
+}  // namespace cstuner::core

@@ -1,0 +1,37 @@
+#pragma once
+// Group value re-indexing (Fig. 7): the sampled search space leaves each
+// parameter group with a sparse set of valid value tuples; re-indexing maps
+// them to a dense [0, n) integer range so binary genes never point at
+// invalid combinations during GA initialization and mutation.
+
+#include <vector>
+
+#include "space/setting.hpp"
+#include "stats/deque_group.hpp"
+
+namespace cstuner::core {
+
+/// The dense index for one parameter group.
+struct GroupIndex {
+  std::vector<space::ParamId> params;                ///< group members
+  std::vector<std::vector<std::int64_t>> tuples;     ///< sorted value tuples
+
+  std::size_t cardinality() const { return tuples.size(); }
+
+  /// Writes tuple `index` into the group's parameters of `setting`.
+  void apply(std::size_t index, space::Setting& setting) const;
+
+  /// Index of the tuple currently present in `setting`, or npos.
+  std::size_t index_of(const space::Setting& setting) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Builds one GroupIndex per parameter group from the distinct value tuples
+/// occurring in the sampled settings (ascending lexicographic order, as in
+/// Fig. 7).
+std::vector<GroupIndex> build_group_indices(
+    const stats::Groups& parameter_groups,
+    const std::vector<space::Setting>& sampled);
+
+}  // namespace cstuner::core

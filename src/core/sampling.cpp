@@ -1,0 +1,93 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cstuner::core {
+
+std::vector<MetricModel> fit_metric_models(
+    const tuner::PerfDataset& dataset, const MetricSelection& selection,
+    const stats::Groups& parameter_groups,
+    const regress::PmnfFitter& fitter) {
+  CSTUNER_CHECK(dataset.size() >= 4);
+  const auto x = dataset.feature_matrix();
+  std::vector<MetricModel> models;
+  for (std::size_t i = 0; i < selection.selected.size(); ++i) {
+    MetricModel model;
+    model.metric = selection.selected[i];
+    model.time_correlation = selection.time_correlation[i];
+    const auto y = dataset.metric_column(model.metric);
+    model.metric_mean = stats::mean(y);
+    model.metric_std = std::max(stats::stddev(y), 1e-12);
+    model.fit = fitter.fit_best(x, y, parameter_groups);
+    models.push_back(std::move(model));
+  }
+  // Execution time itself is part of the performance dataset; model it too
+  // (weight 1, the strongest signal) so the filter cannot be misled by a
+  // metric that correlates with time only locally.
+  {
+    MetricModel model;
+    model.metric = kTimeModel;
+    model.time_correlation = 1.0;
+    model.metric_mean = stats::mean(dataset.times_ms);
+    model.metric_std = std::max(stats::stddev(dataset.times_ms), 1e-12);
+    model.fit = fitter.fit_best(x, dataset.times_ms, parameter_groups);
+    models.push_back(std::move(model));
+  }
+  return models;
+}
+
+double predicted_badness(const std::vector<MetricModel>& models,
+                         const tuner::PerfDataset& dataset,
+                         const space::Setting& setting) {
+  (void)dataset;  // standardization is baked into the models
+  const auto features = space::SearchSpace::to_feature_row(setting);
+  double badness = 0.0;
+  for (const auto& model : models) {
+    const double predicted = model.fit.model.predict(features);
+    const double z = (predicted - model.metric_mean) / model.metric_std;
+    // A metric positively correlated with time predicts slowness when high.
+    badness += (model.time_correlation >= 0.0 ? z : -z) *
+               std::fabs(model.time_correlation);
+  }
+  return badness;
+}
+
+SampledSpace sample_search_space(const space::SearchSpace& space,
+                                 const tuner::PerfDataset& dataset,
+                                 const stats::Groups& parameter_groups,
+                                 const std::vector<space::Setting>& universe,
+                                 const SamplingConfig& config) {
+  CSTUNER_CHECK(config.ratio > 0.0 && config.ratio <= 1.0);
+  CSTUNER_CHECK(!universe.empty());
+  (void)space;
+
+  SampledSpace out;
+  out.selection = combine_metrics(dataset, config.num_collections);
+  out.models = fit_metric_models(dataset, out.selection, parameter_groups);
+
+  std::vector<double> badness(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    badness[i] = predicted_badness(out.models, dataset, universe[i]);
+  }
+  std::vector<std::size_t> order(universe.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return badness[a] < badness[b];
+  });
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config.ratio *
+                          static_cast<double>(universe.size()))));
+  out.settings.reserve(keep);
+  for (std::size_t i = 0; i < keep && i < order.size(); ++i) {
+    out.settings.push_back(universe[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace cstuner::core

@@ -1,0 +1,60 @@
+#pragma once
+// PMNF-guided search-space sampling (§IV-D): fit one PMNF model per selected
+// metric on the dataset, score every candidate-universe setting by how
+// favourably its predicted metrics compare (in the direction each metric
+// correlates with execution time), and keep the best `ratio` fraction. This
+// is the paper's threshold filter with the sampling ratio of §V-E as the
+// knob.
+
+#include <vector>
+
+#include "core/metric_combine.hpp"
+#include "regress/pmnf.hpp"
+#include "stats/deque_group.hpp"
+#include "tuner/dataset.hpp"
+
+namespace cstuner::core {
+
+struct SamplingConfig {
+  double ratio = 0.10;              ///< fraction of the universe kept
+  std::size_t num_collections = 4;  ///< Alg. 2 numCollection
+};
+
+/// Sentinel `metric` id for the execution-time PMNF model that accompanies
+/// the per-metric models in the filter.
+inline constexpr std::size_t kTimeModel = static_cast<std::size_t>(-1);
+
+struct MetricModel {
+  std::size_t metric = 0;
+  double time_correlation = 0.0;  ///< sign gives the "good" direction
+  regress::PmnfFitResult fit;
+  double metric_mean = 0.0;       ///< dataset standardization
+  double metric_std = 1.0;
+};
+
+struct SampledSpace {
+  std::vector<space::Setting> settings;  ///< the sampled (kept) settings
+  std::vector<MetricModel> models;
+  MetricSelection selection;
+};
+
+/// Fits PMNF models for the selected metrics.
+std::vector<MetricModel> fit_metric_models(
+    const tuner::PerfDataset& dataset, const MetricSelection& selection,
+    const stats::Groups& parameter_groups,
+    const regress::PmnfFitter& fitter = {});
+
+/// Scores one setting: sum over models of the predicted metric value,
+/// standardized on the dataset and signed so that lower = predicted faster.
+double predicted_badness(const std::vector<MetricModel>& models,
+                         const tuner::PerfDataset& dataset,
+                         const space::Setting& setting);
+
+/// Full sampling pipeline over a candidate universe.
+SampledSpace sample_search_space(const space::SearchSpace& space,
+                                 const tuner::PerfDataset& dataset,
+                                 const stats::Groups& parameter_groups,
+                                 const std::vector<space::Setting>& universe,
+                                 const SamplingConfig& config);
+
+}  // namespace cstuner::core

@@ -1,0 +1,49 @@
+#include "cputune/cpu_arch.hpp"
+
+#include "common/error.hpp"
+
+namespace cstuner::cputune {
+
+const CpuArch& xeon_8380() {
+  static const CpuArch arch = [] {
+    CpuArch a;
+    a.name = "xeon8380";
+    a.cores = 40;
+    a.smt = 2;
+    a.base_ghz = 2.3;
+    a.fma_ports = 2;
+    a.vector_doubles = 8;  // AVX-512
+    a.l1d_bytes = 48 * 1024;
+    a.l2_bytes = 1280 * 1024;
+    a.l3_bytes = 60LL * 1024 * 1024;
+    a.dram_gbps = 204.0;  // 8-channel DDR4-3200
+    return a;
+  }();
+  return arch;
+}
+
+const CpuArch& epyc_7742() {
+  static const CpuArch arch = [] {
+    CpuArch a;
+    a.name = "epyc7742";
+    a.cores = 64;
+    a.smt = 2;
+    a.base_ghz = 2.25;
+    a.fma_ports = 2;
+    a.vector_doubles = 4;  // AVX2
+    a.l1d_bytes = 32 * 1024;
+    a.l2_bytes = 512 * 1024;
+    a.l3_bytes = 256LL * 1024 * 1024;
+    a.dram_gbps = 204.0;
+    return a;
+  }();
+  return arch;
+}
+
+const CpuArch& cpu_arch_by_name(const std::string& name) {
+  if (name == "xeon8380") return xeon_8380();
+  if (name == "epyc7742") return epyc_7742();
+  throw UsageError("unknown CPU architecture: " + name);
+}
+
+}  // namespace cstuner::cputune

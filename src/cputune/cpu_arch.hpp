@@ -1,0 +1,32 @@
+#pragma once
+// CPU architecture descriptors for the §VII extension: "extend csTuner to
+// support other hardware such as CPU ... we only need to adjust the
+// optimization space according to the target hardware".
+
+#include <cstdint>
+#include <string>
+
+namespace cstuner::cputune {
+
+struct CpuArch {
+  std::string name;
+  int cores = 0;
+  int smt = 2;                   ///< hardware threads per core
+  double base_ghz = 0.0;
+  int fma_ports = 2;             ///< FMA pipes per core
+  int vector_doubles = 8;        ///< SIMD lanes (doubles): 8 = AVX-512
+  std::int64_t l1d_bytes = 48 * 1024;   ///< per core
+  std::int64_t l2_bytes = 0;            ///< per core
+  std::int64_t l3_bytes = 0;            ///< shared
+  double dram_gbps = 0.0;        ///< socket memory bandwidth
+};
+
+/// Intel Xeon Platinum 8380 (Ice Lake SP, AVX-512).
+const CpuArch& xeon_8380();
+
+/// AMD EPYC 7742 (Rome, AVX2).
+const CpuArch& epyc_7742();
+
+const CpuArch& cpu_arch_by_name(const std::string& name);
+
+}  // namespace cstuner::cputune

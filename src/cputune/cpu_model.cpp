@@ -1,0 +1,104 @@
+#include "cputune/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace cstuner::cputune {
+
+CpuProfile CpuSimulator::profile(const stencil::StencilSpec& spec,
+                                 const CpuSetting& s) const {
+  CpuProfile p;
+  const double points = static_cast<double>(spec.points());
+
+  const std::int64_t threads = s.get(kThreads);
+  const std::int64_t vec = s.get(kVecWidth);
+  const std::int64_t unroll = s.get(kUnroll);
+
+  // --- Compute roofline. SMT shares the FMA ports, so throughput scales
+  // with physical cores; wide vectors trigger a frequency derate.
+  const double cores_used = std::min<double>(
+      static_cast<double>(threads), static_cast<double>(arch_.cores));
+  double ghz = arch_.base_ghz;
+  if (vec >= 8) ghz *= 0.85;  // AVX-512 license downclock
+  const double peak_core_gflops =
+      ghz * arch_.fma_ports * static_cast<double>(vec) * 2.0;
+
+  // Lane utilization: remainder loops waste lanes when tileX is barely
+  // wider than the vector; unrolling hides FMA latency.
+  const double tile_x = static_cast<double>(s.get(kTileX));
+  const double remainder_eff = tile_x / (std::ceil(tile_x / vec) * vec);
+  const double ilp_eff =
+      clamp(0.62 + 0.12 * std::log2(static_cast<double>(unroll)), 0.62, 1.0);
+  p.vector_efficiency = remainder_eff * ilp_eff;
+
+  p.compute_ms = spec.total_flops() /
+                 (cores_used * peak_core_gflops * p.vector_efficiency) / 1e6;
+
+  // --- Memory. Reuse captured when the tile working set fits in L2.
+  const double tile_bytes =
+      (tile_x + 2.0 * spec.order) *
+      (static_cast<double>(s.get(kTileY)) + 2.0 * spec.order) *
+      (static_cast<double>(s.get(kTileZ)) + 2.0 * spec.order) * 8.0 *
+      static_cast<double>(spec.n_inputs);
+  const double l2_fit =
+      static_cast<double>(arch_.l2_bytes) / std::max(tile_bytes, 1.0);
+  p.cache_capture = clamp(0.55 + 0.45 * std::min(l2_fit, 1.0), 0.2, 1.0);
+
+  const double reuse = static_cast<double>(spec.taps.size()) /
+                       std::max(1, spec.n_inputs);
+  double read_bytes = points * 8.0 *
+                      (static_cast<double>(spec.n_inputs) +
+                       (reuse - 1.0) * (1.0 - p.cache_capture));
+  double write_bytes = points * 8.0 * static_cast<double>(spec.n_outputs);
+  // Regular stores read the line first (RFO); non-temporal stores do not,
+  // but bypassing the cache hurts if outputs are re-read soon (they are
+  // not, for a single sweep).
+  if (s.get(kNtStores) == 1) write_bytes *= 2.0;
+
+  // Bandwidth saturates around a dozen active threads; a single core only
+  // sustains a fraction of socket bandwidth (limited MLP).
+  const double t = static_cast<double>(threads);
+  const double bw_eff = arch_.dram_gbps * clamp(1.45 * t / (t + 6.0), 0.15, 1.0);
+  p.memory_ms = (read_bytes + write_bytes) / (bw_eff * 1e6);
+
+  // --- Scheduling: static suffers tile-count quantization; dynamic and
+  // guided balance at a small per-tile dispatch cost.
+  const double tiles =
+      std::ceil(static_cast<double>(spec.grid[0]) / tile_x) *
+      std::ceil(static_cast<double>(spec.grid[1]) /
+                static_cast<double>(s.get(kTileY))) *
+      std::ceil(static_cast<double>(spec.grid[2]) /
+                static_cast<double>(s.get(kTileZ)));
+  double sched_overhead_ms = 0.0;
+  if (s.get(kSchedule) == 1) {
+    const double rounds = std::ceil(tiles / static_cast<double>(threads));
+    p.imbalance = rounds * static_cast<double>(threads) / tiles;
+  } else {
+    p.imbalance = 1.02;
+    const double per_tile_us = (s.get(kSchedule) == 2) ? 0.35 : 0.12;
+    sched_overhead_ms =
+        tiles * per_tile_us / static_cast<double>(threads) / 1e3;
+  }
+
+  p.time_ms = std::max(p.compute_ms, p.memory_ms) * p.imbalance +
+              sched_overhead_ms + 0.008 /* fork/join */;
+  return p;
+}
+
+double CpuSimulator::measure_ms(const stencil::StencilSpec& spec,
+                                const CpuSetting& s,
+                                std::uint64_t run_index) const {
+  const CpuProfile p = profile(spec, s);
+  std::uint64_t h = fnv1a(arch_.name.data(), arch_.name.size());
+  h = hash_combine(h, fnv1a(spec.name.data(), spec.name.size()));
+  h = hash_combine(h, s.hash());
+  h = hash_combine(h, run_index);
+  Rng rng(h);
+  const double z = clamp(rng.normal(), -3.0, 3.0);
+  return p.time_ms * (1.0 + 0.01 * z);
+}
+
+}  // namespace cstuner::cputune

@@ -1,0 +1,40 @@
+#pragma once
+// Analytical multicore-CPU execution model: the (setting -> time) oracle for
+// the CPU tuning target. Same philosophy as gpusim: roofline of vectorized
+// FMA throughput vs memory bandwidth, cache capture of stencil reuse, and
+// scheduling/imbalance overheads — deterministic with seeded noise.
+
+#include "cputune/cpu_arch.hpp"
+#include "cputune/cpu_space.hpp"
+
+namespace cstuner::cputune {
+
+struct CpuProfile {
+  double time_ms = 0.0;
+  double compute_ms = 0.0;
+  double memory_ms = 0.0;
+  double imbalance = 1.0;       ///< static-schedule tail factor (>= 1)
+  double vector_efficiency = 0.0;
+  double cache_capture = 0.0;   ///< fraction of reuse served on-chip
+};
+
+class CpuSimulator {
+ public:
+  explicit CpuSimulator(const CpuArch& arch) : arch_(arch) {}
+
+  const CpuArch& arch() const { return arch_; }
+
+  /// Noise-free analytical profile; the setting must be valid.
+  CpuProfile profile(const stencil::StencilSpec& spec,
+                     const CpuSetting& setting) const;
+
+  /// One timing run with ~1% deterministic noise.
+  double measure_ms(const stencil::StencilSpec& spec,
+                    const CpuSetting& setting,
+                    std::uint64_t run_index) const;
+
+ private:
+  const CpuArch& arch_;
+};
+
+}  // namespace cstuner::cputune

@@ -1,0 +1,100 @@
+#include "cputune/cpu_space.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace cstuner::cputune {
+
+const char* cpu_param_name(CpuParamId id) {
+  static const char* kNames[kCpuParams] = {"threads", "tileX", "tileY",
+                                           "tileZ",   "vec",   "unroll",
+                                           "schedule", "ntStores"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+bool cpu_param_is_numeric(CpuParamId id) {
+  return id != kSchedule && id != kNtStores;
+}
+
+std::uint64_t CpuSetting::hash() const {
+  std::uint64_t h = 0x435055u;  // "CPU"
+  for (auto v : values) h = hash_combine(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+std::string CpuSetting::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kCpuParams; ++i) {
+    if (i) os << ' ';
+    os << cpu_param_name(static_cast<CpuParamId>(i)) << '=' << values[i];
+  }
+  return os.str();
+}
+
+CpuSpace::CpuSpace(stencil::StencilSpec spec, const CpuArch& arch)
+    : spec_(std::move(spec)), arch_(arch) {
+  values_[kThreads] =
+      pow2_range(static_cast<std::int64_t>(arch.cores) * arch.smt);
+  values_[kTileX] = pow2_range(spec_.grid[0]);
+  values_[kTileY] = pow2_range(std::min(spec_.grid[1], 128));
+  values_[kTileZ] = pow2_range(std::min(spec_.grid[2], 128));
+  values_[kVecWidth] = pow2_range(arch.vector_doubles);
+  values_[kUnroll] = pow2_range(8);
+  values_[kSchedule] = {1, 2, 3};
+  values_[kNtStores] = {1, 2};
+}
+
+bool CpuSpace::is_valid(const CpuSetting& s) const {
+  for (std::size_t i = 0; i < kCpuParams; ++i) {
+    const auto& admissible = values_[i];
+    const auto v = s.values[i];
+    bool found = false;
+    for (auto a : admissible) found |= (a == v);
+    if (!found) return false;
+  }
+  // Vectorization happens along the unit-stride tile.
+  if (s.get(kVecWidth) > s.get(kTileX)) return false;
+  // Unrolling applies to the z-tile loop.
+  if (s.get(kUnroll) > s.get(kTileZ)) return false;
+  // Every thread needs at least one tile to work on.
+  const std::int64_t tiles =
+      ceil_div<std::int64_t>(spec_.grid[0], s.get(kTileX)) *
+      ceil_div<std::int64_t>(spec_.grid[1], s.get(kTileY)) *
+      ceil_div<std::int64_t>(spec_.grid[2], s.get(kTileZ));
+  if (tiles < s.get(kThreads)) return false;
+  return true;
+}
+
+CpuSetting CpuSpace::random_valid(Rng& rng, std::size_t max_tries) const {
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    CpuSetting s;
+    for (std::size_t i = 0; i < kCpuParams; ++i) {
+      const auto& admissible = values_[i];
+      s.values[i] = admissible[rng.index(admissible.size())];
+    }
+    // Constructive fixes for the cheap rules; tile-count rule via retry.
+    if (s.get(kVecWidth) > s.get(kTileX)) {
+      s.set(kVecWidth, 1);
+    }
+    if (s.get(kUnroll) > s.get(kTileZ)) s.set(kUnroll, 1);
+    if (is_valid(s)) return s;
+  }
+  throw Error("CpuSpace::random_valid exhausted retries");
+}
+
+std::vector<CpuSetting> CpuSpace::sample(Rng& rng, std::size_t count) const {
+  std::vector<CpuSetting> out;
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t attempts = 0;
+  while (out.size() < count && attempts < count * 64) {
+    ++attempts;
+    const CpuSetting s = random_valid(rng);
+    if (seen.insert(s.hash()).second) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace cstuner::cputune

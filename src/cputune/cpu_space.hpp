@@ -1,0 +1,80 @@
+#pragma once
+// The CPU optimization space: the Table I methodology re-targeted at
+// shared-memory multicore hardware. Parameters cover OpenMP-style thread
+// count and scheduling, loop tiling per dimension, SIMD vector width,
+// unrolling, and non-temporal stores.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cputune/cpu_arch.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::cputune {
+
+enum CpuParamId : std::size_t {
+  kThreads = 0,   ///< worker threads (pow2 up to cores*smt)
+  kTileX,         ///< tile extent, unit-stride dimension
+  kTileY,
+  kTileZ,
+  kVecWidth,      ///< SIMD lanes used (pow2 up to arch width)
+  kUnroll,        ///< innermost unroll factor
+  kSchedule,      ///< 1 = static, 2 = dynamic, 3 = guided
+  kNtStores,      ///< 1 = off, 2 = streaming (non-temporal) stores
+  kCpuParamCount
+};
+
+constexpr std::size_t kCpuParams = static_cast<std::size_t>(kCpuParamCount);
+
+const char* cpu_param_name(CpuParamId id);
+bool cpu_param_is_numeric(CpuParamId id);
+
+/// A CPU tuning configuration: one value per parameter (values >= 1).
+struct CpuSetting {
+  std::array<std::int64_t, kCpuParams> values;
+
+  CpuSetting() { values.fill(1); }
+  std::int64_t get(CpuParamId id) const {
+    return values[static_cast<std::size_t>(id)];
+  }
+  void set(CpuParamId id, std::int64_t v) {
+    values[static_cast<std::size_t>(id)] = v;
+  }
+  bool operator==(const CpuSetting&) const = default;
+  std::uint64_t hash() const;
+  std::string to_string() const;
+};
+
+/// Admissible values per parameter for a (stencil, CPU) pair.
+class CpuSpace {
+ public:
+  CpuSpace(stencil::StencilSpec spec, const CpuArch& arch);
+
+  const stencil::StencilSpec& spec() const { return spec_; }
+  const CpuArch& arch() const { return arch_; }
+
+  const std::vector<std::int64_t>& values(CpuParamId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  std::size_t cardinality(CpuParamId id) const {
+    return values(id).size();
+  }
+
+  /// Constraints: tiles within the grid, vector width <= tile_x,
+  /// unroll <= tile_z, threads have enough tiles to share.
+  bool is_valid(const CpuSetting& setting) const;
+
+  CpuSetting random_valid(Rng& rng, std::size_t max_tries = 100000) const;
+
+  std::vector<CpuSetting> sample(Rng& rng, std::size_t count) const;
+
+ private:
+  stencil::StencilSpec spec_;
+  const CpuArch& arch_;
+  std::array<std::vector<std::int64_t>, kCpuParams> values_;
+};
+
+}  // namespace cstuner::cputune

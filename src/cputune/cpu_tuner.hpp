@@ -1,0 +1,50 @@
+#pragma once
+// The csTuner pipeline re-instantiated for the CPU target (§VII): dataset ->
+// CV-based parameter grouping -> PMNF-guided sampling (time as the modeled
+// response) -> re-indexed per-group evolutionary search with CV(top-n)
+// approximation. Exercises the same statistics/regression/GA components as
+// the GPU pipeline, demonstrating the "versatility of its components" claim
+// of §IV-A.
+
+#include <optional>
+#include <vector>
+
+#include "cputune/cpu_model.hpp"
+#include "cputune/cpu_space.hpp"
+#include "ga/island_ga.hpp"
+#include "stats/deque_group.hpp"
+
+namespace cstuner::cputune {
+
+struct CpuTunerOptions {
+  std::size_t dataset_size = 96;
+  std::size_t universe_size = 3000;
+  double sampling_ratio = 0.15;
+  ga::GaOptions ga;  ///< defaults match the GPU pipeline (2 x 16)
+  std::size_t top_n = 8;
+  double cv_threshold = 0.02;
+  std::size_t max_evaluations = 400;
+  std::uint64_t seed = 3;
+};
+
+struct CpuTuneResult {
+  CpuSetting best;
+  double best_time_ms = 0.0;
+  std::size_t evaluations = 0;
+  stats::Groups groups;
+  std::size_t sampled_count = 0;
+  /// (evaluations, best-so-far) trace.
+  std::vector<std::pair<std::size_t, double>> trace;
+};
+
+class CpuTuner {
+ public:
+  explicit CpuTuner(CpuTunerOptions options = {});
+
+  CpuTuneResult tune(const CpuSpace& space, const CpuSimulator& simulator);
+
+ private:
+  CpuTunerOptions options_;
+};
+
+}  // namespace cstuner::cputune

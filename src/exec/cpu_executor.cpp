@@ -1,0 +1,199 @@
+#include "exec/cpu_executor.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace cstuner::exec {
+
+using namespace space;
+using stencil::Grid3;
+using stencil::StencilSpec;
+
+namespace {
+
+struct DimPlan {
+  std::int64_t tb = 1;        ///< threads
+  std::int64_t cm = 1;        ///< cyclic merge factor
+  std::int64_t bm = 1;        ///< block merge factor
+  std::int64_t coverage = 1;  ///< points covered per block
+  std::int64_t blocks = 1;
+  bool is_stream = false;
+  std::int64_t sb = 1;  ///< streaming tile length (stream dim only)
+};
+
+/// Per-dimension decomposition mirroring codegen::compute_launch_geometry.
+std::array<DimPlan, 3> make_plan(const StencilSpec& spec,
+                                 const Setting& setting) {
+  const ParamId tb[] = {kTBx, kTBy, kTBz};
+  const ParamId cm[] = {kCMx, kCMy, kCMz};
+  const ParamId bm[] = {kBMx, kBMy, kBMz};
+  const bool streaming = setting.flag(kUseStreaming);
+  const int sd = static_cast<int>(setting.get(kSD)) - 1;
+  std::array<DimPlan, 3> plan;
+  for (int d = 0; d < 3; ++d) {
+    DimPlan& p = plan[static_cast<std::size_t>(d)];
+    const std::int64_t extent = spec.grid[static_cast<std::size_t>(d)];
+    p.tb = setting.get(tb[d]);
+    p.cm = setting.get(cm[d]);
+    p.bm = setting.get(bm[d]);
+    if (streaming && d == sd) {
+      p.is_stream = true;
+      p.sb = setting.get(kSB);
+      p.coverage = p.sb;
+    } else {
+      p.coverage = p.tb * p.cm * p.bm;
+    }
+    p.blocks = ceil_div<std::int64_t>(extent, p.coverage);
+  }
+  return plan;
+}
+
+}  // namespace
+
+void run_tiled(const StencilSpec& spec, const Setting& setting,
+               const std::vector<Grid3>& inputs, std::vector<Grid3>& outputs,
+               const ExecOptions& options) {
+  CSTUNER_CHECK(static_cast<int>(inputs.size()) == spec.n_inputs);
+  CSTUNER_CHECK(static_cast<int>(outputs.size()) == spec.n_outputs);
+  const auto plan = make_plan(spec, setting);
+  const std::int64_t total_blocks =
+      plan[0].blocks * plan[1].blocks * plan[2].blocks;
+
+  // One thread block: iterate its threads and each thread's merged points.
+  auto run_block = [&](std::int64_t bx, std::int64_t by, std::int64_t bz) {
+    const std::int64_t block_idx[3] = {bx, by, bz};
+    // Enumerate the points one thread computes along one dimension:
+    // cyclic chunks of (tb*bm), block-merged runs of bm inside each.
+    auto thread_points = [&](int d, std::int64_t thread_idx,
+                             std::vector<std::int64_t>& out_coords) {
+      const DimPlan& p = plan[static_cast<std::size_t>(d)];
+      const std::int64_t base = block_idx[d] * p.coverage;
+      const std::int64_t extent = spec.grid[static_cast<std::size_t>(d)];
+      out_coords.clear();
+      if (p.is_stream) {
+        // The whole block streams the SB tile; thread index is 1 here
+        // (constraints force TB=CM=BM=1 along the streaming dimension).
+        for (std::int64_t s = 0; s < p.sb; ++s) {
+          const std::int64_t g = base + s;
+          if (g < extent) out_coords.push_back(g);
+        }
+        return;
+      }
+      for (std::int64_t c = 0; c < p.cm; ++c) {
+        for (std::int64_t b = 0; b < p.bm; ++b) {
+          const std::int64_t g =
+              base + c * (p.tb * p.bm) + thread_idx * p.bm + b;
+          if (g < extent) out_coords.push_back(g);
+        }
+      }
+    };
+
+    std::vector<std::int64_t> xs, ys, zs;
+    for (std::int64_t tz = 0; tz < plan[2].tb; ++tz) {
+      for (std::int64_t ty = 0; ty < plan[1].tb; ++ty) {
+        for (std::int64_t tx = 0; tx < plan[0].tb; ++tx) {
+          thread_points(0, tx, xs);
+          thread_points(1, ty, ys);
+          thread_points(2, tz, zs);
+          for (std::int64_t gz : zs) {
+            for (std::int64_t gy : ys) {
+              for (std::int64_t gx : xs) {
+                for (int o = 0; o < spec.n_outputs; ++o) {
+                  outputs[static_cast<std::size_t>(o)].at(
+                      static_cast<int>(gx), static_cast<int>(gy),
+                      static_cast<int>(gz)) =
+                      stencil::stencil_point(spec, inputs, o,
+                                             static_cast<int>(gx),
+                                             static_cast<int>(gy),
+                                             static_cast<int>(gz));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  auto block_coords = [&](std::int64_t linear, std::int64_t& bx,
+                          std::int64_t& by, std::int64_t& bz) {
+    bx = linear % plan[0].blocks;
+    by = (linear / plan[0].blocks) % plan[1].blocks;
+    bz = linear / (plan[0].blocks * plan[1].blocks);
+  };
+
+  const int workers = std::max(1, options.n_threads);
+  if (workers == 1) {
+    for (std::int64_t blk = 0; blk < total_blocks; ++blk) {
+      std::int64_t bx, by, bz;
+      block_coords(blk, bx, by, bz);
+      run_block(bx, by, bz);
+    }
+    return;
+  }
+  // Blocks write disjoint output points, so they parallelize freely.
+  std::atomic<std::int64_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::int64_t blk = next.fetch_add(1);
+        if (blk >= total_blocks) return;
+        std::int64_t bx, by, bz;
+        block_coords(blk, bx, by, bz);
+        run_block(bx, by, bz);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void run_tiled_steps(const StencilSpec& spec, const Setting& setting,
+                     stencil::GridSet& grids, int steps,
+                     const ExecOptions& options) {
+  CSTUNER_CHECK_MSG(spec.n_inputs == 1 && spec.n_outputs == 1,
+                    "temporal stepping needs a single in/out grid pair");
+  CSTUNER_CHECK(steps >= 1);
+  std::vector<Grid3> current = {grids.inputs[0]};
+  for (int t = 0; t < steps; ++t) {
+    run_tiled(spec, setting, current, grids.outputs, options);
+    if (t + 1 < steps) {
+      stencil::copy_interior(grids.outputs[0], current[0]);
+    }
+  }
+}
+
+double max_divergence_from_reference_steps(const StencilSpec& spec,
+                                           const Setting& setting,
+                                           int steps) {
+  auto tiled_grids = stencil::make_grids(spec);
+  auto reference_grids = stencil::make_grids(spec);
+  stencil::run_reference_steps(spec, reference_grids, steps);
+  run_tiled_steps(spec, setting, tiled_grids, steps);
+  return Grid3::max_abs_diff(reference_grids.outputs[0],
+                             tiled_grids.outputs[0]);
+}
+
+double max_divergence_from_reference(const StencilSpec& spec,
+                                     const Setting& setting) {
+  auto grids = stencil::make_grids(spec);
+  std::vector<Grid3> expected;
+  for (int o = 0; o < spec.n_outputs; ++o) {
+    expected.emplace_back(spec.grid[0], spec.grid[1], spec.grid[2], 0);
+  }
+  stencil::run_reference(spec, grids.inputs, expected);
+  run_tiled(spec, setting, grids.inputs, grids.outputs);
+  double worst = 0.0;
+  for (int o = 0; o < spec.n_outputs; ++o) {
+    worst = std::max(worst, Grid3::max_abs_diff(
+                                expected[static_cast<std::size_t>(o)],
+                                grids.outputs[static_cast<std::size_t>(o)]));
+  }
+  return worst;
+}
+
+}  // namespace cstuner::exec

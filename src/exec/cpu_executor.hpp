@@ -1,0 +1,48 @@
+#pragma once
+// CPU execution of a stencil under a parameter setting's decomposition.
+//
+// The executor walks the exact iteration space the generated CUDA kernel
+// would: thread blocks of TBx*TBy*TBz threads, per-thread cyclic/block
+// merging, and 2.5-D streaming over SB-long tiles of the streaming
+// dimension. Every interior point is computed exactly once with the same
+// per-point update rule as the naive reference kernel, so for any valid
+// setting the result must match the reference bit-for-bit — the correctness
+// property the paper's code generator is trusted to uphold.
+
+#include <vector>
+
+#include "space/setting.hpp"
+#include "stencil/reference_kernel.hpp"
+
+namespace cstuner::exec {
+
+struct ExecOptions {
+  int n_threads = 1;  ///< host worker threads over thread blocks
+};
+
+/// Runs one sweep of `spec` under `setting`'s decomposition.
+void run_tiled(const stencil::StencilSpec& spec,
+               const space::Setting& setting,
+               const std::vector<stencil::Grid3>& inputs,
+               std::vector<stencil::Grid3>& outputs,
+               const ExecOptions& options = {});
+
+/// Convenience correctness check: runs the reference and the tiled executor
+/// on fresh grids and returns the max absolute difference over all outputs.
+double max_divergence_from_reference(const stencil::StencilSpec& spec,
+                                     const space::Setting& setting);
+
+/// `steps` sequential tiled sweeps with the same ping-pong semantics as
+/// stencil::run_reference_steps — the execution path of the temporal-
+/// blocking extension (single-grid stencils only).
+void run_tiled_steps(const stencil::StencilSpec& spec,
+                     const space::Setting& setting,
+                     stencil::GridSet& grids, int steps,
+                     const ExecOptions& options = {});
+
+/// Temporal correctness oracle: tiled stepping vs reference stepping.
+double max_divergence_from_reference_steps(const stencil::StencilSpec& spec,
+                                           const space::Setting& setting,
+                                           int steps);
+
+}  // namespace cstuner::exec

@@ -1,0 +1,55 @@
+#include "ga/gene.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace cstuner::ga {
+
+int gene_bits(std::uint32_t cardinality) {
+  CSTUNER_CHECK(cardinality >= 1);
+  if (cardinality == 1) return 1;
+  return std::bit_width(cardinality - 1);
+}
+
+std::uint32_t mutate_gene(std::uint32_t value, std::uint32_t cardinality,
+                          double rate, Rng& rng) {
+  const int bits = gene_bits(cardinality);
+  std::uint32_t mutated = value;
+  for (int b = 0; b < bits; ++b) {
+    if (rng.bernoulli(rate)) mutated ^= (1u << b);
+  }
+  if (mutated >= cardinality) {
+    mutated = static_cast<std::uint32_t>(rng.bounded(cardinality));
+  }
+  return mutated;
+}
+
+Genome uniform_crossover(const Genome& a, const Genome& b, Rng& rng) {
+  CSTUNER_CHECK(a.size() == b.size());
+  Genome child(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    child[i] = rng.bernoulli(0.5) ? a[i] : b[i];
+  }
+  return child;
+}
+
+Genome random_genome(const std::vector<std::uint32_t>& cardinalities,
+                     Rng& rng) {
+  Genome g(cardinalities.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<std::uint32_t>(rng.bounded(cardinalities[i]));
+  }
+  return g;
+}
+
+void mutate_genome(Genome& genome,
+                   const std::vector<std::uint32_t>& cardinalities,
+                   double rate, Rng& rng) {
+  CSTUNER_CHECK(genome.size() == cardinalities.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    genome[i] = mutate_gene(genome[i], cardinalities[i], rate, rng);
+  }
+}
+
+}  // namespace cstuner::ga

@@ -1,0 +1,37 @@
+#pragma once
+// Binary gene encoding (§IV-E): each gene is an index into a re-indexed
+// value set, stored in binary so mutation flips individual bits. Values that
+// mutate outside the valid range are redrawn uniformly, matching the paper's
+// re-indexing scheme that keeps every gene value meaningful.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cstuner::ga {
+
+/// A genome: one index per tuned dimension.
+using Genome = std::vector<std::uint32_t>;
+
+/// Bits needed to represent indices in [0, cardinality).
+int gene_bits(std::uint32_t cardinality);
+
+/// Flips each of the gene's bits with probability `rate`; out-of-range
+/// results are redrawn uniformly in [0, cardinality).
+std::uint32_t mutate_gene(std::uint32_t value, std::uint32_t cardinality,
+                          double rate, Rng& rng);
+
+/// Uniform crossover: each gene copied from a random parent.
+Genome uniform_crossover(const Genome& a, const Genome& b, Rng& rng);
+
+/// Random genome for the given per-gene cardinalities.
+Genome random_genome(const std::vector<std::uint32_t>& cardinalities,
+                     Rng& rng);
+
+/// Mutates every gene of the genome.
+void mutate_genome(Genome& genome,
+                   const std::vector<std::uint32_t>& cardinalities,
+                   double rate, Rng& rng);
+
+}  // namespace cstuner::ga

@@ -1,0 +1,223 @@
+#include "ga/island_ga.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cstuner::ga {
+
+namespace {
+
+constexpr int kTagMigrateGenomes = 1;
+constexpr int kTagMigrateFitness = 2;
+constexpr int kTagStatsFitness = 3;
+constexpr int kTagStatsBest = 4;
+constexpr int kTagDecision = 5;
+constexpr int kTagResult = 6;
+
+struct Individual {
+  Genome genome;
+  double fitness = 0.0;
+};
+
+std::vector<std::uint32_t> flatten(const std::vector<Individual>& pop,
+                                   std::size_t count) {
+  std::vector<std::uint32_t> flat;
+  for (std::size_t i = 0; i < count; ++i) {
+    flat.insert(flat.end(), pop[i].genome.begin(), pop[i].genome.end());
+  }
+  return flat;
+}
+
+}  // namespace
+
+IslandGa::IslandGa(std::vector<std::uint32_t> cardinalities,
+                   GaOptions options)
+    : cardinalities_(std::move(cardinalities)), options_(options) {
+  CSTUNER_CHECK(!cardinalities_.empty());
+  for (auto c : cardinalities_) CSTUNER_CHECK(c >= 1);
+  CSTUNER_CHECK(options_.sub_populations >= 1);
+  CSTUNER_CHECK(options_.population_size >= 2);
+}
+
+GaResult IslandGa::run(
+    const std::function<double(const Genome&)>& evaluate,
+    const std::function<bool(const GaState&)>& should_stop) {
+  GaResult result;
+  std::mutex eval_mutex;
+  auto guarded_evaluate = [&](const Genome& g) {
+    std::lock_guard<std::mutex> lock(eval_mutex);
+    return evaluate(g);
+  };
+
+  const std::size_t n_genes = cardinalities_.size();
+  const int pop_size = options_.population_size;
+
+  minimpi::Context::run(options_.sub_populations, [&](minimpi::Comm& comm) {
+    Rng rng(hash_combine(options_.seed,
+                         static_cast<std::uint64_t>(comm.rank()) + 101));
+
+    // --- Initial population.
+    std::vector<Individual> pop(static_cast<std::size_t>(pop_size));
+    for (auto& ind : pop) {
+      ind.genome = options_.initializer ? options_.initializer(rng)
+                                        : random_genome(cardinalities_, rng);
+      CSTUNER_CHECK(ind.genome.size() == n_genes);
+      ind.fitness = guarded_evaluate(ind.genome);
+    }
+
+    auto best_of = [](const std::vector<Individual>& p) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (p[i].fitness > p[best].fitness) best = i;
+      }
+      return best;
+    };
+    auto worst_of = [](const std::vector<Individual>& p) {
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (p[i].fitness < p[worst].fitness) worst = i;
+      }
+      return worst;
+    };
+
+    for (std::size_t gen = 1; gen <= options_.max_generations; ++gen) {
+      // --- Breeding: each slot breeds from its four ring neighbours with
+      // fitness-proportional parent choice (Fig. 6 description).
+      std::vector<Individual> next(pop.size());
+      for (int i = 0; i < pop_size; ++i) {
+        if (rng.bernoulli(options_.crossover_rate)) {
+          const int hood[4] = {(i - 2 + pop_size) % pop_size,
+                               (i - 1 + pop_size) % pop_size,
+                               (i + 1) % pop_size, (i + 2) % pop_size};
+          auto pick = [&]() -> const Individual& {
+            // Roulette over shifted fitness (fitnesses may be <= 0).
+            double lo = pop[static_cast<std::size_t>(hood[0])].fitness;
+            for (int h : hood) {
+              lo = std::min(lo, pop[static_cast<std::size_t>(h)].fitness);
+            }
+            double total = 0.0;
+            for (int h : hood) {
+              total += pop[static_cast<std::size_t>(h)].fitness - lo + 1e-12;
+            }
+            double ticket = rng.uniform() * total;
+            for (int h : hood) {
+              ticket -=
+                  pop[static_cast<std::size_t>(h)].fitness - lo + 1e-12;
+              if (ticket <= 0.0) return pop[static_cast<std::size_t>(h)];
+            }
+            return pop[static_cast<std::size_t>(hood[3])];
+          };
+          const Individual& pa = pick();
+          const Individual& pb = pick();
+          next[static_cast<std::size_t>(i)].genome =
+              uniform_crossover(pa.genome, pb.genome, rng);
+        } else {
+          next[static_cast<std::size_t>(i)].genome =
+              pop[static_cast<std::size_t>(i)].genome;
+        }
+        mutate_genome(next[static_cast<std::size_t>(i)].genome,
+                      cardinalities_, options_.mutation_rate, rng);
+        next[static_cast<std::size_t>(i)].fitness =
+            guarded_evaluate(next[static_cast<std::size_t>(i)].genome);
+      }
+      // Elitism: the best parent survives over the worst child.
+      const std::size_t elite = best_of(pop);
+      const std::size_t worst_child = worst_of(next);
+      if (pop[elite].fitness > next[worst_child].fitness) {
+        next[worst_child] = pop[elite];
+      }
+      pop = std::move(next);
+
+      // --- Ring migration: top individuals go to the right neighbour.
+      if (options_.sub_populations > 1 &&
+          gen % static_cast<std::size_t>(options_.migration_interval) == 0) {
+        std::vector<Individual> sorted = pop;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Individual& a, const Individual& b) {
+                    return a.fitness > b.fitness;
+                  });
+        const auto m = static_cast<std::size_t>(
+            std::min<int>(options_.migrants, pop_size));
+        std::vector<double> fit(m);
+        for (std::size_t i = 0; i < m; ++i) fit[i] = sorted[i].fitness;
+        comm.send_values<std::uint32_t>(comm.right_neighbor(),
+                                        kTagMigrateGenomes,
+                                        flatten(sorted, m));
+        comm.send_values<double>(comm.right_neighbor(), kTagMigrateFitness,
+                                 fit);
+        const auto in_genomes = comm.recv_values<std::uint32_t>(
+            comm.left_neighbor(), kTagMigrateGenomes);
+        const auto in_fitness = comm.recv_values<double>(
+            comm.left_neighbor(), kTagMigrateFitness);
+        CSTUNER_CHECK(in_genomes.size() == m * n_genes);
+        for (std::size_t i = 0; i < m; ++i) {
+          Individual migrant;
+          migrant.genome.assign(
+              in_genomes.begin() + static_cast<std::ptrdiff_t>(i * n_genes),
+              in_genomes.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * n_genes));
+          migrant.fitness = in_fitness[i];
+          const std::size_t worst = worst_of(pop);
+          if (migrant.fitness > pop[worst].fitness) pop[worst] = migrant;
+        }
+      }
+
+      // --- Global stop decision on rank 0.
+      const std::size_t local_best = best_of(pop);
+      std::vector<double> local_fitness(pop.size());
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        local_fitness[i] = pop[i].fitness;
+      }
+      bool stop = false;
+      if (comm.rank() == 0) {
+        GaState state;
+        state.generation = gen;
+        state.fitnesses = local_fitness;
+        state.best = pop[local_best].genome;
+        state.best_fitness = pop[local_best].fitness;
+        for (int r = 1; r < comm.size(); ++r) {
+          const auto fit = comm.recv_values<double>(r, kTagStatsFitness);
+          state.fitnesses.insert(state.fitnesses.end(), fit.begin(),
+                                 fit.end());
+          const auto genome =
+              comm.recv_values<std::uint32_t>(r, kTagStatsBest);
+          const double best_fit = fit.empty() ? 0.0 : fit[0];
+          // Convention: remote fitness vectors are sorted descending, so
+          // fit[0] is that rank's best, matching `genome`.
+          if (best_fit > state.best_fitness) {
+            state.best_fitness = best_fit;
+            state.best = genome;
+          }
+        }
+        std::sort(state.fitnesses.begin(), state.fitnesses.end(),
+                  std::greater<>());
+        stop = should_stop(state) || gen == options_.max_generations;
+        result.best = state.best;
+        result.best_fitness = state.best_fitness;
+        result.generations = gen;
+        for (int r = 1; r < comm.size(); ++r) {
+          comm.send_values<std::uint8_t>(
+              r, kTagDecision, {static_cast<std::uint8_t>(stop ? 1 : 0)});
+        }
+      } else {
+        std::vector<double> sorted_fitness = local_fitness;
+        std::sort(sorted_fitness.begin(), sorted_fitness.end(),
+                  std::greater<>());
+        comm.send_values<double>(0, kTagStatsFitness, sorted_fitness);
+        comm.send_values<std::uint32_t>(0, kTagStatsBest,
+                                        pop[local_best].genome);
+        const auto decision =
+            comm.recv_values<std::uint8_t>(0, kTagDecision);
+        stop = decision[0] != 0;
+      }
+      if (stop) break;
+    }
+    (void)kTagResult;
+  });
+  return result;
+}
+
+}  // namespace cstuner::ga

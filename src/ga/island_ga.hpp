@@ -1,0 +1,70 @@
+#pragma once
+// Multi-process genetic algorithm (Fig. 6): sub-populations run on minimpi
+// ranks, breed by fitness-proportional neighbourhood selection + uniform
+// crossover + bit mutation, and migrate their best individuals around a
+// single ring every generation. A caller-supplied stop predicate (evaluated
+// on rank 0 and broadcast) implements csTuner's CV(top-n) approximation as
+// well as plain generation caps.
+
+#include <functional>
+#include <string>
+
+#include "ga/gene.hpp"
+
+namespace cstuner::ga {
+
+/// Optional custom initial-genome generator (defaults to uniform random).
+using GenomeInitializer = std::function<Genome(Rng&)>;
+
+}  // namespace cstuner::ga
+
+namespace cstuner::ga {
+
+struct GaOptions {
+  int sub_populations = 2;   ///< ranks (paper §V-A2)
+  int population_size = 16;  ///< individuals per sub-population
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.005;
+  int migration_interval = 1;  ///< generations between migrations
+  int migrants = 2;            ///< individuals exchanged per migration
+  std::size_t max_generations = 1000;  ///< hard safety cap
+  std::uint64_t seed = 1;
+  /// Custom initial-population generator (e.g. constraint-aware seeding);
+  /// empty = uniform random genomes.
+  GenomeInitializer initializer;
+};
+
+/// Global view after each generation, passed to the stop predicate.
+struct GaState {
+  std::size_t generation = 0;
+  /// All individual fitnesses of the current generation across every
+  /// sub-population, sorted descending (fitness = higher is better).
+  std::vector<double> fitnesses;
+  Genome best;
+  double best_fitness = 0.0;
+};
+
+struct GaResult {
+  Genome best;
+  double best_fitness = 0.0;
+  std::size_t generations = 0;
+};
+
+class IslandGa {
+ public:
+  /// `cardinalities`: the valid index range per gene (re-indexed values).
+  IslandGa(std::vector<std::uint32_t> cardinalities, GaOptions options);
+
+  /// Runs the GA. `evaluate` maps a genome to a fitness (higher = better);
+  /// it is called under an internal mutex, so a non-thread-safe evaluator
+  /// (e.g. the shared virtual-clock Evaluator) is safe to capture.
+  /// `should_stop` is consulted on rank 0 after every generation.
+  GaResult run(const std::function<double(const Genome&)>& evaluate,
+               const std::function<bool(const GaState&)>& should_stop);
+
+ private:
+  std::vector<std::uint32_t> cardinalities_;
+  GaOptions options_;
+};
+
+}  // namespace cstuner::ga

@@ -1,0 +1,29 @@
+#pragma once
+// Compute-side model: FP64 pipeline throughput under latency hiding, ILP
+// from unrolling/merging, loop overhead, divergence on partial tiles, and
+// barrier-synchronization cost (which prefetching overlaps, §II-B3).
+
+#include "codegen/cuda_codegen.hpp"
+#include "gpusim/gpu_arch.hpp"
+#include "gpusim/occupancy.hpp"
+#include "space/setting.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::gpusim {
+
+struct ComputeAnalysis {
+  double flop_time_ms = 0.0;     ///< FP64-pipeline-bound time
+  double sync_time_ms = 0.0;     ///< exposed barrier cost
+  double ilp = 1.0;              ///< instruction-level-parallelism factor
+  double instr_overhead = 1.0;   ///< loop/index overhead multiplier
+  double divergence_eff = 1.0;   ///< warp lane utilization
+  double fp64_eff = 0.0;         ///< achieved / peak FP64
+};
+
+ComputeAnalysis analyze_compute(const GpuArch& arch,
+                                const stencil::StencilSpec& spec,
+                                const space::Setting& setting,
+                                const codegen::LaunchGeometry& geometry,
+                                const OccupancyResult& occ);
+
+}  // namespace cstuner::gpusim

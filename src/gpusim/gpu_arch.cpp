@@ -1,0 +1,53 @@
+#include "gpusim/gpu_arch.hpp"
+
+#include "common/error.hpp"
+
+namespace cstuner::gpusim {
+
+const GpuArch& a100() {
+  static const GpuArch arch = [] {
+    GpuArch a;
+    a.name = "a100";
+    a.num_sms = 108;
+    a.max_threads_per_sm = 2048;
+    a.max_blocks_per_sm = 32;
+    a.registers_per_sm = 65536;
+    a.smem_per_sm = 164 * 1024;
+    a.smem_per_block_limit = 164 * 1024;
+    a.fp64_gflops = 9700.0;   // FP64 non-tensor peak
+    a.dram_gbps = 1555.0;     // HBM2e
+    a.l2_gbps = 4500.0;
+    a.l2_bytes = 40 * 1024 * 1024;
+    a.l1_bytes_per_sm = 192 * 1024;
+    return a;
+  }();
+  return arch;
+}
+
+const GpuArch& v100() {
+  static const GpuArch arch = [] {
+    GpuArch a;
+    a.name = "v100";
+    a.num_sms = 80;
+    a.max_threads_per_sm = 2048;
+    a.max_blocks_per_sm = 32;
+    a.registers_per_sm = 65536;
+    a.smem_per_sm = 96 * 1024;
+    a.smem_per_block_limit = 96 * 1024;
+    a.fp64_gflops = 7000.0;
+    a.dram_gbps = 900.0;
+    a.l2_gbps = 2100.0;
+    a.l2_bytes = 6 * 1024 * 1024;
+    a.l1_bytes_per_sm = 128 * 1024;
+    return a;
+  }();
+  return arch;
+}
+
+const GpuArch& arch_by_name(const std::string& name) {
+  if (name == "a100") return a100();
+  if (name == "v100") return v100();
+  throw UsageError("unknown GPU architecture: " + name);
+}
+
+}  // namespace cstuner::gpusim

@@ -1,0 +1,48 @@
+#pragma once
+// GPU architecture descriptors. Numbers follow the public NVIDIA whitepapers
+// for the two platforms of the paper's evaluation (Tesla A100, §V-A;
+// Tesla V100, §V-D).
+
+#include <cstdint>
+#include <string>
+
+namespace cstuner::gpusim {
+
+struct GpuArch {
+  std::string name;
+
+  int num_sms = 0;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int warp_size = 32;
+
+  std::int64_t registers_per_sm = 65536;
+  int register_alloc_granularity = 256;  ///< register file allocation unit
+
+  std::int64_t smem_per_sm = 0;          ///< bytes usable by resident blocks
+  std::int64_t smem_per_block_limit = 0; ///< bytes per block (opt-in max)
+
+  double fp64_gflops = 0.0;   ///< peak double-precision throughput
+  double dram_gbps = 0.0;     ///< peak DRAM bandwidth (GB/s)
+  double l2_gbps = 0.0;       ///< aggregate L2 bandwidth (GB/s)
+  std::int64_t l2_bytes = 0;
+  std::int64_t l1_bytes_per_sm = 0;
+
+  double kernel_launch_us = 4.0;  ///< host-side launch + driver overhead
+  /// Latency (us) for draining one wave of blocks at full occupancy; scales
+  /// the latency floor of tiny kernels.
+  double wave_latency_us = 3.0;
+
+  std::int64_t max_threads_per_block = 1024;
+};
+
+/// NVIDIA Tesla A100 (Ampere, GA100) — the paper's primary platform.
+const GpuArch& a100();
+
+/// NVIDIA Tesla V100 (Volta, GV100) — the §V-D generality platform.
+const GpuArch& v100();
+
+/// Lookup by name ("a100" / "v100"); throws UsageError otherwise.
+const GpuArch& arch_by_name(const std::string& name);
+
+}  // namespace cstuner::gpusim

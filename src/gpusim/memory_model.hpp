@@ -1,0 +1,30 @@
+#pragma once
+// Memory-hierarchy model: coalescing efficiency, L1/L2 capture of stencil
+// neighbour reuse, DRAM traffic, and the resulting memory-bound time.
+
+#include "codegen/cuda_codegen.hpp"
+#include "gpusim/gpu_arch.hpp"
+#include "gpusim/occupancy.hpp"
+#include "space/setting.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::gpusim {
+
+struct MemoryAnalysis {
+  double coalescing_eff = 1.0;  ///< useful bytes / transferred bytes
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  double dram_read_bytes = 0.0;   ///< per sweep
+  double dram_write_bytes = 0.0;
+  double mem_time_ms = 0.0;       ///< DRAM/L2-bound time
+  double achieved_dram_gbps = 0.0;
+};
+
+MemoryAnalysis analyze_memory(const GpuArch& arch,
+                              const stencil::StencilSpec& spec,
+                              const space::Setting& setting,
+                              const codegen::LaunchGeometry& geometry,
+                              const OccupancyResult& occ,
+                              const space::ResourceUsage& resources);
+
+}  // namespace cstuner::gpusim

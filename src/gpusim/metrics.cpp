@@ -1,0 +1,27 @@
+#include "gpusim/metrics.hpp"
+
+namespace cstuner::gpusim {
+
+const char* metric_name(MetricId id) {
+  static const char* kNames[kMetricCount] = {
+      "achieved_occupancy", "sm_efficiency",       "ipc",
+      "l1_hit_rate",        "l2_hit_rate",         "dram_read_gb",
+      "dram_write_gb",      "dram_throughput_gbps", "gld_efficiency",
+      "smem_bytes_per_block", "registers_per_thread", "warp_exec_efficiency",
+      "stall_memory_ratio", "stall_sync_ratio",    "fp64_efficiency",
+      "waves_per_grid"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      v.emplace_back(metric_name(static_cast<MetricId>(i)));
+    }
+    return v;
+  }();
+  return names;
+}
+
+}  // namespace cstuner::gpusim

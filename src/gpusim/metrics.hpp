@@ -1,0 +1,39 @@
+#pragma once
+// Registry of the hardware-style metrics the simulator emits per kernel
+// profile. These stand in for the Nsight Compute metrics the paper collects
+// for its performance dataset (§IV-A): partially redundant views of the same
+// execution, correlated with time, exactly what metric combination (Alg. 2)
+// and PMNF modeling consume.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cstuner::gpusim {
+
+enum MetricId : std::size_t {
+  kAchievedOccupancy = 0,   ///< active warps / max warps
+  kSmEfficiency,            ///< SM busy fraction incl. tail waves
+  kIpc,                     ///< issued-instruction throughput proxy
+  kL1HitRate,
+  kL2HitRate,
+  kDramReadGb,              ///< per-sweep DRAM read volume
+  kDramWriteGb,
+  kDramThroughputGbps,      ///< achieved DRAM bandwidth
+  kGldEfficiency,           ///< global-load coalescing efficiency
+  kSmemBytesPerBlock,
+  kRegistersPerThread,
+  kWarpExecEfficiency,      ///< divergence-adjusted lane utilization
+  kStallMemoryRatio,        ///< fraction of cycles stalled on memory
+  kStallSyncRatio,          ///< fraction stalled on barriers
+  kFp64Efficiency,          ///< achieved / peak FP64 throughput
+  kWavesPerGrid,            ///< block waves needed to drain the grid
+  kNumMetrics
+};
+
+constexpr std::size_t kMetricCount = static_cast<std::size_t>(kNumMetrics);
+
+const char* metric_name(MetricId id);
+const std::vector<std::string>& metric_names();
+
+}  // namespace cstuner::gpusim

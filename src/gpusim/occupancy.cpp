@@ -1,0 +1,76 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace cstuner::gpusim {
+
+OccupancyResult compute_occupancy(const GpuArch& arch,
+                                  std::int64_t threads_per_block,
+                                  int registers_per_thread,
+                                  std::int64_t smem_per_block) {
+  CSTUNER_CHECK(threads_per_block >= 1);
+  CSTUNER_CHECK(threads_per_block <= arch.max_threads_per_block);
+  OccupancyResult r;
+
+  // Warps are allocated whole.
+  const std::int64_t warps_per_block =
+      ceil_div<std::int64_t>(threads_per_block, arch.warp_size);
+  const std::int64_t alloc_threads = warps_per_block * arch.warp_size;
+
+  const std::int64_t by_threads = arch.max_threads_per_sm / alloc_threads;
+  const std::int64_t by_blocks = arch.max_blocks_per_sm;
+
+  // Registers are allocated in granules per warp.
+  const std::int64_t regs_per_warp =
+      round_up<std::int64_t>(static_cast<std::int64_t>(registers_per_thread) *
+                                 arch.warp_size,
+                             arch.register_alloc_granularity);
+  const std::int64_t regs_per_block = regs_per_warp * warps_per_block;
+  const std::int64_t by_regs =
+      regs_per_block > 0 ? arch.registers_per_sm / regs_per_block
+                         : arch.max_blocks_per_sm;
+
+  const std::int64_t by_smem =
+      smem_per_block > 0 ? arch.smem_per_sm / smem_per_block
+                         : arch.max_blocks_per_sm;
+
+  std::int64_t blocks = std::min({by_threads, by_blocks, by_regs, by_smem});
+  blocks = std::max<std::int64_t>(blocks, 0);
+
+  r.blocks_per_sm = static_cast<int>(blocks);
+  r.active_threads_per_sm = static_cast<int>(blocks * alloc_threads);
+  r.active_warps_per_sm = static_cast<int>(blocks * warps_per_block);
+  const int max_warps = arch.max_threads_per_sm / arch.warp_size;
+  r.occupancy = static_cast<double>(r.active_warps_per_sm) /
+                static_cast<double>(max_warps);
+
+  if (blocks == by_smem && smem_per_block > 0) {
+    r.limiter = OccupancyLimiter::kSharedMem;
+  } else if (blocks == by_regs) {
+    r.limiter = OccupancyLimiter::kRegisters;
+  } else if (blocks == by_blocks) {
+    r.limiter = OccupancyLimiter::kBlocks;
+  } else {
+    r.limiter = OccupancyLimiter::kThreads;
+  }
+  return r;
+}
+
+const char* limiter_name(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kThreads:
+      return "threads";
+    case OccupancyLimiter::kBlocks:
+      return "blocks";
+    case OccupancyLimiter::kRegisters:
+      return "registers";
+    case OccupancyLimiter::kSharedMem:
+      return "shared_mem";
+  }
+  return "?";
+}
+
+}  // namespace cstuner::gpusim

@@ -1,0 +1,30 @@
+#pragma once
+// CUDA-style occupancy calculation: how many thread blocks of a kernel are
+// co-resident per SM given its register, shared-memory and thread footprint,
+// and which resource limits it.
+
+#include "gpusim/gpu_arch.hpp"
+#include "space/resource_model.hpp"
+
+namespace cstuner::gpusim {
+
+enum class OccupancyLimiter { kThreads, kBlocks, kRegisters, kSharedMem };
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int active_threads_per_sm = 0;
+  int active_warps_per_sm = 0;
+  double occupancy = 0.0;  ///< active warps / max warps
+  OccupancyLimiter limiter = OccupancyLimiter::kThreads;
+};
+
+/// Computes residency for a block of `threads_per_block` threads using the
+/// given per-thread registers and per-block shared memory.
+OccupancyResult compute_occupancy(const GpuArch& arch,
+                                  std::int64_t threads_per_block,
+                                  int registers_per_thread,
+                                  std::int64_t smem_per_block);
+
+const char* limiter_name(OccupancyLimiter limiter);
+
+}  // namespace cstuner::gpusim

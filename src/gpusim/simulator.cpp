@@ -1,0 +1,133 @@
+#include "gpusim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace cstuner::gpusim {
+
+KernelProfile Simulator::profile(const stencil::StencilSpec& spec,
+                                 const space::Setting& setting) const {
+  KernelProfile p;
+  p.geometry = codegen::compute_launch_geometry(spec, setting);
+  p.resources = space::estimate_resources(spec, setting);
+  CSTUNER_CHECK_MSG(!p.resources.spilled,
+                    "profile() requires a non-spilled setting");
+
+  p.occupancy = compute_occupancy(arch_, p.geometry.threads_per_block(),
+                                  p.resources.registers_per_thread,
+                                  p.resources.shared_mem_per_block);
+  if (p.occupancy.blocks_per_sm < 1) {
+    throw ConstraintError(
+        "kernel unlaunchable: zero blocks per SM for setting " +
+        setting.to_string());
+  }
+
+  p.memory = analyze_memory(arch_, spec, setting, p.geometry, p.occupancy,
+                            p.resources);
+  p.compute =
+      analyze_compute(arch_, spec, setting, p.geometry, p.occupancy);
+
+  // Temporal blocking (extension): one kernel advances TF time steps.
+  // Global traffic is paid once for the fused steps, compute is paid per
+  // step plus redundant overlapped-halo work; report time PER TIME STEP so
+  // TF variants compare directly against TF=1.
+  const double tf = static_cast<double>(setting.get(space::kTemporal));
+  double flop_time = p.compute.flop_time_ms;
+  double sync_time = p.compute.sync_time_ms;
+  double mem_time = p.memory.mem_time_ms;
+  if (tf > 1.0) {
+    // Overlapped tiles recompute halo wavefronts per fused step...
+    const double redundancy = 1.0 + 0.15 * spec.order * (tf - 1.0);
+    flop_time *= tf * redundancy;
+    sync_time *= tf;
+    // ...and the halo planes of deeper wavefronts are re-fetched.
+    mem_time *= 1.0 + 0.10 * spec.order * (tf - 1.0);
+  }
+
+  // Compute and memory pipelines overlap; the longer one dominates and a
+  // fraction of the shorter one leaks past the overlap.
+  const double longest = std::max(flop_time, mem_time);
+  const double shortest = std::min(flop_time, mem_time);
+  double time = longest + 0.18 * shortest;
+  time += sync_time;
+  time += arch_.kernel_launch_us / 1e3;
+  p.time_ms = time / tf;
+
+  // --- Metric vector -------------------------------------------------------
+  auto& m = p.metrics;
+  m[kAchievedOccupancy] = p.occupancy.occupancy;
+  {
+    const double slots = static_cast<double>(arch_.num_sms) *
+                         std::max(p.occupancy.blocks_per_sm, 1);
+    const double blocks = static_cast<double>(p.geometry.total_blocks());
+    const double waves = std::ceil(blocks / slots);
+    m[kWavesPerGrid] = waves;
+    m[kSmEfficiency] =
+        clamp(blocks / (waves * slots), 0.0, 1.0) *
+        clamp(static_cast<double>(p.geometry.total_blocks()) /
+                  static_cast<double>(arch_.num_sms),
+              0.0, 1.0);
+  }
+  m[kIpc] = p.compute.fp64_eff * p.compute.ilp;
+  m[kL1HitRate] = p.memory.l1_hit_rate;
+  m[kL2HitRate] = p.memory.l2_hit_rate;
+  m[kDramReadGb] = p.memory.dram_read_bytes / 1e9;
+  m[kDramWriteGb] = p.memory.dram_write_bytes / 1e9;
+  m[kDramThroughputGbps] =
+      (p.memory.dram_read_bytes + p.memory.dram_write_bytes) / 1e6 /
+      std::max(p.time_ms, 1e-9);
+  m[kGldEfficiency] = p.memory.coalescing_eff;
+  m[kSmemBytesPerBlock] =
+      static_cast<double>(p.resources.shared_mem_per_block);
+  m[kRegistersPerThread] =
+      static_cast<double>(p.resources.registers_per_thread);
+  m[kWarpExecEfficiency] = p.compute.divergence_eff;
+  {
+    const double total = p.compute.flop_time_ms + p.memory.mem_time_ms +
+                         p.compute.sync_time_ms + 1e-12;
+    m[kStallMemoryRatio] = p.memory.mem_time_ms / total;
+    m[kStallSyncRatio] = p.compute.sync_time_ms / total;
+  }
+  m[kFp64Efficiency] =
+      spec.total_flops() / 1e6 / std::max(p.time_ms, 1e-9) /
+      arch_.fp64_gflops;
+  return p;
+}
+
+std::uint64_t Simulator::noise_seed(const stencil::StencilSpec& spec,
+                                    const space::Setting& setting,
+                                    std::uint64_t run_index) const {
+  std::uint64_t h = fnv1a(arch_.name.data(), arch_.name.size());
+  h = hash_combine(h, fnv1a(spec.name.data(), spec.name.size()));
+  h = hash_combine(h, setting.hash());
+  h = hash_combine(h, run_index);
+  return h;
+}
+
+double Simulator::measure_ms(const stencil::StencilSpec& spec,
+                             const space::Setting& setting,
+                             std::uint64_t run_index) const {
+  const KernelProfile p = profile(spec, setting);
+  Rng rng(noise_seed(spec, setting, run_index));
+  // Multiplicative lognormal-ish noise, ~1.5% sigma, clipped at 3 sigma.
+  const double z = clamp(rng.normal(), -3.0, 3.0);
+  return p.time_ms * (1.0 + 0.015 * z);
+}
+
+std::array<double, kMetricCount> Simulator::measure_metrics(
+    const stencil::StencilSpec& spec, const space::Setting& setting,
+    std::uint64_t run_index) const {
+  KernelProfile p = profile(spec, setting);
+  Rng rng(noise_seed(spec, setting, run_index ^ 0xabcdef12345ULL));
+  for (auto& v : p.metrics) {
+    const double z = clamp(rng.normal(), -3.0, 3.0);
+    v *= (1.0 + 0.01 * z);
+  }
+  return p.metrics;
+}
+
+}  // namespace cstuner::gpusim

@@ -1,0 +1,70 @@
+#pragma once
+// The GPU kernel-execution simulator: composes the occupancy, memory and
+// compute models into an execution time plus a Nsight-style metric vector.
+// This is the (setting -> time, metrics) oracle every auto-tuner queries in
+// place of the paper's real A100/V100 runs (DESIGN.md §2).
+//
+// Determinism: the noise-free profile is a pure function of
+// (arch, stencil, setting); measurement noise is seeded from the same tuple
+// plus the run index, so whole experiments are reproducible yet repeated
+// "runs" differ like real measurements.
+
+#include <array>
+
+#include "codegen/cuda_codegen.hpp"
+#include "gpusim/compute_model.hpp"
+#include "gpusim/gpu_arch.hpp"
+#include "gpusim/memory_model.hpp"
+#include "gpusim/metrics.hpp"
+#include "gpusim/occupancy.hpp"
+#include "space/setting.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::gpusim {
+
+struct KernelProfile {
+  double time_ms = 0.0;  ///< noise-free execution time of one sweep
+  std::array<double, kMetricCount> metrics{};
+  space::ResourceUsage resources;
+  OccupancyResult occupancy;
+  codegen::LaunchGeometry geometry;
+  MemoryAnalysis memory;
+  ComputeAnalysis compute;
+
+  double metric(MetricId id) const {
+    return metrics[static_cast<std::size_t>(id)];
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const GpuArch& arch) : arch_(arch) {}
+
+  const GpuArch& arch() const { return arch_; }
+
+  /// Noise-free analytical profile. The setting must satisfy the space
+  /// constraints; throws ConstraintError for unlaunchable kernels
+  /// (zero-occupancy configurations).
+  KernelProfile profile(const stencil::StencilSpec& spec,
+                        const space::Setting& setting) const;
+
+  /// One simulated timing run: profile time with ~1.5% multiplicative
+  /// measurement noise, deterministic in (arch, stencil, setting, run).
+  double measure_ms(const stencil::StencilSpec& spec,
+                    const space::Setting& setting,
+                    std::uint64_t run_index) const;
+
+  /// Metric vector with mild measurement noise (dataset collection).
+  std::array<double, kMetricCount> measure_metrics(
+      const stencil::StencilSpec& spec, const space::Setting& setting,
+      std::uint64_t run_index) const;
+
+ private:
+  std::uint64_t noise_seed(const stencil::StencilSpec& spec,
+                           const space::Setting& setting,
+                           std::uint64_t run_index) const;
+
+  const GpuArch& arch_;
+};
+
+}  // namespace cstuner::gpusim

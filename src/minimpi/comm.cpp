@@ -1,0 +1,122 @@
+#include "minimpi/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace cstuner::minimpi {
+
+void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  CSTUNER_CHECK(dest >= 0 && dest < size_);
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  ctx_->post(dest, std::move(m));
+}
+
+Message Comm::recv(int source, int tag) {
+  CSTUNER_CHECK(source >= 0 && source < size_);
+  return ctx_->take(rank_, source, tag);
+}
+
+bool Comm::probe(int source, int tag) {
+  CSTUNER_CHECK(source >= 0 && source < size_);
+  return ctx_->peek(rank_, source, tag);
+}
+
+void Comm::barrier() { ctx_->barrier_wait(); }
+
+std::vector<double> Comm::allgather(double value) {
+  // Simple ring allgather: everyone sends to everyone (size is small — the
+  // GA uses a handful of sub-populations).
+  constexpr int kTag = 0x7fffff00;
+  for (int dest = 0; dest < size_; ++dest) {
+    if (dest == rank_) continue;
+    send_values<double>(dest, kTag, {value});
+  }
+  std::vector<double> out(static_cast<std::size_t>(size_), value);
+  for (int src = 0; src < size_; ++src) {
+    if (src == rank_) continue;
+    auto v = recv_values<double>(src, kTag);
+    CSTUNER_CHECK(v.size() == 1);
+    out[static_cast<std::size_t>(src)] = v[0];
+  }
+  return out;
+}
+
+Context::Context(int nranks) : nranks_(nranks) {
+  CSTUNER_CHECK(nranks >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Context::post(int dest, Message message) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+Message Context::take(int dest, int source, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        Message m = std::move(*it);
+        box.messages.erase(it);
+        return m;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Context::peek(int dest, int source, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (const auto& m : box.messages) {
+    if (m.source == source && m.tag == tag) return true;
+  }
+  return false;
+}
+
+void Context::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == nranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+void Context::run(int nranks, const std::function<void(Comm&)>& body) {
+  Context ctx(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&ctx, r, nranks);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cstuner::minimpi

@@ -1,0 +1,124 @@
+#pragma once
+// minimpi: an in-process message-passing substrate.
+//
+// The paper runs the island genetic algorithm's sub-populations as MPI
+// processes with ring migration (Fig. 6).  This module reproduces the MPI
+// surface the GA needs — ranks, blocking point-to-point send/recv with tags,
+// barrier, and ring-topology helpers — with ranks mapped to threads so the
+// whole framework stays a single dependency-free process.  The API is shaped
+// so a real MPI backend could replace it without touching the GA.
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cstuner::minimpi {
+
+/// A single message in flight: raw bytes plus envelope.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Context;
+
+/// Per-rank communicator handle. Valid only inside Context::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Blocking tagged send of raw bytes to `dest`.
+  void send(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  /// Blocking receive of the next message from `source` with `tag`.
+  Message recv(int source, int tag);
+
+  /// True if a matching message is already queued (non-blocking probe).
+  bool probe(int source, int tag);
+
+  /// All ranks must call; returns when every rank has arrived.
+  void barrier();
+
+  /// Ring topology helpers (single-ring migration, as in the paper).
+  int left_neighbor() const { return (rank_ + size_ - 1) % size_; }
+  int right_neighbor() const { return (rank_ + 1) % size_; }
+
+  /// Typed convenience wrappers for trivially copyable element types.
+  template <typename T>
+  void send_values(int dest, int tag, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> bytes(values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+    }
+    send(dest, tag, std::move(bytes));
+  }
+
+  template <typename T>
+  std::vector<T> recv_values(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv(source, tag);
+    CSTUNER_CHECK(m.payload.size() % sizeof(T) == 0);
+    std::vector<T> values(m.payload.size() / sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(values.data(), m.payload.data(), m.payload.size());
+    }
+    return values;
+  }
+
+  /// Gather one double from every rank to every rank (allgather).
+  std::vector<double> allgather(double value);
+
+ private:
+  friend class Context;
+  Comm(Context* ctx, int rank, int size)
+      : ctx_(ctx), rank_(rank), size_(size) {}
+
+  Context* ctx_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the mailboxes and the rank threads.
+class Context {
+ public:
+  /// Run `body` on `nranks` ranks (threads); joins all before returning.
+  /// Exceptions thrown by any rank are captured and the first is rethrown.
+  static void run(int nranks, const std::function<void(Comm&)>& body);
+
+ private:
+  friend class Comm;
+
+  explicit Context(int nranks);
+
+  void post(int dest, Message message);
+  Message take(int dest, int source, int tag);
+  bool peek(int dest, int source, int tag);
+  void barrier_wait();
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace cstuner::minimpi

@@ -1,0 +1,188 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cstuner::ml {
+
+DecisionTree::DecisionTree(TreeTask task, TreeConfig config)
+    : task_(task), config_(config) {}
+
+void DecisionTree::fit(const TableView& x, std::span<const double> y,
+                       std::span<const std::size_t> sample_indices, Rng& rng) {
+  CSTUNER_CHECK(x.n_samples == y.size());
+  CSTUNER_CHECK(!sample_indices.empty());
+  nodes_.clear();
+  std::vector<std::size_t> indices(sample_indices.begin(),
+                                   sample_indices.end());
+  build(x, y, indices, 0, indices.size(), 0, rng);
+}
+
+void DecisionTree::fit(const TableView& x, std::span<const double> y,
+                       Rng& rng) {
+  std::vector<std::size_t> all(x.n_samples);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  fit(x, y, all, rng);
+}
+
+double DecisionTree::leaf_value(std::span<const double> y,
+                                std::span<const std::size_t> indices,
+                                std::size_t lo, std::size_t hi) const {
+  if (task_ == TreeTask::kRegression) {
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += y[indices[i]];
+    return sum / static_cast<double>(hi - lo);
+  }
+  std::map<double, std::size_t> counts;
+  for (std::size_t i = lo; i < hi; ++i) ++counts[y[indices[i]]];
+  double best = 0.0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = label;
+    }
+  }
+  return best;
+}
+
+double DecisionTree::impurity(std::span<const double> y,
+                              std::span<const std::size_t> indices,
+                              std::size_t lo, std::size_t hi) const {
+  const auto n = static_cast<double>(hi - lo);
+  if (task_ == TreeTask::kRegression) {
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = y[indices[i]];
+      sum += v;
+      sq += v * v;
+    }
+    const double mu = sum / n;
+    return sq / n - mu * mu;  // variance
+  }
+  std::map<double, std::size_t> counts;
+  for (std::size_t i = lo; i < hi; ++i) ++counts[y[indices[i]]];
+  double gini = 1.0;
+  for (const auto& [label, count] : counts) {
+    (void)label;
+    const double p = static_cast<double>(count) / n;
+    gini -= p * p;
+  }
+  return gini;
+}
+
+std::size_t DecisionTree::build(const TableView& x, std::span<const double> y,
+                                std::vector<std::size_t>& indices,
+                                std::size_t lo, std::size_t hi,
+                                std::size_t depth, Rng& rng) {
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[node_index].value = leaf_value(y, indices, lo, hi);
+
+  const std::size_t count = hi - lo;
+  const double node_impurity = impurity(y, indices, lo, hi);
+  if (depth >= config_.max_depth || count < config_.min_samples_split ||
+      node_impurity <= 1e-12) {
+    return node_index;
+  }
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<std::size_t> features(x.n_features);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  if (config_.max_features > 0 && config_.max_features < x.n_features) {
+    rng.shuffle(features);
+    features.resize(config_.max_features);
+  }
+
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(count);
+  for (std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      sorted.emplace_back(x.at(indices[i], f), indices[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    // Evaluate splits between distinct adjacent feature values.
+    std::vector<std::size_t> order(count);
+    for (std::size_t i = 0; i < count; ++i) order[i] = sorted[i].second;
+    for (std::size_t cut = config_.min_samples_leaf;
+         cut + config_.min_samples_leaf <= count; ++cut) {
+      if (sorted[cut - 1].first == sorted[cut].first) continue;
+      const double left_imp = impurity(y, order, 0, cut);
+      const double right_imp = impurity(y, order, cut, count);
+      const double score =
+          (static_cast<double>(cut) * left_imp +
+           static_cast<double>(count - cut) * right_imp) /
+          static_cast<double>(count);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (sorted[cut - 1].first + sorted[cut].first);
+        found = true;
+      }
+    }
+  }
+  if (!found || best_score >= node_impurity - 1e-12) return node_index;
+
+  // Partition indices[lo, hi) by the chosen split.
+  auto middle = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(lo),
+      indices.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t s) { return x.at(s, best_feature) <= best_threshold; });
+  const auto mid =
+      static_cast<std::size_t>(middle - indices.begin());
+  if (mid == lo || mid == hi) return node_index;  // degenerate split
+
+  const std::size_t left = build(x, y, indices, lo, mid, depth + 1, rng);
+  const std::size_t right = build(x, y, indices, mid, hi, depth + 1, rng);
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::predict(std::span<const double> features) const {
+  CSTUNER_CHECK(!nodes_.empty());
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    const auto& n = nodes_[node];
+    node = (features[n.feature] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes_[node].value;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth by traversal (nodes store no depth).
+  if (nodes_.empty()) return 0;
+  std::size_t max_depth = 0;
+  struct Item {
+    std::size_t node;
+    std::size_t depth;
+  };
+  std::vector<Item> stack{{0, 1}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, item.depth);
+    const auto& n = nodes_[item.node];
+    if (!n.is_leaf) {
+      stack.push_back({n.left, item.depth + 1});
+      stack.push_back({n.right, item.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace cstuner::ml

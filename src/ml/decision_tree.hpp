@@ -1,0 +1,80 @@
+#pragma once
+// CART decision trees (regression by variance reduction, classification by
+// Gini impurity). Substrate for the random forest that the Garvey baseline
+// uses to predict the optimal memory type of a stencil (§II-C / §V-A2).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cstuner::ml {
+
+/// Row-major feature table: samples x features.
+struct TableView {
+  std::span<const double> values;  // size = n_samples * n_features
+  std::size_t n_samples = 0;
+  std::size_t n_features = 0;
+
+  double at(std::size_t sample, std::size_t feature) const {
+    return values[sample * n_features + feature];
+  }
+};
+
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features examined per split; 0 = all (single tree), forests pass
+  /// sqrt(n_features).
+  std::size_t max_features = 0;
+};
+
+enum class TreeTask { kRegression, kClassification };
+
+class DecisionTree {
+ public:
+  DecisionTree(TreeTask task, TreeConfig config);
+
+  /// Fits on the given sample indices (callers pass bootstrap samples).
+  /// Targets are real values for regression, non-negative class ids (stored
+  /// as doubles) for classification.
+  void fit(const TableView& x, std::span<const double> y,
+           std::span<const std::size_t> sample_indices, Rng& rng);
+
+  /// Fit on all samples.
+  void fit(const TableView& x, std::span<const double> y, Rng& rng);
+
+  double predict(std::span<const double> features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  // mean (regression) or majority class
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t build(const TableView& x, std::span<const double> y,
+                    std::vector<std::size_t>& indices, std::size_t lo,
+                    std::size_t hi, std::size_t depth, Rng& rng);
+  double leaf_value(std::span<const double> y,
+                    std::span<const std::size_t> indices, std::size_t lo,
+                    std::size_t hi) const;
+  double impurity(std::span<const double> y,
+                  std::span<const std::size_t> indices, std::size_t lo,
+                  std::size_t hi) const;
+
+  TreeTask task_;
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cstuner::ml

@@ -1,0 +1,74 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace cstuner::ml {
+
+RandomForest::RandomForest(TreeTask task, ForestConfig config)
+    : task_(task), config_(config) {
+  CSTUNER_CHECK(config_.n_trees >= 1);
+  CSTUNER_CHECK(config_.bootstrap_fraction > 0.0 &&
+                config_.bootstrap_fraction <= 1.0);
+}
+
+void RandomForest::fit(const TableView& x, std::span<const double> y,
+                       Rng& rng) {
+  CSTUNER_CHECK(x.n_samples == y.size());
+  CSTUNER_CHECK(x.n_samples >= 1);
+  trees_.clear();
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::sqrt(static_cast<double>(x.n_features))));
+  }
+  const auto bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrap_fraction *
+                                  static_cast<double>(x.n_samples)));
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    std::vector<std::size_t> bag(bag_size);
+    for (auto& s : bag) s = rng.index(x.n_samples);
+    DecisionTree tree(task_, tree_config);
+    tree.fit(x, y, bag, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  CSTUNER_CHECK(!trees_.empty());
+  if (task_ == TreeTask::kRegression) {
+    double sum = 0.0;
+    for (const auto& tree : trees_) sum += tree.predict(features);
+    return sum / static_cast<double>(trees_.size());
+  }
+  std::map<double, std::size_t> votes;
+  for (const auto& tree : trees_) ++votes[tree.predict(features)];
+  double best = 0.0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best = label;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<double, double>> RandomForest::vote_fractions(
+    std::span<const double> features) const {
+  CSTUNER_CHECK(!trees_.empty());
+  std::map<double, std::size_t> votes;
+  for (const auto& tree : trees_) ++votes[tree.predict(features)];
+  std::vector<std::pair<double, double>> out;
+  for (const auto& [label, count] : votes) {
+    out.emplace_back(label, static_cast<double>(count) /
+                                static_cast<double>(trees_.size()));
+  }
+  return out;
+}
+
+}  // namespace cstuner::ml

@@ -1,0 +1,42 @@
+#pragma once
+// Bagged random forest over the CART trees. Garvey [13] trains a random
+// forest to predict the optimal memory type for a stencil before grouping
+// and exhaustively searching parameters; our Garvey baseline reproduces that
+// stage with this forest.
+
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace cstuner::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 32;
+  TreeConfig tree;
+  /// Bootstrap sample fraction of the training set per tree.
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest {
+ public:
+  RandomForest(TreeTask task, ForestConfig config);
+
+  void fit(const TableView& x, std::span<const double> y, Rng& rng);
+
+  /// Mean of tree outputs (regression) or majority vote (classification).
+  double predict(std::span<const double> features) const;
+
+  /// Per-class vote fractions (classification); class ids are the distinct
+  /// target values seen during training.
+  std::vector<std::pair<double, double>> vote_fractions(
+      std::span<const double> features) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  TreeTask task_;
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace cstuner::ml

@@ -1,0 +1,86 @@
+#include "regress/least_squares.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cstuner::regress {
+
+LeastSquaresFit solve_least_squares(const Matrix& a,
+                                    std::span<const double> y) {
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+  CSTUNER_CHECK(y.size() == n);
+  CSTUNER_CHECK(n >= 1 && p >= 1);
+
+  // Normal equations with a tiny ridge: (AtA + eps I) x = At y.
+  // For the modest design sizes here (p <= ~25, n <= a few hundred) this is
+  // numerically adequate and the ridge guards rank deficiency.
+  Matrix ata(p, p);
+  std::vector<double> aty(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < p; ++i) {
+      aty[i] += row[i] * y[r];
+      for (std::size_t j = i; j < p; ++j) ata(i, j) += row[i] * row[j];
+    }
+  }
+  double scale = 0.0;
+  for (std::size_t i = 0; i < p; ++i) scale = std::max(scale, ata(i, i));
+  const double ridge = std::max(scale, 1.0) * 1e-10;
+  for (std::size_t i = 0; i < p; ++i) {
+    ata(i, i) += ridge;
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+  }
+
+  // Cholesky factorization of the SPD system.
+  Matrix l(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = ata(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        CSTUNER_CHECK_MSG(sum > 0.0, "Cholesky failed: matrix not SPD");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+
+  // Forward/backward substitution.
+  std::vector<double> z(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    double sum = aty[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  LeastSquaresFit fit;
+  fit.coefficients.assign(p, 0.0);
+  for (std::size_t ii = p; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < p; ++k) {
+      sum -= l(k, ii) * fit.coefficients[k];
+    }
+    fit.coefficients[ii] = sum / l(ii, ii);
+  }
+
+  const auto predicted = a.multiply(fit.coefficients);
+  double rss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double e = y[r] - predicted[r];
+    rss += e * e;
+  }
+  fit.rss = rss;
+  fit.rse = (n > p) ? std::sqrt(rss / static_cast<double>(n - p))
+                    : std::numeric_limits<double>::infinity();
+  const double mu = stats::mean(y);
+  double tss = 0.0;
+  for (double v : y) tss += (v - mu) * (v - mu);
+  fit.r2 = (tss > 0.0) ? 1.0 - rss / tss : 0.0;
+  return fit;
+}
+
+}  // namespace cstuner::regress

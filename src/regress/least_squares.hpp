@@ -1,0 +1,26 @@
+#pragma once
+// Linear least squares via Householder QR with column-degeneracy guarding,
+// plus the fit-quality measures the paper uses: residual standard error
+// (RSE, used to select among PMNF candidates because R² is only meaningful
+// for linear models) and R² for reference.
+
+#include <vector>
+
+#include "regress/matrix.hpp"
+
+namespace cstuner::regress {
+
+struct LeastSquaresFit {
+  std::vector<double> coefficients;
+  double rss = 0.0;  ///< residual sum of squares
+  double rse = 0.0;  ///< sqrt(rss / (n - p)), infinity when n <= p
+  double r2 = 0.0;   ///< 1 - rss / tss
+};
+
+/// Solves min ||A x - y||_2. Near-singular columns are regularized with a
+/// tiny ridge so the solve never fails on degenerate designs; the resulting
+/// fit simply scores a poor RSE and loses model selection.
+LeastSquaresFit solve_least_squares(const Matrix& a,
+                                    std::span<const double> y);
+
+}  // namespace cstuner::regress

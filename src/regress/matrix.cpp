@@ -1,0 +1,30 @@
+#include "regress/matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace cstuner::regress {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  CSTUNER_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const auto row_span = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_span[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+}  // namespace cstuner::regress

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal dense row-major matrix, sufficient for the least-squares fits of
+// the PMNF performance models. No external BLAS/LAPACK dependency.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cstuner::regress {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x for a vector x of length cols().
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cstuner::regress

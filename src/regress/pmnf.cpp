@@ -1,0 +1,123 @@
+#include "regress/pmnf.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cstuner::regress {
+
+PmnfModel::PmnfModel(std::vector<std::vector<std::size_t>> groups, int i_exp,
+                     int j_exp, std::vector<double> coefficients)
+    : groups_(std::move(groups)),
+      i_exp_(i_exp),
+      j_exp_(j_exp),
+      coefficients_(std::move(coefficients)) {
+  CSTUNER_CHECK(coefficients_.size() == groups_.size() + 1);
+}
+
+double PmnfModel::term_value(std::span<const double> params,
+                             std::span<const std::size_t> group, int i_exp,
+                             int j_exp) {
+  double prod = 1.0;
+  for (std::size_t l : group) {
+    CSTUNER_CHECK_MSG(l < params.size(), "group references missing parameter");
+    const double v = params[l];
+    CSTUNER_CHECK_MSG(v >= 1.0, "PMNF requires parameter values >= 1");
+    double factor = 1.0;
+    for (int e = 0; e < i_exp; ++e) factor *= v;
+    if (j_exp > 0) {
+      double lg = std::log2(v);
+      for (int e = 0; e < j_exp; ++e) factor *= lg;
+    }
+    prod *= factor;
+  }
+  return prod;
+}
+
+double PmnfModel::predict(std::span<const double> params) const {
+  double acc = coefficients_[0];
+  for (std::size_t k = 0; k < groups_.size(); ++k) {
+    acc += coefficients_[k + 1] *
+           term_value(params, groups_[k], i_exp_, j_exp_);
+  }
+  return acc;
+}
+
+std::string PmnfModel::to_string() const {
+  std::ostringstream os;
+  os << coefficients_[0];
+  for (std::size_t k = 0; k < groups_.size(); ++k) {
+    os << " + " << coefficients_[k + 1] << "*[";
+    for (std::size_t l = 0; l < groups_[k].size(); ++l) {
+      if (l) os << '*';
+      os << 'P' << groups_[k][l];
+    }
+    os << "]^" << i_exp_;
+    if (j_exp_ > 0) os << "*log2^" << j_exp_;
+  }
+  return os.str();
+}
+
+PmnfFitter::PmnfFitter() : PmnfFitter({0, 1, 2}, {0, 1}) {}
+
+PmnfFitter::PmnfFitter(std::vector<int> i_range, std::vector<int> j_range)
+    : i_range_(std::move(i_range)), j_range_(std::move(j_range)) {
+  CSTUNER_CHECK(!i_range_.empty() && !j_range_.empty());
+}
+
+std::size_t PmnfFitter::candidate_count() const {
+  std::size_t count = 0;
+  for (int i : i_range_) {
+    for (int j : j_range_) {
+      if (i == 0 && j == 0) continue;  // constant term: degenerate
+      (void)j;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<PmnfFitResult> PmnfFitter::fit_all(
+    const Matrix& x, std::span<const double> y,
+    const std::vector<std::vector<std::size_t>>& groups) const {
+  CSTUNER_CHECK(x.rows() == y.size());
+  CSTUNER_CHECK(!groups.empty());
+  std::vector<PmnfFitResult> results;
+  for (int i_exp : i_range_) {
+    for (int j_exp : j_range_) {
+      if (i_exp == 0 && j_exp == 0) continue;
+      // Design matrix: intercept column + one product term per group.
+      Matrix design(x.rows(), groups.size() + 1);
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        design(r, 0) = 1.0;
+        for (std::size_t k = 0; k < groups.size(); ++k) {
+          design(r, k + 1) =
+              PmnfModel::term_value(x.row(r), groups[k], i_exp, j_exp);
+        }
+      }
+      const LeastSquaresFit fit = solve_least_squares(design, y);
+      PmnfFitResult result;
+      result.model = PmnfModel(groups, i_exp, j_exp, fit.coefficients);
+      result.rse = fit.rse;
+      result.r2 = fit.r2;
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+PmnfFitResult PmnfFitter::fit_best(
+    const Matrix& x, std::span<const double> y,
+    const std::vector<std::vector<std::size_t>>& groups) const {
+  auto results = fit_all(x, y, groups);
+  CSTUNER_CHECK(!results.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].rse < results[best].rse) best = i;
+  }
+  return results[best];
+}
+
+}  // namespace cstuner::regress

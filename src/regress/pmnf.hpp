@@ -1,0 +1,91 @@
+#pragma once
+// Performance Model Normal Form (PMNF) regression, Eq. 3 of the paper:
+//
+//   f(P) = sum_k  c_k * prod_{l in group k}  P_l^i * log2^j(P_l)
+//
+// The parameter groups (from Algorithm 1) shrink the PMNF function search
+// space to |I| x |J| candidates regardless of parameter count: one exponent
+// pair (i, j) is shared by all groups, each group contributes one product
+// term, and an intercept c_0 is added. Each candidate is linear in the
+// coefficients c_k, so fitting is a linear least-squares solve; the best
+// candidate is selected by residual standard error (RSE), since R² is not a
+// valid measure for non-linear model families.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "regress/least_squares.hpp"
+#include "regress/matrix.hpp"
+
+namespace cstuner::regress {
+
+/// One fitted PMNF candidate.
+class PmnfModel {
+ public:
+  PmnfModel() = default;
+  PmnfModel(std::vector<std::vector<std::size_t>> groups, int i_exp, int j_exp,
+            std::vector<double> coefficients);
+
+  /// Predicted response for a full parameter-value row (values must be >= 1
+  /// so log2 is defined; the space encodes bool/enum parameters from 1).
+  double predict(std::span<const double> params) const;
+
+  int i_exponent() const { return i_exp_; }
+  int j_exponent() const { return j_exp_; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+
+  /// e.g. "c0 + c1*(P0*P3)^2*log2(..) + ..." for diagnostics.
+  std::string to_string() const;
+
+ private:
+  friend class PmnfFitter;
+  static double term_value(std::span<const double> params,
+                           std::span<const std::size_t> group, int i_exp,
+                           int j_exp);
+
+  std::vector<std::vector<std::size_t>> groups_;
+  int i_exp_ = 0;
+  int j_exp_ = 0;
+  std::vector<double> coefficients_;  // [intercept, one per group]
+};
+
+/// A fitted candidate plus its selection score.
+struct PmnfFitResult {
+  PmnfModel model;
+  double rse = 0.0;
+  double r2 = 0.0;
+};
+
+/// Searches the (i, j) candidate grid, fits each by least squares, returns
+/// all fits plus the index of the RSE-best one.
+class PmnfFitter {
+ public:
+  /// `i_range` / `j_range` default to the paper's evaluation setting:
+  /// i in {0,1,2}, j in {0,1}, excluding the degenerate (0,0) pair.
+  PmnfFitter();
+  PmnfFitter(std::vector<int> i_range, std::vector<int> j_range);
+
+  /// X: one row per observation, one column per parameter (raw values >= 1).
+  /// y: response (a GPU metric or execution time).
+  /// groups: parameter groups from Algorithm 1.
+  std::vector<PmnfFitResult> fit_all(
+      const Matrix& x, std::span<const double> y,
+      const std::vector<std::vector<std::size_t>>& groups) const;
+
+  PmnfFitResult fit_best(
+      const Matrix& x, std::span<const double> y,
+      const std::vector<std::vector<std::size_t>>& groups) const;
+
+  std::size_t candidate_count() const;
+
+ private:
+  std::vector<int> i_range_;
+  std::vector<int> j_range_;
+};
+
+}  // namespace cstuner::regress

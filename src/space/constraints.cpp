@@ -1,0 +1,254 @@
+#include "space/constraints.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cstuner::space {
+
+ConstraintChecker::ConstraintChecker(const stencil::StencilSpec& spec,
+                                     const std::vector<Parameter>& parameters,
+                                     const ResourceLimits& limits)
+    : spec_(spec), parameters_(parameters), limits_(limits) {
+  CSTUNER_CHECK(parameters_.size() == kParamCount);
+}
+
+Setting ConstraintChecker::canonicalized(Setting setting) const {
+  if (!setting.flag(kUseStreaming)) {
+    setting.set(kSD, 1);
+    setting.set(kSB, 1);
+    setting.set(kUsePrefetching, kOff);
+  }
+  return setting;
+}
+
+Setting ConstraintChecker::repaired(Setting s) const {
+  s = canonicalized(s);
+  const bool streaming = s.flag(kUseStreaming);
+  const int sd = static_cast<int>(s.get(kSD)) - 1;
+  const ParamId tb[] = {kTBx, kTBy, kTBz};
+  const ParamId uf[] = {kUFx, kUFy, kUFz};
+  const ParamId cm[] = {kCMx, kCMy, kCMz};
+  const ParamId bm[] = {kBMx, kBMy, kBMz};
+
+  auto lower_to = [&](ParamId id, std::int64_t cap) {
+    // Largest admissible value <= cap (admissible sets always contain 1).
+    const auto& values =
+        parameters_[static_cast<std::size_t>(id)].values;
+    std::int64_t best = 1;
+    for (auto v : values) {
+      if (v <= cap) best = v;
+    }
+    if (s.get(id) > best) s.set(id, best);
+  };
+
+  if (streaming) {
+    s.set(tb[sd], 1);
+    s.set(cm[sd], 1);
+    s.set(bm[sd], 1);
+    lower_to(kSB, spec_.grid[static_cast<std::size_t>(sd)]);
+    lower_to(uf[sd], s.get(kSB));
+  }
+
+  // Snap the temporal factor to an admissible value, then collapse it when
+  // the stencil/pipeline cannot express temporal blocking at all.
+  lower_to(kTemporal, s.get(kTemporal));
+  if (s.get(kTemporal) > 1 &&
+      (!streaming || spec_.n_inputs != 1 || spec_.n_outputs != 1)) {
+    s.set(kTemporal, 1);
+  }
+
+  // Thread-block size cap: shrink the largest dimension until it fits.
+  while (s.threads_per_block() > limits_.max_threads_per_block) {
+    ParamId largest = tb[0];
+    for (ParamId id : tb) {
+      if (s.get(id) > s.get(largest)) largest = id;
+    }
+    s.set(largest, std::max<std::int64_t>(1, s.get(largest) / 2));
+  }
+
+  // Per-dimension coverage and unroll rules.
+  for (int d = 0; d < 3; ++d) {
+    if (streaming && d == sd) continue;
+    const std::int64_t extent = spec_.grid[static_cast<std::size_t>(d)];
+    lower_to(tb[d], extent);
+    lower_to(cm[d], extent / s.get(tb[d]));
+    lower_to(bm[d], extent / (s.get(tb[d]) * s.get(cm[d])));
+    lower_to(uf[d], s.get(cm[d]) * s.get(bm[d]));
+  }
+
+  // Implicit resource rules: shed merge/unroll pressure, then shared
+  // memory, then thread count.
+  for (int guard = 0; guard < 64 && violation(s).has_value(); ++guard) {
+    const ResourceUsage usage = estimate_resources(spec_, s, limits_);
+    if (usage.shared_mem_per_block > limits_.max_smem_per_block) {
+      // Shrink the widest merge factor; give up on smem staging if merges
+      // are already minimal.
+      ParamId widest = cm[0];
+      for (ParamId id : {kCMx, kCMy, kCMz, kBMx, kBMy, kBMz}) {
+        if (s.get(id) > s.get(widest)) widest = id;
+      }
+      if (s.get(widest) > 1) {
+        s.set(widest, s.get(widest) / 2);
+      } else {
+        s.set(kUseShared, kOff);
+      }
+      continue;
+    }
+    // Register pressure (per thread or per block): halve the largest
+    // merge/unroll factor; fall back to shrinking the block.
+    ParamId largest = cm[0];
+    for (ParamId id :
+         {kCMx, kCMy, kCMz, kBMx, kBMy, kBMz, kUFx, kUFy, kUFz}) {
+      if (s.get(id) > s.get(largest)) largest = id;
+    }
+    if (s.get(largest) > 1) {
+      s.set(largest, s.get(largest) / 2);
+      // Keep the unroll rule intact after shrinking a merge factor.
+      for (int d = 0; d < 3; ++d) {
+        if (streaming && d == sd) continue;
+        lower_to(uf[d], s.get(cm[d]) * s.get(bm[d]));
+      }
+    } else {
+      ParamId big_tb = tb[0];
+      for (ParamId id : tb) {
+        if (s.get(id) > s.get(big_tb)) big_tb = id;
+      }
+      if (s.get(big_tb) == 1) break;  // nothing left to shed
+      s.set(big_tb, s.get(big_tb) / 2);
+    }
+  }
+  return s;
+}
+
+std::optional<std::string> ConstraintChecker::violation(
+    const Setting& setting) const {
+  // Rule 0: every value must be admissible for its parameter.
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    const auto id = static_cast<ParamId>(i);
+    if (!parameters_[i].contains(setting.get(id))) {
+      std::ostringstream os;
+      os << param_name(id) << '=' << setting.get(id)
+         << " is not an admissible value";
+      return os.str();
+    }
+  }
+
+  // Rule 1: thread-block size limit (TBx*TBy*TBz <= 1024).
+  if (setting.threads_per_block() > limits_.max_threads_per_block) {
+    return "thread block exceeds " +
+           std::to_string(limits_.max_threads_per_block) + " threads";
+  }
+
+  const bool streaming = setting.flag(kUseStreaming);
+  const int sd = static_cast<int>(setting.get(kSD)) - 1;
+  const ParamId tb[] = {kTBx, kTBy, kTBz};
+  const ParamId uf[] = {kUFx, kUFy, kUFz};
+  const ParamId cm[] = {kCMx, kCMy, kCMz};
+  const ParamId bm[] = {kBMx, kBMy, kBMz};
+
+  // Rule 2: streaming-dependent parameters are only meaningful when
+  // streaming is enabled (canonical encoding).
+  if (!streaming) {
+    if (setting.get(kSD) != 1 || setting.get(kSB) != 1) {
+      return "SD/SB require streaming to be enabled";
+    }
+    if (setting.flag(kUsePrefetching)) {
+      return "prefetching overlaps streaming plane loads; requires streaming";
+    }
+  }
+
+  // Rule 3: per-dimension coverage cannot exceed the grid.
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t coverage = setting.get(tb[d]) * setting.get(cm[d]) *
+                                  setting.get(bm[d]);
+    if (coverage > spec_.grid[static_cast<std::size_t>(d)]) {
+      std::ostringstream os;
+      os << "dimension " << d << " coverage " << coverage
+         << " exceeds grid extent "
+         << spec_.grid[static_cast<std::size_t>(d)];
+      return os.str();
+    }
+  }
+
+  if (streaming) {
+    // Rule 4: 2.5-D blocking — the streaming dimension is traversed by the
+    // stream loop, so its block extent and merge factors collapse to 1.
+    if (setting.get(tb[sd]) != 1 || setting.get(cm[sd]) != 1 ||
+        setting.get(bm[sd]) != 1) {
+      return "streaming dimension must have TB=CM=BM=1 (2.5-D blocking)";
+    }
+    // Rule 5: concurrent-streaming tile fits the streaming dimension.
+    if (setting.get(kSB) > spec_.grid[static_cast<std::size_t>(sd)]) {
+      return "SB exceeds the streaming dimension extent";
+    }
+    // Rule 6 (paper, §IV-B): unroll factor along the streaming dimension is
+    // bounded by the concurrent-streaming tile.
+    if (setting.get(uf[sd]) > setting.get(kSB)) {
+      return "unroll factor in streaming dimension exceeds SB";
+    }
+  }
+
+  // Rule 7: elsewhere, unrolling applies to the per-thread merge loops, so
+  // the factor cannot exceed the merged trip count.
+  for (int d = 0; d < 3; ++d) {
+    if (streaming && d == sd) continue;
+    const std::int64_t trip = setting.get(cm[d]) * setting.get(bm[d]);
+    if (setting.get(uf[d]) > trip) {
+      std::ostringstream os;
+      os << "UF" << "xyz"[d] << '=' << setting.get(uf[d])
+         << " exceeds merged trip count " << trip;
+      return os.str();
+    }
+  }
+
+  // Rule 10 (extension): temporal blocking fuses time steps, which needs a
+  // ping-pong single-grid stencil and a streaming pipeline to carry the
+  // wavefronts (AN5D-style).
+  if (setting.get(kTemporal) > 1) {
+    if (spec_.n_inputs != 1 || spec_.n_outputs != 1) {
+      return "temporal blocking requires a single in/out grid pair";
+    }
+    if (!streaming) {
+      return "temporal blocking requires streaming";
+    }
+  }
+
+  // Rule 8 (implicit): register pressure — spilled kernels are not explored.
+  const ResourceUsage usage = estimate_resources(spec_, setting, limits_);
+  if (usage.spilled) {
+    std::ostringstream os;
+    os << "register spill: " << usage.registers_per_thread << " > "
+       << limits_.max_registers_per_thread;
+    return os.str();
+  }
+
+  // Rule 8b (implicit): the block's total register demand must fit the SM
+  // register file or the kernel cannot launch at all.
+  // Mirror the hardware's per-warp allocation granularity (256 registers)
+  // so "valid" always implies "launchable" in the occupancy calculator.
+  const std::int64_t warps = (setting.threads_per_block() + 31) / 32;
+  const std::int64_t regs_per_warp =
+      ((static_cast<std::int64_t>(usage.registers_per_thread) * 32 + 255) /
+       256) *
+      256;
+  const std::int64_t block_regs = warps * regs_per_warp;
+  if (block_regs > limits_.max_registers_per_block) {
+    std::ostringstream os;
+    os << "block needs " << block_regs << " registers; register file holds "
+       << limits_.max_registers_per_block;
+    return os.str();
+  }
+
+  // Rule 9 (implicit): shared-memory capacity.
+  if (usage.shared_mem_per_block > limits_.max_smem_per_block) {
+    std::ostringstream os;
+    os << "shared memory " << usage.shared_mem_per_block << "B exceeds "
+       << limits_.max_smem_per_block << "B";
+    return os.str();
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace cstuner::space

@@ -1,0 +1,50 @@
+#pragma once
+// Explicit and implicit constraint checking (§IV-B). Only settings passing
+// every rule are explored during auto-tuning; the checker reports the first
+// violated rule for diagnostics.
+
+#include <optional>
+#include <string>
+
+#include "space/resource_model.hpp"
+#include "space/setting.hpp"
+
+namespace cstuner::space {
+
+class ConstraintChecker {
+ public:
+  ConstraintChecker(const stencil::StencilSpec& spec,
+                    const std::vector<Parameter>& parameters,
+                    const ResourceLimits& limits = {});
+
+  /// nullopt when valid; otherwise the first violated rule.
+  std::optional<std::string> violation(const Setting& setting) const;
+
+  bool is_valid(const Setting& setting) const {
+    return !violation(setting).has_value();
+  }
+
+  /// Forces the canonical encoding of inactive optimizations: with streaming
+  /// disabled SD/SB collapse to 1 and prefetching (which overlaps streaming
+  /// plane loads) is off. This removes aliased duplicate settings from the
+  /// space, mirroring the paper's "SD and SB are only valid when enabling
+  /// streaming".
+  Setting canonicalized(Setting setting) const;
+
+  /// Deterministically repairs a setting into a valid one by lowering the
+  /// offending factors (thread-block dims, merge/unroll factors, SB; shared
+  /// memory is disabled as a last resort). Used by csTuner's per-group
+  /// search, where a group's value tuple is grafted onto a base setting and
+  /// the combination may violate cross-group constraints. Values only ever
+  /// move toward 1, so repair always terminates and preserves admissibility.
+  Setting repaired(Setting setting) const;
+
+  const ResourceLimits& limits() const { return limits_; }
+
+ private:
+  const stencil::StencilSpec& spec_;
+  const std::vector<Parameter>& parameters_;
+  ResourceLimits limits_;
+};
+
+}  // namespace cstuner::space

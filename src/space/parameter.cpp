@@ -1,0 +1,142 @@
+#include "space/parameter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace cstuner::space {
+
+std::size_t Parameter::value_index(std::int64_t value) const {
+  const auto it = std::lower_bound(values.begin(), values.end(), value);
+  CSTUNER_CHECK_MSG(it != values.end() && *it == value,
+                    "value not admissible for parameter " + name);
+  return static_cast<std::size_t>(it - values.begin());
+}
+
+bool Parameter::contains(std::int64_t value) const {
+  return std::binary_search(values.begin(), values.end(), value);
+}
+
+const char* param_name(ParamId id) {
+  static const char* kNames[kParamCount] = {
+      "TBx", "TBy", "TBz", "useShared", "useConstant", "useStreaming",
+      "SD",  "SB",  "UFx", "UFy",       "UFz",         "CMx",
+      "CMy", "CMz", "BMx", "BMy",       "BMz",         "useRetiming",
+      "usePrefetching",    "TF"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+bool is_numeric(ParamId id) {
+  switch (id) {
+    case kTBx:
+    case kTBy:
+    case kTBz:
+    case kSB:
+    case kUFx:
+    case kUFy:
+    case kUFz:
+    case kCMx:
+    case kCMy:
+    case kCMz:
+    case kBMx:
+    case kBMy:
+    case kBMz:
+    case kTemporal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int param_dimension(ParamId id) {
+  switch (id) {
+    case kTBx:
+    case kUFx:
+    case kCMx:
+    case kBMx:
+      return 0;
+    case kTBy:
+    case kUFy:
+    case kCMy:
+    case kBMy:
+      return 1;
+    case kTBz:
+    case kUFz:
+    case kCMz:
+    case kBMz:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+namespace {
+
+Parameter make_pow2(ParamId id, std::int64_t max_value) {
+  Parameter p;
+  p.id = id;
+  p.name = param_name(id);
+  p.kind = ParamKind::kPow2;
+  p.values = pow2_range(max_value);
+  return p;
+}
+
+Parameter make_bool(ParamId id) {
+  Parameter p;
+  p.id = id;
+  p.name = param_name(id);
+  p.kind = ParamKind::kBool;
+  p.values = {kOff, kOn};
+  return p;
+}
+
+Parameter make_enum(ParamId id, std::int64_t count) {
+  Parameter p;
+  p.id = id;
+  p.name = param_name(id);
+  p.kind = ParamKind::kEnum;
+  for (std::int64_t v = 1; v <= count; ++v) p.values.push_back(v);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Parameter> make_parameters(const stencil::StencilSpec& spec,
+                                       const SpaceLimits& limits) {
+  const auto m = [&](int d) {
+    return static_cast<std::int64_t>(spec.grid[static_cast<std::size_t>(d)]);
+  };
+  std::vector<Parameter> params;
+  params.reserve(kParamCount);
+  params.push_back(make_pow2(kTBx, std::min(limits.max_tb_xy, m(0))));
+  params.push_back(make_pow2(kTBy, std::min(limits.max_tb_xy, m(1))));
+  params.push_back(make_pow2(kTBz, std::min(limits.max_tb_z, m(2))));
+  params.push_back(make_bool(kUseShared));
+  params.push_back(make_bool(kUseConstant));
+  params.push_back(make_bool(kUseStreaming));
+  params.push_back(make_enum(kSD, 3));
+  // SB ranges over [1, M_SD]; SD is itself tunable, so admit up to the
+  // largest dimension and let the constraint checker enforce SB <= M_SD.
+  const std::int64_t max_dim = std::max({m(0), m(1), m(2)});
+  params.push_back(make_pow2(kSB, max_dim));
+  for (ParamId id : {kUFx, kUFy, kUFz}) {
+    params.push_back(
+        make_pow2(id, std::min(limits.max_unroll, m(param_dimension(id)))));
+  }
+  for (ParamId id : {kCMx, kCMy, kCMz, kBMx, kBMy, kBMz}) {
+    params.push_back(
+        make_pow2(id, std::min(limits.max_merge, m(param_dimension(id)))));
+  }
+  params.push_back(make_bool(kUseRetiming));
+  params.push_back(make_bool(kUsePrefetching));
+  params.push_back(make_pow2(kTemporal, std::max<std::int64_t>(
+                                            1, limits.max_temporal)));
+  CSTUNER_CHECK(params.size() == kParamCount);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    CSTUNER_CHECK(params[i].id == static_cast<ParamId>(i));
+  }
+  return params;
+}
+
+}  // namespace cstuner::space

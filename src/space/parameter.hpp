@@ -1,0 +1,99 @@
+#pragma once
+// The parameterized optimization space of Table I.
+//
+// 19 parameters: thread-block shape (TBx/TBy/TBz), shared memory, constant
+// memory, streaming (+ streaming dimension SD, concurrent-streaming tile
+// SB), loop unrolling (UFx/y/z), cyclic merging (CMx/y/z), block merging
+// (BMx/y/z), retiming, prefetching. Bool/enum parameters are encoded from 1
+// with unit stride and numeric parameters are powers of two, exactly as the
+// paper prescribes so that the log2 operations in PMNF and CV computations
+// are well defined.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::space {
+
+/// Identifier of each optimization parameter (Table I order).
+enum ParamId : std::size_t {
+  kTBx = 0,
+  kTBy,
+  kTBz,
+  kUseShared,
+  kUseConstant,
+  kUseStreaming,
+  kSD,
+  kSB,
+  kUFx,
+  kUFy,
+  kUFz,
+  kCMx,
+  kCMy,
+  kCMz,
+  kBMx,
+  kBMy,
+  kBMz,
+  kUseRetiming,
+  kUsePrefetching,
+  /// §VII extension: AN5D-style temporal blocking — fuse TF time steps into
+  /// one kernel sweep. Off by default (single value 1), enabled through
+  /// SpaceLimits::max_temporal, so the paper-faithful Table I space is the
+  /// default and the extension is opt-in.
+  kTemporal,
+  kNumParams
+};
+
+constexpr std::size_t kParamCount = static_cast<std::size_t>(kNumParams);
+
+/// "off"/"on" encoding for boolean optimization flags (paper encodes from 1).
+constexpr std::int64_t kOff = 1;
+constexpr std::int64_t kOn = 2;
+
+enum class ParamKind { kBool, kEnum, kPow2 };
+
+/// A single tunable parameter: its identity and admissible values.
+struct Parameter {
+  ParamId id = kTBx;
+  std::string name;
+  ParamKind kind = ParamKind::kPow2;
+  std::vector<std::int64_t> values;  ///< sorted ascending
+
+  std::size_t cardinality() const { return values.size(); }
+
+  /// Index of `value` in `values`; throws if absent.
+  std::size_t value_index(std::int64_t value) const;
+
+  bool contains(std::int64_t value) const;
+};
+
+const char* param_name(ParamId id);
+
+/// Whether CV/PMNF treat this parameter's values on a log2 scale
+/// (numeric pow-2 parameters) or as-is (bool/enum).
+bool is_numeric(ParamId id);
+
+/// Which grid dimension (0/1/2) a per-dimension parameter refers to, or -1.
+int param_dimension(ParamId id);
+
+/// Caps applied to merge/unroll factors before resource constraints prune
+/// further (the paper's Table I allows up to M_n; the implicit register
+/// constraints make large factors invalid anyway).
+struct SpaceLimits {
+  std::int64_t max_unroll = 64;
+  std::int64_t max_merge = 64;
+  std::int64_t max_tb_xy = 1024;
+  std::int64_t max_tb_z = 64;
+  /// Temporal-blocking factor cap; 1 (default) disables the extension and
+  /// reproduces the paper's Table I space exactly.
+  std::int64_t max_temporal = 1;
+};
+
+/// Builds the Table I parameter list for a stencil's grid.
+std::vector<Parameter> make_parameters(const stencil::StencilSpec& spec,
+                                       const SpaceLimits& limits = {});
+
+}  // namespace cstuner::space

@@ -1,0 +1,46 @@
+#pragma once
+// Static resource-usage estimation for a (stencil, setting) pair: registers
+// per thread and shared memory per block. This implements the paper's
+// *implicit* constraints ("the settings of the block merging and loop
+// unrolling are restricted by the usage of register and shared memory;
+// csTuner checks the above constraints ... so that only non-spilled
+// parameter settings are explored").
+//
+// The estimates follow the usual cost structure of stencil code generators
+// (cf. Rawat et al. [36], AN5D [25]): a base cost for index arithmetic, live
+// neighbour values scaling with order and input arrays, accumulators scaling
+// with merge/unroll products, prefetch buffers, and a retiming discount for
+// high-order stencils.
+
+#include <cstdint>
+
+#include "space/setting.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::space {
+
+struct ResourceUsage {
+  int registers_per_thread = 0;
+  std::int64_t shared_mem_per_block = 0;  ///< bytes; 0 when useShared is off
+  bool spilled = false;                   ///< registers exceed the ISA limit
+};
+
+struct ResourceLimits {
+  int max_registers_per_thread = 255;       ///< CUDA ISA limit
+  /// SM register file: a block whose warps need more than this cannot
+  /// launch at all (zero occupancy), so such settings are invalid.
+  std::int64_t max_registers_per_block = 65536;
+  std::int64_t max_smem_per_block = 48 * 1024;
+  std::int64_t max_threads_per_block = 1024;
+};
+
+/// Estimates register and shared-memory consumption of the generated kernel.
+ResourceUsage estimate_resources(const stencil::StencilSpec& spec,
+                                 const Setting& setting,
+                                 const ResourceLimits& limits = {});
+
+/// Shared-memory tile element count along one dimension (tile + halo).
+std::int64_t smem_tile_extent(const stencil::StencilSpec& spec,
+                              const Setting& setting, int dim);
+
+}  // namespace cstuner::space

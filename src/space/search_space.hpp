@@ -1,0 +1,64 @@
+#pragma once
+// The constrained search space for one (stencil, resource-limit) pair:
+// parameter list, constraint checking, uniform valid-setting sampling, and
+// candidate-universe construction (DESIGN.md §5).
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "space/constraints.hpp"
+
+namespace cstuner::space {
+
+class SearchSpace {
+ public:
+  SearchSpace(stencil::StencilSpec spec, SpaceLimits space_limits = {},
+              ResourceLimits resource_limits = {});
+
+  // The checker holds references into this object; pin the address.
+  SearchSpace(const SearchSpace&) = delete;
+  SearchSpace& operator=(const SearchSpace&) = delete;
+
+  const stencil::StencilSpec& spec() const { return spec_; }
+  const std::vector<Parameter>& parameters() const { return parameters_; }
+  const Parameter& parameter(ParamId id) const {
+    return parameters_[static_cast<std::size_t>(id)];
+  }
+  const ConstraintChecker& checker() const { return *checker_; }
+
+  bool is_valid(const Setting& setting) const {
+    return checker_->is_valid(setting);
+  }
+
+  /// One independently uniform draw per parameter, canonicalized; the result
+  /// may still violate cross-parameter constraints.
+  Setting random_setting(Rng& rng) const;
+
+  /// Rejection-samples until a valid setting is found.
+  Setting random_valid(Rng& rng, std::size_t max_tries = 100000) const;
+
+  /// `count` distinct valid settings (deduplicated by content hash). May
+  /// return fewer when the valid space is smaller than `count`; stops after
+  /// `max_tries_factor * count` rejection-sampling attempts.
+  std::vector<Setting> sample_universe(Rng& rng, std::size_t count,
+                                       std::size_t max_tries_factor = 64) const;
+
+  /// log10 of the unconstrained cartesian product size (Table I scale).
+  double log10_cartesian_size() const;
+
+  /// Raw parameter values as doubles (all >= 1), the PMNF feature encoding.
+  static std::vector<double> to_feature_row(const Setting& setting);
+
+  /// log2 of numeric values, raw bool/enum values — the CV feature encoding
+  /// the paper uses so correlation comparisons are fair across parameters.
+  static double cv_encoded(ParamId id, std::int64_t value);
+
+ private:
+  stencil::StencilSpec spec_;
+  SpaceLimits space_limits_;
+  std::vector<Parameter> parameters_;
+  std::unique_ptr<ConstraintChecker> checker_;
+};
+
+}  // namespace cstuner::space

@@ -1,0 +1,32 @@
+#include "space/setting.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace cstuner::space {
+
+std::uint64_t Setting::hash() const {
+  std::uint64_t h = 0x435354554e4552ULL;  // "CSTUNER"
+  for (std::int64_t v : values_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+std::string Setting::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    const auto id = static_cast<ParamId>(i);
+    if (i) os << ' ';
+    os << param_name(id) << '=';
+    if (!is_numeric(id) && id != kSD) {
+      os << (values_[i] == kOn ? "on" : "off");
+    } else {
+      os << values_[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cstuner::space

@@ -1,0 +1,57 @@
+#pragma once
+// A concrete parameter setting: one admissible value per Table I parameter.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "space/parameter.hpp"
+
+namespace cstuner::space {
+
+/// Value assignment for all 19 parameters. Stored as actual values (not
+/// indices) so constraint checks and models read naturally.
+class Setting {
+ public:
+  Setting() { values_.fill(1); }
+
+  std::int64_t get(ParamId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  void set(ParamId id, std::int64_t value) {
+    values_[static_cast<std::size_t>(id)] = value;
+  }
+
+  std::int64_t& operator[](ParamId id) {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  std::int64_t operator[](ParamId id) const { return get(id); }
+
+  bool flag(ParamId id) const { return get(id) == kOn; }
+
+  const std::array<std::int64_t, kParamCount>& raw() const { return values_; }
+
+  bool operator==(const Setting& other) const = default;
+
+  /// Stable content hash (for dedup, caches, and noise seeding).
+  std::uint64_t hash() const;
+
+  /// "TBx=32 TBy=4 ... usePrefetching=off" for diagnostics.
+  std::string to_string() const;
+
+  /// Threads per block implied by the TB parameters.
+  std::int64_t threads_per_block() const {
+    return get(kTBx) * get(kTBy) * get(kTBz);
+  }
+
+  /// Output points computed per thread (merge factors, all dimensions).
+  std::int64_t points_per_thread() const {
+    return get(kCMx) * get(kCMy) * get(kCMz) * get(kBMx) * get(kBMy) *
+           get(kBMz);
+  }
+
+ private:
+  std::array<std::int64_t, kParamCount> values_;
+};
+
+}  // namespace cstuner::space

@@ -1,0 +1,58 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cstuner::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  CSTUNER_CHECK(x.size() == y.size());
+  CSTUNER_CHECK(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / (std::sqrt(sxx) * std::sqrt(syy));
+}
+
+namespace {
+
+/// Ranks with tie-averaging.
+std::vector<double> ranks(std::span<const double> x) {
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> r(x.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace cstuner::stats

@@ -1,0 +1,17 @@
+#pragma once
+// Correlation measures. The Pearson correlation coefficient (Eq. 2) drives
+// metric combination (§IV-D, Alg. 2) and representative-metric selection.
+
+#include <span>
+
+namespace cstuner::stats {
+
+/// Pearson correlation coefficient of two equal-length samples (Eq. 2).
+/// Returns 0 when either sample has zero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (used by tests as a robustness cross-check on
+/// the simulator's metric/time relationships).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cstuner::stats

@@ -1,0 +1,98 @@
+#include "stats/deque_group.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cstuner::stats {
+
+std::deque<ScoredPair> build_deque(std::vector<ScoredPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.score != y.score) return x.score < y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return {pairs.begin(), pairs.end()};
+}
+
+std::size_t find_group(const Groups& groups, std::size_t item) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t member : groups[g]) {
+      if (member == item) return g;
+    }
+  }
+  return kNoGroup;
+}
+
+Groups group_parameters(std::deque<ScoredPair> deque, std::size_t n_items) {
+  Groups groups;
+  const std::size_t que_size = deque.size();
+  for (std::size_t i = 0; i < que_size; ++i) {
+    if (i % 2 == 0) {
+      // Strong end: the pair is highly correlated — same group.
+      const ScoredPair p = deque.front();
+      deque.pop_front();
+      const std::size_t ga = find_group(groups, p.a);
+      const std::size_t gb = find_group(groups, p.b);
+      if (ga == kNoGroup && gb == kNoGroup) {
+        groups.push_back({p.a, p.b});
+      } else if (ga != kNoGroup && gb != kNoGroup) {
+        continue;  // both already placed
+      } else if (ga != kNoGroup) {
+        groups[ga].push_back(p.b);
+      } else {
+        groups[gb].push_back(p.a);
+      }
+    } else {
+      // Weak end: the pair is weakly correlated — keep the parameters apart
+      // by giving each unseen one its own group.
+      const ScoredPair p = deque.back();
+      deque.pop_back();
+      if (find_group(groups, p.a) == kNoGroup) groups.push_back({p.a});
+      if (find_group(groups, p.b) == kNoGroup) groups.push_back({p.b});
+    }
+  }
+  // Defensive completeness: items that appeared in no pair (possible when a
+  // parameter has a single valid value) become singletons.
+  for (std::size_t item = 0; item < n_items; ++item) {
+    if (find_group(groups, item) == kNoGroup) groups.push_back({item});
+  }
+  return groups;
+}
+
+Groups combine_metrics(std::deque<ScoredPair> deque, std::size_t n_items,
+                       std::size_t max_collections) {
+  CSTUNER_CHECK(max_collections >= 1);
+  Groups collections;
+  const std::size_t que_size = deque.size();
+  for (std::size_t i = 0; i < que_size; ++i) {
+    // Ascending sort ⇒ the back holds the most strongly correlated pair.
+    const ScoredPair p = deque.back();
+    deque.pop_back();
+    const std::size_t ga = find_group(collections, p.a);
+    const std::size_t gb = find_group(collections, p.b);
+    if (ga == kNoGroup && gb == kNoGroup) {
+      if (collections.size() < max_collections) {
+        collections.push_back({p.a, p.b});
+      }
+      continue;
+    }
+    if (ga != kNoGroup && gb != kNoGroup) continue;
+    if (ga != kNoGroup) {
+      collections[ga].push_back(p.b);
+    } else {
+      collections[gb].push_back(p.a);
+    }
+  }
+  // Metrics never absorbed (cap hit while both endpoints were unseen and no
+  // later pair connected them to a collection) become their own collections.
+  for (std::size_t item = 0; item < n_items; ++item) {
+    if (find_group(collections, item) == kNoGroup) {
+      collections.push_back({item});
+    }
+  }
+  return collections;
+}
+
+}  // namespace cstuner::stats

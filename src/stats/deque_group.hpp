@@ -1,0 +1,59 @@
+#pragma once
+// The two deque-based pair-merging routines of the paper:
+//   * Algorithm 1 — parameter grouping from pairwise CV scores (§IV-C)
+//   * Algorithm 2 — metric combination from pairwise PCC scores (§IV-D)
+//
+// Both operate on a double-ended queue of item pairs sorted in ascending
+// order of their correlation score and build disjoint groups of item ids.
+//
+// Note on fidelity: the paper's printed pseudocode of Algorithm 1 attaches
+// the merge logic to the weak (high-CV) end and singleton creation to the
+// strong (low-CV) end, which contradicts its own stated principle ("put
+// strongly correlated parameters in a group"). We implement the stated
+// principle — merge on the strongly correlated end, keep the weakly
+// correlated end apart — while preserving the alternating two-ended deque
+// structure. DESIGN.md documents this deviation.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace cstuner::stats {
+
+/// An unordered item pair with its correlation score.
+struct ScoredPair {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double score = 0.0;  // CV for Alg. 1 (lower = stronger), PCC for Alg. 2
+                       // (higher |.| = stronger)
+};
+
+using Groups = std::vector<std::vector<std::size_t>>;
+
+/// Sorts pairs ascending by score and returns the deque the algorithms pop
+/// from. Ties are broken by (a, b) for determinism.
+std::deque<ScoredPair> build_deque(std::vector<ScoredPair> pairs);
+
+/// Algorithm 1: parameter grouping. `pairs` must cover item ids < n_items.
+/// Alternates between popping the strongly correlated front (low CV — the
+/// two parameters are merged into a common group) and the weakly correlated
+/// back (high CV — unseen parameters become singleton groups). Every item
+/// in [0, n_items) appears in exactly one output group.
+Groups group_parameters(std::deque<ScoredPair> deque, std::size_t n_items);
+
+/// Algorithm 2: metric combination. Pops the strongest pair (highest score —
+/// callers pass |PCC|) from the back each time; creates a new collection
+/// while fewer than `max_collections` exist, otherwise merges into the
+/// collection already containing one of the two metrics. Metrics whose every
+/// pair arrives after the cap is reached and that never co-occur with a
+/// collected metric are appended as singleton collections at the end so no
+/// metric is lost.
+Groups combine_metrics(std::deque<ScoredPair> deque, std::size_t n_items,
+                       std::size_t max_collections);
+
+/// Index of the group containing `item`, or npos.
+std::size_t find_group(const Groups& groups, std::size_t item);
+
+inline constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
+}  // namespace cstuner::stats

@@ -1,0 +1,67 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cstuner::stats {
+
+double mean(std::span<const double> xs) {
+  CSTUNER_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double mu = mean(xs);
+  CSTUNER_CHECK_MSG(mu != 0.0, "CV undefined for zero mean");
+  return stddev(xs) / mu;
+}
+
+double min(std::span<const double> xs) {
+  CSTUNER_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  CSTUNER_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  CSTUNER_CHECK(!xs.empty());
+  CSTUNER_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min(xs);
+  s.max = max(xs);
+  s.median = median(xs);
+  return s;
+}
+
+}  // namespace cstuner::stats

@@ -1,0 +1,42 @@
+#pragma once
+// Descriptive statistics used across the csTuner pipeline: the coefficient of
+// variation (Eq. 1) drives both parameter grouping (§IV-C) and the top-n
+// approximation stop of the evolutionary search (§IV-E).
+
+#include <span>
+#include <vector>
+
+namespace cstuner::stats {
+
+double mean(std::span<const double> xs);
+
+/// Population variance (1/n), matching Eq. 1 of the paper.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation c_v = sigma / mu (Eq. 1). Requires mean != 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even sizes).
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Summary of a sample, computed in one pass over a copy.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace cstuner::stats

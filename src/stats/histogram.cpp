@@ -1,0 +1,44 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace cstuner::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CSTUNER_CHECK(hi > lo);
+  CSTUNER_CHECK(bins >= 1);
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+  bin = clamp<std::int64_t>(bin, 0,
+                            static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::bin_label(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::ostringstream os;
+  os << '[' << lo_ + width * static_cast<double>(bin) << ','
+     << lo_ + width * static_cast<double>(bin + 1)
+     << (bin + 1 == counts_.size() ? "]" : ")");
+  return os.str();
+}
+
+}  // namespace cstuner::stats

@@ -1,0 +1,38 @@
+#pragma once
+// Fixed-bin histogramming for the motivation figures (Figs. 2 and 3), which
+// bin speedups/percentages into [0,1] with a configurable stride.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cstuner::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins. Values below lo
+/// clamp into the first bin; values >= hi clamp into the last (the paper's
+/// speedup bins are closed at 1.0).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// Fraction of samples in the given bin (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Human-readable bin label, e.g. "[0.2,0.4)".
+  std::string bin_label(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cstuner::stats

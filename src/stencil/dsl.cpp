@@ -1,0 +1,179 @@
+#include "stencil/dsl.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cstuner::stencil {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw UsageError("stencil DSL, line " + std::to_string(line_no) + ": " +
+                   message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+long to_int(const std::string& token, std::size_t line_no) {
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    fail(line_no, "expected integer, got '" + token + "'");
+  }
+  return v;
+}
+
+double to_double(const std::string& token, std::size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    fail(line_no, "expected number, got '" + token + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+StencilSpec parse_stencil(const std::string& text) {
+  StencilSpec spec;
+  spec.grid = {0, 0, 0};
+  spec.n_inputs = 1;
+  spec.n_outputs = 1;
+  bool saw_name = false, saw_grid = false;
+  int declared_flops = -1;
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    auto expect_args = [&](std::size_t n) {
+      if (tokens.size() != n + 1) {
+        fail(line_no, directive + " expects " + std::to_string(n) +
+                          " argument(s), got " +
+                          std::to_string(tokens.size() - 1));
+      }
+    };
+    if (directive == "stencil") {
+      expect_args(1);
+      spec.name = tokens[1];
+      saw_name = true;
+    } else if (directive == "grid") {
+      expect_args(3);
+      for (int d = 0; d < 3; ++d) {
+        const long extent = to_int(tokens[static_cast<std::size_t>(d) + 1],
+                                   line_no);
+        if (extent < 4) fail(line_no, "grid extents must be >= 4");
+        spec.grid[static_cast<std::size_t>(d)] = static_cast<int>(extent);
+      }
+      saw_grid = true;
+    } else if (directive == "arrays") {
+      expect_args(2);
+      const long in = to_int(tokens[1], line_no);
+      const long out = to_int(tokens[2], line_no);
+      if (in < 1 || out < 1) fail(line_no, "need >= 1 input and output");
+      spec.n_inputs = static_cast<int>(in);
+      spec.n_outputs = static_cast<int>(out);
+    } else if (directive == "flops") {
+      expect_args(1);
+      declared_flops = static_cast<int>(to_int(tokens[1], line_no));
+      if (declared_flops < 1) fail(line_no, "flops must be positive");
+    } else if (directive == "star") {
+      expect_args(3);
+      const long array = to_int(tokens[1], line_no);
+      const long order = to_int(tokens[2], line_no);
+      const double weight = to_double(tokens[3], line_no);
+      if (order < 1) fail(line_no, "star order must be >= 1");
+      const auto taps = make_star_taps(static_cast<int>(order),
+                                       static_cast<int>(array), weight);
+      spec.taps.insert(spec.taps.end(), taps.begin(), taps.end());
+    } else if (directive == "box") {
+      expect_args(2);
+      const long array = to_int(tokens[1], line_no);
+      const double weight = to_double(tokens[2], line_no);
+      const auto taps = make_box_taps(static_cast<int>(array), weight);
+      spec.taps.insert(spec.taps.end(), taps.begin(), taps.end());
+    } else if (directive == "tap") {
+      expect_args(5);
+      Tap tap;
+      tap.array = static_cast<int>(to_int(tokens[1], line_no));
+      tap.dx = static_cast<int>(to_int(tokens[2], line_no));
+      tap.dy = static_cast<int>(to_int(tokens[3], line_no));
+      tap.dz = static_cast<int>(to_int(tokens[4], line_no));
+      tap.weight = to_double(tokens[5], line_no);
+      spec.taps.push_back(tap);
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (!saw_name) throw UsageError("stencil DSL: missing 'stencil <name>'");
+  if (!saw_grid) throw UsageError("stencil DSL: missing 'grid nx ny nz'");
+  if (spec.taps.empty()) {
+    throw UsageError("stencil DSL: no taps (use star/box/tap)");
+  }
+
+  // Semantic checks + derived fields.
+  spec.io_arrays = spec.n_inputs + spec.n_outputs;
+  int order = 0;
+  for (const auto& t : spec.taps) {
+    if (t.array < 0 || t.array >= spec.n_inputs) {
+      throw UsageError("stencil DSL: tap references array " +
+                       std::to_string(t.array) + " but there are only " +
+                       std::to_string(spec.n_inputs) + " inputs");
+    }
+    order = std::max({order, std::abs(t.dx), std::abs(t.dy), std::abs(t.dz)});
+  }
+  spec.order = std::max(order, 1);
+  for (int d = 0; d < 3; ++d) {
+    if (spec.grid[static_cast<std::size_t>(d)] <= 2 * spec.order) {
+      throw UsageError("stencil DSL: grid too small for the stencil order");
+    }
+  }
+  spec.shape = spec.n_inputs > 1 ? Shape::kCompound : Shape::kStar;
+  const int tap_flops =
+      static_cast<int>(spec.taps.size()) * 2 * spec.n_outputs;
+  spec.flops = declared_flops > 0 ? declared_flops : tap_flops;
+  spec.pointwise_ops = std::max(0, spec.flops - tap_flops);
+  return spec;
+}
+
+StencilSpec load_stencil_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot open stencil file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_stencil(buffer.str());
+}
+
+std::string to_dsl(const StencilSpec& spec) {
+  std::ostringstream os;
+  os << "stencil " << spec.name << '\n';
+  os << "grid " << spec.grid[0] << ' ' << spec.grid[1] << ' ' << spec.grid[2]
+     << '\n';
+  os << "arrays " << spec.n_inputs << ' ' << spec.n_outputs << '\n';
+  os << "flops " << spec.flops << '\n';
+  for (const auto& t : spec.taps) {
+    os << "tap " << t.array << ' ' << t.dx << ' ' << t.dy << ' ' << t.dz
+       << ' ' << t.weight << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cstuner::stencil

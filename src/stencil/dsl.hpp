@@ -1,0 +1,37 @@
+#pragma once
+// A small textual stencil-description language, so downstream users can tune
+// kernels that are not part of the built-in suite without writing C++. The
+// paper positions csTuner as a backend for stencil DSLs (§VI); this is the
+// minimal front door for that integration.
+//
+// Grammar (line oriented, '#' starts a comment):
+//
+//   stencil <name>
+//   grid <nx> <ny> <nz>
+//   arrays <inputs> <outputs>
+//   flops <per-point-flops>          # optional; defaults to the tap budget
+//   star <array> <order> <weight>    # star taps (2*order*3+1 in 3-D)
+//   box <array> <weight>             # 27-point order-1 box taps
+//   tap <array> <dx> <dy> <dz> <weight>   # one explicit tap
+//
+// At least one tap-producing directive is required; the stencil order is
+// the maximum tap offset. Unknown directives and malformed lines raise
+// UsageError with the offending line number.
+
+#include <string>
+
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::stencil {
+
+/// Parses a DSL document into a StencilSpec; throws UsageError on any
+/// syntactic or semantic problem.
+StencilSpec parse_stencil(const std::string& text);
+
+/// Reads and parses a DSL file.
+StencilSpec load_stencil_file(const std::string& path);
+
+/// Renders a spec back into DSL text (round-trips through parse_stencil).
+std::string to_dsl(const StencilSpec& spec);
+
+}  // namespace cstuner::stencil

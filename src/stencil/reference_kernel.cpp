@@ -1,0 +1,131 @@
+#include "stencil/reference_kernel.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace cstuner::stencil {
+
+Grid3::Grid3(int nx, int ny, int nz, int halo)
+    : nx_(nx), ny_(ny), nz_(nz), halo_(halo) {
+  CSTUNER_CHECK(nx >= 1 && ny >= 1 && nz >= 1 && halo >= 0);
+  const auto total = static_cast<std::size_t>(nx + 2 * halo) *
+                     static_cast<std::size_t>(ny + 2 * halo) *
+                     static_cast<std::size_t>(nz + 2 * halo);
+  data_.assign(total, 0.0);
+}
+
+void Grid3::fill_pattern(std::uint64_t salt) {
+  for (int z = -halo_; z < nz_ + halo_; ++z) {
+    for (int y = -halo_; y < ny_ + halo_; ++y) {
+      for (int x = -halo_; x < nx_ + halo_; ++x) {
+        // Cheap coordinate hash mapped into [0.5, 1.5): smooth enough to be
+        // numerically benign, varied enough to catch indexing bugs.
+        std::uint64_t h = hash_combine(salt, static_cast<std::uint64_t>(
+                                                 (x + 7) * 73856093));
+        h = hash_combine(h, static_cast<std::uint64_t>((y + 7) * 19349663));
+        h = hash_combine(h, static_cast<std::uint64_t>((z + 7) * 83492791));
+        at(x, y, z) = 0.5 + static_cast<double>(h % 1024) / 1024.0;
+      }
+    }
+  }
+}
+
+void Grid3::fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+double Grid3::max_abs_diff(const Grid3& a, const Grid3& b) {
+  CSTUNER_CHECK(a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_);
+  double worst = 0.0;
+  for (int z = 0; z < a.nz_; ++z) {
+    for (int y = 0; y < a.ny_; ++y) {
+      for (int x = 0; x < a.nx_; ++x) {
+        worst = std::max(worst, std::fabs(a.at(x, y, z) - b.at(x, y, z)));
+      }
+    }
+  }
+  return worst;
+}
+
+GridSet make_grids(const StencilSpec& spec) {
+  GridSet grids;
+  for (int a = 0; a < spec.n_inputs; ++a) {
+    Grid3 g(spec.grid[0], spec.grid[1], spec.grid[2], spec.order);
+    g.fill_pattern(0x5eed0000ULL + static_cast<std::uint64_t>(a));
+    grids.inputs.push_back(std::move(g));
+  }
+  for (int a = 0; a < spec.n_outputs; ++a) {
+    grids.outputs.emplace_back(spec.grid[0], spec.grid[1], spec.grid[2], 0);
+  }
+  return grids;
+}
+
+int pointwise_rounds(const StencilSpec& spec) {
+  // Each round is one multiply + one add per output array.
+  return spec.pointwise_ops / (2 * spec.n_outputs);
+}
+
+double stencil_point(const StencilSpec& spec,
+                     const std::vector<Grid3>& inputs, int output_index,
+                     int x, int y, int z) {
+  const double scale = 1.0 / static_cast<double>(output_index + 1);
+  double acc = 0.0;
+  for (const Tap& t : spec.taps) {
+    acc += t.weight * inputs[static_cast<std::size_t>(t.array)].at(
+                          x + t.dx, y + t.dy, z + t.dz);
+  }
+  acc *= scale;
+  const int rounds = pointwise_rounds(spec);
+  for (int r = 0; r < rounds; ++r) {
+    acc = acc * 1.0000001 + 1e-12;  // fused multiply-add round
+  }
+  return acc;
+}
+
+void run_reference(const StencilSpec& spec, const std::vector<Grid3>& inputs,
+                   std::vector<Grid3>& outputs) {
+  CSTUNER_CHECK(static_cast<int>(inputs.size()) == spec.n_inputs);
+  CSTUNER_CHECK(static_cast<int>(outputs.size()) == spec.n_outputs);
+  const int nx = outputs[0].nx();
+  const int ny = outputs[0].ny();
+  const int nz = outputs[0].nz();
+  for (int o = 0; o < spec.n_outputs; ++o) {
+    auto& out = outputs[static_cast<std::size_t>(o)];
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          out.at(x, y, z) = stencil_point(spec, inputs, o, x, y, z);
+        }
+      }
+    }
+  }
+}
+
+void copy_interior(const Grid3& from, Grid3& to) {
+  CSTUNER_CHECK(from.nx() == to.nx() && from.ny() == to.ny() &&
+                from.nz() == to.nz());
+  for (int z = 0; z < from.nz(); ++z) {
+    for (int y = 0; y < from.ny(); ++y) {
+      for (int x = 0; x < from.nx(); ++x) {
+        to.at(x, y, z) = from.at(x, y, z);
+      }
+    }
+  }
+}
+
+void run_reference_steps(const StencilSpec& spec, GridSet& grids,
+                         int steps) {
+  CSTUNER_CHECK_MSG(spec.n_inputs == 1 && spec.n_outputs == 1,
+                    "temporal stepping needs a single in/out grid pair");
+  CSTUNER_CHECK(steps >= 1);
+  // Ping-pong: `current` carries the evolving state (halo = fixed initial
+  // boundary); the output grid receives each step's interior.
+  std::vector<Grid3> current = {grids.inputs[0]};
+  for (int t = 0; t < steps; ++t) {
+    run_reference(spec, current, grids.outputs);
+    if (t + 1 < steps) copy_interior(grids.outputs[0], current[0]);
+  }
+}
+
+}  // namespace cstuner::stencil

@@ -1,0 +1,93 @@
+#pragma once
+// Naive CPU reference execution of a StencilSpec. This is the correctness
+// oracle: the tiled executor (src/exec) must reproduce these results
+// bit-for-bit for every parameter setting the tuner may select, mirroring
+// the paper's assumption that its code generator is semantics-preserving.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::stencil {
+
+/// 3-D double grid with a halo of ghost cells on every face.
+/// Interior indices run [0, n*) per dimension; halo indices extend to
+/// [-halo, n + halo). x is the unit-stride dimension.
+class Grid3 {
+ public:
+  Grid3(int nx, int ny, int nz, int halo);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int halo() const { return halo_; }
+
+  double& at(int x, int y, int z) { return data_[offset(x, y, z)]; }
+  double at(int x, int y, int z) const { return data_[offset(x, y, z)]; }
+
+  /// Fills interior + halo with a deterministic function of the coordinates
+  /// (distinct per `salt`, so every input array differs).
+  void fill_pattern(std::uint64_t salt);
+
+  void fill(double value);
+
+  /// Max absolute difference over the interior.
+  static double max_abs_diff(const Grid3& a, const Grid3& b);
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::size_t offset(int x, int y, int z) const {
+    CSTUNER_CHECK(x >= -halo_ && x < nx_ + halo_);
+    CSTUNER_CHECK(y >= -halo_ && y < ny_ + halo_);
+    CSTUNER_CHECK(z >= -halo_ && z < nz_ + halo_);
+    const std::size_t sx = static_cast<std::size_t>(x + halo_);
+    const std::size_t sy = static_cast<std::size_t>(y + halo_);
+    const std::size_t sz = static_cast<std::size_t>(z + halo_);
+    const auto ldx = static_cast<std::size_t>(nx_ + 2 * halo_);
+    const auto ldy = static_cast<std::size_t>(ny_ + 2 * halo_);
+    return (sz * ldy + sy) * ldx + sx;
+  }
+
+  int nx_, ny_, nz_, halo_;
+  std::vector<double> data_;
+};
+
+/// Input/output grid sets sized for a spec (possibly with overridden grid
+/// dims for small-scale testing).
+struct GridSet {
+  std::vector<Grid3> inputs;
+  std::vector<Grid3> outputs;
+};
+
+/// Allocates and deterministically initializes grids for `spec`.
+GridSet make_grids(const StencilSpec& spec);
+
+/// The exact per-point update rule shared by the reference kernel and the
+/// tiled executor: weighted taps accumulated per output array, then
+/// `pointwise_rounds(spec)` fused multiply-add rounds.
+double stencil_point(const StencilSpec& spec,
+                     const std::vector<Grid3>& inputs, int output_index,
+                     int x, int y, int z);
+
+/// Number of pointwise FMA rounds per output point implied by the FLOP
+/// budget left over after the taps.
+int pointwise_rounds(const StencilSpec& spec);
+
+/// One full naive sweep: every interior point of every output array.
+void run_reference(const StencilSpec& spec, const std::vector<Grid3>& inputs,
+                   std::vector<Grid3>& outputs);
+
+/// `steps` sequential sweeps with ping-pong semantics for single-grid
+/// stencils (n_inputs == n_outputs == 1): each step reads the previous
+/// step's interior while the halo keeps the initial boundary values
+/// (Dirichlet-style fixed ghost cells). This is the correctness oracle for
+/// the temporal-blocking extension. Result lands in grids.outputs[0].
+void run_reference_steps(const StencilSpec& spec, GridSet& grids, int steps);
+
+/// Copies `from`'s interior into `to`'s interior (halo untouched).
+void copy_interior(const Grid3& from, Grid3& to);
+
+}  // namespace cstuner::stencil

@@ -1,0 +1,37 @@
+#include "stencil/stencil_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace cstuner::stencil {
+
+std::vector<Tap> make_star_taps(int order, int array, double base_weight) {
+  CSTUNER_CHECK(order >= 1);
+  std::vector<Tap> taps;
+  taps.push_back({0, 0, 0, array, base_weight});
+  for (int r = 1; r <= order; ++r) {
+    const double w = base_weight / (2.0 * r);
+    taps.push_back({r, 0, 0, array, w});
+    taps.push_back({-r, 0, 0, array, w});
+    taps.push_back({0, r, 0, array, w});
+    taps.push_back({0, -r, 0, array, w});
+    taps.push_back({0, 0, r, array, w});
+    taps.push_back({0, 0, -r, array, w});
+  }
+  return taps;
+}
+
+std::vector<Tap> make_box_taps(int array, double base_weight) {
+  std::vector<Tap> taps;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int manhattan = (dx != 0) + (dy != 0) + (dz != 0);
+        const double w = base_weight / (1 << manhattan);
+        taps.push_back({dx, dy, dz, array, w});
+      }
+    }
+  }
+  return taps;
+}
+
+}  // namespace cstuner::stencil

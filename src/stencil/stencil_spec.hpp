@@ -1,0 +1,70 @@
+#pragma once
+// Stencil specifications. A StencilSpec carries both the evaluation-relevant
+// shape information of Table III (grid size, order, FLOPs per point, number
+// of I/O arrays) and an executable tap description used by the CPU reference
+// kernels and the tiled executor.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cstuner::stencil {
+
+/// One neighbour access: offset into input array `array` with a weight.
+struct Tap {
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+  int array = 0;      ///< which input array is read
+  double weight = 1.0;
+};
+
+/// Shape classes the paper's stencil suite mixes.
+enum class Shape { kStar, kBox, kCompound };
+
+struct StencilSpec {
+  std::string name;
+  std::array<int, 3> grid{};  ///< {M1 (x, unit stride), M2 (y), M3 (z)}
+  int order = 1;              ///< neighbour extent per dimension
+  int flops = 0;              ///< double-precision FLOPs per grid point
+  int io_arrays = 2;          ///< total arrays touched (Table III column)
+  int n_inputs = 1;           ///< input grids read
+  int n_outputs = 1;          ///< output grids written
+  Shape shape = Shape::kStar;
+  std::vector<Tap> taps;      ///< executable access pattern (per output)
+  int pointwise_ops = 0;      ///< extra per-point FLOPs beyond the taps
+
+  /// Total grid points.
+  std::int64_t points() const {
+    return static_cast<std::int64_t>(grid[0]) * grid[1] * grid[2];
+  }
+
+  /// Total double-precision FLOPs for one sweep.
+  double total_flops() const {
+    return static_cast<double>(flops) * static_cast<double>(points());
+  }
+
+  /// Minimum bytes moved for one sweep assuming perfect reuse:
+  /// each input array read once + each output array written once.
+  double min_bytes() const {
+    return static_cast<double>(io_arrays) * 8.0 *
+           static_cast<double>(points());
+  }
+
+  /// FLOPs per byte at perfect reuse — used to classify compute- vs
+  /// memory-bound behaviour in the GPU model.
+  double arithmetic_intensity() const { return total_flops() / min_bytes(); }
+
+  /// Distinct neighbour accesses per output point.
+  std::size_t taps_per_point() const { return taps.size(); }
+};
+
+/// Builds star-shaped taps of the given order reading from `array`
+/// (2*order*3 + 1 taps in 3-D).
+std::vector<Tap> make_star_taps(int order, int array, double base_weight);
+
+/// Builds order-1 box taps (27 in 3-D) reading from `array`.
+std::vector<Tap> make_box_taps(int array, double base_weight);
+
+}  // namespace cstuner::stencil

@@ -1,0 +1,194 @@
+#include "stencil/stencils.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cstuner::stencil {
+
+namespace {
+
+/// Distributes taps across several input arrays: compound stencils (hypterm,
+/// addsgd*, rhs4center) read many grids with star patterns of the stencil's
+/// order.
+std::vector<Tap> make_compound_taps(int order, int n_inputs) {
+  std::vector<Tap> taps;
+  for (int a = 0; a < n_inputs; ++a) {
+    // Alternate full star / axis-only pattern so arrays differ in weight.
+    auto part = make_star_taps(order, a, 1.0 / (a + 1.0));
+    taps.insert(taps.end(), part.begin(), part.end());
+  }
+  return taps;
+}
+
+/// Per-point FLOPs implied by the taps: one multiply + one add per tap
+/// per output array, minus the final add, plus pointwise ops.
+int tap_flops(const StencilSpec& s) {
+  return static_cast<int>(s.taps.size()) * 2 * s.n_outputs + s.pointwise_ops;
+}
+
+StencilSpec finalize(StencilSpec s) {
+  // The Table III FLOP number is authoritative; whatever the taps do not
+  // account for becomes pointwise work so total per-point FLOPs match.
+  const int from_taps = static_cast<int>(s.taps.size()) * 2 * s.n_outputs;
+  s.pointwise_ops = std::max(0, s.flops - from_taps);
+  CSTUNER_CHECK(tap_flops(s) >= s.flops);
+  CSTUNER_CHECK(s.n_inputs + s.n_outputs == s.io_arrays);
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& stencil_names() {
+  static const std::vector<std::string> names = {
+      "j3d7pt",  "j3d27pt", "helmholtz", "cheby",
+      "hypterm", "addsgd4", "addsgd6",   "rhs4center"};
+  return names;
+}
+
+StencilSpec make_stencil(const std::string& name) {
+  StencilSpec s;
+  s.name = name;
+  if (name == "j3d7pt") {
+    // 7-point Jacobi, order 1, 10 FLOPs, in/out pair.
+    s.grid = {512, 512, 512};
+    s.order = 1;
+    s.flops = 10;
+    s.io_arrays = 2;
+    s.n_inputs = 1;
+    s.n_outputs = 1;
+    s.shape = Shape::kStar;
+    s.taps = make_star_taps(1, 0, 1.0);
+  } else if (name == "j3d27pt") {
+    // 27-point Jacobi, order-1 box, 32 FLOPs.
+    s.grid = {512, 512, 512};
+    s.order = 1;
+    s.flops = 32;
+    s.io_arrays = 2;
+    s.n_inputs = 1;
+    s.n_outputs = 1;
+    s.shape = Shape::kBox;
+    s.taps = make_box_taps(0, 1.0);
+    // 27 taps would imply 54 FLOPs with mul+add each; the real kernel folds
+    // shared coefficients. Keep the 27-point access pattern but the Table
+    // III FLOP count (the model uses s.flops, the executor uses the taps).
+  } else if (name == "helmholtz") {
+    // Order-2 star (13-point), 17 FLOPs.
+    s.grid = {512, 512, 512};
+    s.order = 2;
+    s.flops = 17;
+    s.io_arrays = 2;
+    s.n_inputs = 1;
+    s.n_outputs = 1;
+    s.shape = Shape::kStar;
+    s.taps = make_star_taps(2, 0, 0.5);
+  } else if (name == "cheby") {
+    // Chebyshev smoother: order 1, 5 arrays (3 in / 2 out), 38 FLOPs.
+    s.grid = {512, 512, 512};
+    s.order = 1;
+    s.flops = 38;
+    s.io_arrays = 5;
+    s.n_inputs = 3;
+    s.n_outputs = 2;
+    s.shape = Shape::kCompound;
+    s.taps = make_compound_taps(1, 3);
+  } else if (name == "hypterm") {
+    // Compressible-flow flux term: order 4, 13 arrays (9 in / 4 out).
+    s.grid = {320, 320, 320};
+    s.order = 4;
+    s.flops = 358;
+    s.io_arrays = 13;
+    s.n_inputs = 9;
+    s.n_outputs = 4;
+    s.shape = Shape::kCompound;
+    s.taps = make_compound_taps(4, 9);
+  } else if (name == "addsgd4") {
+    // SW4 4th-order artificial dissipation: order 2, 10 arrays (6/4).
+    s.grid = {320, 320, 320};
+    s.order = 2;
+    s.flops = 373;
+    s.io_arrays = 10;
+    s.n_inputs = 6;
+    s.n_outputs = 4;
+    s.shape = Shape::kCompound;
+    s.taps = make_compound_taps(2, 6);
+  } else if (name == "addsgd6") {
+    // SW4 6th-order dissipation: order 3, 10 arrays (6/4).
+    s.grid = {320, 320, 320};
+    s.order = 3;
+    s.flops = 626;
+    s.io_arrays = 10;
+    s.n_inputs = 6;
+    s.n_outputs = 4;
+    s.shape = Shape::kCompound;
+    s.taps = make_compound_taps(3, 6);
+  } else if (name == "rhs4center") {
+    // SW4 RHS interior: order 2, 8 arrays (5 in / 3 out), 666 FLOPs.
+    s.grid = {320, 320, 320};
+    s.order = 2;
+    s.flops = 666;
+    s.io_arrays = 8;
+    s.n_inputs = 5;
+    s.n_outputs = 3;
+    s.shape = Shape::kCompound;
+    s.taps = make_compound_taps(2, 5);
+  } else {
+    throw UsageError("unknown stencil: " + name);
+  }
+  return finalize(std::move(s));
+}
+
+std::vector<StencilSpec> all_stencils() {
+  std::vector<StencilSpec> out;
+  for (const auto& name : stencil_names()) out.push_back(make_stencil(name));
+  return out;
+}
+
+StencilSpec make_random_stencil(Rng& rng,
+                                const RandomStencilConfig& config) {
+  CSTUNER_CHECK(config.min_order >= 1 && config.max_order >= config.min_order);
+  CSTUNER_CHECK(config.grid > 2 * config.max_order);
+  StencilSpec s;
+  const auto order = static_cast<int>(
+      rng.uniform_int(config.min_order, config.max_order));
+  const auto n_inputs = static_cast<int>(
+      rng.uniform_int(config.min_inputs, config.max_inputs));
+  const auto n_outputs = static_cast<int>(
+      rng.uniform_int(config.min_outputs, config.max_outputs));
+  s.name = "rand_o" + std::to_string(order) + "_i" +
+           std::to_string(n_inputs) + "_o" + std::to_string(n_outputs) +
+           "_" + std::to_string(rng.bounded(1 << 20));
+  s.grid = {config.grid, config.grid, config.grid};
+  s.order = order;
+  s.n_inputs = n_inputs;
+  s.n_outputs = n_outputs;
+  s.io_arrays = n_inputs + n_outputs;
+  s.shape = n_inputs > 1 ? Shape::kCompound
+                         : (rng.bernoulli(0.3) && order == 1 ? Shape::kBox
+                                                             : Shape::kStar);
+  if (s.shape == Shape::kBox) {
+    s.taps = make_box_taps(0, 1.0);
+  } else {
+    for (int a = 0; a < n_inputs; ++a) {
+      // Vary the per-array order so arrays genuinely differ.
+      const auto array_order =
+          static_cast<int>(rng.uniform_int(1, order));
+      auto part = make_star_taps(a == 0 ? order : array_order, a,
+                                 1.0 / (a + 1.0));
+      s.taps.insert(s.taps.end(), part.begin(), part.end());
+    }
+  }
+  const int tap_flops = static_cast<int>(s.taps.size()) * 2 * n_outputs;
+  s.flops = tap_flops + static_cast<int>(rng.bounded(256)) * 2 * n_outputs;
+  return finalize(std::move(s));
+}
+
+StencilSpec scaled_stencil(const std::string& name, int scale) {
+  CSTUNER_CHECK(scale >= 4);
+  StencilSpec s = make_stencil(name);
+  CSTUNER_CHECK_MSG(scale > 2 * s.order, "grid too small for stencil order");
+  s.grid = {scale, scale, scale};
+  return s;
+}
+
+}  // namespace cstuner::stencil

@@ -1,0 +1,48 @@
+#pragma once
+// The eight 3-D double-precision stencils of Table III (originally from
+// Rawat et al. [36]). The paper uses them as opaque kernels with known grid
+// size, order, FLOP count and array count; we reproduce those observable
+// characteristics exactly and give each stencil an executable tap pattern of
+// the right shape/order so the reference kernels and tiled executor compute
+// real numerics. (The original kernels come from SW4/ExaSGD-style codes that
+// are not redistributable; DESIGN.md records this substitution.)
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::stencil {
+
+/// Names, in the order the paper's figures list them.
+const std::vector<std::string>& stencil_names();
+
+/// Spec for one of the eight stencils; throws UsageError on unknown name.
+StencilSpec make_stencil(const std::string& name);
+
+/// All eight specs in paper order.
+std::vector<StencilSpec> all_stencils();
+
+/// A spec with the same pattern but a smaller grid (for tests/examples);
+/// `scale` replaces each grid dimension.
+StencilSpec scaled_stencil(const std::string& name, int scale);
+
+/// Bounds for randomly generated stencils (generality fuzzing: the tuner
+/// and executor must handle arbitrary patterns, not just the Table III
+/// suite).
+struct RandomStencilConfig {
+  int min_order = 1;
+  int max_order = 4;
+  int min_inputs = 1;
+  int max_inputs = 6;
+  int min_outputs = 1;
+  int max_outputs = 3;
+  int grid = 64;  ///< cubic grid extent
+};
+
+/// Deterministic (seeded) random stencil: star taps of a random order over
+/// a random number of input arrays, random pointwise FLOP budget.
+StencilSpec make_random_stencil(Rng& rng,
+                                const RandomStencilConfig& config = {});
+
+}  // namespace cstuner::stencil

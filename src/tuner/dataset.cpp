@@ -1,0 +1,61 @@
+#include "tuner/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace cstuner::tuner {
+
+std::size_t PerfDataset::best_index() const {
+  CSTUNER_CHECK(!times_ms.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < times_ms.size(); ++i) {
+    if (times_ms[i] < times_ms[best]) best = i;
+  }
+  return best;
+}
+
+regress::Matrix PerfDataset::feature_matrix() const {
+  regress::Matrix x(settings.size(), space::kParamCount);
+  for (std::size_t r = 0; r < settings.size(); ++r) {
+    const auto row = space::SearchSpace::to_feature_row(settings[r]);
+    for (std::size_t c = 0; c < space::kParamCount; ++c) x(r, c) = row[c];
+  }
+  return x;
+}
+
+std::vector<double> PerfDataset::metric_column(std::size_t metric) const {
+  std::vector<double> col(settings.size());
+  for (std::size_t r = 0; r < settings.size(); ++r) {
+    col[r] = metrics(r, metric);
+  }
+  return col;
+}
+
+PerfDataset profile_settings(const space::SearchSpace& space,
+                             const gpusim::Simulator& simulator,
+                             const std::vector<space::Setting>& settings) {
+  PerfDataset ds;
+  ds.settings = settings;
+  ds.times_ms.reserve(settings.size());
+  ds.metrics = regress::Matrix(settings.size(), gpusim::kMetricCount);
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const auto& s = settings[i];
+    CSTUNER_CHECK_MSG(space.is_valid(s), "dataset requires valid settings");
+    ds.times_ms.push_back(
+        simulator.measure_ms(space.spec(), s, /*run_index=*/i));
+    const auto metrics =
+        simulator.measure_metrics(space.spec(), s, /*run_index=*/i);
+    for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+      ds.metrics(i, m) = metrics[m];
+    }
+  }
+  return ds;
+}
+
+PerfDataset collect_dataset(const space::SearchSpace& space,
+                            const gpusim::Simulator& simulator,
+                            std::size_t count, Rng& rng) {
+  const auto settings = space.sample_universe(rng, count);
+  return profile_settings(space, simulator, settings);
+}
+
+}  // namespace cstuner::tuner

@@ -1,0 +1,44 @@
+#pragma once
+// Performance-dataset collection (§IV-A): csTuner randomly samples a small
+// number of settings (128 in the paper's evaluation) and profiles each for
+// execution time plus GPU metrics. The dataset feeds parameter grouping,
+// metric combination and PMNF fitting. Collection happens offline, so it is
+// not charged to the search-time clock (§V-F).
+
+#include <vector>
+
+#include "gpusim/simulator.hpp"
+#include "regress/matrix.hpp"
+#include "space/search_space.hpp"
+
+namespace cstuner::tuner {
+
+struct PerfDataset {
+  std::vector<space::Setting> settings;
+  std::vector<double> times_ms;
+  /// settings.size() x kMetricCount
+  regress::Matrix metrics;
+
+  std::size_t size() const { return settings.size(); }
+
+  /// Index of the fastest sampled setting.
+  std::size_t best_index() const;
+
+  /// settings.size() x kParamCount raw feature matrix (PMNF encoding).
+  regress::Matrix feature_matrix() const;
+
+  /// One metric column.
+  std::vector<double> metric_column(std::size_t metric) const;
+};
+
+/// Samples `count` distinct valid settings and profiles them.
+PerfDataset collect_dataset(const space::SearchSpace& space,
+                            const gpusim::Simulator& simulator,
+                            std::size_t count, Rng& rng);
+
+/// Profiles an externally chosen set of settings.
+PerfDataset profile_settings(const space::SearchSpace& space,
+                             const gpusim::Simulator& simulator,
+                             const std::vector<space::Setting>& settings);
+
+}  // namespace cstuner::tuner

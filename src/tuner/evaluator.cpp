@@ -1,0 +1,65 @@
+#include "tuner/evaluator.hpp"
+
+#include "common/rng.hpp"
+
+namespace cstuner::tuner {
+
+Evaluator::Evaluator(const gpusim::Simulator& simulator,
+                     const space::SearchSpace& space, EvalCosts costs,
+                     std::uint64_t seed)
+    : simulator_(simulator),
+      space_(space),
+      costs_(costs),
+      run_salt_(hash_combine(seed, 0x4556414cULL)) {}
+
+double Evaluator::evaluate(const space::Setting& setting) {
+  const std::uint64_t key = setting.hash();
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+  if (!space_.is_valid(setting)) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  double sum_ms = 0.0;
+  for (int run = 0; run < costs_.runs_per_eval; ++run) {
+    const auto run_index =
+        hash_combine(run_salt_, key) + static_cast<std::uint64_t>(run);
+    sum_ms += simulator_.measure_ms(space_.spec(), setting, run_index);
+  }
+  const double mean_ms = sum_ms / costs_.runs_per_eval;
+
+  // Charge what tuning this variant would cost on the machine: compiling
+  // the generated kernel, then timing it runs_per_eval times.
+  virtual_time_s_ += costs_.compile_s;
+  virtual_time_s_ +=
+      costs_.runs_per_eval * (mean_ms / 1e3 + costs_.launch_overhead_s);
+  ++unique_evals_;
+
+  cache_.emplace(key, mean_ms);
+  if (mean_ms < best_time_ms_) {
+    best_time_ms_ = mean_ms;
+    best_setting_ = setting;
+    trace_.record(iterations_, unique_evals_, virtual_time_s_, best_time_ms_);
+  }
+  return mean_ms;
+}
+
+void Evaluator::mark_iteration() {
+  ++iterations_;
+  if (best_setting_.has_value()) {
+    trace_.record(iterations_, unique_evals_, virtual_time_s_, best_time_ms_);
+  }
+}
+
+void Evaluator::reset() {
+  cache_.clear();
+  virtual_time_s_ = 0.0;
+  unique_evals_ = 0;
+  iterations_ = 0;
+  best_time_ms_ = std::numeric_limits<double>::infinity();
+  best_setting_.reset();
+  trace_.clear();
+}
+
+}  // namespace cstuner::tuner

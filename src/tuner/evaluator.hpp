@@ -1,0 +1,93 @@
+#pragma once
+// The evaluation engine every auto-tuner drives. It owns the
+// (setting -> measured time) oracle, a result cache, the best-so-far state,
+// and a *virtual clock* that charges each evaluation what it would cost on
+// real hardware: per-variant compile time plus timing runs plus launch
+// overhead. Iso-time comparisons (Figs. 9-11) read this clock.
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/simulator.hpp"
+#include "space/search_space.hpp"
+#include "tuner/trace.hpp"
+
+namespace cstuner::tuner {
+
+struct EvalCosts {
+  double compile_s = 0.25;        ///< nvcc cost per new kernel variant
+  int runs_per_eval = 3;          ///< timing repetitions per variant
+  double launch_overhead_s = 2e-3;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const gpusim::Simulator& simulator,
+            const space::SearchSpace& space, EvalCosts costs = {},
+            std::uint64_t seed = 1);
+
+  /// Measures a setting (mean of runs_per_eval noisy runs); charges the
+  /// virtual clock on first evaluation, serves repeats from cache for free.
+  /// Returns infinity for invalid settings (callers should avoid them).
+  double evaluate(const space::Setting& setting);
+
+  /// Marks the end of one tuner iteration in the trace (iso-iteration data).
+  void mark_iteration();
+
+  double virtual_time_s() const { return virtual_time_s_; }
+  std::size_t unique_evaluations() const { return unique_evals_; }
+  std::size_t iterations() const { return iterations_; }
+
+  double best_time_ms() const { return best_time_ms_; }
+  const std::optional<space::Setting>& best_setting() const {
+    return best_setting_;
+  }
+
+  const ConvergenceTrace& trace() const { return trace_; }
+
+  const space::SearchSpace& space() const { return space_; }
+  const gpusim::Simulator& simulator() const { return simulator_; }
+
+  /// Resets clock, cache, best and trace (fresh tuning run).
+  void reset();
+
+ private:
+  const gpusim::Simulator& simulator_;
+  const space::SearchSpace& space_;
+  EvalCosts costs_;
+  std::uint64_t run_salt_;
+
+  std::unordered_map<std::uint64_t, double> cache_;
+  double virtual_time_s_ = 0.0;
+  std::size_t unique_evals_ = 0;
+  std::size_t iterations_ = 0;
+  double best_time_ms_ = std::numeric_limits<double>::infinity();
+  std::optional<space::Setting> best_setting_;
+  ConvergenceTrace trace_;
+};
+
+/// Stop condition shared by all tuners: iteration cap (iso-iteration mode)
+/// and/or virtual-time budget (iso-time mode).
+struct StopCriteria {
+  std::size_t max_iterations = std::numeric_limits<std::size_t>::max();
+  double max_virtual_seconds = std::numeric_limits<double>::infinity();
+
+  bool reached(const Evaluator& eval) const {
+    return eval.iterations() >= max_iterations ||
+           eval.virtual_time_s() >= max_virtual_seconds;
+  }
+};
+
+/// Abstract auto-tuner: csTuner and the three baselines implement this.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+  /// Runs until the stop criteria are met or the tuner exhausts its
+  /// candidate pool (the paper's "evaluated completely" case in Fig. 8).
+  virtual void tune(Evaluator& evaluator, const StopCriteria& stop) = 0;
+};
+
+}  // namespace cstuner::tuner

@@ -1,0 +1,72 @@
+#include "tuner/trace.hpp"
+
+#include <limits>
+
+namespace cstuner::tuner {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void ConvergenceTrace::record(std::size_t iteration, std::size_t evaluations,
+                              double virtual_time_s, double best_time_ms) {
+  points.push_back({iteration, evaluations, virtual_time_s, best_time_ms});
+}
+
+double ConvergenceTrace::best_at_iteration(std::size_t k) const {
+  double best = kInf;
+  for (const auto& p : points) {
+    if (p.iteration <= k && p.best_time_ms < best) best = p.best_time_ms;
+  }
+  return best;
+}
+
+double ConvergenceTrace::best_at_time(double seconds) const {
+  double best = kInf;
+  for (const auto& p : points) {
+    if (p.virtual_time_s <= seconds && p.best_time_ms < best) {
+      best = p.best_time_ms;
+    }
+  }
+  return best;
+}
+
+double ConvergenceTrace::final_best() const {
+  double best = kInf;
+  for (const auto& p : points) {
+    if (p.best_time_ms < best) best = p.best_time_ms;
+  }
+  return best;
+}
+
+double ConvergenceTrace::time_to_reach(double target_ms) const {
+  double first = kInf;
+  for (const auto& p : points) {
+    if (p.best_time_ms <= target_ms) first = std::min(first, p.virtual_time_s);
+  }
+  return first;
+}
+
+std::size_t ConvergenceTrace::iterations_to_reach(double target_ms) const {
+  std::size_t first = static_cast<std::size_t>(-1);
+  for (const auto& p : points) {
+    if (p.best_time_ms <= target_ms && p.iteration < first) {
+      first = p.iteration;
+    }
+  }
+  return first;
+}
+
+double mean_finite(const std::vector<double>& values) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v < kInf) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : kInf;
+}
+
+}  // namespace cstuner::tuner

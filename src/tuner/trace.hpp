@@ -1,0 +1,48 @@
+#pragma once
+// Convergence traces: best-found time as a function of elapsed iterations
+// and virtual seconds, plus aggregation across repeated runs (the paper
+// averages 10 runs per method).
+
+#include <cstddef>
+#include <vector>
+
+namespace cstuner::tuner {
+
+struct TracePoint {
+  std::size_t iteration = 0;      ///< completed tuner iterations
+  std::size_t evaluations = 0;    ///< unique settings evaluated so far
+  double virtual_time_s = 0.0;
+  double best_time_ms = 0.0;
+};
+
+struct ConvergenceTrace {
+  std::vector<TracePoint> points;
+
+  void record(std::size_t iteration, std::size_t evaluations,
+              double virtual_time_s, double best_time_ms);
+  void clear() { points.clear(); }
+
+  /// Best kernel time found by the end of iteration `k` (inclusive);
+  /// +inf when nothing was evaluated yet.
+  double best_at_iteration(std::size_t k) const;
+
+  /// Best kernel time found within the first `seconds` of virtual time.
+  double best_at_time(double seconds) const;
+
+  /// Final best.
+  double final_best() const;
+
+  /// First virtual time at which the best reached `target_ms` (inclusive);
+  /// +inf if never. The time-to-quality measure used by the ablation bench.
+  double time_to_reach(double target_ms) const;
+
+  /// First iteration at which the best reached `target_ms`; SIZE_MAX if
+  /// never.
+  std::size_t iterations_to_reach(double target_ms) const;
+};
+
+/// Element-wise mean of per-repeat values, ignoring +inf entries (a repeat
+/// that has no data yet at that point contributes nothing).
+double mean_finite(const std::vector<double>& values);
+
+}  // namespace cstuner::tuner

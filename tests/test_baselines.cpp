@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stencil/stencils.hpp"
+#include "baselines/artemis.hpp"
+#include "baselines/garvey.hpp"
+#include "baselines/opentuner.hpp"
+#include "baselines/subspace.hpp"
+
+namespace cstuner::baselines {
+namespace {
+
+using namespace space;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture()
+      : spec_(stencil::make_stencil("j3d7pt")),
+        space_(spec_),
+        sim_(gpusim::a100()) {
+    Rng rng(7);
+    dataset_ = tuner::collect_dataset(space_, sim_, 96, rng);
+  }
+
+  double universe_median() {
+    Rng rng(8);
+    const auto universe = space_.sample_universe(rng, 1500);
+    std::vector<double> times;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      times.push_back(sim_.measure_ms(spec_, universe[i], i));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  }
+
+  stencil::StencilSpec spec_;
+  SearchSpace space_;
+  gpusim::Simulator sim_;
+  tuner::PerfDataset dataset_;
+};
+
+TEST(Subspace, SmallCartesianEnumeratedFully) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  SearchSpace space(spec);
+  Rng rng(1);
+  // useShared x useConstant: 4 combos.
+  const auto combos =
+      enumerate_combos(space, {kUseShared, kUseConstant}, 100, rng);
+  EXPECT_EQ(combos.size(), 4u);
+}
+
+TEST(Subspace, LargeCartesianSampledDistinct) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  SearchSpace space(spec);
+  Rng rng(2);
+  const auto combos = enumerate_combos(
+      space, {kTBx, kTBy, kCMx, kBMx, kUFx}, 200, rng);
+  EXPECT_EQ(combos.size(), 200u);
+  std::set<std::vector<std::int64_t>> distinct(combos.begin(), combos.end());
+  EXPECT_EQ(distinct.size(), combos.size());
+}
+
+TEST(Subspace, ApplyComboCanonicalizes) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  SearchSpace space(spec);
+  Setting base;
+  base.set(kSD, 2);  // stale streaming field
+  const auto applied =
+      apply_combo(space, {kUseStreaming}, {kOff}, base);
+  EXPECT_EQ(applied.get(kSD), 1);  // canonicalization fixed it
+}
+
+TEST_F(BaselineFixture, OpenTunerGlobalGaImproves) {
+  OpenTuner tuner;
+  tuner::Evaluator evaluator(sim_, space_, {}, 31);
+  tuner.tune(evaluator, {.max_virtual_seconds = 20.0});
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+  EXPECT_TRUE(space_.is_valid(*evaluator.best_setting()));
+  EXPECT_LT(evaluator.best_time_ms(), universe_median());
+}
+
+TEST_F(BaselineFixture, OpenTunerIterationBudgetRespected) {
+  OpenTuner tuner;
+  tuner::Evaluator evaluator(sim_, space_, {}, 32);
+  tuner.tune(evaluator, {.max_iterations = 4});
+  EXPECT_EQ(evaluator.iterations(), 4u);
+}
+
+TEST_F(BaselineFixture, HillClimberRunsAndImproves) {
+  OpenTunerOptions options;
+  options.technique = OpenTunerTechnique::kHillClimber;
+  OpenTuner tuner(options);
+  EXPECT_EQ(tuner.name(), "OpenTuner/hill");
+  tuner::Evaluator evaluator(sim_, space_, {}, 33);
+  tuner.tune(evaluator, {.max_virtual_seconds = 10.0});
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+}
+
+TEST_F(BaselineFixture, DifferentialEvolutionRunsAndImproves) {
+  OpenTunerOptions options;
+  options.technique = OpenTunerTechnique::kDifferentialEvolution;
+  OpenTuner tuner(options);
+  tuner::Evaluator evaluator(sim_, space_, {}, 34);
+  tuner.tune(evaluator, {.max_virtual_seconds = 10.0});
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+  EXPECT_TRUE(space_.is_valid(*evaluator.best_setting()));
+}
+
+TEST_F(BaselineFixture, GarveyPicksMemoryTypeAndTunes) {
+  Garvey tuner;
+  tuner.set_dataset(dataset_);
+  tuner::Evaluator evaluator(sim_, space_, {}, 35);
+  tuner.tune(evaluator, {.max_virtual_seconds = 20.0});
+  const auto [shared, constant] = tuner.chosen_memory_flags();
+  EXPECT_TRUE(shared == kOff || shared == kOn);
+  EXPECT_TRUE(constant == kOff || constant == kOn);
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+  // Garvey starts from the naive mapping, so it should at least clearly
+  // beat the sample median within the budget.
+  EXPECT_LT(evaluator.best_time_ms(), universe_median());
+}
+
+TEST_F(BaselineFixture, GarveyWithoutPresetDatasetCollectsItsOwn) {
+  GarveyOptions options;
+  options.dataset_size = 48;
+  Garvey tuner(options);
+  tuner::Evaluator evaluator(sim_, space_, {}, 36);
+  tuner.tune(evaluator, {.max_virtual_seconds = 8.0});
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+}
+
+TEST_F(BaselineFixture, ArtemisHierarchicalSearchImproves) {
+  Artemis tuner;
+  tuner::Evaluator evaluator(sim_, space_, {}, 37);
+  tuner.tune(evaluator, {.max_virtual_seconds = 20.0});
+  EXPECT_TRUE(evaluator.best_setting().has_value());
+  EXPECT_TRUE(space_.is_valid(*evaluator.best_setting()));
+  EXPECT_LT(evaluator.best_time_ms(), universe_median());
+}
+
+TEST_F(BaselineFixture, ArtemisStopsOnTimeBudget) {
+  Artemis tuner;
+  tuner::Evaluator evaluator(sim_, space_, {}, 38);
+  tuner.tune(evaluator, {.max_virtual_seconds = 3.0});
+  // May overshoot by at most one evaluation's cost.
+  EXPECT_LT(evaluator.virtual_time_s(), 3.0 + 1.0);
+}
+
+TEST_F(BaselineFixture, AllMethodsDeterministicForFixedSeed) {
+  auto run = [&](tuner::Tuner& tuner) {
+    tuner::Evaluator evaluator(sim_, space_, {}, 39);
+    tuner.tune(evaluator, {.max_iterations = 3});
+    return evaluator.best_time_ms();
+  };
+  {
+    Garvey a, b;
+    a.set_dataset(dataset_);
+    b.set_dataset(dataset_);
+    EXPECT_DOUBLE_EQ(run(a), run(b));
+  }
+  {
+    Artemis a, b;
+    EXPECT_DOUBLE_EQ(run(a), run(b));
+  }
+}
+
+}  // namespace
+}  // namespace cstuner::baselines

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_codegen.hpp"
+#include "space/search_space.hpp"
+#include "stencil/stencils.hpp"
+
+namespace cstuner::codegen {
+namespace {
+
+using namespace space;
+
+Setting base_setting() {
+  Setting s;
+  s.set(kTBx, 32);
+  s.set(kTBy, 4);
+  return s;
+}
+
+TEST(LaunchGeometry, CoversGridExactly) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  Setting s = base_setting();
+  s.set(kCMy, 2);
+  const auto g = compute_launch_geometry(spec, s);
+  EXPECT_EQ(g.grid[0], 512 / 32);
+  EXPECT_EQ(g.grid[1], 512 / (4 * 2));
+  EXPECT_EQ(g.grid[2], 512);
+  EXPECT_EQ(g.threads_per_block(), 128);
+}
+
+TEST(LaunchGeometry, StreamingDimensionUsesSbTiles) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  Setting s = base_setting();
+  s.set(kUseStreaming, kOn);
+  s.set(kSD, 3);
+  s.set(kSB, 64);
+  const auto g = compute_launch_geometry(spec, s);
+  EXPECT_EQ(g.grid[2], 512 / 64);
+}
+
+TEST(Codegen, EmitsWellFormedKernelSkeleton) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  const auto kernel = generate_kernel(spec, base_setting());
+  EXPECT_EQ(kernel.name, "j3d7pt_kernel");
+  for (const char* needle :
+       {"__global__", "__launch_bounds__(128)", "blockIdx", "threadIdx",
+        "out0[idx(gx, gy, gz)]", "const double* __restrict__ in0"}) {
+    EXPECT_NE(kernel.source.find(needle), std::string::npos) << needle;
+  }
+  // Braces balance.
+  int depth = 0;
+  for (char c : kernel.source) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Codegen, SharedMemoryTileEmittedWhenEnabled) {
+  const auto spec = stencil::make_stencil("helmholtz");
+  Setting s = base_setting();
+  const auto without = generate_kernel(spec, s);
+  EXPECT_EQ(without.source.find("__shared__"), std::string::npos);
+  s.set(kUseShared, kOn);
+  const auto with = generate_kernel(spec, s);
+  EXPECT_NE(with.source.find("__shared__ double tile0"), std::string::npos);
+  EXPECT_NE(with.source.find("__syncthreads()"), std::string::npos);
+}
+
+TEST(Codegen, ConstantMemoryCoefficients) {
+  const auto spec = stencil::make_stencil("j3d27pt");
+  Setting s = base_setting();
+  s.set(kUseConstant, kOn);
+  const auto kernel = generate_kernel(spec, s);
+  EXPECT_NE(kernel.source.find("__constant__ double c_weights[27]"),
+            std::string::npos);
+  EXPECT_NE(kernel.source.find("c_weights[0]"), std::string::npos);
+}
+
+TEST(Codegen, StreamingLoopAndPrefetchBuffer) {
+  const auto spec = stencil::make_stencil("helmholtz");
+  Setting s = base_setting();
+  s.set(kUseStreaming, kOn);
+  s.set(kSD, 3);
+  s.set(kSB, 32);
+  s.set(kUsePrefetching, kOn);
+  const auto kernel = generate_kernel(spec, s);
+  EXPECT_NE(kernel.source.find("for (int s = 0; s < 32; ++s)"),
+            std::string::npos);
+  EXPECT_NE(kernel.source.find("pf_next"), std::string::npos);
+}
+
+TEST(Codegen, MergeLoopsWithUnrollPragmas) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  Setting s = base_setting();
+  s.set(kCMy, 4);
+  s.set(kBMy, 2);
+  s.set(kUFy, 2);
+  const auto kernel = generate_kernel(spec, s);
+  EXPECT_NE(kernel.source.find("cyclic merge"), std::string::npos);
+  EXPECT_NE(kernel.source.find("block merge"), std::string::npos);
+  EXPECT_NE(kernel.source.find("#pragma unroll 2"), std::string::npos);
+}
+
+TEST(Codegen, RetimingSplitsAccumulators) {
+  const auto spec = stencil::make_stencil("helmholtz");
+  Setting s = base_setting();
+  s.set(kUseRetiming, kOn);
+  const auto kernel = generate_kernel(spec, s);
+  EXPECT_NE(kernel.source.find("acc0_x"), std::string::npos);
+  EXPECT_NE(kernel.source.find("acc0_y"), std::string::npos);
+  EXPECT_NE(kernel.source.find("acc0_z"), std::string::npos);
+}
+
+TEST(Codegen, MultiArrayStencilDeclaresAllPointers) {
+  const auto spec = stencil::make_stencil("hypterm");  // 9 in / 4 out
+  const auto kernel = generate_kernel(spec, base_setting());
+  EXPECT_NE(kernel.source.find("in8"), std::string::npos);
+  EXPECT_NE(kernel.source.find("out3"), std::string::npos);
+}
+
+TEST(Codegen, LaunchSnippetMatchesGeometry) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  const auto kernel = generate_kernel(spec, base_setting());
+  EXPECT_NE(kernel.launch.find("dim3 grid(16, 128, 512)"),
+            std::string::npos);
+  EXPECT_NE(kernel.launch.find("dim3 block(32, 4, 1)"), std::string::npos);
+}
+
+TEST(Codegen, ResourcesForwardedFromModel) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  const auto s = base_setting();
+  const auto kernel = generate_kernel(spec, s);
+  EXPECT_EQ(kernel.resources.registers_per_thread,
+            space::estimate_resources(spec, s).registers_per_thread);
+}
+
+TEST(Codegen, DeterministicOutput) {
+  const auto spec = stencil::make_stencil("cheby");
+  const auto a = generate_kernel(spec, base_setting());
+  const auto b = generate_kernel(spec, base_setting());
+  EXPECT_EQ(a.source, b.source);
+}
+
+TEST(Codegen, EveryValidSettingGeneratesNonTrivialSource) {
+  const auto spec = stencil::make_stencil("addsgd4");
+  space::SearchSpace space(spec);
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = space.random_valid(rng);
+    const auto kernel = generate_kernel(spec, s);
+    EXPECT_GT(kernel.source.size(), 500u);
+    EXPECT_NE(kernel.source.find(s.to_string()), std::string::npos)
+        << "setting banner missing";
+  }
+}
+
+}  // namespace
+}  // namespace cstuner::codegen

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "stencil/stencils.hpp"
+#include "core/approx.hpp"
+#include "core/cs_tuner.hpp"
+#include "core/grouping.hpp"
+#include "core/metric_combine.hpp"
+#include "core/reindex.hpp"
+#include "core/sampling.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cstuner::core {
+namespace {
+
+using namespace space;
+
+/// Shared fixture: one space + simulator + modest dataset/universe.
+class CoreFixture : public ::testing::Test {
+ protected:
+  CoreFixture()
+      : spec_(stencil::make_stencil("helmholtz")),
+        space_(spec_),
+        sim_(gpusim::a100()) {
+    Rng rng(101);
+    universe_ = space_.sample_universe(rng, 2000);
+    dataset_ = tuner::collect_dataset(space_, sim_, 128, rng);
+  }
+
+  stencil::StencilSpec spec_;
+  SearchSpace space_;
+  gpusim::Simulator sim_;
+  std::vector<Setting> universe_;
+  tuner::PerfDataset dataset_;
+};
+
+TEST_F(CoreFixture, PairCvsCoverAllUnorderedPairs) {
+  const auto pairs = compute_pair_cvs(space_, dataset_);
+  EXPECT_EQ(pairs.size(), kParamCount * (kParamCount - 1) / 2);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.a, p.b);
+    EXPECT_GE(p.score, 0.0);
+    seen.insert({p.a, p.b});
+  }
+  EXPECT_EQ(seen.size(), pairs.size());
+}
+
+TEST_F(CoreFixture, GroupingPartitionsAllParameters) {
+  const auto groups = group_parameters(space_, dataset_);
+  std::vector<int> seen(kParamCount, 0);
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.empty());
+    for (std::size_t p : g) ++seen[p];
+  }
+  for (std::size_t p = 0; p < kParamCount; ++p) {
+    EXPECT_EQ(seen[p], 1) << param_name(static_cast<ParamId>(p));
+  }
+  // Grouping must actually reduce dimensionality below the parameter count.
+  EXPECT_LT(groups.size(), kParamCount);
+  EXPECT_GE(groups.size(), 2u);
+}
+
+TEST_F(CoreFixture, MetricPccsAreBounded) {
+  const auto pccs = compute_metric_pccs(dataset_);
+  EXPECT_EQ(pccs.size(),
+            gpusim::kMetricCount * (gpusim::kMetricCount - 1) / 2);
+  for (const auto& p : pccs) {
+    EXPECT_GE(p.score, 0.0);
+    EXPECT_LE(p.score, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(CoreFixture, MetricCombinationSelectsRepresentatives) {
+  const auto selection = combine_metrics(dataset_, 4);
+  EXPECT_EQ(selection.selected.size(), selection.collections.size());
+  // Every metric belongs to exactly one collection.
+  std::vector<int> seen(gpusim::kMetricCount, 0);
+  for (const auto& c : selection.collections) {
+    for (std::size_t m : c) ++seen[m];
+  }
+  for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+    EXPECT_EQ(seen[m], 1);
+  }
+  // Each representative is a member of its collection.
+  for (std::size_t i = 0; i < selection.selected.size(); ++i) {
+    const auto& coll = selection.collections[i];
+    EXPECT_NE(std::find(coll.begin(), coll.end(), selection.selected[i]),
+              coll.end());
+  }
+}
+
+TEST_F(CoreFixture, SamplingKeepsRequestedFraction) {
+  const auto groups = group_parameters(space_, dataset_);
+  SamplingConfig config;
+  config.ratio = 0.10;
+  const auto sampled =
+      sample_search_space(space_, dataset_, groups, universe_, config);
+  EXPECT_EQ(sampled.settings.size(), universe_.size() / 10);
+  EXPECT_FALSE(sampled.models.empty());
+}
+
+TEST_F(CoreFixture, SampledSettingsAreBetterThanAverage) {
+  // The PMNF filter should enrich the kept fraction with fast settings:
+  // mean time of the sample must beat the universe mean clearly.
+  const auto groups = group_parameters(space_, dataset_);
+  SamplingConfig config;
+  config.ratio = 0.10;
+  const auto sampled =
+      sample_search_space(space_, dataset_, groups, universe_, config);
+  auto times_of = [&](const std::vector<Setting>& settings) {
+    std::vector<double> times;
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      times.push_back(sim_.measure_ms(spec_, settings[i], i));
+    }
+    return times;
+  };
+  const auto sampled_times = times_of(sampled.settings);
+  const auto universe_times = times_of(universe_);
+  // The filter must enrich the kept fraction: better mean, and the kept
+  // set still reaches into the universe's fastest decile.
+  EXPECT_LT(stats::mean(sampled_times), 0.95 * stats::mean(universe_times));
+  EXPECT_LE(stats::min(sampled_times),
+            stats::quantile(universe_times, 0.10));
+}
+
+TEST_F(CoreFixture, PredictedBadnessOrdersByModelDirection) {
+  const auto groups = group_parameters(space_, dataset_);
+  const auto selection = combine_metrics(dataset_, 4);
+  const auto models = fit_metric_models(dataset_, selection, groups);
+  // Badness must be finite for any valid setting.
+  for (int i = 0; i < 20; ++i) {
+    const double b =
+        predicted_badness(models, dataset_, universe_[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(std::isfinite(b));
+  }
+}
+
+TEST_F(CoreFixture, ReindexBuildsDenseSortedTuples) {
+  const auto groups = group_parameters(space_, dataset_);
+  const auto indices = build_group_indices(groups, universe_);
+  ASSERT_EQ(indices.size(), groups.size());
+  for (const auto& gi : indices) {
+    EXPECT_GE(gi.cardinality(), 1u);
+    for (std::size_t t = 1; t < gi.tuples.size(); ++t) {
+      EXPECT_LT(gi.tuples[t - 1], gi.tuples[t]);  // strictly ascending
+    }
+    // apply/index_of round-trip.
+    Setting s = universe_.front();
+    for (std::size_t t = 0; t < std::min<std::size_t>(gi.cardinality(), 5);
+         ++t) {
+      gi.apply(t, s);
+      EXPECT_EQ(gi.index_of(s), t);
+    }
+  }
+}
+
+TEST(Reindex, Fig7Example) {
+  // Group (P0, P1) with sampled tuples {(1,2),(4,2),(2,4)} -> ascending
+  // lexicographic re-index.
+  GroupIndex gi;
+  gi.params = {kTBx, kTBy};
+  std::vector<Setting> sampled(3);
+  sampled[0].set(kTBx, 1);
+  sampled[0].set(kTBy, 2);
+  sampled[1].set(kTBx, 4);
+  sampled[1].set(kTBy, 2);
+  sampled[2].set(kTBx, 2);
+  sampled[2].set(kTBy, 4);
+  const auto indices = build_group_indices({{kTBx, kTBy}}, sampled);
+  ASSERT_EQ(indices.size(), 1u);
+  ASSERT_EQ(indices[0].cardinality(), 3u);
+  EXPECT_EQ(indices[0].tuples[0], (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(indices[0].tuples[1], (std::vector<std::int64_t>{2, 4}));
+  EXPECT_EQ(indices[0].tuples[2], (std::vector<std::int64_t>{4, 2}));
+}
+
+TEST(Approx, TightTopNStops) {
+  // Top-n almost identical -> CV below threshold -> stop.
+  const std::vector<double> fitnesses = {100.0, 99.9, 99.8, 99.7, 99.6,
+                                         99.5, 99.4, 99.3, 50.0, 10.0};
+  ApproxConfig config;
+  config.top_n = 8;
+  config.cv_threshold = 0.02;
+  EXPECT_TRUE(approximation_reached(fitnesses, config));
+}
+
+TEST(Approx, SpreadTopNContinues) {
+  const std::vector<double> fitnesses = {100.0, 80.0, 60.0, 40.0,
+                                         20.0,  10.0, 5.0,  1.0};
+  ApproxConfig config;
+  config.top_n = 8;
+  config.cv_threshold = 0.02;
+  EXPECT_FALSE(approximation_reached(fitnesses, config));
+}
+
+TEST(Approx, IgnoresNonPositiveAndNeedsTwo) {
+  ApproxConfig config;
+  EXPECT_FALSE(approximation_reached({5.0}, config));
+  EXPECT_FALSE(approximation_reached({-1.0, 0.0}, config));
+  EXPECT_TRUE(approximation_reached({5.0, 5.0, -3.0}, config));
+}
+
+TEST_F(CoreFixture, CsTunerFindsGoodSettingQuickly) {
+  core::CsTunerOptions options;
+  options.seed = 5;
+  CsTuner tuner(options);
+  tuner.set_dataset(dataset_);
+  tuner.set_universe(universe_);
+  tuner::Evaluator evaluator(sim_, space_, {}, 5);
+  tuner::StopCriteria stop;
+  stop.max_virtual_seconds = 30.0;
+  tuner.tune(evaluator, stop);
+
+  ASSERT_TRUE(evaluator.best_setting().has_value());
+  // Must at least match the dataset optimum (its base point).
+  EXPECT_LE(evaluator.best_time_ms(),
+            dataset_.times_ms[dataset_.best_index()] * 1.05);
+  // And clearly beat the universe median.
+  std::vector<double> times;
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    times.push_back(sim_.measure_ms(spec_, universe_[i], i));
+  }
+  std::sort(times.begin(), times.end());
+  EXPECT_LT(evaluator.best_time_ms(), times[times.size() / 2] * 0.5);
+
+  const auto& report = tuner.report();
+  EXPECT_EQ(report.universe_count, universe_.size());
+  EXPECT_EQ(report.sampled_count, universe_.size() / 10);
+  EXPECT_GT(report.grouping_s, 0.0);
+  EXPECT_FALSE(report.groups.empty());
+}
+
+TEST_F(CoreFixture, CsTunerRespectsIterationBudget) {
+  CsTuner tuner;
+  tuner.set_dataset(dataset_);
+  tuner.set_universe(universe_);
+  tuner::Evaluator evaluator(sim_, space_, {}, 6);
+  tuner::StopCriteria stop;
+  stop.max_iterations = 3;
+  tuner.tune(evaluator, stop);
+  EXPECT_GE(evaluator.iterations(), 3u);
+  EXPECT_LE(evaluator.iterations(), 5u);  // finishes the group in flight
+}
+
+TEST_F(CoreFixture, CsTunerCodegenOnlyWhenRequested) {
+  core::CsTunerOptions options;
+  options.generate_kernels = false;
+  CsTuner off(options);
+  off.set_dataset(dataset_);
+  off.set_universe(universe_);
+  tuner::Evaluator e1(sim_, space_, {}, 7);
+  off.tune(e1, {.max_iterations = 1});
+  EXPECT_EQ(off.report().generated_kernel_bytes, 0u);
+
+  options.generate_kernels = true;
+  CsTuner on(options);
+  on.set_dataset(dataset_);
+  on.set_universe(universe_);
+  tuner::Evaluator e2(sim_, space_, {}, 7);
+  on.tune(e2, {.max_iterations = 1});
+  EXPECT_GT(on.report().generated_kernel_bytes, 0u);
+  EXPECT_GT(on.report().codegen_s, 0.0);
+}
+
+}  // namespace
+}  // namespace cstuner::core

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/cpu_executor.hpp"
+#include "space/search_space.hpp"
+#include "stencil/stencils.hpp"
+
+namespace cstuner::exec {
+namespace {
+
+using namespace space;
+
+/// The core semantics property: for ANY valid setting, the tiled executor
+/// must reproduce the naive reference bit-for-bit.
+class ExecutorPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExecutorPropertyTest, RandomValidDecompositionsMatchReference) {
+  auto spec = stencil::scaled_stencil(GetParam(), 20);
+  SearchSpace space(spec);
+  Rng rng(fnv1a(GetParam().data(), GetParam().size()));
+  for (int i = 0; i < 6; ++i) {
+    const auto setting = space.random_valid(rng);
+    EXPECT_EQ(max_divergence_from_reference(spec, setting), 0.0)
+        << GetParam() << " diverged for " << setting.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStencils, ExecutorPropertyTest,
+                         ::testing::ValuesIn(stencil::stencil_names()),
+                         [](const auto& info) { return info.param; });
+
+stencil::StencilSpec small_spec() {
+  return stencil::scaled_stencil("j3d7pt", 16);
+}
+
+TEST(Executor, NaiveMappingMatchesReference) {
+  Setting s;  // one thread, one point
+  EXPECT_EQ(max_divergence_from_reference(small_spec(), s), 0.0);
+}
+
+TEST(Executor, BlockMergingCoversEveryPointOnce) {
+  Setting s;
+  s.set(kTBx, 4);
+  s.set(kBMx, 4);
+  s.set(kBMy, 2);
+  EXPECT_EQ(max_divergence_from_reference(small_spec(), s), 0.0);
+}
+
+TEST(Executor, CyclicMergingCoversEveryPointOnce) {
+  Setting s;
+  s.set(kTBx, 4);
+  s.set(kCMx, 4);
+  s.set(kCMy, 2);
+  EXPECT_EQ(max_divergence_from_reference(small_spec(), s), 0.0);
+}
+
+TEST(Executor, MixedCyclicAndBlockMerge) {
+  Setting s;
+  s.set(kTBx, 2);
+  s.set(kCMx, 2);
+  s.set(kBMx, 4);
+  s.set(kUFx, 2);
+  EXPECT_EQ(max_divergence_from_reference(small_spec(), s), 0.0);
+}
+
+TEST(Executor, StreamingOverEachDimension) {
+  for (int sd = 1; sd <= 3; ++sd) {
+    Setting s;
+    s.set(kTBx, sd == 1 ? 1 : 4);
+    s.set(kTBy, sd == 2 ? 1 : 2);
+    s.set(kTBz, 1);
+    s.set(kUseStreaming, kOn);
+    s.set(kSD, sd);
+    s.set(kSB, 8);
+    const auto spec = small_spec();
+    SearchSpace space(spec);
+    ASSERT_TRUE(space.is_valid(s)) << "sd=" << sd << ": "
+                                   << *space.checker().violation(s);
+    EXPECT_EQ(max_divergence_from_reference(spec, s), 0.0) << "sd=" << sd;
+  }
+}
+
+TEST(Executor, PartialTilesAtGridBoundary) {
+  // 20^3 grid with coverage 16 in x leaves a partial block.
+  auto spec = stencil::scaled_stencil("j3d7pt", 20);
+  Setting s;
+  s.set(kTBx, 16);
+  s.set(kTBy, 8);
+  EXPECT_EQ(max_divergence_from_reference(spec, s), 0.0);
+}
+
+TEST(Executor, SbNotDividingExtent) {
+  auto spec = stencil::scaled_stencil("j3d7pt", 20);
+  Setting s;
+  s.set(kTBx, 8);
+  s.set(kUseStreaming, kOn);
+  s.set(kSD, 3);
+  s.set(kSB, 16);  // 20 = 16 + 4 tail
+  EXPECT_EQ(max_divergence_from_reference(spec, s), 0.0);
+}
+
+TEST(Executor, MultiArrayCompoundStencil) {
+  auto spec = stencil::scaled_stencil("cheby", 12);
+  Setting s;
+  s.set(kTBx, 4);
+  s.set(kTBy, 2);
+  s.set(kCMy, 2);
+  EXPECT_EQ(max_divergence_from_reference(spec, s), 0.0);
+}
+
+TEST(Executor, HighOrderStencilWithHalo) {
+  auto spec = stencil::scaled_stencil("hypterm", 12);  // order 4
+  Setting s;
+  s.set(kTBx, 4);
+  EXPECT_EQ(max_divergence_from_reference(spec, s), 0.0);
+}
+
+TEST(Executor, MultiThreadedHostExecutionMatches) {
+  auto spec = stencil::scaled_stencil("helmholtz", 16);
+  Setting s;
+  s.set(kTBx, 4);
+  s.set(kTBy, 4);
+  auto grids = stencil::make_grids(spec);
+  std::vector<stencil::Grid3> serial_out;
+  for (int o = 0; o < spec.n_outputs; ++o) {
+    serial_out.emplace_back(spec.grid[0], spec.grid[1], spec.grid[2], 0);
+  }
+  run_tiled(spec, s, grids.inputs, serial_out, {.n_threads = 1});
+  run_tiled(spec, s, grids.inputs, grids.outputs, {.n_threads = 4});
+  for (int o = 0; o < spec.n_outputs; ++o) {
+    EXPECT_EQ(stencil::Grid3::max_abs_diff(
+                  serial_out[static_cast<std::size_t>(o)],
+                  grids.outputs[static_cast<std::size_t>(o)]),
+              0.0);
+  }
+}
+
+TEST(Executor, WrongGridCountRejected) {
+  auto spec = small_spec();
+  auto grids = stencil::make_grids(spec);
+  grids.inputs.clear();
+  EXPECT_THROW(run_tiled(spec, Setting{}, grids.inputs, grids.outputs),
+               Error);
+}
+
+}  // namespace
+}  // namespace cstuner::exec

@@ -1,0 +1,91 @@
+// Generality fuzzing: the framework must handle arbitrary stencil patterns,
+// not just the Table III suite. Random stencils sweep order, array counts
+// and FLOP budgets through every layer — space construction, constraint
+// checking, the simulator, the executor's semantics oracle and a short
+// csTuner run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cstuner.hpp"
+
+namespace cstuner {
+namespace {
+
+using namespace space;
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+stencil::StencilSpec random_spec(int seed,
+                                 stencil::RandomStencilConfig config = {}) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  return stencil::make_random_stencil(rng, config);
+}
+
+TEST_P(FuzzTest, SpecIsInternallyConsistent) {
+  const auto spec = random_spec(GetParam());
+  EXPECT_GE(spec.order, 1);
+  EXPECT_EQ(spec.n_inputs + spec.n_outputs, spec.io_arrays);
+  EXPECT_FALSE(spec.taps.empty());
+  int max_offset = 0;
+  for (const auto& t : spec.taps) {
+    EXPECT_GE(t.array, 0);
+    EXPECT_LT(t.array, spec.n_inputs);
+    max_offset = std::max({max_offset, std::abs(t.dx), std::abs(t.dy),
+                           std::abs(t.dz)});
+  }
+  EXPECT_LE(max_offset, spec.order);
+  EXPECT_GE(spec.flops,
+            static_cast<int>(spec.taps.size()) * 2 * spec.n_outputs);
+}
+
+TEST_P(FuzzTest, SpaceSamplingAndSimulationWork) {
+  const auto spec = random_spec(GetParam());
+  SearchSpace search_space(spec);
+  gpusim::Simulator sim(gpusim::a100());
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const auto setting = search_space.random_valid(rng);
+    const auto profile = sim.profile(spec, setting);
+    EXPECT_TRUE(std::isfinite(profile.time_ms));
+    EXPECT_GT(profile.time_ms, 0.0);
+  }
+}
+
+TEST_P(FuzzTest, ExecutorMatchesReferenceOnRandomStencil) {
+  stencil::RandomStencilConfig config;
+  config.grid = 14;  // keep the naive sweep cheap
+  config.max_inputs = 3;
+  config.max_outputs = 2;
+  config.max_order = 3;
+  const auto spec = random_spec(GetParam(), config);
+  SearchSpace search_space(spec);
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 3; ++i) {
+    const auto setting = search_space.random_valid(rng);
+    EXPECT_EQ(exec::max_divergence_from_reference(spec, setting), 0.0)
+        << spec.name << " with " << setting.to_string();
+  }
+}
+
+TEST_P(FuzzTest, CsTunerRunsOnRandomStencil) {
+  const auto spec = random_spec(GetParam());
+  SearchSpace search_space(spec);
+  gpusim::Simulator sim(gpusim::a100());
+  tuner::Evaluator evaluator(sim, search_space, {},
+                             static_cast<std::uint64_t>(GetParam()));
+  core::CsTunerOptions options;
+  options.universe_size = 1500;
+  options.dataset_size = 64;
+  options.seed = static_cast<std::uint64_t>(GetParam());
+  core::CsTuner tuner(options);
+  tuner.tune(evaluator, {.max_virtual_seconds = 8.0});
+  ASSERT_TRUE(evaluator.best_setting().has_value()) << spec.name;
+  EXPECT_TRUE(search_space.is_valid(*evaluator.best_setting()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cstuner

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gpusim/simulator.hpp"
+#include "space/search_space.hpp"
+#include "stencil/stencils.hpp"
+
+namespace cstuner::gpusim {
+namespace {
+
+using namespace space;
+
+Setting decent_setting() {
+  Setting s;
+  s.set(kTBx, 32);
+  s.set(kTBy, 8);
+  return s;
+}
+
+TEST(GpuArch, PresetsMatchWhitepapers) {
+  EXPECT_EQ(a100().num_sms, 108);
+  EXPECT_EQ(v100().num_sms, 80);
+  EXPECT_GT(a100().dram_gbps, v100().dram_gbps);
+  EXPECT_GT(a100().fp64_gflops, v100().fp64_gflops);
+  EXPECT_GT(a100().l2_bytes, v100().l2_bytes);
+}
+
+TEST(GpuArch, LookupByName) {
+  EXPECT_EQ(arch_by_name("a100").name, "a100");
+  EXPECT_EQ(arch_by_name("v100").name, "v100");
+  EXPECT_THROW(arch_by_name("h100"), UsageError);
+}
+
+TEST(Occupancy, ThreadsLimitedKernel) {
+  const auto r = compute_occupancy(a100(), 256, 32, 0);
+  // 2048 threads/SM / 256 = 8 blocks; registers: 65536/(32*256)=8 too.
+  EXPECT_EQ(r.blocks_per_sm, 8);
+  EXPECT_NEAR(r.occupancy, 1.0, 1e-12);
+}
+
+TEST(Occupancy, RegisterLimitedKernel) {
+  const auto r = compute_occupancy(a100(), 256, 128, 0);
+  // regs/warp = 4096; per block = 32768; file holds 2 blocks.
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_NEAR(r.occupancy, 0.25, 1e-12);
+}
+
+TEST(Occupancy, SharedMemoryLimitedKernel) {
+  const auto r = compute_occupancy(a100(), 128, 32, 40 * 1024);
+  EXPECT_EQ(r.blocks_per_sm, 4);  // 164KB / 40KB
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kSharedMem);
+}
+
+TEST(Occupancy, BlockCapForTinyBlocks) {
+  const auto r = compute_occupancy(a100(), 32, 16, 0);
+  EXPECT_EQ(r.blocks_per_sm, 32);  // hardware block cap
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_NEAR(r.occupancy, 0.5, 1e-12);
+}
+
+TEST(Occupancy, SubWarpBlocksAllocateWholeWarp) {
+  const auto r = compute_occupancy(a100(), 8, 16, 0);
+  EXPECT_EQ(r.active_warps_per_sm, r.blocks_per_sm);  // 1 warp per block
+}
+
+TEST(Occupancy, LimiterNamesResolve) {
+  EXPECT_STREQ(limiter_name(OccupancyLimiter::kThreads), "threads");
+  EXPECT_STREQ(limiter_name(OccupancyLimiter::kSharedMem), "shared_mem");
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest()
+      : spec_(stencil::make_stencil("j3d7pt")),
+        space_(spec_),
+        sim_(a100()) {}
+
+  stencil::StencilSpec spec_;
+  SearchSpace space_;
+  Simulator sim_;
+};
+
+TEST_F(SimulatorTest, ProfileIsDeterministic) {
+  const auto s = decent_setting();
+  EXPECT_DOUBLE_EQ(sim_.profile(spec_, s).time_ms,
+                   sim_.profile(spec_, s).time_ms);
+}
+
+TEST_F(SimulatorTest, TimePositiveAndFinite) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = space_.random_valid(rng);
+    const auto p = sim_.profile(spec_, s);
+    EXPECT_GT(p.time_ms, 0.0);
+    EXPECT_TRUE(std::isfinite(p.time_ms));
+  }
+}
+
+TEST_F(SimulatorTest, MetricsWithinPhysicalBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto p = sim_.profile(spec_, space_.random_valid(rng));
+    EXPECT_GE(p.metric(kAchievedOccupancy), 0.0);
+    EXPECT_LE(p.metric(kAchievedOccupancy), 1.0);
+    EXPECT_GE(p.metric(kL1HitRate), 0.0);
+    EXPECT_LE(p.metric(kL1HitRate), 1.0);
+    EXPECT_GE(p.metric(kL2HitRate), 0.0);
+    EXPECT_LE(p.metric(kL2HitRate), 1.0);
+    EXPECT_GE(p.metric(kGldEfficiency), 0.0);
+    EXPECT_LE(p.metric(kGldEfficiency), 1.0);
+    EXPECT_LE(p.metric(kDramThroughputGbps), a100().dram_gbps * 1.01);
+    EXPECT_LE(p.metric(kFp64Efficiency), 1.0);
+    EXPECT_GE(p.metric(kWavesPerGrid), 1.0);
+  }
+}
+
+TEST_F(SimulatorTest, DramTrafficAtLeastCompulsory) {
+  const auto p = sim_.profile(spec_, decent_setting());
+  const double compulsory_gb = spec_.min_bytes() / 1e9;
+  EXPECT_GE(p.metric(kDramReadGb) + p.metric(kDramWriteGb),
+            compulsory_gb * 0.5);
+}
+
+TEST_F(SimulatorTest, TinyThreadBlocksAreSlow) {
+  Setting tiny;  // 1 thread per block
+  const Setting good = decent_setting();
+  EXPECT_GT(sim_.profile(spec_, tiny).time_ms,
+            5.0 * sim_.profile(spec_, good).time_ms);
+}
+
+TEST_F(SimulatorTest, BlockMergeInXDegradesCoalescing) {
+  Setting base = decent_setting();
+  Setting merged = base;
+  merged.set(kBMx, 8);
+  const auto p_base = sim_.profile(spec_, base);
+  const auto p_merged = sim_.profile(spec_, merged);
+  EXPECT_LT(p_merged.metric(kGldEfficiency),
+            p_base.metric(kGldEfficiency));
+}
+
+TEST_F(SimulatorTest, SmallTbxDegradesCoalescing) {
+  Setting wide = decent_setting();  // TBx=32
+  Setting narrow;
+  narrow.set(kTBx, 4);
+  narrow.set(kTBy, 64);
+  EXPECT_LT(sim_.profile(spec_, narrow).metric(kGldEfficiency),
+            sim_.profile(spec_, wide).metric(kGldEfficiency));
+}
+
+TEST_F(SimulatorTest, SharedMemoryReducesDramReads) {
+  const auto spec = stencil::make_stencil("helmholtz");
+  Setting base = decent_setting();
+  Setting shared = base;
+  shared.set(kUseShared, kOn);
+  EXPECT_LT(sim_.profile(spec, shared).metric(kDramReadGb),
+            sim_.profile(spec, base).metric(kDramReadGb));
+}
+
+TEST_F(SimulatorTest, MemoryBoundStencilStallsOnMemory) {
+  // j3d7pt: ~0.6 flops/byte — firmly memory bound.
+  const auto p = sim_.profile(spec_, decent_setting());
+  EXPECT_GT(p.metric(kStallMemoryRatio), 0.5);
+}
+
+TEST_F(SimulatorTest, ComputeHeavyStencilLessMemoryBound) {
+  const auto heavy = stencil::make_stencil("rhs4center");  // 666 flops
+  Setting s = decent_setting();
+  const auto p_light = sim_.profile(spec_, s);
+  const auto p_heavy = sim_.profile(heavy, s);
+  EXPECT_LT(p_heavy.metric(kStallMemoryRatio),
+            p_light.metric(kStallMemoryRatio));
+}
+
+TEST_F(SimulatorTest, V100SlowerThanA100) {
+  Simulator v(v100());
+  const auto s = decent_setting();
+  EXPECT_GT(v.profile(spec_, s).time_ms, sim_.profile(spec_, s).time_ms);
+}
+
+TEST_F(SimulatorTest, MeasurementNoiseSmallAndDeterministic) {
+  const auto s = decent_setting();
+  const double base = sim_.profile(spec_, s).time_ms;
+  const double m1 = sim_.measure_ms(spec_, s, 1);
+  const double m1_again = sim_.measure_ms(spec_, s, 1);
+  const double m2 = sim_.measure_ms(spec_, s, 2);
+  EXPECT_DOUBLE_EQ(m1, m1_again);
+  EXPECT_NE(m1, m2);
+  EXPECT_NEAR(m1, base, base * 0.06);
+  EXPECT_NEAR(m2, base, base * 0.06);
+}
+
+TEST_F(SimulatorTest, MeasuredMetricsCloseToProfile) {
+  const auto s = decent_setting();
+  const auto clean = sim_.profile(spec_, s);
+  const auto noisy = sim_.measure_metrics(spec_, s, 0);
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    EXPECT_NEAR(noisy[m], clean.metrics[m],
+                std::fabs(clean.metrics[m]) * 0.08 + 1e-9);
+  }
+}
+
+TEST_F(SimulatorTest, SpilledSettingRejected) {
+  Setting s = decent_setting();
+  s.set(kCMx, 64);
+  s.set(kCMy, 64);  // far past the register budget
+  EXPECT_THROW(sim_.profile(spec_, s), Error);
+}
+
+class CrossArchTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossArchTest, V100NeverFasterThanA100) {
+  const auto spec = stencil::make_stencil(GetParam());
+  SearchSpace space(spec);
+  Simulator a(a100()), v(v100());
+  Rng rng(fnv1a(GetParam().data(), GetParam().size()));
+  for (int i = 0; i < 20; ++i) {
+    const auto s = space.random_valid(rng);
+    // Same kernel, strictly weaker machine: V100 must not win.
+    EXPECT_GE(v.profile(spec, s).time_ms, a.profile(spec, s).time_ms * 0.999)
+        << s.to_string();
+  }
+}
+
+TEST_P(CrossArchTest, L2HitRateReflectsCacheSize) {
+  const auto spec = stencil::make_stencil(GetParam());
+  SearchSpace space(spec);
+  Simulator a(a100()), v(v100());
+  Rng rng(7);
+  const auto s = space.random_valid(rng);
+  EXPECT_GE(a.profile(spec, s).metric(kL2HitRate),
+            v.profile(spec, s).metric(kL2HitRate));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStencils, CrossArchTest,
+                         ::testing::ValuesIn(stencil::stencil_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Occupancy, RegisterGranularityRounding) {
+  // 33 registers round to 2 granules (2048) per warp, not 33*32=1056.
+  const auto r = compute_occupancy(a100(), 32, 33, 0);
+  // 65536 / 2048 = 32 warps, but the block cap (32) binds first.
+  EXPECT_EQ(r.blocks_per_sm, 32);
+}
+
+TEST(Occupancy, ZeroBlocksWhenRegistersExhaustFile) {
+  // 255 regs x 1024 threads cannot fit the 64K register file.
+  const auto r = compute_occupancy(a100(), 1024, 255, 0);
+  EXPECT_EQ(r.blocks_per_sm, 0);
+}
+
+TEST(Occupancy, MaxThreadsRejected) {
+  EXPECT_THROW(compute_occupancy(a100(), 2048, 32, 0), Error);
+}
+
+TEST(Metrics, RegistryComplete) {
+  EXPECT_EQ(metric_names().size(), kMetricCount);
+  EXPECT_STREQ(metric_name(kAchievedOccupancy), "achieved_occupancy");
+  EXPECT_STREQ(metric_name(kWavesPerGrid), "waves_per_grid");
+}
+
+}  // namespace
+}  // namespace cstuner::gpusim

@@ -1,0 +1,225 @@
+// End-to-end properties of the whole system: the motivation observations
+// the paper builds on (§III), cross-method comparisons, and cross-GPU
+// behaviour. These run on reduced universes to stay fast but exercise every
+// module together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/grouping.hpp"
+#include "cstuner.hpp"
+
+namespace cstuner {
+namespace {
+
+using namespace space;
+
+struct Workbench {
+  explicit Workbench(const std::string& stencil,
+                     const gpusim::GpuArch& arch = gpusim::a100())
+      : spec(stencil::make_stencil(stencil)), space(spec), sim(arch) {
+    Rng rng(fnv1a(stencil.data(), stencil.size()));
+    universe = space.sample_universe(rng, 3000);
+    dataset = tuner::collect_dataset(space, sim, 128, rng);
+    times.reserve(universe.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      times.push_back(sim.measure_ms(spec, universe[i], i));
+    }
+  }
+
+  double best_time() const {
+    return *std::min_element(times.begin(), times.end());
+  }
+
+  stencil::StencilSpec spec;
+  SearchSpace space;
+  gpusim::Simulator sim;
+  std::vector<Setting> universe;
+  std::vector<double> times;
+  tuner::PerfDataset dataset;
+};
+
+TEST(Motivation, LowProportionOfHighPerformanceSettings) {
+  // Fig. 2's premise: settings within 20% of the optimum are rare; a large
+  // fraction is >5x slower.
+  Workbench wb("j3d7pt");
+  const double best = wb.best_time();
+  std::size_t near_opt = 0, very_slow = 0;
+  for (double t : wb.times) {
+    if (best / t >= 0.8) ++near_opt;
+    if (best / t < 0.2) ++very_slow;
+  }
+  const double near_frac =
+      static_cast<double>(near_opt) / static_cast<double>(wb.times.size());
+  const double slow_frac =
+      static_cast<double>(very_slow) / static_cast<double>(wb.times.size());
+  EXPECT_LT(near_frac, 0.25) << "high-performance settings should be rare";
+  EXPECT_GT(slow_frac, 0.05) << "a sizeable fraction should be >5x slower";
+}
+
+TEST(Motivation, TopNSettingsFormPlateau) {
+  // Fig. 4's premise: the n-th best setting is close to the optimum.
+  Workbench wb("helmholtz");
+  auto sorted = wb.times;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted[0] / sorted[9], 0.6);    // top-10
+  EXPECT_GT(sorted[0] / sorted[99], 0.35);  // top-100
+}
+
+TEST(Motivation, ParametersAreCorrelated) {
+  // Fig. 3's premise: separate tuning of parameter pairs misses the
+  // optimum for a meaningful fraction of pairs. Verified indirectly: the
+  // CV scores must spread (some pairs strongly coupled, some not).
+  Workbench wb("j3d7pt");
+  const auto pairs = core::compute_pair_cvs(wb.space, wb.dataset);
+  std::vector<double> finite_scores;
+  for (const auto& p : pairs) {
+    if (p.score < 1e100) finite_scores.push_back(p.score);
+  }
+  ASSERT_GT(finite_scores.size(), 20u);
+  const double lo = *std::min_element(finite_scores.begin(),
+                                      finite_scores.end());
+  const double hi = *std::max_element(finite_scores.begin(),
+                                      finite_scores.end());
+  EXPECT_LT(lo, 0.5 * hi) << "pair correlations should differ in strength";
+}
+
+TEST(EndToEnd, CsTunerBeatsRandomSamplingAtEqualBudget) {
+  Workbench wb("cheby");
+  // csTuner with a 25 virtual-second budget.
+  core::CsTuner cs;
+  cs.set_dataset(wb.dataset);
+  cs.set_universe(wb.universe);
+  tuner::Evaluator evaluator(wb.sim, wb.space, {}, 61);
+  cs.tune(evaluator, {.max_virtual_seconds = 25.0});
+
+  // Random search with the same budget.
+  tuner::Evaluator random_eval(wb.sim, wb.space, {}, 61);
+  Rng rng(62);
+  while (random_eval.virtual_time_s() < 25.0) {
+    random_eval.evaluate(wb.space.random_valid(rng));
+  }
+  EXPECT_LT(evaluator.best_time_ms(), random_eval.best_time_ms());
+}
+
+TEST(EndToEnd, AllFourMethodsProduceValidResults) {
+  Workbench wb("addsgd4");
+  std::vector<std::unique_ptr<tuner::Tuner>> tuners;
+  {
+    auto cs = std::make_unique<core::CsTuner>();
+    cs->set_dataset(wb.dataset);
+    cs->set_universe(wb.universe);
+    tuners.push_back(std::move(cs));
+  }
+  {
+    auto garvey = std::make_unique<baselines::Garvey>();
+    garvey->set_dataset(wb.dataset);
+    tuners.push_back(std::move(garvey));
+  }
+  tuners.push_back(std::make_unique<baselines::OpenTuner>());
+  tuners.push_back(std::make_unique<baselines::Artemis>());
+
+  for (auto& tuner : tuners) {
+    tuner::Evaluator evaluator(wb.sim, wb.space, {}, 63);
+    tuner->tune(evaluator, {.max_virtual_seconds = 15.0});
+    ASSERT_TRUE(evaluator.best_setting().has_value()) << tuner->name();
+    EXPECT_TRUE(wb.space.is_valid(*evaluator.best_setting()))
+        << tuner->name();
+    EXPECT_GT(evaluator.unique_evaluations(), 10u) << tuner->name();
+  }
+}
+
+TEST(EndToEnd, CsTunerCompetitiveWithBaselinesIsoTime) {
+  // The headline claim at reduced scale: csTuner's final best is at least
+  // as good as the worst baseline and within tolerance of the best one.
+  Workbench wb("j3d27pt");
+  auto run = [&](tuner::Tuner& tuner, std::uint64_t seed) {
+    tuner::Evaluator evaluator(wb.sim, wb.space, {}, seed);
+    tuner.tune(evaluator, {.max_virtual_seconds = 30.0});
+    return evaluator.best_time_ms();
+  };
+  core::CsTuner cs;
+  cs.set_dataset(wb.dataset);
+  cs.set_universe(wb.universe);
+  const double cs_best = run(cs, 64);
+
+  baselines::Garvey garvey;
+  garvey.set_dataset(wb.dataset);
+  const double garvey_best = run(garvey, 64);
+  baselines::OpenTuner ot;
+  const double ot_best = run(ot, 64);
+  baselines::Artemis artemis;
+  const double artemis_best = run(artemis, 64);
+
+  const double worst_baseline =
+      std::max({garvey_best, ot_best, artemis_best});
+  const double best_baseline =
+      std::min({garvey_best, ot_best, artemis_best});
+  EXPECT_LE(cs_best, worst_baseline);
+  EXPECT_LE(cs_best, best_baseline * 1.15);
+}
+
+TEST(EndToEnd, CrossGpuOptimaDiffer) {
+  // §V-D: optimal settings are architecture-specific — at minimum, the two
+  // GPU models must rank some settings differently.
+  Workbench a100_wb("hypterm", gpusim::a100());
+  gpusim::Simulator v100_sim(gpusim::v100());
+  // Sort settings by A100 time and check whether the V100 model inverts the
+  // order of A100-adjacent (i.e. competitive) settings somewhere.
+  std::vector<std::size_t> order(a100_wb.universe.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return a100_wb.times[a] < a100_wb.times[b];
+  });
+  std::size_t rank_flips = 0;
+  const std::size_t scan = std::min<std::size_t>(order.size() - 1, 500);
+  for (std::size_t i = 0; i < scan; ++i) {
+    const auto& s1 = a100_wb.universe[order[i]];
+    const auto& s2 = a100_wb.universe[order[i + 1]];
+    if (v100_sim.profile(a100_wb.spec, s1).time_ms >
+        v100_sim.profile(a100_wb.spec, s2).time_ms) {
+      ++rank_flips;
+    }
+  }
+  EXPECT_GT(rank_flips, 0u);
+}
+
+TEST(EndToEnd, BestSettingExecutesCorrectlyOnCpu) {
+  // Whatever the tuner picks must be semantics-preserving: validate the
+  // winner with the tiled executor on a scaled-down grid.
+  Workbench wb("helmholtz");
+  core::CsTuner cs;
+  cs.set_dataset(wb.dataset);
+  cs.set_universe(wb.universe);
+  tuner::Evaluator evaluator(wb.sim, wb.space, {}, 65);
+  cs.tune(evaluator, {.max_virtual_seconds = 10.0});
+  ASSERT_TRUE(evaluator.best_setting().has_value());
+
+  auto small = stencil::scaled_stencil("helmholtz", 20);
+  // Shrink the winning setting onto the small grid where necessary.
+  Setting s = *evaluator.best_setting();
+  space::SearchSpace small_space(small);
+  if (!small_space.is_valid(s)) {
+    GTEST_SKIP() << "winner does not fit the scaled grid";
+  }
+  EXPECT_EQ(exec::max_divergence_from_reference(small, s), 0.0);
+}
+
+TEST(EndToEnd, GeneratedKernelReflectsWinningSetting) {
+  Workbench wb("j3d7pt");
+  core::CsTuner cs;
+  cs.set_dataset(wb.dataset);
+  cs.set_universe(wb.universe);
+  tuner::Evaluator evaluator(wb.sim, wb.space, {}, 66);
+  cs.tune(evaluator, {.max_virtual_seconds = 10.0});
+  const auto& best = *evaluator.best_setting();
+  const auto kernel = codegen::generate_kernel(wb.spec, best);
+  EXPECT_NE(kernel.source.find(best.to_string()), std::string::npos);
+  EXPECT_NE(kernel.launch.find("dim3 grid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cstuner

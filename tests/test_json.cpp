@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace cstuner {
+namespace {
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "j3d7pt");
+  w.field("time", 2.5);
+  w.field("evals", 42);
+  w.field("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"j3d7pt","time":2.5,"evals":42,"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("trace").begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.field("i", i);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("done", true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"trace":[{"i":0},{"i":1}],"done":true})");
+}
+
+TEST(Json, ArrayOfScalars) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(1);
+  w.value(2.5);
+  w.value("x");
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([1,2.5,"x"])");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("s", "a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array();
+  w.end_array();
+  w.key("o").begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(Json, UnbalancedEndThrows) {
+  JsonWriter w;
+  EXPECT_THROW(w.end_object(), Error);
+}
+
+}  // namespace
+}  // namespace cstuner

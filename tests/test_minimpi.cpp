@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cstuner::minimpi {
+namespace {
+
+TEST(MiniMpi, SingleRankRuns) {
+  int observed_size = 0;
+  Context::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    observed_size = comm.size();
+  });
+  EXPECT_EQ(observed_size, 1);
+}
+
+TEST(MiniMpi, RanksAreDistinct) {
+  std::atomic<int> mask{0};
+  Context::run(4, [&](Comm& comm) { mask |= (1 << comm.rank()); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(MiniMpi, PointToPointRoundTrip) {
+  Context::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_values<int>(1, 7, {1, 2, 3});
+      const auto reply = comm.recv_values<int>(1, 8);
+      EXPECT_EQ(reply, (std::vector<int>{6}));
+    } else {
+      const auto data = comm.recv_values<int>(0, 7);
+      const int sum = std::accumulate(data.begin(), data.end(), 0);
+      comm.send_values<int>(0, 8, {sum});
+    }
+  });
+}
+
+TEST(MiniMpi, TagsAreMatchedIndependently) {
+  Context::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_values<int>(1, /*tag=*/1, {10});
+      comm.send_values<int>(1, /*tag=*/2, {20});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(comm.recv_values<int>(0, 2), (std::vector<int>{20}));
+      EXPECT_EQ(comm.recv_values<int>(0, 1), (std::vector<int>{10}));
+    }
+  });
+}
+
+TEST(MiniMpi, FifoPerSourceAndTag) {
+  Context::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_values<int>(1, 3, {i});
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv_values<int>(0, 3), (std::vector<int>{i}));
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, EmptyPayloadSupported) {
+  Context::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 4, {});
+    } else {
+      const Message m = comm.recv(0, 4);
+      EXPECT_TRUE(m.payload.empty());
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 4);
+    }
+  });
+}
+
+TEST(MiniMpi, ProbeSeesPendingMessage) {
+  Context::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_values<int>(1, 9, {1});
+      comm.barrier();
+    } else {
+      comm.barrier();  // after barrier the message must be queued
+      EXPECT_TRUE(comm.probe(0, 9));
+      EXPECT_FALSE(comm.probe(0, 10));
+      (void)comm.recv_values<int>(0, 9);
+      EXPECT_FALSE(comm.probe(0, 9));
+    }
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizesPhases) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  Context::run(4, [&](Comm& comm) {
+    (void)comm;
+    ++phase1;
+    comm.barrier();
+    if (phase1.load() != 4) violated = true;
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, BarrierReusableManyTimes) {
+  std::atomic<int> counter{0};
+  Context::run(3, [&](Comm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      comm.barrier();
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(MiniMpi, RingNeighborsFormSingleRing) {
+  Context::run(5, [](Comm& comm) {
+    EXPECT_EQ((comm.rank() + 1) % 5, comm.right_neighbor());
+    EXPECT_EQ((comm.rank() + 4) % 5, comm.left_neighbor());
+  });
+}
+
+TEST(MiniMpi, RingPassAroundAccumulates) {
+  Context::run(4, [](Comm& comm) {
+    // Token starts at 0, each rank adds its rank, one full circle.
+    if (comm.rank() == 0) {
+      comm.send_values<int>(comm.right_neighbor(), 5, {0});
+      const auto token = comm.recv_values<int>(comm.left_neighbor(), 5);
+      EXPECT_EQ(token[0], 0 + 1 + 2 + 3);
+    } else {
+      auto token = comm.recv_values<int>(comm.left_neighbor(), 5);
+      token[0] += comm.rank();
+      comm.send_values<int>(comm.right_neighbor(), 5, token);
+    }
+  });
+}
+
+TEST(MiniMpi, AllgatherCollectsEveryRank) {
+  Context::run(4, [](Comm& comm) {
+    const auto all = comm.allgather(static_cast<double>(comm.rank() * 10));
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r], r * 10.0);
+  });
+}
+
+TEST(MiniMpi, ExceptionInRankPropagates) {
+  EXPECT_THROW(Context::run(2,
+                            [](Comm& comm) {
+                              comm.barrier();
+                              if (comm.rank() == 1) {
+                                throw UsageError("rank 1 failed");
+                              }
+                            }),
+               UsageError);
+}
+
+TEST(MiniMpi, ManyRanksAllToAllStress) {
+  const int n = 6;
+  Context::run(n, [&](Comm& comm) {
+    // Every rank sends a distinct payload to every other rank.
+    for (int dest = 0; dest < n; ++dest) {
+      if (dest == comm.rank()) continue;
+      comm.send_values<int>(dest, 11, {comm.rank() * 100 + dest});
+    }
+    for (int src = 0; src < n; ++src) {
+      if (src == comm.rank()) continue;
+      const auto got = comm.recv_values<int>(src, 11);
+      EXPECT_EQ(got[0], src * 100 + comm.rank());
+    }
+  });
+}
+
+TEST(MiniMpi, InterleavedTagsAcrossGenerations) {
+  Context::run(2, [](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      if (comm.rank() == 0) {
+        comm.send_values<int>(1, round % 3, {round});
+      } else {
+        EXPECT_EQ(comm.recv_values<int>(0, round % 3)[0], round);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, LargePayloadRoundTrip) {
+  Context::run(2, [](Comm& comm) {
+    std::vector<double> big(100000);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<double>(i) * 0.5;
+    }
+    if (comm.rank() == 0) {
+      comm.send_values<double>(1, 21, big);
+    } else {
+      EXPECT_EQ(comm.recv_values<double>(0, 21), big);
+    }
+  });
+}
+
+TEST(MiniMpi, TypedRoundTripPreservesDoubles) {
+  Context::run(2, [](Comm& comm) {
+    const std::vector<double> payload = {1.5, -2.25, 1e300, 0.0};
+    if (comm.rank() == 0) {
+      comm.send_values<double>(1, 6, payload);
+    } else {
+      EXPECT_EQ(comm.recv_values<double>(0, 6), payload);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cstuner::minimpi

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+namespace cstuner::ml {
+namespace {
+
+/// Builds a row-major table from a vector of rows.
+struct Table {
+  std::vector<double> flat;
+  std::size_t n = 0, d = 0;
+  TableView view() const { return {flat, n, d}; }
+};
+
+Table make_table(const std::vector<std::vector<double>>& rows) {
+  Table t;
+  t.n = rows.size();
+  t.d = rows[0].size();
+  for (const auto& r : rows) t.flat.insert(t.flat.end(), r.begin(), r.end());
+  return t;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  // Label = 1 iff x0 > 0.5.
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    rows.push_back({x0, x1});
+    labels.push_back(x0 > 0.5 ? 1.0 : 0.0);
+  }
+  const auto table = make_table(rows);
+  DecisionTree tree(TreeTask::kClassification, {});
+  tree.fit(table.view(), labels, rng);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.uniform();
+    const double pred = tree.predict(std::vector<double>{x0, rng.uniform()});
+    correct += (pred == (x0 > 0.5 ? 1.0 : 0.0));
+  }
+  EXPECT_GE(correct, 190);
+}
+
+TEST(DecisionTree, RegressionFitsStepFunction) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0, 4);
+    rows.push_back({x});
+    targets.push_back(x < 2.0 ? 10.0 : -5.0);
+  }
+  const auto table = make_table(rows);
+  DecisionTree tree(TreeTask::kRegression, {});
+  tree.fit(table.view(), targets, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.5}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{3.5}), -5.0, 1e-9);
+}
+
+TEST(DecisionTree, PureLeafStopsSplitting) {
+  Rng rng(3);
+  const auto table = make_table({{1.0}, {2.0}, {3.0}, {4.0}});
+  const std::vector<double> targets = {7.0, 7.0, 7.0, 7.0};
+  DecisionTree tree(TreeTask::kRegression, {});
+  tree.fit(table.view(), targets, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{2.5}), 7.0);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 256; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    targets.push_back(static_cast<double>(i % 7));
+  }
+  const auto table = make_table(rows);
+  TreeConfig config;
+  config.max_depth = 3;
+  DecisionTree tree(TreeTask::kRegression, config);
+  tree.fit(table.view(), targets, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    targets.push_back(i < 20 ? 0.0 : 1.0);
+  }
+  const auto table = make_table(rows);
+  TreeConfig config;
+  config.min_samples_leaf = 10;
+  DecisionTree tree(TreeTask::kClassification, config);
+  tree.fit(table.view(), targets, rng);
+  // Perfect split is still allowed (20/20), so it should classify well.
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 0.0);
+  EXPECT_EQ(tree.predict(std::vector<double>{35.0}), 1.0);
+}
+
+TEST(RandomForest, ClassifiesXorWhereStumpsFail) {
+  // XOR of two binary features: needs depth >= 2 interactions.
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> labels;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double b = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    rows.push_back({a, b});
+    labels.push_back((a != b) ? 1.0 : 0.0);
+  }
+  const auto table = make_table(rows);
+  ForestConfig config;
+  config.n_trees = 16;
+  RandomForest forest(TreeTask::kClassification, config);
+  forest.fit(table.view(), labels, rng);
+  EXPECT_EQ(forest.predict(std::vector<double>{0.0, 1.0}), 1.0);
+  EXPECT_EQ(forest.predict(std::vector<double>{1.0, 1.0}), 0.0);
+}
+
+TEST(RandomForest, RegressionAveragesTrees) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    rows.push_back({x});
+    targets.push_back(2.0 * x + rng.normal(0.0, 0.5));
+  }
+  const auto table = make_table(rows);
+  RandomForest forest(TreeTask::kRegression, {});
+  forest.fit(table.view(), targets, rng);
+  EXPECT_NEAR(forest.predict(std::vector<double>{5.0}), 10.0, 1.0);
+}
+
+TEST(RandomForest, VoteFractionsSumToOne) {
+  Rng rng(8);
+  const auto table = make_table({{0.0}, {1.0}, {2.0}, {3.0}});
+  const std::vector<double> labels = {0.0, 0.0, 1.0, 1.0};
+  ForestConfig config;
+  config.n_trees = 9;
+  RandomForest forest(TreeTask::kClassification, config);
+  forest.fit(table.view(), labels, rng);
+  const auto votes = forest.vote_fractions(std::vector<double>{0.5});
+  double total = 0.0;
+  for (const auto& [label, fraction] : votes) {
+    (void)label;
+    total += fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RandomForest, TreeCountMatchesConfig) {
+  Rng rng(9);
+  const auto table = make_table({{0.0}, {1.0}});
+  const std::vector<double> labels = {0.0, 1.0};
+  ForestConfig config;
+  config.n_trees = 5;
+  RandomForest forest(TreeTask::kRegression, config);
+  forest.fit(table.view(), labels, rng);
+  EXPECT_EQ(forest.tree_count(), 5u);
+}
+
+TEST(RandomForest, InvalidConfigRejected) {
+  ForestConfig config;
+  config.n_trees = 0;
+  EXPECT_THROW(RandomForest(TreeTask::kRegression, config), Error);
+}
+
+}  // namespace
+}  // namespace cstuner::ml

@@ -1,0 +1,166 @@
+// Cross-module property sweeps (parameterized over the full stencil suite):
+// repair correctness, simulator physicality, codegen well-formedness, and
+// sampling determinism under every stencil pattern.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "cstuner.hpp"
+
+namespace cstuner {
+namespace {
+
+using namespace space;
+
+class SuiteProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  SuiteProperty()
+      : spec_(stencil::make_stencil(GetParam())),
+        space_(spec_),
+        sim_(gpusim::a100()) {}
+
+  stencil::StencilSpec spec_;
+  SearchSpace space_;
+  gpusim::Simulator sim_;
+};
+
+TEST_P(SuiteProperty, RepairAlwaysProducesValidSettings) {
+  // Repair must map ARBITRARY admissible-value combinations (even wildly
+  // inconsistent ones) into the valid space.
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Setting raw;
+    for (std::size_t p = 0; p < kParamCount; ++p) {
+      const auto& param = space_.parameters()[p];
+      raw.set(static_cast<ParamId>(p),
+              param.values[rng.index(param.cardinality())]);
+    }
+    const Setting repaired = space_.checker().repaired(raw);
+    EXPECT_TRUE(space_.is_valid(repaired))
+        << "raw: " << raw.to_string()
+        << "\nrepaired: " << repaired.to_string() << "\nviolation: "
+        << space_.checker().violation(repaired).value_or("none");
+  }
+}
+
+TEST_P(SuiteProperty, RepairIsIdempotent) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Setting raw = space_.random_setting(rng);
+    const Setting once = space_.checker().repaired(raw);
+    const Setting twice = space_.checker().repaired(once);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST_P(SuiteProperty, RepairFixesValidSettingsToThemselves) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Setting valid = space_.random_valid(rng);
+    EXPECT_EQ(space_.checker().repaired(valid), valid);
+  }
+}
+
+TEST_P(SuiteProperty, SimulatorTimesArePhysical) {
+  Rng rng(4);
+  // The kernel can never beat the DRAM roofline on compulsory traffic or
+  // the FP64 roofline on its FLOPs.
+  const double flop_floor_ms =
+      spec_.total_flops() / gpusim::a100().fp64_gflops / 1e6;
+  const double mem_floor_ms =
+      spec_.min_bytes() / gpusim::a100().dram_gbps / 1e6;
+  const double floor_ms = std::max(flop_floor_ms, mem_floor_ms);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = sim_.profile(spec_, space_.random_valid(rng));
+    EXPECT_GE(p.time_ms, floor_ms * 0.99);
+  }
+}
+
+TEST_P(SuiteProperty, SimulatorMetricsConsistentWithTime) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto p = sim_.profile(spec_, space_.random_valid(rng));
+    // Throughput metrics derived from time must agree with the totals.
+    const double implied_gbps =
+        (p.memory.dram_read_bytes + p.memory.dram_write_bytes) / 1e6 /
+        p.time_ms;
+    EXPECT_NEAR(p.metric(gpusim::kDramThroughputGbps), implied_gbps,
+                implied_gbps * 1e-9 + 1e-9);
+    // Stall ratios partition (approximately) into [0, 1].
+    const double stalls = p.metric(gpusim::kStallMemoryRatio) +
+                          p.metric(gpusim::kStallSyncRatio);
+    EXPECT_GE(stalls, 0.0);
+    EXPECT_LE(stalls, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(SuiteProperty, CodegenBalancedForRandomSettings) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const auto setting = space_.random_valid(rng);
+    const auto kernel = codegen::generate_kernel(spec_, setting);
+    int depth = 0;
+    for (char c : kernel.source) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    // Geometry covers the grid.
+    const auto g = codegen::compute_launch_geometry(spec_, setting);
+    for (int d = 0; d < 3; ++d) {
+      std::int64_t coverage;
+      if (setting.flag(kUseStreaming) &&
+          d == static_cast<int>(setting.get(kSD)) - 1) {
+        coverage = setting.get(kSB);
+      } else {
+        const ParamId tb[] = {kTBx, kTBy, kTBz};
+        const ParamId cm[] = {kCMx, kCMy, kCMz};
+        const ParamId bm[] = {kBMx, kBMy, kBMz};
+        coverage = setting.get(tb[d]) * setting.get(cm[d]) *
+                   setting.get(bm[d]);
+      }
+      EXPECT_GE(g.grid[d] * coverage, spec_.grid[static_cast<std::size_t>(d)]);
+    }
+  }
+}
+
+TEST_P(SuiteProperty, EvaluatorCacheConsistency) {
+  tuner::Evaluator evaluator(sim_, space_, {}, 9);
+  Rng rng(7);
+  std::vector<Setting> settings;
+  std::vector<double> first_times;
+  for (int i = 0; i < 20; ++i) {
+    settings.push_back(space_.random_valid(rng));
+    first_times.push_back(evaluator.evaluate(settings.back()));
+  }
+  const double clock = evaluator.virtual_time_s();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(evaluator.evaluate(settings[static_cast<std::size_t>(i)]),
+                     first_times[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_DOUBLE_EQ(evaluator.virtual_time_s(), clock);
+}
+
+TEST_P(SuiteProperty, DatasetMetricsMatchSimulator) {
+  Rng rng(8);
+  const auto dataset = tuner::collect_dataset(space_, sim_, 16, rng);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    // Dataset rows must be reproducible from the simulator with the same
+    // run index.
+    const auto metrics =
+        sim_.measure_metrics(spec_, dataset.settings[i], i);
+    for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+      EXPECT_DOUBLE_EQ(dataset.metrics(i, m), metrics[m]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStencils, SuiteProperty,
+                         ::testing::ValuesIn(stencil::stencil_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace cstuner

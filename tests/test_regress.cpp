@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "regress/least_squares.hpp"
+#include "regress/matrix.hpp"
+#include "regress/pmnf.hpp"
+
+namespace cstuner::regress {
+namespace {
+
+TEST(Matrix, ShapeAndFill) {
+  Matrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const auto y = m.multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 2) = 5.0;
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+  // y = 3 + 2*x
+  Matrix a(5, 2);
+  std::vector<double> y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i);
+    y[i] = 3.0 + 2.0 * static_cast<double>(i);
+  }
+  const auto fit = solve_least_squares(a, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-8);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-8);
+  EXPECT_NEAR(fit.rss, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, NoisyFitHasReasonableRse) {
+  Rng rng(2);
+  const std::size_t n = 200;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, 10);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    y[i] = 1.0 + 0.5 * x + rng.normal(0.0, 0.3);
+  }
+  const auto fit = solve_least_squares(a, y);
+  EXPECT_NEAR(fit.coefficients[1], 0.5, 0.05);
+  EXPECT_NEAR(fit.rse, 0.3, 0.08);
+  EXPECT_GT(fit.r2, 0.8);
+}
+
+TEST(LeastSquares, DegenerateColumnDoesNotCrash) {
+  // Two identical columns: rank deficient; the ridge keeps it solvable.
+  Matrix a(4, 2);
+  std::vector<double> y = {1, 2, 3, 4};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = static_cast<double>(i);
+  }
+  const auto fit = solve_least_squares(a, y);
+  EXPECT_TRUE(std::isfinite(fit.coefficients[0]));
+  EXPECT_TRUE(std::isfinite(fit.coefficients[1]));
+}
+
+TEST(LeastSquares, UnderdeterminedRseIsInfinite) {
+  Matrix a(2, 3, 1.0);
+  std::vector<double> y = {1, 2};
+  const auto fit = solve_least_squares(a, y);
+  EXPECT_TRUE(std::isinf(fit.rse));
+}
+
+TEST(Pmnf, TermValueMatchesDefinition) {
+  // Group {0, 1}, i=2, j=1: (p0^2 log2 p0) * (p1^2 log2 p1)
+  PmnfModel model({{0, 1}}, 2, 1, {0.0, 1.0});
+  const std::vector<double> params = {4.0, 2.0};
+  const double expected = (16.0 * 2.0) * (4.0 * 1.0);
+  EXPECT_DOUBLE_EQ(model.predict(params), expected);
+}
+
+TEST(Pmnf, InterceptOnlyPrediction) {
+  PmnfModel model({{0}}, 1, 0, {5.0, 0.0});
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{99.0}), 5.0);
+}
+
+TEST(Pmnf, ValuesBelowOneRejected) {
+  PmnfModel model({{0}}, 1, 0, {0.0, 1.0});
+  EXPECT_THROW(model.predict(std::vector<double>{0.5}), Error);
+}
+
+TEST(Pmnf, CandidateCountMatchesPaperConfig) {
+  // i in {0,1,2}, j in {0,1} minus the degenerate (0,0): five candidates.
+  PmnfFitter fitter;
+  EXPECT_EQ(fitter.candidate_count(), 5u);
+}
+
+TEST(Pmnf, FitRecoversPlantedLinearGroups) {
+  // y = 2 + 3*p0*p1 + 0.5*p2  with groups {0,1} and {2}: candidate (i=1,j=0)
+  // is exact, so it must win on RSE.
+  Rng rng(3);
+  const std::size_t n = 120;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double p0 = std::exp2(static_cast<double>(rng.bounded(5)));
+    const double p1 = std::exp2(static_cast<double>(rng.bounded(5)));
+    const double p2 = std::exp2(static_cast<double>(rng.bounded(5)));
+    x(r, 0) = p0;
+    x(r, 1) = p1;
+    x(r, 2) = p2;
+    y[r] = 2.0 + 3.0 * p0 * p1 + 0.5 * p2;
+  }
+  PmnfFitter fitter;
+  const auto best = fitter.fit_best(x, y, {{0, 1}, {2}});
+  EXPECT_EQ(best.model.i_exponent(), 1);
+  EXPECT_EQ(best.model.j_exponent(), 0);
+  EXPECT_NEAR(best.model.coefficients()[0], 2.0, 1e-4);
+  EXPECT_NEAR(best.model.coefficients()[1], 3.0, 1e-5);
+  EXPECT_NEAR(best.model.coefficients()[2], 0.5, 1e-5);
+  EXPECT_NEAR(best.rse, 0.0, 1e-4);  // tiny ridge keeps the solve regular
+}
+
+TEST(Pmnf, FitRecoversLogModel) {
+  // y = 1 + 4*log2(p0): candidate (i=0, j=1) is exact.
+  const std::size_t n = 60;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  Rng rng(5);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double p0 = std::exp2(static_cast<double>(rng.bounded(8)));
+    x(r, 0) = p0;
+    y[r] = 1.0 + 4.0 * std::log2(p0);
+  }
+  PmnfFitter fitter;
+  const auto best = fitter.fit_best(x, y, {{0}});
+  EXPECT_EQ(best.model.i_exponent(), 0);
+  EXPECT_EQ(best.model.j_exponent(), 1);
+  EXPECT_NEAR(best.model.coefficients()[1], 4.0, 1e-5);
+}
+
+TEST(Pmnf, FitAllReturnsEveryCandidate) {
+  Matrix x(10, 2);
+  std::vector<double> y(10);
+  Rng rng(7);
+  for (std::size_t r = 0; r < 10; ++r) {
+    x(r, 0) = std::exp2(static_cast<double>(rng.bounded(4)));
+    x(r, 1) = std::exp2(static_cast<double>(rng.bounded(4)));
+    y[r] = rng.uniform();
+  }
+  PmnfFitter fitter;
+  const auto all = fitter.fit_all(x, y, {{0}, {1}});
+  EXPECT_EQ(all.size(), fitter.candidate_count());
+  for (const auto& fit : all) {
+    EXPECT_EQ(fit.model.coefficients().size(), 3u);
+  }
+}
+
+TEST(Pmnf, SearchSpaceIndependentOfGroupCount) {
+  // The candidate count stays |I|x|J|-1 regardless of how many groups.
+  PmnfFitter fitter;
+  Matrix x(12, 4);
+  std::vector<double> y(12);
+  Rng rng(9);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      x(r, c) = std::exp2(static_cast<double>(rng.bounded(3)));
+    }
+    y[r] = rng.uniform();
+  }
+  EXPECT_EQ(fitter.fit_all(x, y, {{0}, {1}, {2}, {3}}).size(), 5u);
+  EXPECT_EQ(fitter.fit_all(x, y, {{0, 1, 2, 3}}).size(), 5u);
+}
+
+TEST(Pmnf, ToStringMentionsGroupsAndExponents) {
+  PmnfModel model({{0, 2}}, 2, 1, {1.0, -0.5});
+  const auto s = model.to_string();
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find("^2"), std::string::npos);
+  EXPECT_NE(s.find("log2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cstuner::regress

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+#include "stats/deque_group.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace cstuner::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Descriptive, CoefficientOfVariationMatchesEq1) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 2.0 / 5.0);
+}
+
+TEST(Descriptive, CvOfConstantSampleIsZero) {
+  const std::vector<double> xs = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Descriptive, CvZeroMeanThrows) {
+  const std::vector<double> xs = {-1, 1};
+  EXPECT_THROW(coefficient_of_variation(xs), Error);
+}
+
+TEST(Descriptive, MinMaxMedian) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Descriptive, MedianEvenCountInterpolates) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, QuantileEndpoints) {
+  const std::vector<double> xs = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+}
+
+TEST(Descriptive, EmptySampleThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), Error);
+  EXPECT_THROW(min(xs), Error);
+}
+
+TEST(Descriptive, SummaryConsistent) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y_pos = {2, 4, 6, 8};
+  const std::vector<double> y_neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, ZeroVarianceGivesZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Correlation, IndependentSamplesNearZero) {
+  Rng rng(1);
+  std::vector<double> x(4000), y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.06);
+}
+
+TEST(Correlation, SpearmanCapturesMonotoneNonlinear) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.2 * i));  // monotone but very non-linear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 0.9);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {1, 2, 2, 3};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(0.1);    // bin 0
+  h.add(0.39);   // bin 1
+  h.add(1.0);    // clamps into last bin
+  h.add(-0.5);   // clamps into first bin
+  h.add(2.0);    // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, LabelsDescribeBins) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_EQ(h.bin_label(0), "[0,0.5)");
+  EXPECT_EQ(h.bin_label(1), "[0.5,1]");
+}
+
+TEST(DequeGroup, BuildDequeSortsAscending) {
+  auto dq = build_deque({{0, 1, 3.0}, {1, 2, 1.0}, {0, 2, 2.0}});
+  EXPECT_DOUBLE_EQ(dq.front().score, 1.0);
+  EXPECT_DOUBLE_EQ(dq.back().score, 3.0);
+}
+
+TEST(DequeGroup, StronglyCorrelatedPairMerges) {
+  // (0,1) strongly correlated; (2,3) weak.
+  auto dq = build_deque({{0, 1, 0.01}, {2, 3, 10.0}});
+  const auto groups = group_parameters(std::move(dq), 4);
+  const auto g01 = find_group(groups, 0);
+  EXPECT_EQ(g01, find_group(groups, 1));
+  // Weak pair: separated singletons.
+  EXPECT_NE(find_group(groups, 2), find_group(groups, 3));
+}
+
+TEST(DequeGroup, TransitiveMergeThroughSharedParameter) {
+  // 0-1 strong, 1-2 strong: all three end in one group.
+  auto dq = build_deque({{0, 1, 0.01},
+                         {1, 2, 0.02},
+                         {0, 2, 0.03},
+                         {3, 4, 50.0},
+                         {2, 3, 40.0},
+                         {0, 4, 45.0}});
+  const auto groups = group_parameters(std::move(dq), 5);
+  EXPECT_EQ(find_group(groups, 0), find_group(groups, 1));
+  EXPECT_EQ(find_group(groups, 1), find_group(groups, 2));
+}
+
+TEST(DequeGroup, EveryItemAppearsExactlyOnce) {
+  std::vector<ScoredPair> pairs;
+  Rng rng(3);
+  const std::size_t n = 8;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs.push_back({a, b, rng.uniform()});
+    }
+  }
+  const auto groups = group_parameters(build_deque(pairs), n);
+  std::vector<int> seen(n, 0);
+  for (const auto& g : groups) {
+    for (std::size_t item : g) ++seen[item];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << "item " << i;
+}
+
+TEST(DequeGroup, ItemsWithoutPairsBecomeSingletons) {
+  const auto groups = group_parameters(build_deque({{0, 1, 0.5}}), 4);
+  EXPECT_NE(find_group(groups, 2), kNoGroup);
+  EXPECT_NE(find_group(groups, 3), kNoGroup);
+}
+
+TEST(DequeGroup, MetricCombinationRespectsCap) {
+  std::vector<ScoredPair> pairs;
+  Rng rng(5);
+  const std::size_t n = 10;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs.push_back({a, b, rng.uniform()});
+    }
+  }
+  const auto collections = combine_metrics(build_deque(pairs), n, 3);
+  // All metrics present exactly once.
+  std::vector<int> seen(n, 0);
+  for (const auto& c : collections) {
+    for (std::size_t item : c) ++seen[item];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1);
+  // With a dense pair set, no leftover singletons are needed: exactly 3.
+  EXPECT_EQ(collections.size(), 3u);
+}
+
+TEST(DequeGroup, MetricCombinationGroupsStrongestPairFirst) {
+  // Pair (4,5) is by far the strongest; it must share a collection.
+  std::vector<ScoredPair> pairs;
+  const std::size_t n = 6;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs.push_back({a, b, (a == 4 && b == 5) ? 0.99 : 0.1});
+    }
+  }
+  const auto collections = combine_metrics(build_deque(pairs), n, 2);
+  EXPECT_EQ(find_group(collections, 4), find_group(collections, 5));
+}
+
+TEST(DequeGroup, FindGroupMissingReturnsSentinel) {
+  EXPECT_EQ(find_group({{0, 1}}, 7), kNoGroup);
+}
+
+}  // namespace
+}  // namespace cstuner::stats

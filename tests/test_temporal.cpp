@@ -1,0 +1,202 @@
+// The temporal-blocking extension (§VII / AN5D-style): space shape,
+// constraints, resource pressure, model behaviour, codegen and — most
+// importantly — step-for-step semantics of the executor.
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_codegen.hpp"
+#include "common/error.hpp"
+#include "exec/cpu_executor.hpp"
+#include "gpusim/simulator.hpp"
+#include "space/search_space.hpp"
+#include "stencil/stencils.hpp"
+
+namespace cstuner {
+namespace {
+
+using namespace space;
+
+SpaceLimits temporal_limits() {
+  SpaceLimits limits;
+  limits.max_temporal = 4;
+  return limits;
+}
+
+Setting streaming_base() {
+  Setting s;
+  s.set(kTBx, 32);
+  s.set(kTBy, 8);
+  s.set(kTBz, 1);
+  s.set(kUseShared, kOn);
+  s.set(kUseStreaming, kOn);
+  s.set(kSD, 3);
+  s.set(kSB, 64);
+  return s;
+}
+
+TEST(TemporalSpace, DisabledByDefault) {
+  SearchSpace space(stencil::make_stencil("j3d7pt"));
+  EXPECT_EQ(space.parameter(kTemporal).values,
+            (std::vector<std::int64_t>{1}));
+}
+
+TEST(TemporalSpace, EnabledThroughLimits) {
+  SearchSpace space(stencil::make_stencil("j3d7pt"), temporal_limits());
+  EXPECT_EQ(space.parameter(kTemporal).values,
+            (std::vector<std::int64_t>{1, 2, 4}));
+}
+
+TEST(TemporalSpace, RequiresStreamingAndSingleGrid) {
+  SearchSpace space(stencil::make_stencil("j3d7pt"), temporal_limits());
+  Setting s = streaming_base();
+  s.set(kTemporal, 2);
+  EXPECT_TRUE(space.is_valid(s)) << *space.checker().violation(s);
+
+  Setting no_streaming = s;
+  no_streaming.set(kUseStreaming, kOff);
+  no_streaming = space.checker().canonicalized(no_streaming);
+  EXPECT_FALSE(space.is_valid(no_streaming));
+
+  SearchSpace multi(stencil::make_stencil("cheby"), temporal_limits());
+  Setting multi_grid = streaming_base();
+  multi_grid.set(kTemporal, 2);
+  const auto why = multi.checker().violation(multi_grid);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("single in/out"), std::string::npos);
+}
+
+TEST(TemporalSpace, RepairCollapsesInexpressibleTemporal) {
+  SearchSpace space(stencil::make_stencil("cheby"), temporal_limits());
+  Setting s = streaming_base();
+  s.set(kTemporal, 4);
+  const Setting repaired = space.checker().repaired(s);
+  EXPECT_EQ(repaired.get(kTemporal), 1);
+  EXPECT_TRUE(space.is_valid(repaired));
+}
+
+TEST(TemporalResources, FusedStepsRaisePressure) {
+  const auto spec = stencil::make_stencil("helmholtz");
+  Setting base = streaming_base();
+  Setting fused = base;
+  fused.set(kTemporal, 4);
+  const auto r_base = estimate_resources(spec, base);
+  const auto r_fused = estimate_resources(spec, fused);
+  EXPECT_GT(r_fused.registers_per_thread, r_base.registers_per_thread);
+  EXPECT_GT(r_fused.shared_mem_per_block, r_base.shared_mem_per_block);
+}
+
+TEST(TemporalModel, AmortizesMemoryTraffic) {
+  // j3d7pt is memory bound: fusing steps should reduce per-step time as
+  // long as resources allow, because global traffic is paid once.
+  const auto spec = stencil::make_stencil("j3d7pt");
+  SearchSpace space(spec, temporal_limits());
+  gpusim::Simulator sim(gpusim::a100());
+  Setting base = streaming_base();
+  ASSERT_TRUE(space.is_valid(base));
+  Setting fused = base;
+  fused.set(kTemporal, 2);
+  ASSERT_TRUE(space.is_valid(fused));
+  EXPECT_LT(sim.profile(spec, fused).time_ms,
+            sim.profile(spec, base).time_ms);
+}
+
+TEST(TemporalModel, RedundantComputeCostsComputeBoundKernels) {
+  // For a compute-bound per-step profile, fusing cannot give a free win:
+  // per-step compute grows with the overlap redundancy.
+  const auto spec = stencil::make_stencil("j3d7pt");
+  gpusim::Simulator sim(gpusim::a100());
+  Setting fused2 = streaming_base();
+  fused2.set(kTemporal, 2);
+  Setting fused4 = streaming_base();
+  fused4.set(kTemporal, 4);
+  const auto p2 = sim.profile(spec, fused2);
+  const auto p4 = sim.profile(spec, fused4);
+  // Compute share strictly grows with the fusion factor.
+  EXPECT_GT(p4.compute.flop_time_ms, p2.compute.flop_time_ms);
+}
+
+TEST(TemporalCodegen, EmitsTimeLoop) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  Setting s = streaming_base();
+  s.set(kTemporal, 4);
+  const auto kernel = codegen::generate_kernel(spec, s);
+  EXPECT_NE(kernel.source.find("for (int tt = 0; tt < 4; ++tt)"),
+            std::string::npos);
+  EXPECT_NE(kernel.source.find("temporal blocking"), std::string::npos);
+  int depth = 0;
+  for (char c : kernel.source) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TemporalExec, ReferenceStepsMatchManualPingPong) {
+  auto spec = stencil::scaled_stencil("j3d7pt", 12);
+  // Two manual steps.
+  auto manual = stencil::make_grids(spec);
+  stencil::run_reference(spec, manual.inputs, manual.outputs);
+  stencil::copy_interior(manual.outputs[0], manual.inputs[0]);
+  stencil::run_reference(spec, manual.inputs, manual.outputs);
+  // run_reference_steps with steps=2.
+  auto stepped = stencil::make_grids(spec);
+  stencil::run_reference_steps(spec, stepped, 2);
+  EXPECT_EQ(stencil::Grid3::max_abs_diff(manual.outputs[0],
+                                         stepped.outputs[0]),
+            0.0);
+}
+
+TEST(TemporalExec, TiledStepsMatchReferenceSteps) {
+  auto spec = stencil::scaled_stencil("helmholtz", 16);
+  SearchSpace space(spec, temporal_limits());
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto setting = space.random_valid(rng);
+    for (int steps : {1, 2, 3}) {
+      EXPECT_EQ(exec::max_divergence_from_reference_steps(spec, setting,
+                                                          steps),
+                0.0)
+          << "steps=" << steps << " setting=" << setting.to_string();
+    }
+  }
+}
+
+TEST(TemporalExec, MultiGridStencilRejected) {
+  auto spec = stencil::scaled_stencil("cheby", 12);
+  auto grids = stencil::make_grids(spec);
+  EXPECT_THROW(stencil::run_reference_steps(spec, grids, 2), Error);
+}
+
+TEST(TemporalTuning, TunerExploitsTemporalWhenEnabled) {
+  // With the extension enabled, the universe contains TF>1 settings and the
+  // best-found setting should at least not regress vs the TF=1 space.
+  const auto spec = stencil::make_stencil("j3d7pt");
+  SearchSpace plain(spec);
+  SearchSpace temporal(spec, temporal_limits());
+  gpusim::Simulator sim(gpusim::a100());
+  Rng rng_a(11), rng_b(11);
+  const auto plain_universe = plain.sample_universe(rng_a, 4000);
+  const auto temporal_universe = temporal.sample_universe(rng_b, 4000);
+
+  auto best_of = [&](const std::vector<Setting>& universe) {
+    double best = 1e300;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      best = std::min(best, sim.measure_ms(spec, universe[i], i));
+    }
+    return best;
+  };
+  const double plain_best = best_of(plain_universe);
+  const double temporal_best = best_of(temporal_universe);
+  EXPECT_LT(temporal_best, plain_best * 1.05);
+
+  // And some TF>1 settings exist in the temporal universe.
+  bool saw_fused = false;
+  for (const auto& s : temporal_universe) {
+    saw_fused |= (s.get(kTemporal) > 1);
+  }
+  EXPECT_TRUE(saw_fused);
+}
+
+}  // namespace
+}  // namespace cstuner

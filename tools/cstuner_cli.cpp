@@ -1,0 +1,341 @@
+// cstuner — command-line driver for the auto-tuning framework.
+//
+// Subcommands:
+//   list-stencils                       the Table III suite
+//   inspect   <stencil>                 parameter space + constraints summary
+//   profile   <stencil> [--set k=v ...] simulate one setting (time + metrics)
+//   codegen   <stencil> [--set k=v ...] emit the CUDA kernel for a setting
+//   dataset   <stencil> [-n N]          collect a performance dataset (CSV)
+//   validate  <stencil> [--scale S]     tiled executor vs reference oracle
+//   tune      <stencil> [--method M] [--budget S] [--json]   run a tuner
+//
+// Common flags: --arch a100|v100 (default a100), --seed N.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "core/grouping.hpp"
+#include "cstuner.hpp"
+
+using namespace cstuner;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // "--key value" or "--key"
+
+  bool has(const std::string& k) const { return flags.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& fallback) const {
+    const auto it = flags.find(k);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& k, double fallback) const {
+    const auto it = flags.find(k);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::uint64_t get_u64(const std::string& k, std::uint64_t fallback) const {
+    const auto it = flags.find(k);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  std::vector<std::string> get_all(const std::string& k) const {
+    std::vector<std::string> out;
+    for (auto [lo, hi] = multi.equal_range(k); lo != hi; ++lo) {
+      out.push_back(lo->second);
+    }
+    return out;
+  }
+  std::multimap<std::string, std::string> multi;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      std::string value;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        value = argv[++i];
+      }
+      args.flags[name] = value;
+      args.multi.emplace(name, value);
+    } else if (token.rfind("-n", 0) == 0 && token.size() == 2) {
+      if (i + 1 < argc) args.flags["n"] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+/// Resolves the stencil: a built-in name (positional) or --spec <file>
+/// pointing at a stencil-DSL document.
+stencil::StencilSpec resolve_spec(const Args& args) {
+  if (args.has("spec")) {
+    return stencil::load_stencil_file(args.get("spec", ""));
+  }
+  return stencil::make_stencil(args.positional.at(0));
+}
+
+/// Applies "--set name=value" overrides onto a setting.
+space::Setting parse_setting(const space::SearchSpace& space,
+                             const Args& args) {
+  space::Setting s;
+  s.set(space::kTBx, 32);  // sensible default mapping
+  for (const auto& assignment : args.get_all("set")) {
+    const auto eq = assignment.find('=');
+    if (eq == std::string::npos) {
+      throw UsageError("--set expects name=value, got: " + assignment);
+    }
+    const std::string name = assignment.substr(0, eq);
+    const auto value = std::stoll(assignment.substr(eq + 1));
+    bool found = false;
+    for (std::size_t i = 0; i < space::kParamCount; ++i) {
+      const auto id = static_cast<space::ParamId>(i);
+      if (name == space::param_name(id)) {
+        s.set(id, value);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw UsageError("unknown parameter: " + name);
+  }
+  return space.checker().canonicalized(s);
+}
+
+int cmd_list_stencils() {
+  TextTable table({"stencil", "grid", "order", "flops", "io_arrays"});
+  for (const auto& spec : stencil::all_stencils()) {
+    table.add_row({spec.name, std::to_string(spec.grid[0]) + "^3",
+                   std::to_string(spec.order), std::to_string(spec.flops),
+                   std::to_string(spec.io_arrays)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  std::cout << "stencil " << spec.name << ": grid " << spec.grid[0] << "x"
+            << spec.grid[1] << "x" << spec.grid[2] << ", order " << spec.order
+            << ", " << spec.flops << " FLOPs/point, " << spec.io_arrays
+            << " arrays (" << spec.n_inputs << " in / " << spec.n_outputs
+            << " out), " << spec.taps.size() << " taps\n";
+  std::cout << "unconstrained space: 10^"
+            << static_cast<int>(space.log10_cartesian_size())
+            << " settings\n\n";
+  TextTable table({"parameter", "kind", "values"});
+  for (const auto& p : space.parameters()) {
+    std::string values;
+    for (std::size_t i = 0; i < p.values.size(); ++i) {
+      if (i) values += ',';
+      if (i >= 6) {
+        values += "...," + std::to_string(p.values.back());
+        break;
+      }
+      values += std::to_string(p.values[i]);
+    }
+    const char* kind = p.kind == space::ParamKind::kBool   ? "bool"
+                       : p.kind == space::ParamKind::kEnum ? "enum"
+                                                           : "pow2";
+    table.add_row({p.name, kind, values});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  gpusim::Simulator sim(gpusim::arch_by_name(args.get("arch", "a100")));
+  const auto setting = parse_setting(space, args);
+  if (const auto why = space.checker().violation(setting)) {
+    std::cerr << "invalid setting: " << *why << '\n';
+    return 1;
+  }
+  const auto profile = sim.profile(spec, setting);
+  std::cout << "setting: " << setting.to_string() << '\n';
+  std::cout << "time: " << profile.time_ms << " ms  (occupancy "
+            << profile.occupancy.occupancy << ", limiter "
+            << gpusim::limiter_name(profile.occupancy.limiter)
+            << ", registers " << profile.resources.registers_per_thread
+            << ", smem " << profile.resources.shared_mem_per_block
+            << " B)\n\nmetrics:\n";
+  TextTable table({"metric", "value"});
+  for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+    table.add_row({gpusim::metric_name(static_cast<gpusim::MetricId>(m)),
+                   TextTable::fmt(profile.metrics[m], 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_codegen(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  const auto setting = parse_setting(space, args);
+  const auto kernel = codegen::generate_kernel(spec, setting);
+  std::cout << kernel.source << "\n// launch: " << kernel.launch << '\n';
+  return 0;
+}
+
+int cmd_dataset(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  gpusim::Simulator sim(gpusim::arch_by_name(args.get("arch", "a100")));
+  Rng rng(args.get_u64("seed", 1));
+  const auto n = static_cast<std::size_t>(args.get_u64("n", 128));
+  const auto dataset = tuner::collect_dataset(space, sim, n, rng);
+  // CSV: parameters, time, metrics.
+  for (std::size_t p = 0; p < space::kParamCount; ++p) {
+    std::cout << space::param_name(static_cast<space::ParamId>(p)) << ',';
+  }
+  std::cout << "time_ms";
+  for (const auto& metric : gpusim::metric_names()) std::cout << ',' << metric;
+  std::cout << '\n';
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (std::size_t p = 0; p < space::kParamCount; ++p) {
+      std::cout << dataset.settings[i].get(static_cast<space::ParamId>(p))
+                << ',';
+    }
+    std::cout << dataset.times_ms[i];
+    for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+      std::cout << ',' << dataset.metrics(i, m);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const auto name = args.positional.at(0);
+  const int scale = static_cast<int>(args.get_u64("scale", 20));
+  auto spec = stencil::scaled_stencil(name, scale);
+  space::SearchSpace space(spec);
+  Rng rng(args.get_u64("seed", 1));
+  const int trials = static_cast<int>(args.get_u64("trials", 5));
+  for (int i = 0; i < trials; ++i) {
+    const auto setting = space.random_valid(rng);
+    const double divergence =
+        exec::max_divergence_from_reference(spec, setting);
+    std::cout << (divergence == 0.0 ? "OK   " : "FAIL ")
+              << setting.to_string() << '\n';
+    if (divergence != 0.0) return 1;
+  }
+  std::cout << trials << " random decompositions match the reference.\n";
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  gpusim::Simulator sim(gpusim::arch_by_name(args.get("arch", "a100")));
+  const auto seed = args.get_u64("seed", 7);
+  tuner::Evaluator evaluator(sim, space, {}, seed);
+
+  const std::string method = args.get("method", "csTuner");
+  std::unique_ptr<tuner::Tuner> tuner;
+  if (method == "csTuner") {
+    core::CsTunerOptions options;
+    options.universe_size =
+        static_cast<std::size_t>(args.get_u64("universe", 8000));
+    options.seed = seed;
+    tuner = std::make_unique<core::CsTuner>(options);
+  } else if (method == "garvey") {
+    baselines::GarveyOptions options;
+    options.seed = seed;
+    tuner = std::make_unique<baselines::Garvey>(options);
+  } else if (method == "opentuner") {
+    baselines::OpenTunerOptions options;
+    options.seed = seed;
+    tuner = std::make_unique<baselines::OpenTuner>(options);
+  } else if (method == "artemis") {
+    baselines::ArtemisOptions options;
+    options.seed = seed;
+    tuner = std::make_unique<baselines::Artemis>(options);
+  } else {
+    std::cerr << "unknown method: " << method
+              << " (csTuner|garvey|opentuner|artemis)\n";
+    return 1;
+  }
+
+  tuner::StopCriteria stop;
+  stop.max_virtual_seconds = args.get_double("budget", 60.0);
+  tuner->tune(evaluator, stop);
+
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("stencil", spec.name);
+    json.field("arch", sim.arch().name);
+    json.field("method", tuner->name());
+    json.field("best_time_ms", evaluator.best_time_ms());
+    json.field("best_setting", evaluator.best_setting()->to_string());
+    json.field("evaluations", evaluator.unique_evaluations());
+    json.field("iterations", evaluator.iterations());
+    json.field("virtual_time_s", evaluator.virtual_time_s());
+    json.key("trace").begin_array();
+    for (const auto& p : evaluator.trace().points) {
+      json.begin_object();
+      json.field("iteration", p.iteration);
+      json.field("time_s", p.virtual_time_s);
+      json.field("best_ms", p.best_time_ms);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << json.str() << '\n';
+  } else {
+    std::cout << "method:        " << tuner->name() << '\n'
+              << "best time:     " << evaluator.best_time_ms() << " ms\n"
+              << "best setting:  " << evaluator.best_setting()->to_string()
+              << '\n'
+              << "evaluations:   " << evaluator.unique_evaluations() << '\n'
+              << "virtual time:  " << evaluator.virtual_time_s() << " s\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: cstuner <command> [args]\n"
+         "  list-stencils\n"
+         "  inspect  <stencil> | --spec <file.stencil>\n"
+         "  profile  <stencil> [--arch a100|v100] [--set name=value ...]\n"
+         "  codegen  <stencil> [--set name=value ...]\n"
+         "  dataset  <stencil> [-n N] [--arch ...] [--seed N]\n"
+         "  validate <stencil> [--scale S] [--trials N]\n"
+         "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
+         "           [--budget seconds] [--arch ...] [--seed N] [--json]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "list-stencils") return cmd_list_stencils();
+    if (args.positional.empty() && !args.has("spec")) return usage();
+    if (args.command == "inspect") return cmd_inspect(args);
+    if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "codegen") return cmd_codegen(args);
+    if (args.command == "dataset") return cmd_dataset(args);
+    if (args.command == "validate") return cmd_validate(args);
+    if (args.command == "tune") return cmd_tune(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
