@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cpu.dir/bench_ext_cpu.cpp.o"
+  "CMakeFiles/bench_ext_cpu.dir/bench_ext_cpu.cpp.o.d"
+  "CMakeFiles/bench_ext_cpu.dir/harness.cpp.o"
+  "CMakeFiles/bench_ext_cpu.dir/harness.cpp.o.d"
+  "bench_ext_cpu"
+  "bench_ext_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_temporal.dir/bench_ext_temporal.cpp.o"
+  "CMakeFiles/bench_ext_temporal.dir/bench_ext_temporal.cpp.o.d"
+  "CMakeFiles/bench_ext_temporal.dir/harness.cpp.o"
+  "CMakeFiles/bench_ext_temporal.dir/harness.cpp.o.d"
+  "bench_ext_temporal"
+  "bench_ext_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_v100.dir/bench_fig10_v100.cpp.o"
+  "CMakeFiles/bench_fig10_v100.dir/bench_fig10_v100.cpp.o.d"
+  "CMakeFiles/bench_fig10_v100.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig10_v100.dir/harness.cpp.o.d"
+  "bench_fig10_v100"
+  "bench_fig10_v100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sampling_ratio.dir/bench_fig11_sampling_ratio.cpp.o"
+  "CMakeFiles/bench_fig11_sampling_ratio.dir/bench_fig11_sampling_ratio.cpp.o.d"
+  "CMakeFiles/bench_fig11_sampling_ratio.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig11_sampling_ratio.dir/harness.cpp.o.d"
+  "bench_fig11_sampling_ratio"
+  "bench_fig11_sampling_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sampling_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

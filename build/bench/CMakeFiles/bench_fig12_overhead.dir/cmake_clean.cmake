@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_overhead.dir/bench_fig12_overhead.cpp.o"
+  "CMakeFiles/bench_fig12_overhead.dir/bench_fig12_overhead.cpp.o.d"
+  "CMakeFiles/bench_fig12_overhead.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig12_overhead.dir/harness.cpp.o.d"
+  "bench_fig12_overhead"
+  "bench_fig12_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

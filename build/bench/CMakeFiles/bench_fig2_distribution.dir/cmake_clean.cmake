@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_distribution.dir/bench_fig2_distribution.cpp.o"
+  "CMakeFiles/bench_fig2_distribution.dir/bench_fig2_distribution.cpp.o.d"
+  "CMakeFiles/bench_fig2_distribution.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig2_distribution.dir/harness.cpp.o.d"
+  "bench_fig2_distribution"
+  "bench_fig2_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_correlation.dir/bench_fig3_correlation.cpp.o"
+  "CMakeFiles/bench_fig3_correlation.dir/bench_fig3_correlation.cpp.o.d"
+  "CMakeFiles/bench_fig3_correlation.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig3_correlation.dir/harness.cpp.o.d"
+  "bench_fig3_correlation"
+  "bench_fig3_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

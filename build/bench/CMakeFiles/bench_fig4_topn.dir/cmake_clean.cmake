@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_topn.dir/bench_fig4_topn.cpp.o"
+  "CMakeFiles/bench_fig4_topn.dir/bench_fig4_topn.cpp.o.d"
+  "CMakeFiles/bench_fig4_topn.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig4_topn.dir/harness.cpp.o.d"
+  "bench_fig4_topn"
+  "bench_fig4_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_iso_iteration.dir/bench_fig8_iso_iteration.cpp.o"
+  "CMakeFiles/bench_fig8_iso_iteration.dir/bench_fig8_iso_iteration.cpp.o.d"
+  "CMakeFiles/bench_fig8_iso_iteration.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig8_iso_iteration.dir/harness.cpp.o.d"
+  "bench_fig8_iso_iteration"
+  "bench_fig8_iso_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_iso_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_iso_time.dir/bench_fig9_iso_time.cpp.o"
+  "CMakeFiles/bench_fig9_iso_time.dir/bench_fig9_iso_time.cpp.o.d"
+  "CMakeFiles/bench_fig9_iso_time.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig9_iso_time.dir/harness.cpp.o.d"
+  "bench_fig9_iso_time"
+  "bench_fig9_iso_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_iso_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

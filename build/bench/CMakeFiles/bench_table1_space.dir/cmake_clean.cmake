@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_space.dir/bench_table1_space.cpp.o"
+  "CMakeFiles/bench_table1_space.dir/bench_table1_space.cpp.o.d"
+  "CMakeFiles/bench_table1_space.dir/harness.cpp.o"
+  "CMakeFiles/bench_table1_space.dir/harness.cpp.o.d"
+  "bench_table1_space"
+  "bench_table1_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stencils.dir/bench_table3_stencils.cpp.o"
+  "CMakeFiles/bench_table3_stencils.dir/bench_table3_stencils.cpp.o.d"
+  "CMakeFiles/bench_table3_stencils.dir/harness.cpp.o"
+  "CMakeFiles/bench_table3_stencils.dir/harness.cpp.o.d"
+  "bench_table3_stencils"
+  "bench_table3_stencils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

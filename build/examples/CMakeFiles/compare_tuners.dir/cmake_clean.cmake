@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_tuners.dir/compare_tuners.cpp.o"
+  "CMakeFiles/compare_tuners.dir/compare_tuners.cpp.o.d"
+  "compare_tuners"
+  "compare_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_tuners.
+# This may be replaced when dependencies are built.

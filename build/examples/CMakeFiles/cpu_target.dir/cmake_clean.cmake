@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_target.dir/cpu_target.cpp.o"
+  "CMakeFiles/cpu_target.dir/cpu_target.cpp.o.d"
+  "cpu_target"
+  "cpu_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

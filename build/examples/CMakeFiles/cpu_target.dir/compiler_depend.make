@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cpu_target.
+# This may be replaced when dependencies are built.

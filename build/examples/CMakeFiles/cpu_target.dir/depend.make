@@ -1,0 +1,2 @@
+# Empty dependencies file for cpu_target.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_gpu.dir/cross_gpu.cpp.o"
+  "CMakeFiles/cross_gpu.dir/cross_gpu.cpp.o.d"
+  "cross_gpu"
+  "cross_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

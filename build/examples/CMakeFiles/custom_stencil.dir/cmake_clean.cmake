@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_stencil.dir/custom_stencil.cpp.o"
+  "CMakeFiles/custom_stencil.dir/custom_stencil.cpp.o.d"
+  "custom_stencil"
+  "custom_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

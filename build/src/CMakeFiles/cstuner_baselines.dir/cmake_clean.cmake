@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_baselines.dir/baselines/artemis.cpp.o"
+  "CMakeFiles/cstuner_baselines.dir/baselines/artemis.cpp.o.d"
+  "CMakeFiles/cstuner_baselines.dir/baselines/garvey.cpp.o"
+  "CMakeFiles/cstuner_baselines.dir/baselines/garvey.cpp.o.d"
+  "CMakeFiles/cstuner_baselines.dir/baselines/opentuner.cpp.o"
+  "CMakeFiles/cstuner_baselines.dir/baselines/opentuner.cpp.o.d"
+  "CMakeFiles/cstuner_baselines.dir/baselines/subspace.cpp.o"
+  "CMakeFiles/cstuner_baselines.dir/baselines/subspace.cpp.o.d"
+  "libcstuner_baselines.a"
+  "libcstuner_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_codegen.dir/codegen/cuda_codegen.cpp.o"
+  "CMakeFiles/cstuner_codegen.dir/codegen/cuda_codegen.cpp.o.d"
+  "libcstuner_codegen.a"
+  "libcstuner_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_common.dir/common/error.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/cstuner_common.dir/common/json.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/json.cpp.o.d"
+  "CMakeFiles/cstuner_common.dir/common/logging.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/cstuner_common.dir/common/rng.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/cstuner_common.dir/common/table.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/table.cpp.o.d"
+  "libcstuner_common.a"
+  "libcstuner_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

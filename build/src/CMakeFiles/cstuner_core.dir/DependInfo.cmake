@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx.cpp" "src/CMakeFiles/cstuner_core.dir/core/approx.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/approx.cpp.o.d"
+  "/root/repo/src/core/cs_tuner.cpp" "src/CMakeFiles/cstuner_core.dir/core/cs_tuner.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/cs_tuner.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/CMakeFiles/cstuner_core.dir/core/grouping.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/grouping.cpp.o.d"
+  "/root/repo/src/core/metric_combine.cpp" "src/CMakeFiles/cstuner_core.dir/core/metric_combine.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/metric_combine.cpp.o.d"
+  "/root/repo/src/core/reindex.cpp" "src/CMakeFiles/cstuner_core.dir/core/reindex.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/reindex.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/CMakeFiles/cstuner_core.dir/core/sampling.cpp.o" "gcc" "src/CMakeFiles/cstuner_core.dir/core/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_core.dir/core/approx.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/approx.cpp.o.d"
+  "CMakeFiles/cstuner_core.dir/core/cs_tuner.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/cs_tuner.cpp.o.d"
+  "CMakeFiles/cstuner_core.dir/core/grouping.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/grouping.cpp.o.d"
+  "CMakeFiles/cstuner_core.dir/core/metric_combine.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/metric_combine.cpp.o.d"
+  "CMakeFiles/cstuner_core.dir/core/reindex.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/reindex.cpp.o.d"
+  "CMakeFiles/cstuner_core.dir/core/sampling.cpp.o"
+  "CMakeFiles/cstuner_core.dir/core/sampling.cpp.o.d"
+  "libcstuner_core.a"
+  "libcstuner_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

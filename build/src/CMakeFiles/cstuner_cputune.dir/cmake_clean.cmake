@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_arch.cpp.o"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_arch.cpp.o.d"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_model.cpp.o"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_model.cpp.o.d"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_space.cpp.o"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_space.cpp.o.d"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_tuner.cpp.o"
+  "CMakeFiles/cstuner_cputune.dir/cputune/cpu_tuner.cpp.o.d"
+  "libcstuner_cputune.a"
+  "libcstuner_cputune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_cputune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_exec.dir/exec/cpu_executor.cpp.o"
+  "CMakeFiles/cstuner_exec.dir/exec/cpu_executor.cpp.o.d"
+  "libcstuner_exec.a"
+  "libcstuner_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

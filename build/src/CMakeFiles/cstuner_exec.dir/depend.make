@@ -1,0 +1,2 @@
+# Empty dependencies file for cstuner_exec.
+# This may be replaced when dependencies are built.

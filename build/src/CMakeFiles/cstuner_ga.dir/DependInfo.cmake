@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/gene.cpp" "src/CMakeFiles/cstuner_ga.dir/ga/gene.cpp.o" "gcc" "src/CMakeFiles/cstuner_ga.dir/ga/gene.cpp.o.d"
+  "/root/repo/src/ga/island_ga.cpp" "src/CMakeFiles/cstuner_ga.dir/ga/island_ga.cpp.o" "gcc" "src/CMakeFiles/cstuner_ga.dir/ga/island_ga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_ga.dir/ga/gene.cpp.o"
+  "CMakeFiles/cstuner_ga.dir/ga/gene.cpp.o.d"
+  "CMakeFiles/cstuner_ga.dir/ga/island_ga.cpp.o"
+  "CMakeFiles/cstuner_ga.dir/ga/island_ga.cpp.o.d"
+  "libcstuner_ga.a"
+  "libcstuner_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/compute_model.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/compute_model.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/compute_model.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_arch.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/gpu_arch.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/gpu_arch.cpp.o.d"
+  "/root/repo/src/gpusim/memory_model.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/memory_model.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/memory_model.cpp.o.d"
+  "/root/repo/src/gpusim/metrics.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/metrics.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/metrics.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/simulator.cpp" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/simulator.cpp.o" "gcc" "src/CMakeFiles/cstuner_gpusim.dir/gpusim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/compute_model.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/compute_model.cpp.o.d"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/gpu_arch.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/gpu_arch.cpp.o.d"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/memory_model.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/memory_model.cpp.o.d"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/metrics.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/metrics.cpp.o.d"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/occupancy.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/occupancy.cpp.o.d"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/simulator.cpp.o"
+  "CMakeFiles/cstuner_gpusim.dir/gpusim/simulator.cpp.o.d"
+  "libcstuner_gpusim.a"
+  "libcstuner_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

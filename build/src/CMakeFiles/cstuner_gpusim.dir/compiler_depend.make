@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cstuner_gpusim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_minimpi.dir/minimpi/comm.cpp.o"
+  "CMakeFiles/cstuner_minimpi.dir/minimpi/comm.cpp.o.d"
+  "libcstuner_minimpi.a"
+  "libcstuner_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

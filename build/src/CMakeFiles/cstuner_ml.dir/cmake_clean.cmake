@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/cstuner_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/cstuner_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/cstuner_ml.dir/ml/random_forest.cpp.o.d"
+  "libcstuner_ml.a"
+  "libcstuner_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcstuner_ml.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regress/least_squares.cpp" "src/CMakeFiles/cstuner_regress.dir/regress/least_squares.cpp.o" "gcc" "src/CMakeFiles/cstuner_regress.dir/regress/least_squares.cpp.o.d"
+  "/root/repo/src/regress/matrix.cpp" "src/CMakeFiles/cstuner_regress.dir/regress/matrix.cpp.o" "gcc" "src/CMakeFiles/cstuner_regress.dir/regress/matrix.cpp.o.d"
+  "/root/repo/src/regress/pmnf.cpp" "src/CMakeFiles/cstuner_regress.dir/regress/pmnf.cpp.o" "gcc" "src/CMakeFiles/cstuner_regress.dir/regress/pmnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

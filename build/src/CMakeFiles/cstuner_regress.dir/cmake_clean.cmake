@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_regress.dir/regress/least_squares.cpp.o"
+  "CMakeFiles/cstuner_regress.dir/regress/least_squares.cpp.o.d"
+  "CMakeFiles/cstuner_regress.dir/regress/matrix.cpp.o"
+  "CMakeFiles/cstuner_regress.dir/regress/matrix.cpp.o.d"
+  "CMakeFiles/cstuner_regress.dir/regress/pmnf.cpp.o"
+  "CMakeFiles/cstuner_regress.dir/regress/pmnf.cpp.o.d"
+  "libcstuner_regress.a"
+  "libcstuner_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/constraints.cpp" "src/CMakeFiles/cstuner_space.dir/space/constraints.cpp.o" "gcc" "src/CMakeFiles/cstuner_space.dir/space/constraints.cpp.o.d"
+  "/root/repo/src/space/parameter.cpp" "src/CMakeFiles/cstuner_space.dir/space/parameter.cpp.o" "gcc" "src/CMakeFiles/cstuner_space.dir/space/parameter.cpp.o.d"
+  "/root/repo/src/space/resource_model.cpp" "src/CMakeFiles/cstuner_space.dir/space/resource_model.cpp.o" "gcc" "src/CMakeFiles/cstuner_space.dir/space/resource_model.cpp.o.d"
+  "/root/repo/src/space/search_space.cpp" "src/CMakeFiles/cstuner_space.dir/space/search_space.cpp.o" "gcc" "src/CMakeFiles/cstuner_space.dir/space/search_space.cpp.o.d"
+  "/root/repo/src/space/setting.cpp" "src/CMakeFiles/cstuner_space.dir/space/setting.cpp.o" "gcc" "src/CMakeFiles/cstuner_space.dir/space/setting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_space.dir/space/constraints.cpp.o"
+  "CMakeFiles/cstuner_space.dir/space/constraints.cpp.o.d"
+  "CMakeFiles/cstuner_space.dir/space/parameter.cpp.o"
+  "CMakeFiles/cstuner_space.dir/space/parameter.cpp.o.d"
+  "CMakeFiles/cstuner_space.dir/space/resource_model.cpp.o"
+  "CMakeFiles/cstuner_space.dir/space/resource_model.cpp.o.d"
+  "CMakeFiles/cstuner_space.dir/space/search_space.cpp.o"
+  "CMakeFiles/cstuner_space.dir/space/search_space.cpp.o.d"
+  "CMakeFiles/cstuner_space.dir/space/setting.cpp.o"
+  "CMakeFiles/cstuner_space.dir/space/setting.cpp.o.d"
+  "libcstuner_space.a"
+  "libcstuner_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_stats.dir/stats/correlation.cpp.o"
+  "CMakeFiles/cstuner_stats.dir/stats/correlation.cpp.o.d"
+  "CMakeFiles/cstuner_stats.dir/stats/deque_group.cpp.o"
+  "CMakeFiles/cstuner_stats.dir/stats/deque_group.cpp.o.d"
+  "CMakeFiles/cstuner_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/cstuner_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/cstuner_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/cstuner_stats.dir/stats/histogram.cpp.o.d"
+  "libcstuner_stats.a"
+  "libcstuner_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

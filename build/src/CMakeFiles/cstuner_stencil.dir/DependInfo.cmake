@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/dsl.cpp" "src/CMakeFiles/cstuner_stencil.dir/stencil/dsl.cpp.o" "gcc" "src/CMakeFiles/cstuner_stencil.dir/stencil/dsl.cpp.o.d"
+  "/root/repo/src/stencil/reference_kernel.cpp" "src/CMakeFiles/cstuner_stencil.dir/stencil/reference_kernel.cpp.o" "gcc" "src/CMakeFiles/cstuner_stencil.dir/stencil/reference_kernel.cpp.o.d"
+  "/root/repo/src/stencil/stencil_spec.cpp" "src/CMakeFiles/cstuner_stencil.dir/stencil/stencil_spec.cpp.o" "gcc" "src/CMakeFiles/cstuner_stencil.dir/stencil/stencil_spec.cpp.o.d"
+  "/root/repo/src/stencil/stencils.cpp" "src/CMakeFiles/cstuner_stencil.dir/stencil/stencils.cpp.o" "gcc" "src/CMakeFiles/cstuner_stencil.dir/stencil/stencils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

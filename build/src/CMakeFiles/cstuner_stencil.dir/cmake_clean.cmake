@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_stencil.dir/stencil/dsl.cpp.o"
+  "CMakeFiles/cstuner_stencil.dir/stencil/dsl.cpp.o.d"
+  "CMakeFiles/cstuner_stencil.dir/stencil/reference_kernel.cpp.o"
+  "CMakeFiles/cstuner_stencil.dir/stencil/reference_kernel.cpp.o.d"
+  "CMakeFiles/cstuner_stencil.dir/stencil/stencil_spec.cpp.o"
+  "CMakeFiles/cstuner_stencil.dir/stencil/stencil_spec.cpp.o.d"
+  "CMakeFiles/cstuner_stencil.dir/stencil/stencils.cpp.o"
+  "CMakeFiles/cstuner_stencil.dir/stencil/stencils.cpp.o.d"
+  "libcstuner_stencil.a"
+  "libcstuner_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

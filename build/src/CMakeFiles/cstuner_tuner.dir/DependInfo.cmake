@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/dataset.cpp" "src/CMakeFiles/cstuner_tuner.dir/tuner/dataset.cpp.o" "gcc" "src/CMakeFiles/cstuner_tuner.dir/tuner/dataset.cpp.o.d"
+  "/root/repo/src/tuner/evaluator.cpp" "src/CMakeFiles/cstuner_tuner.dir/tuner/evaluator.cpp.o" "gcc" "src/CMakeFiles/cstuner_tuner.dir/tuner/evaluator.cpp.o.d"
+  "/root/repo/src/tuner/trace.cpp" "src/CMakeFiles/cstuner_tuner.dir/tuner/trace.cpp.o" "gcc" "src/CMakeFiles/cstuner_tuner.dir/tuner/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_tuner.dir/tuner/dataset.cpp.o"
+  "CMakeFiles/cstuner_tuner.dir/tuner/dataset.cpp.o.d"
+  "CMakeFiles/cstuner_tuner.dir/tuner/evaluator.cpp.o"
+  "CMakeFiles/cstuner_tuner.dir/tuner/evaluator.cpp.o.d"
+  "CMakeFiles/cstuner_tuner.dir/tuner/trace.cpp.o"
+  "CMakeFiles/cstuner_tuner.dir/tuner/trace.cpp.o.d"
+  "libcstuner_tuner.a"
+  "libcstuner_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

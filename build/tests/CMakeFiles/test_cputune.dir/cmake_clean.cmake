@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cputune.dir/test_cputune.cpp.o"
+  "CMakeFiles/test_cputune.dir/test_cputune.cpp.o.d"
+  "test_cputune"
+  "test_cputune.pdb"
+  "test_cputune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cputune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ga.dir/test_ga.cpp.o"
+  "CMakeFiles/test_ga.dir/test_ga.cpp.o.d"
+  "test_ga"
+  "test_ga.pdb"
+  "test_ga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim.dir/test_gpusim.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim.cpp.o.d"
+  "test_gpusim"
+  "test_gpusim.pdb"
+  "test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi.dir/test_minimpi.cpp.o"
+  "CMakeFiles/test_minimpi.dir/test_minimpi.cpp.o.d"
+  "test_minimpi"
+  "test_minimpi.pdb"
+  "test_minimpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuner.dir/test_tuner.cpp.o"
+  "CMakeFiles/test_tuner.dir/test_tuner.cpp.o.d"
+  "test_tuner"
+  "test_tuner.pdb"
+  "test_tuner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstuner_cli.dir/cstuner_cli.cpp.o"
+  "CMakeFiles/cstuner_cli.dir/cstuner_cli.cpp.o.d"
+  "cstuner"
+  "cstuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstuner_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
