@@ -1,0 +1,96 @@
+// Parallel evaluation-engine scaling: the same GA-driven csTuner session is
+// replayed with thread pools of 1/2/4/8 threads (pool workers = threads-1,
+// since the calling thread participates in every batch). The determinism
+// contract (docs/threading.md) guarantees every run performs the *same*
+// unique evaluations and finds the *same* best kernel, so wall-clock
+// evals/sec is an apples-to-apples throughput measure. Expect >= 2.5x at 4
+// threads on a machine with 4+ hardware threads; on fewer cores the ratios
+// flatten to ~1x (the work is CPU-bound).
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness.hpp"
+
+using namespace cstuner;
+
+namespace {
+
+struct ScalingResult {
+  double wall_s = 0.0;
+  double evals_per_s = 0.0;
+  std::size_t unique_evals = 0;
+  double best_time_ms = 0.0;
+  space::Setting best_setting;
+};
+
+ScalingResult run_session(const bench::ArtifactCache::Entry& entry,
+                          const bench::BenchConfig& config,
+                          std::size_t threads) {
+  ThreadPool pool(threads - 1);
+  tuner::Evaluator evaluator(*entry.simulator, *entry.space, {}, 9000,
+                             &pool);
+  core::CsTunerOptions options;
+  options.dataset_size = config.dataset_size;
+  options.universe_size = config.universe_size;
+  options.ga = bench::paper_ga_options();
+  options.seed = 9000;
+  core::CsTuner tuner(options);
+  tuner.set_dataset(entry.dataset);
+  tuner.set_universe(entry.universe);
+
+  const auto start = std::chrono::steady_clock::now();
+  tuner.tune(evaluator, {.max_virtual_seconds = config.budget_s});
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ScalingResult r;
+  r.wall_s = wall_s;
+  r.unique_evals = evaluator.unique_evaluations();
+  r.evals_per_s =
+      static_cast<double>(r.unique_evals) / std::max(wall_s, 1e-9);
+  r.best_time_ms = evaluator.best_time_ms();
+  r.best_setting = *evaluator.best_setting();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  auto config = bench::BenchConfig::from_env();
+  bench::ArtifactCache cache(config);
+  const std::string stencil =
+      config.stencils.empty() ? "j3d7pt" : config.stencils.front();
+  const auto& entry = cache.get(stencil, "a100");
+
+  std::cout << "=== Parallel evaluation scaling (" << stencil << ", "
+            << std::thread::hardware_concurrency()
+            << " hardware threads) ===\n\n";
+
+  TextTable table({"threads", "wall_s", "unique_evals", "evals_per_s",
+                   "speedup", "best_ms", "identical"});
+  ScalingResult baseline;
+  bool all_identical = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto r = run_session(entry, config, threads);
+    if (threads == 1) baseline = r;
+    const bool identical = r.best_setting == baseline.best_setting &&
+                           r.best_time_ms == baseline.best_time_ms &&
+                           r.unique_evals == baseline.unique_evals;
+    all_identical = all_identical && identical;
+    table.add_row({std::to_string(threads), TextTable::fmt(r.wall_s, 2),
+                   std::to_string(r.unique_evals),
+                   TextTable::fmt(r.evals_per_s, 1),
+                   TextTable::fmt(r.evals_per_s / baseline.evals_per_s, 2),
+                   TextTable::fmt(r.best_time_ms, 4),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nresults identical across thread counts: "
+            << (all_identical ? "yes" : "NO — determinism bug") << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -54,8 +54,10 @@ const ArtifactCache::Entry& ArtifactCache::get(
   Rng rng(fnv1a(key.data(), key.size()));
   entry->universe =
       entry->space->sample_universe(rng, config_.universe_size);
-  entry->dataset = tuner::collect_dataset(*entry->space, *entry->simulator,
-                                          config_.dataset_size, rng);
+  entry->dataset =
+      tuner::collect_dataset(*entry->space, *entry->simulator,
+                             config_.dataset_size, rng,
+                             &ThreadPool::global());
   it = entries_.emplace(key, std::move(entry)).first;
   return *it->second;
 }

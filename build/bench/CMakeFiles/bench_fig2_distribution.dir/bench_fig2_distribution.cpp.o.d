@@ -204,12 +204,33 @@ bench/CMakeFiles/bench_fig2_distribution.dir/bench_fig2_distribution.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/cstuner.hpp \
  /root/repo/src/baselines/artemis.hpp /root/repo/src/tuner/evaluator.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/optional \
+ /usr/include/c++/12/atomic /usr/include/c++/12/limits \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/gpusim/simulator.hpp /usr/include/c++/12/array \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/gpusim/simulator.hpp \
  /root/repo/src/codegen/cuda_codegen.hpp \
  /root/repo/src/space/resource_model.hpp /root/repo/src/space/setting.hpp \
  /root/repo/src/space/parameter.hpp \
@@ -217,24 +238,16 @@ bench/CMakeFiles/bench_fig2_distribution.dir/bench_fig2_distribution.cpp.o: \
  /root/repo/src/gpusim/compute_model.hpp \
  /root/repo/src/gpusim/gpu_arch.hpp /root/repo/src/gpusim/occupancy.hpp \
  /root/repo/src/gpusim/memory_model.hpp /root/repo/src/gpusim/metrics.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/space/search_space.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/space/constraints.hpp \
- /root/repo/src/tuner/trace.hpp /root/repo/src/baselines/garvey.hpp \
- /root/repo/src/ml/random_forest.hpp /root/repo/src/ml/decision_tree.hpp \
- /usr/include/c++/12/span /root/repo/src/tuner/dataset.hpp \
+ /root/repo/src/space/search_space.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/space/constraints.hpp /root/repo/src/tuner/trace.hpp \
+ /root/repo/src/baselines/garvey.hpp /root/repo/src/ml/random_forest.hpp \
+ /root/repo/src/ml/decision_tree.hpp /root/repo/src/tuner/dataset.hpp \
  /root/repo/src/regress/matrix.hpp /root/repo/src/baselines/opentuner.hpp \
- /root/repo/src/ga/island_ga.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ga/gene.hpp \
+ /root/repo/src/ga/island_ga.hpp /root/repo/src/ga/gene.hpp \
  /root/repo/src/core/cs_tuner.hpp /root/repo/src/core/approx.hpp \
  /root/repo/src/core/reindex.hpp /root/repo/src/stats/deque_group.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/sampling.hpp \
- /root/repo/src/core/metric_combine.hpp /root/repo/src/regress/pmnf.hpp \
- /root/repo/src/regress/least_squares.hpp \
+ /root/repo/src/core/sampling.hpp /root/repo/src/core/metric_combine.hpp \
+ /root/repo/src/regress/pmnf.hpp /root/repo/src/regress/least_squares.hpp \
  /root/repo/src/exec/cpu_executor.hpp \
  /root/repo/src/stencil/reference_kernel.hpp \
  /root/repo/src/common/error.hpp /root/repo/src/stencil/dsl.hpp \

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scaling.cpp" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o.d"
+  "/root/repo/bench/harness.cpp" "bench/CMakeFiles/bench_parallel_scaling.dir/harness.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cstuner_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_cputune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cstuner_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o"
+  "CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o.d"
+  "CMakeFiles/bench_parallel_scaling.dir/harness.cpp.o"
+  "CMakeFiles/bench_parallel_scaling.dir/harness.cpp.o.d"
+  "bench_parallel_scaling"
+  "bench_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

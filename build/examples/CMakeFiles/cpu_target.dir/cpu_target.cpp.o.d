@@ -186,23 +186,7 @@ examples/CMakeFiles/cpu_target.dir/cpu_target.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/cstuner.hpp \
  /root/repo/src/baselines/artemis.hpp /root/repo/src/tuner/evaluator.hpp \
- /root/repo/src/gpusim/simulator.hpp \
- /root/repo/src/codegen/cuda_codegen.hpp \
- /root/repo/src/space/resource_model.hpp /root/repo/src/space/setting.hpp \
- /root/repo/src/space/parameter.hpp \
- /root/repo/src/gpusim/compute_model.hpp \
- /root/repo/src/gpusim/gpu_arch.hpp /root/repo/src/gpusim/occupancy.hpp \
- /root/repo/src/gpusim/memory_model.hpp /root/repo/src/gpusim/metrics.hpp \
- /root/repo/src/space/search_space.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -224,19 +208,47 @@ examples/CMakeFiles/cpu_target.dir/cpu_target.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/gpusim/simulator.hpp \
+ /root/repo/src/codegen/cuda_codegen.hpp \
+ /root/repo/src/space/resource_model.hpp /root/repo/src/space/setting.hpp \
+ /root/repo/src/space/parameter.hpp \
+ /root/repo/src/gpusim/compute_model.hpp \
+ /root/repo/src/gpusim/gpu_arch.hpp /root/repo/src/gpusim/occupancy.hpp \
+ /root/repo/src/gpusim/memory_model.hpp /root/repo/src/gpusim/metrics.hpp \
+ /root/repo/src/space/search_space.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/space/constraints.hpp /root/repo/src/tuner/trace.hpp \
  /root/repo/src/baselines/garvey.hpp /root/repo/src/ml/random_forest.hpp \
- /root/repo/src/ml/decision_tree.hpp /usr/include/c++/12/span \
- /root/repo/src/tuner/dataset.hpp /root/repo/src/regress/matrix.hpp \
- /root/repo/src/baselines/opentuner.hpp /root/repo/src/core/cs_tuner.hpp \
- /root/repo/src/core/approx.hpp /root/repo/src/core/reindex.hpp \
- /root/repo/src/core/sampling.hpp /root/repo/src/core/metric_combine.hpp \
- /root/repo/src/regress/pmnf.hpp /root/repo/src/regress/least_squares.hpp \
+ /root/repo/src/ml/decision_tree.hpp /root/repo/src/tuner/dataset.hpp \
+ /root/repo/src/regress/matrix.hpp /root/repo/src/baselines/opentuner.hpp \
+ /root/repo/src/core/cs_tuner.hpp /root/repo/src/core/approx.hpp \
+ /root/repo/src/core/reindex.hpp /root/repo/src/core/sampling.hpp \
+ /root/repo/src/core/metric_combine.hpp /root/repo/src/regress/pmnf.hpp \
+ /root/repo/src/regress/least_squares.hpp \
  /root/repo/src/exec/cpu_executor.hpp \
  /root/repo/src/stencil/reference_kernel.hpp \
  /root/repo/src/common/error.hpp /root/repo/src/stencil/dsl.hpp \

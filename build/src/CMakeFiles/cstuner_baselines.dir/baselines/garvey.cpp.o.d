@@ -203,7 +203,29 @@ src/CMakeFiles/cstuner_baselines.dir/baselines/garvey.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/gpusim/simulator.hpp \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/gpusim/simulator.hpp \
  /root/repo/src/codegen/cuda_codegen.hpp \
  /root/repo/src/space/resource_model.hpp /root/repo/src/space/setting.hpp \
  /root/repo/src/space/parameter.hpp \
@@ -213,15 +235,7 @@ src/CMakeFiles/cstuner_baselines.dir/baselines/garvey.cpp.o: \
  /root/repo/src/gpusim/memory_model.hpp /root/repo/src/gpusim/metrics.hpp \
  /root/repo/src/regress/matrix.hpp /root/repo/src/space/search_space.hpp \
  /root/repo/src/space/constraints.hpp /root/repo/src/tuner/evaluator.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tuner/trace.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/tuner/trace.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cpp" "src/CMakeFiles/cstuner_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/cstuner_common.dir/common/logging.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/cstuner_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/cstuner_common.dir/common/rng.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/CMakeFiles/cstuner_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cstuner_common.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/cstuner_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cstuner_common.dir/common/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

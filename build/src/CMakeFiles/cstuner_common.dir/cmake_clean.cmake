@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cstuner_common.dir/common/rng.cpp.o.d"
   "CMakeFiles/cstuner_common.dir/common/table.cpp.o"
   "CMakeFiles/cstuner_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/cstuner_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/cstuner_common.dir/common/thread_pool.cpp.o.d"
   "libcstuner_common.a"
   "libcstuner_common.pdb"
 )

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluator_parallel.dir/test_evaluator_parallel.cpp.o"
+  "CMakeFiles/test_evaluator_parallel.dir/test_evaluator_parallel.cpp.o.d"
+  "test_evaluator_parallel"
+  "test_evaluator_parallel.pdb"
+  "test_evaluator_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluator_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -316,7 +316,19 @@ tests/CMakeFiles/test_fuzz.dir/test_fuzz.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/cstuner.hpp \
  /root/repo/src/baselines/artemis.hpp /root/repo/src/tuner/evaluator.hpp \
- /root/repo/src/gpusim/simulator.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/span /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/gpusim/simulator.hpp \
  /root/repo/src/codegen/cuda_codegen.hpp \
  /root/repo/src/space/resource_model.hpp /root/repo/src/space/setting.hpp \
  /root/repo/src/space/parameter.hpp \
@@ -327,13 +339,11 @@ tests/CMakeFiles/test_fuzz.dir/test_fuzz.cpp.o: \
  /root/repo/src/space/search_space.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/space/constraints.hpp /root/repo/src/tuner/trace.hpp \
  /root/repo/src/baselines/garvey.hpp /root/repo/src/ml/random_forest.hpp \
- /root/repo/src/ml/decision_tree.hpp /usr/include/c++/12/span \
- /root/repo/src/tuner/dataset.hpp /root/repo/src/regress/matrix.hpp \
- /root/repo/src/baselines/opentuner.hpp /root/repo/src/ga/island_ga.hpp \
- /root/repo/src/ga/gene.hpp /root/repo/src/core/cs_tuner.hpp \
- /root/repo/src/core/approx.hpp /root/repo/src/core/reindex.hpp \
- /root/repo/src/stats/deque_group.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/ml/decision_tree.hpp /root/repo/src/tuner/dataset.hpp \
+ /root/repo/src/regress/matrix.hpp /root/repo/src/baselines/opentuner.hpp \
+ /root/repo/src/ga/island_ga.hpp /root/repo/src/ga/gene.hpp \
+ /root/repo/src/core/cs_tuner.hpp /root/repo/src/core/approx.hpp \
+ /root/repo/src/core/reindex.hpp /root/repo/src/stats/deque_group.hpp \
  /root/repo/src/core/sampling.hpp /root/repo/src/core/metric_combine.hpp \
  /root/repo/src/regress/pmnf.hpp /root/repo/src/regress/least_squares.hpp \
  /root/repo/src/exec/cpu_executor.hpp \

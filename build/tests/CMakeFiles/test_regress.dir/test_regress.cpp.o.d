@@ -317,4 +317,15 @@ tests/CMakeFiles/test_regress.dir/test_regress.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/error.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/regress/least_squares.hpp \
  /root/repo/src/regress/matrix.hpp /usr/include/c++/12/span \
- /root/repo/src/regress/pmnf.hpp
+ /root/repo/src/regress/pmnf.hpp /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread

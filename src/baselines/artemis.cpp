@@ -34,18 +34,24 @@ void Artemis::tune(tuner::Evaluator& evaluator,
     double time_ms = std::numeric_limits<double>::infinity();
   };
 
-  // Seed candidates: the naive mapping plus random valid settings.
+  // Seed candidates: the naive mapping plus random valid settings,
+  // measured as one batch. The stage loops below stay strictly per-eval:
+  // they check the stop criteria between evaluations, and batching them
+  // would overshoot tight time budgets by a whole chunk.
   std::vector<Candidate> survivors;
   {
+    std::vector<Setting> seeds;
     Setting naive;  // all parameters at 1 (one thread per point)
     naive.set(kTBx, 32);
     naive = space.checker().canonicalized(naive);
-    if (space.is_valid(naive)) {
-      survivors.push_back({naive, evaluator.evaluate(naive)});
+    if (space.is_valid(naive)) seeds.push_back(naive);
+    while (seeds.size() < options_.survivors) {
+      seeds.push_back(space.random_valid(rng));
     }
-    while (survivors.size() < options_.survivors) {
-      const Setting s = space.random_valid(rng);
-      survivors.push_back({s, evaluator.evaluate(s)});
+    const auto seed_times = evaluator.evaluate_batch(seeds);
+    survivors.reserve(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      survivors.push_back({seeds[i], seed_times[i]});
     }
   }
   std::size_t since_mark = survivors.size();

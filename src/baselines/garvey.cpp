@@ -27,7 +27,8 @@ void Garvey::tune(tuner::Evaluator& evaluator,
       preset_dataset_.has_value()
           ? *preset_dataset_
           : tuner::collect_dataset(space, evaluator.simulator(),
-                                   options_.dataset_size, rng);
+                                   options_.dataset_size, rng,
+                                   evaluator.thread_pool());
 
   // --- Stage 1: random forest predicts the best memory type. The forest is
   // a regression model time = f(setting); we query it for each of the four
@@ -96,22 +97,28 @@ void Garvey::tune(tuner::Evaluator& evaluator,
 
     Combo best_combo;
     double best_time = std::numeric_limits<double>::infinity();
-    std::size_t since_mark = 0;
-    for (const auto& combo : combos) {
-      if (stop.reached(evaluator)) break;
-      const Setting candidate = apply_combo(space, group, combo, base);
-      const double t = evaluator.evaluate(candidate);
-      if (t < best_time) {
-        best_time = t;
-        best_combo = combo;
+    // Measure the sampled combos one iteration-sized batch at a time so the
+    // per-group sweep fans across the pool.
+    const auto chunk_size =
+        static_cast<std::size_t>(options_.evals_per_iteration);
+    std::size_t c = 0;
+    while (c < combos.size() && !stop.reached(evaluator)) {
+      const std::size_t chunk_end = std::min(c + chunk_size, combos.size());
+      std::vector<Setting> candidates;
+      candidates.reserve(chunk_end - c);
+      for (std::size_t k = c; k < chunk_end; ++k) {
+        candidates.push_back(apply_combo(space, group, combos[k], base));
       }
-      if (++since_mark ==
-          static_cast<std::size_t>(options_.evals_per_iteration)) {
-        evaluator.mark_iteration();
-        since_mark = 0;
+      const auto chunk_times = evaluator.evaluate_batch(candidates);
+      for (std::size_t k = 0; k < chunk_times.size(); ++k) {
+        if (chunk_times[k] < best_time) {
+          best_time = chunk_times[k];
+          best_combo = combos[c + k];
+        }
       }
+      evaluator.mark_iteration();
+      c = chunk_end;
     }
-    if (since_mark > 0) evaluator.mark_iteration();
     if (!best_combo.empty() && std::isfinite(best_time)) {
       base = apply_combo(space, group, best_combo, base);
     }

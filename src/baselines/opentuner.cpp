@@ -93,9 +93,17 @@ void OpenTuner::tune_global_ga(tuner::Evaluator& evaluator,
     return setting_to_genome(space, space.random_valid(rng));
   };
   ga::IslandGa island(parameter_cardinalities(space), ga_options);
-  auto evaluate = [&](const ga::Genome& genome) {
-    return fitness_of(
-        evaluator.evaluate(genome_to_setting(space, genome)));
+  auto evaluate = [&](const std::vector<ga::Genome>& genomes) {
+    std::vector<Setting> candidates;
+    candidates.reserve(genomes.size());
+    for (const auto& genome : genomes) {
+      candidates.push_back(genome_to_setting(space, genome));
+    }
+    const auto times = evaluator.evaluate_batch(candidates);
+    std::vector<double> fitnesses;
+    fitnesses.reserve(times.size());
+    for (double t : times) fitnesses.push_back(fitness_of(t));
+    return fitnesses;
   };
   auto should_stop = [&](const ga::GaState&) {
     evaluator.mark_iteration();
@@ -114,8 +122,11 @@ void OpenTuner::tune_hill_climber(tuner::Evaluator& evaluator,
       options_.ga.sub_populations * options_.ga.population_size;
 
   while (!stop.reached(evaluator)) {
-    Setting best_neighbor = current;
-    double best_time = current_time;
+    // Generate the whole move set first (the moves depend only on `current`
+    // and the RNG, not on each other's results), then measure it as one
+    // batch across the pool.
+    std::vector<Setting> neighbors;
+    neighbors.reserve(static_cast<std::size_t>(moves_per_iteration));
     for (int m = 0; m < moves_per_iteration; ++m) {
       // One-parameter move to an adjacent admissible value.
       Setting neighbor = current;
@@ -128,13 +139,16 @@ void OpenTuner::tune_hill_climber(tuner::Evaluator& evaluator,
               ? std::min(idx + 1, p.cardinality() - 1)
               : idx - 1;
       neighbor.set(pid, p.values[next]);
-      neighbor = space.checker().repaired(neighbor);
-      const double t = evaluator.evaluate(neighbor);
-      if (t < best_time) {
-        best_time = t;
-        best_neighbor = neighbor;
+      neighbors.push_back(space.checker().repaired(neighbor));
+    }
+    const auto times = evaluator.evaluate_batch(neighbors);
+    Setting best_neighbor = current;
+    double best_time = current_time;
+    for (std::size_t m = 0; m < times.size(); ++m) {
+      if (times[m] < best_time) {
+        best_time = times[m];
+        best_neighbor = neighbors[m];
       }
-      if (stop.reached(evaluator)) break;
     }
     evaluator.mark_iteration();
     if (best_time < current_time) {
@@ -161,51 +175,64 @@ void OpenTuner::tune_differential_evolution(
   // Population over continuous index space (rounded for evaluation).
   std::vector<std::vector<double>> population(pop_size);
   std::vector<double> times(pop_size);
-  auto eval_vec = [&](const std::vector<double>& v) {
+  auto vec_to_setting = [&](const std::vector<double>& v) {
     ga::Genome genome(kParamCount);
     for (std::size_t i = 0; i < kParamCount; ++i) {
       const double clamped = std::clamp(
           v[i], 0.0, static_cast<double>(cards[i] - 1));
       genome[i] = static_cast<std::uint32_t>(std::lround(clamped));
     }
-    return evaluator.evaluate(genome_to_setting(space, genome));
+    return genome_to_setting(space, genome);
   };
-  for (std::size_t i = 0; i < pop_size; ++i) {
-    // Seed from valid configurations; evolution explores the raw space.
-    const Setting seed_setting = space.random_valid(rng);
-    population[i].resize(kParamCount);
-    for (std::size_t d = 0; d < kParamCount; ++d) {
-      const auto& p = space.parameters()[d];
-      population[i][d] = static_cast<double>(
-          p.value_index(seed_setting.get(static_cast<ParamId>(d))));
+  {
+    std::vector<Setting> seeds;
+    seeds.reserve(pop_size);
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      // Seed from valid configurations; evolution explores the raw space.
+      const Setting seed_setting = space.random_valid(rng);
+      population[i].resize(kParamCount);
+      for (std::size_t d = 0; d < kParamCount; ++d) {
+        const auto& p = space.parameters()[d];
+        population[i][d] = static_cast<double>(
+            p.value_index(seed_setting.get(static_cast<ParamId>(d))));
+      }
+      seeds.push_back(vec_to_setting(population[i]));
     }
-    times[i] = eval_vec(population[i]);
+    times = evaluator.evaluate_batch(seeds);
   }
   evaluator.mark_iteration();
 
   // Stop once the population has stopped discovering new settings for a
   // while: further generations would only replay cached evaluations.
+  // Generation-synchronous DE: all trials are bred from the
+  // generation-start population, measured as one batch, then selection
+  // runs sequentially — bit-identical for any pool size.
   int stale_generations = 0;
   while (!stop.reached(evaluator) && stale_generations < 50) {
     const std::size_t evals_before = evaluator.unique_evaluations();
+    std::vector<std::vector<double>> trials(pop_size);
+    std::vector<Setting> trial_settings;
+    trial_settings.reserve(pop_size);
     for (std::size_t i = 0; i < pop_size; ++i) {
       // DE/rand/1/bin mutant.
       std::size_t a = rng.index(pop_size), b = rng.index(pop_size),
                   c = rng.index(pop_size);
-      std::vector<double> trial = population[i];
+      trials[i] = population[i];
       const std::size_t forced = rng.index(kParamCount);
       for (std::size_t d = 0; d < kParamCount; ++d) {
         if (d == forced || rng.bernoulli(kCr)) {
-          trial[d] = population[a][d] +
-                     kF * (population[b][d] - population[c][d]);
+          trials[i][d] = population[a][d] +
+                         kF * (population[b][d] - population[c][d]);
         }
       }
-      const double t = eval_vec(trial);
-      if (t < times[i]) {
-        population[i] = std::move(trial);
-        times[i] = t;
+      trial_settings.push_back(vec_to_setting(trials[i]));
+    }
+    const auto trial_times = evaluator.evaluate_batch(trial_settings);
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      if (trial_times[i] < times[i]) {
+        population[i] = std::move(trials[i]);
+        times[i] = trial_times[i];
       }
-      if (stop.reached(evaluator)) break;
     }
     evaluator.mark_iteration();
     stale_generations = (evaluator.unique_evaluations() == evals_before)

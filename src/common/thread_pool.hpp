@@ -1,0 +1,73 @@
+#pragma once
+// Persistent worker-thread pool shared by the evaluation engine and the
+// pre-processing stages (docs/threading.md).
+//
+// Two entry points:
+//   submit(task)        — enqueue one task, returns a future for completion
+//                         (exceptions travel through the future).
+//   parallel_for(n, f)  — run f(0..n-1) across the workers AND the calling
+//                         thread; indices are claimed from a shared atomic
+//                         counter, so per-index overhead is one fetch_add,
+//                         not one queue round-trip. Blocks until all indices
+//                         finished; the first exception thrown by any index
+//                         is rethrown in the caller.
+//
+// The caller always participates in parallel_for, so a pool with zero
+// workers degrades to plain serial execution (and nested/concurrent
+// parallel_for calls from several threads — e.g. minimpi ranks — can never
+// deadlock: every caller makes progress on its own job even when all
+// workers are busy elsewhere).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cstuner {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads. 0 is valid: every parallel_for
+  /// then runs inline on the caller (the deterministic serial reference).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues one task; the returned future delivers completion and any
+  /// exception the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n). The caller claims indices alongside
+  /// the workers; returns when all n indices completed. Rethrows the first
+  /// exception raised by any body invocation (remaining indices still run,
+  /// so sibling results stay complete).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool, sized from CSTUNER_THREADS (worker count;
+  /// 0 forces serial) or hardware_concurrency - 1, capped at 15 workers.
+  /// Created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+
+  static void run_job(Job& job);
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace cstuner

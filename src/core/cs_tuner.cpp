@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "codegen/cuda_codegen.hpp"
 #include "core/grouping.hpp"
@@ -56,7 +57,8 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
     dataset = *preset_dataset_;
   } else {
     dataset = tuner::collect_dataset(space, evaluator.simulator(),
-                                     options_.dataset_size, rng);
+                                     options_.dataset_size, rng,
+                                     evaluator.thread_pool());
   }
   report_.dataset_s = seconds_since(t0);
   report_.universe_count = universe.size();
@@ -90,7 +92,8 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   SampledSpace sampled;
   if (options_.sampling_mode == SamplingMode::kPmnf) {
     sampled = sample_search_space(space, dataset, report_.groups, universe,
-                                  options_.sampling);
+                                  options_.sampling,
+                                  evaluator.thread_pool());
   } else {
     // Ablation: plain random subset, no model guidance.
     std::vector<space::Setting> shuffled = universe;
@@ -157,37 +160,57 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
     };
 
     if (group.cardinality() <= pop_total) {
-      // Degenerate case (§V-A2): exhaustive search over the group.
-      std::size_t since_mark = 0;
-      for (std::size_t t = 0; t < group.cardinality(); ++t) {
-        if (stop.reached(evaluator)) break;
-        space::Setting candidate = base;
-        group.apply(t, candidate);
-        // Grafting a tuple onto the base can violate cross-group rules;
-        // repair instead of discarding so the whole group stays searchable.
-        candidate = space.checker().repaired(candidate);
-        consider(t, evaluator.evaluate(candidate));
-        if (++since_mark ==
-            static_cast<std::size_t>(options_.ga.population_size)) {
-          evaluator.mark_iteration();
-          since_mark = 0;
+      // Degenerate case (§V-A2): exhaustive search over the group,
+      // evaluated in iteration-sized batches across the pool.
+      const auto chunk_size =
+          static_cast<std::size_t>(options_.ga.population_size);
+      std::size_t t = 0;
+      while (t < group.cardinality() && !stop.reached(evaluator)) {
+        const std::size_t chunk_end =
+            std::min(t + chunk_size, group.cardinality());
+        std::vector<space::Setting> candidates;
+        candidates.reserve(chunk_end - t);
+        const std::size_t first_tuple = t;
+        for (; t < chunk_end; ++t) {
+          space::Setting candidate = base;
+          group.apply(t, candidate);
+          // Grafting a tuple onto the base can violate cross-group rules;
+          // repair instead of discarding so the whole group stays
+          // searchable.
+          candidates.push_back(space.checker().repaired(candidate));
         }
+        const auto times = evaluator.evaluate_batch(candidates);
+        for (std::size_t i = 0; i < times.size(); ++i) {
+          consider(first_tuple + i, times[i]);
+        }
+        evaluator.mark_iteration();
       }
-      if (since_mark > 0) evaluator.mark_iteration();
     } else {
       // Evolutionary search with approximation over the re-indexed tuples.
+      // Each island hands its generation over as one batch; both islands'
+      // batches are in flight at once, so `consider` needs its own lock.
       ga::GaOptions ga_options = options_.ga;
       ga_options.seed =
           hash_combine(hash_combine(options_.seed, gi + 1), pass);
       ga::IslandGa island({static_cast<std::uint32_t>(group.cardinality())},
                           ga_options);
-      auto evaluate = [&](const ga::Genome& genome) {
-        space::Setting candidate = base;
-        group.apply(genome[0], candidate);
-        candidate = space.checker().repaired(candidate);
-        const double time_ms = evaluator.evaluate(candidate);
-        consider(genome[0], time_ms);
-        return fitness_of(time_ms);
+      std::mutex consider_mutex;
+      auto evaluate = [&](const std::vector<ga::Genome>& genomes) {
+        std::vector<space::Setting> candidates;
+        candidates.reserve(genomes.size());
+        for (const auto& genome : genomes) {
+          space::Setting candidate = base;
+          group.apply(genome[0], candidate);
+          candidates.push_back(space.checker().repaired(candidate));
+        }
+        const auto times = evaluator.evaluate_batch(candidates);
+        std::vector<double> fitnesses(times.size());
+        std::lock_guard<std::mutex> lock(consider_mutex);
+        for (std::size_t i = 0; i < times.size(); ++i) {
+          consider(genomes[i][0], times[i]);
+          fitnesses[i] = fitness_of(times[i]);
+        }
+        return fitnesses;
       };
       auto should_stop = [&](const ga::GaState& state) {
         evaluator.mark_iteration();
@@ -212,18 +235,21 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
 
   // Polish: any remaining budget walks the sampled settings in PMNF-ranked
   // order (they are sorted best-predicted first), so iso-time comparisons
-  // never leave csTuner idle while baselines keep searching.
-  std::size_t since_mark = 0;
-  for (const auto& setting : sampled.settings) {
-    if (stop.reached(evaluator)) break;
-    evaluator.evaluate(setting);
-    if (++since_mark ==
-        static_cast<std::size_t>(options_.ga.population_size)) {
-      evaluator.mark_iteration();
-      since_mark = 0;
-    }
+  // never leave csTuner idle while baselines keep searching. Batched in
+  // iteration-sized chunks so the walk fans across the pool.
+  const auto polish_chunk =
+      static_cast<std::size_t>(options_.ga.population_size);
+  std::size_t p = 0;
+  while (p < sampled.settings.size() && !stop.reached(evaluator)) {
+    const std::size_t chunk_end =
+        std::min(p + polish_chunk, sampled.settings.size());
+    const std::vector<space::Setting> chunk(
+        sampled.settings.begin() + static_cast<std::ptrdiff_t>(p),
+        sampled.settings.begin() + static_cast<std::ptrdiff_t>(chunk_end));
+    evaluator.evaluate_batch(chunk);
+    evaluator.mark_iteration();
+    p = chunk_end;
   }
-  if (since_mark > 0) evaluator.mark_iteration();
 }
 
 }  // namespace cstuner::core

@@ -12,7 +12,7 @@ namespace cstuner::core {
 std::vector<MetricModel> fit_metric_models(
     const tuner::PerfDataset& dataset, const MetricSelection& selection,
     const stats::Groups& parameter_groups,
-    const regress::PmnfFitter& fitter) {
+    const regress::PmnfFitter& fitter, ThreadPool* pool) {
   CSTUNER_CHECK(dataset.size() >= 4);
   const auto x = dataset.feature_matrix();
   std::vector<MetricModel> models;
@@ -23,7 +23,7 @@ std::vector<MetricModel> fit_metric_models(
     const auto y = dataset.metric_column(model.metric);
     model.metric_mean = stats::mean(y);
     model.metric_std = std::max(stats::stddev(y), 1e-12);
-    model.fit = fitter.fit_best(x, y, parameter_groups);
+    model.fit = fitter.fit_best(x, y, parameter_groups, pool);
     models.push_back(std::move(model));
   }
   // Execution time itself is part of the performance dataset; model it too
@@ -35,7 +35,7 @@ std::vector<MetricModel> fit_metric_models(
     model.time_correlation = 1.0;
     model.metric_mean = stats::mean(dataset.times_ms);
     model.metric_std = std::max(stats::stddev(dataset.times_ms), 1e-12);
-    model.fit = fitter.fit_best(x, dataset.times_ms, parameter_groups);
+    model.fit = fitter.fit_best(x, dataset.times_ms, parameter_groups, pool);
     models.push_back(std::move(model));
   }
   return models;
@@ -61,18 +61,27 @@ SampledSpace sample_search_space(const space::SearchSpace& space,
                                  const tuner::PerfDataset& dataset,
                                  const stats::Groups& parameter_groups,
                                  const std::vector<space::Setting>& universe,
-                                 const SamplingConfig& config) {
+                                 const SamplingConfig& config,
+                                 ThreadPool* pool) {
   CSTUNER_CHECK(config.ratio > 0.0 && config.ratio <= 1.0);
   CSTUNER_CHECK(!universe.empty());
   (void)space;
 
   SampledSpace out;
   out.selection = combine_metrics(dataset, config.num_collections);
-  out.models = fit_metric_models(dataset, out.selection, parameter_groups);
+  out.models =
+      fit_metric_models(dataset, out.selection, parameter_groups, {}, pool);
 
+  // Scoring the (typically 20k-candidate) universe is the sampling hot
+  // loop; each score is a pure function of its own candidate.
   std::vector<double> badness(universe.size());
-  for (std::size_t i = 0; i < universe.size(); ++i) {
+  const auto score = [&](std::size_t i) {
     badness[i] = predicted_badness(out.models, dataset, universe[i]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(universe.size(), score);
+  } else {
+    for (std::size_t i = 0; i < universe.size(); ++i) score(i);
   }
   std::vector<std::size_t> order(universe.size());
   std::iota(order.begin(), order.end(), std::size_t{0});

@@ -38,11 +38,12 @@ struct SampledSpace {
   MetricSelection selection;
 };
 
-/// Fits PMNF models for the selected metrics.
+/// Fits PMNF models for the selected metrics. `pool` parallelizes each
+/// metric's (i, j) candidate grid; nullptr fits serially.
 std::vector<MetricModel> fit_metric_models(
     const tuner::PerfDataset& dataset, const MetricSelection& selection,
     const stats::Groups& parameter_groups,
-    const regress::PmnfFitter& fitter = {});
+    const regress::PmnfFitter& fitter = {}, ThreadPool* pool = nullptr);
 
 /// Scores one setting: sum over models of the predicted metric value,
 /// standardized on the dataset and signed so that lower = predicted faster.
@@ -50,11 +51,14 @@ double predicted_badness(const std::vector<MetricModel>& models,
                          const tuner::PerfDataset& dataset,
                          const space::Setting& setting);
 
-/// Full sampling pipeline over a candidate universe.
+/// Full sampling pipeline over a candidate universe. Model fitting and the
+/// per-candidate badness scores fan across `pool` (scores land in fixed
+/// slots, so the sampled set is identical for any worker count).
 SampledSpace sample_search_space(const space::SearchSpace& space,
                                  const tuner::PerfDataset& dataset,
                                  const stats::Groups& parameter_groups,
                                  const std::vector<space::Setting>& universe,
-                                 const SamplingConfig& config);
+                                 const SamplingConfig& config,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace cstuner::core

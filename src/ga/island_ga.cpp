@@ -1,7 +1,6 @@
 #include "ga/island_ga.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "minimpi/comm.hpp"
@@ -25,6 +24,7 @@ struct Individual {
 std::vector<std::uint32_t> flatten(const std::vector<Individual>& pop,
                                    std::size_t count) {
   std::vector<std::uint32_t> flat;
+  if (count > 0) flat.reserve(count * pop[0].genome.size());
   for (std::size_t i = 0; i < count; ++i) {
     flat.insert(flat.end(), pop[i].genome.begin(), pop[i].genome.end());
   }
@@ -45,12 +45,22 @@ IslandGa::IslandGa(std::vector<std::uint32_t> cardinalities,
 GaResult IslandGa::run(
     const std::function<double(const Genome&)>& evaluate,
     const std::function<bool(const GaState&)>& should_stop) {
+  return run(
+      [&evaluate](const std::vector<Genome>& genomes) {
+        std::vector<double> fitnesses;
+        fitnesses.reserve(genomes.size());
+        for (const auto& genome : genomes) {
+          fitnesses.push_back(evaluate(genome));
+        }
+        return fitnesses;
+      },
+      should_stop);
+}
+
+GaResult IslandGa::run(
+    const BatchFitness& evaluate,
+    const std::function<bool(const GaState&)>& should_stop) {
   GaResult result;
-  std::mutex eval_mutex;
-  auto guarded_evaluate = [&](const Genome& g) {
-    std::lock_guard<std::mutex> lock(eval_mutex);
-    return evaluate(g);
-  };
 
   const std::size_t n_genes = cardinalities_.size();
   const int pop_size = options_.population_size;
@@ -59,13 +69,31 @@ GaResult IslandGa::run(
     Rng rng(hash_combine(options_.seed,
                          static_cast<std::uint64_t>(comm.rank()) + 101));
 
+    // Batch-evaluate one island generation. Other islands may be inside
+    // their own call at the same time; the oracle handles the concurrency.
+    auto evaluate_into = [&](std::vector<Individual>& pop,
+                             std::vector<Genome> genomes) {
+      const auto fitnesses = evaluate(genomes);
+      CSTUNER_CHECK_MSG(fitnesses.size() == genomes.size(),
+                        "batch fitness must match genome count");
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        pop[i].genome = std::move(genomes[i]);
+        pop[i].fitness = fitnesses[i];
+      }
+    };
+
     // --- Initial population.
     std::vector<Individual> pop(static_cast<std::size_t>(pop_size));
-    for (auto& ind : pop) {
-      ind.genome = options_.initializer ? options_.initializer(rng)
-                                        : random_genome(cardinalities_, rng);
-      CSTUNER_CHECK(ind.genome.size() == n_genes);
-      ind.fitness = guarded_evaluate(ind.genome);
+    {
+      std::vector<Genome> genomes;
+      genomes.reserve(pop.size());
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        genomes.push_back(options_.initializer
+                              ? options_.initializer(rng)
+                              : random_genome(cardinalities_, rng));
+        CSTUNER_CHECK(genomes.back().size() == n_genes);
+      }
+      evaluate_into(pop, std::move(genomes));
     }
 
     auto best_of = [](const std::vector<Individual>& p) {
@@ -85,8 +113,11 @@ GaResult IslandGa::run(
 
     for (std::size_t gen = 1; gen <= options_.max_generations; ++gen) {
       // --- Breeding: each slot breeds from its four ring neighbours with
-      // fitness-proportional parent choice (Fig. 6 description).
-      std::vector<Individual> next(pop.size());
+      // fitness-proportional parent choice (Fig. 6 description). All
+      // offspring are bred first (breeding reads only the parents), then
+      // the whole generation is evaluated as one batch.
+      std::vector<Genome> offspring;
+      offspring.reserve(static_cast<std::size_t>(pop_size));
       for (int i = 0; i < pop_size; ++i) {
         if (rng.bernoulli(options_.crossover_rate)) {
           const int hood[4] = {(i - 2 + pop_size) % pop_size,
@@ -112,17 +143,15 @@ GaResult IslandGa::run(
           };
           const Individual& pa = pick();
           const Individual& pb = pick();
-          next[static_cast<std::size_t>(i)].genome =
-              uniform_crossover(pa.genome, pb.genome, rng);
+          offspring.push_back(uniform_crossover(pa.genome, pb.genome, rng));
         } else {
-          next[static_cast<std::size_t>(i)].genome =
-              pop[static_cast<std::size_t>(i)].genome;
+          offspring.push_back(pop[static_cast<std::size_t>(i)].genome);
         }
-        mutate_genome(next[static_cast<std::size_t>(i)].genome,
-                      cardinalities_, options_.mutation_rate, rng);
-        next[static_cast<std::size_t>(i)].fitness =
-            guarded_evaluate(next[static_cast<std::size_t>(i)].genome);
+        mutate_genome(offspring.back(), cardinalities_,
+                      options_.mutation_rate, rng);
       }
+      std::vector<Individual> next(pop.size());
+      evaluate_into(next, std::move(offspring));
       // Elitism: the best parent survives over the worst child.
       const std::size_t elite = best_of(pop);
       const std::size_t worst_child = worst_of(next);
@@ -176,6 +205,8 @@ GaResult IslandGa::run(
         GaState state;
         state.generation = gen;
         state.fitnesses = local_fitness;
+        state.fitnesses.reserve(pop.size() *
+                                static_cast<std::size_t>(comm.size()));
         state.best = pop[local_best].genome;
         state.best_fitness = pop[local_best].fitness;
         for (int r = 1; r < comm.size(); ++r) {

@@ -16,6 +16,13 @@ namespace cstuner::ga {
 /// Optional custom initial-genome generator (defaults to uniform random).
 using GenomeInitializer = std::function<Genome(Rng&)>;
 
+/// Fitness oracle over a whole generation of one island: maps each genome
+/// to a fitness (higher = better), same order. Islands call it concurrently
+/// (one call per island per generation), so it must be thread-safe; the
+/// batched tuner::Evaluator::evaluate_batch is the intended backend.
+using BatchFitness =
+    std::function<std::vector<double>(const std::vector<Genome>&)>;
+
 }  // namespace cstuner::ga
 
 namespace cstuner::ga {
@@ -55,10 +62,16 @@ class IslandGa {
   /// `cardinalities`: the valid index range per gene (re-indexed values).
   IslandGa(std::vector<std::uint32_t> cardinalities, GaOptions options);
 
-  /// Runs the GA. `evaluate` maps a genome to a fitness (higher = better);
-  /// it is called under an internal mutex, so a non-thread-safe evaluator
-  /// (e.g. the shared virtual-clock Evaluator) is safe to capture.
-  /// `should_stop` is consulted on rank 0 after every generation.
+  /// Runs the GA, evaluating each island's generation of offspring as one
+  /// batch. There is no internal evaluation mutex: islands invoke
+  /// `evaluate` concurrently, so it must be thread-safe (a parallel
+  /// Evaluator, or any pure function). `should_stop` is consulted on rank 0
+  /// after every generation, while all islands are quiescent.
+  GaResult run(const BatchFitness& evaluate,
+               const std::function<bool(const GaState&)>& should_stop);
+
+  /// Per-genome convenience wrapper: `evaluate` is called once per genome,
+  /// sequentially within an island but concurrently across islands.
   GaResult run(const std::function<double(const Genome&)>& evaluate,
                const std::function<bool(const GaState&)>& should_stop);
 

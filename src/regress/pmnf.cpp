@@ -81,37 +81,50 @@ std::size_t PmnfFitter::candidate_count() const {
 
 std::vector<PmnfFitResult> PmnfFitter::fit_all(
     const Matrix& x, std::span<const double> y,
-    const std::vector<std::vector<std::size_t>>& groups) const {
+    const std::vector<std::vector<std::size_t>>& groups,
+    ThreadPool* pool) const {
   CSTUNER_CHECK(x.rows() == y.size());
   CSTUNER_CHECK(!groups.empty());
-  std::vector<PmnfFitResult> results;
+  std::vector<std::pair<int, int>> candidates;
+  candidates.reserve(i_range_.size() * j_range_.size());
   for (int i_exp : i_range_) {
     for (int j_exp : j_range_) {
       if (i_exp == 0 && j_exp == 0) continue;
-      // Design matrix: intercept column + one product term per group.
-      Matrix design(x.rows(), groups.size() + 1);
-      for (std::size_t r = 0; r < x.rows(); ++r) {
-        design(r, 0) = 1.0;
-        for (std::size_t k = 0; k < groups.size(); ++k) {
-          design(r, k + 1) =
-              PmnfModel::term_value(x.row(r), groups[k], i_exp, j_exp);
-        }
-      }
-      const LeastSquaresFit fit = solve_least_squares(design, y);
-      PmnfFitResult result;
-      result.model = PmnfModel(groups, i_exp, j_exp, fit.coefficients);
-      result.rse = fit.rse;
-      result.r2 = fit.r2;
-      results.push_back(std::move(result));
+      candidates.emplace_back(i_exp, j_exp);
     }
+  }
+  // Each candidate is an independent least-squares solve writing its own
+  // result slot, so the grid fits concurrently.
+  std::vector<PmnfFitResult> results(candidates.size());
+  const auto fit_candidate = [&](std::size_t c) {
+    const auto [i_exp, j_exp] = candidates[c];
+    // Design matrix: intercept column + one product term per group.
+    Matrix design(x.rows(), groups.size() + 1);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      design(r, 0) = 1.0;
+      for (std::size_t k = 0; k < groups.size(); ++k) {
+        design(r, k + 1) =
+            PmnfModel::term_value(x.row(r), groups[k], i_exp, j_exp);
+      }
+    }
+    const LeastSquaresFit fit = solve_least_squares(design, y);
+    results[c].model = PmnfModel(groups, i_exp, j_exp, fit.coefficients);
+    results[c].rse = fit.rse;
+    results[c].r2 = fit.r2;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(candidates.size(), fit_candidate);
+  } else {
+    for (std::size_t c = 0; c < candidates.size(); ++c) fit_candidate(c);
   }
   return results;
 }
 
 PmnfFitResult PmnfFitter::fit_best(
     const Matrix& x, std::span<const double> y,
-    const std::vector<std::vector<std::size_t>>& groups) const {
-  auto results = fit_all(x, y, groups);
+    const std::vector<std::vector<std::size_t>>& groups,
+    ThreadPool* pool) const {
+  auto results = fit_all(x, y, groups, pool);
   CSTUNER_CHECK(!results.empty());
   std::size_t best = 0;
   for (std::size_t i = 1; i < results.size(); ++i) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "regress/least_squares.hpp"
 #include "regress/matrix.hpp"
 
@@ -73,13 +74,18 @@ class PmnfFitter {
   /// X: one row per observation, one column per parameter (raw values >= 1).
   /// y: response (a GPU metric or execution time).
   /// groups: parameter groups from Algorithm 1.
+  /// Candidates are independent least-squares problems, so `pool` fits the
+  /// (i, j) grid concurrently into fixed slots (result order and values are
+  /// identical for any worker count); nullptr fits serially.
   std::vector<PmnfFitResult> fit_all(
       const Matrix& x, std::span<const double> y,
-      const std::vector<std::vector<std::size_t>>& groups) const;
+      const std::vector<std::vector<std::size_t>>& groups,
+      ThreadPool* pool = nullptr) const;
 
   PmnfFitResult fit_best(
       const Matrix& x, std::span<const double> y,
-      const std::vector<std::vector<std::size_t>>& groups) const;
+      const std::vector<std::vector<std::size_t>>& groups,
+      ThreadPool* pool = nullptr) const;
 
   std::size_t candidate_count() const;
 

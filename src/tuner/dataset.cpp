@@ -32,30 +32,37 @@ std::vector<double> PerfDataset::metric_column(std::size_t metric) const {
 
 PerfDataset profile_settings(const space::SearchSpace& space,
                              const gpusim::Simulator& simulator,
-                             const std::vector<space::Setting>& settings) {
+                             const std::vector<space::Setting>& settings,
+                             ThreadPool* pool) {
   PerfDataset ds;
   ds.settings = settings;
-  ds.times_ms.reserve(settings.size());
+  ds.times_ms.resize(settings.size());
   ds.metrics = regress::Matrix(settings.size(), gpusim::kMetricCount);
-  for (std::size_t i = 0; i < settings.size(); ++i) {
+  // Each row depends only on its own (setting, run_index), so rows profile
+  // concurrently into disjoint slots and the result is order-independent.
+  const auto profile_row = [&](std::size_t i) {
     const auto& s = settings[i];
     CSTUNER_CHECK_MSG(space.is_valid(s), "dataset requires valid settings");
-    ds.times_ms.push_back(
-        simulator.measure_ms(space.spec(), s, /*run_index=*/i));
+    ds.times_ms[i] = simulator.measure_ms(space.spec(), s, /*run_index=*/i);
     const auto metrics =
         simulator.measure_metrics(space.spec(), s, /*run_index=*/i);
     for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
       ds.metrics(i, m) = metrics[m];
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(settings.size(), profile_row);
+  } else {
+    for (std::size_t i = 0; i < settings.size(); ++i) profile_row(i);
   }
   return ds;
 }
 
 PerfDataset collect_dataset(const space::SearchSpace& space,
                             const gpusim::Simulator& simulator,
-                            std::size_t count, Rng& rng) {
+                            std::size_t count, Rng& rng, ThreadPool* pool) {
   const auto settings = space.sample_universe(rng, count);
-  return profile_settings(space, simulator, settings);
+  return profile_settings(space, simulator, settings, pool);
 }
 
 }  // namespace cstuner::tuner

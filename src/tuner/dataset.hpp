@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "gpusim/simulator.hpp"
 #include "regress/matrix.hpp"
 #include "space/search_space.hpp"
@@ -31,14 +32,18 @@ struct PerfDataset {
   std::vector<double> metric_column(std::size_t metric) const;
 };
 
-/// Samples `count` distinct valid settings and profiles them.
+/// Samples `count` distinct valid settings and profiles them. Profiling
+/// fans across `pool` when given (row i's measurements depend only on i, so
+/// the dataset is bit-identical for any worker count); nullptr runs serial.
 PerfDataset collect_dataset(const space::SearchSpace& space,
                             const gpusim::Simulator& simulator,
-                            std::size_t count, Rng& rng);
+                            std::size_t count, Rng& rng,
+                            ThreadPool* pool = nullptr);
 
-/// Profiles an externally chosen set of settings.
+/// Profiles an externally chosen set of settings (parallel across `pool`).
 PerfDataset profile_settings(const space::SearchSpace& space,
                              const gpusim::Simulator& simulator,
-                             const std::vector<space::Setting>& settings);
+                             const std::vector<space::Setting>& settings,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace cstuner::tuner

@@ -1,62 +1,146 @@
 #include "tuner/evaluator.hpp"
 
+#include <cmath>
+
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace cstuner::tuner {
 
 Evaluator::Evaluator(const gpusim::Simulator& simulator,
                      const space::SearchSpace& space, EvalCosts costs,
-                     std::uint64_t seed)
+                     std::uint64_t seed, ThreadPool* pool)
     : simulator_(simulator),
       space_(space),
       costs_(costs),
-      run_salt_(hash_combine(seed, 0x4556414cULL)) {}
+      run_salt_(hash_combine(seed, 0x4556414cULL)),
+      pool_(pool) {
+  CSTUNER_CHECK_MSG(costs_.runs_per_eval > 0,
+                    "EvalCosts.runs_per_eval must be positive");
+}
 
-double Evaluator::evaluate(const space::Setting& setting) {
-  const std::uint64_t key = setting.hash();
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+bool Evaluator::cache_lookup(std::uint64_t key, double& value_out) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+    value_out = it->second;
+    return true;
   }
-  if (!space_.is_valid(setting)) {
-    return std::numeric_limits<double>::infinity();
-  }
+  return false;
+}
 
+double Evaluator::measure(std::uint64_t key,
+                          const space::Setting& setting) const {
   double sum_ms = 0.0;
   for (int run = 0; run < costs_.runs_per_eval; ++run) {
     const auto run_index =
         hash_combine(run_salt_, key) + static_cast<std::uint64_t>(run);
     sum_ms += simulator_.measure_ms(space_.spec(), setting, run_index);
   }
-  const double mean_ms = sum_ms / costs_.runs_per_eval;
+  return sum_ms / costs_.runs_per_eval;
+}
+
+double Evaluator::commit(std::uint64_t key, const space::Setting& setting,
+                         double mean_ms) {
+  {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.map.emplace(key, mean_ms);
+    if (!inserted) return it->second;  // another committer won: free repeat
+  }
 
   // Charge what tuning this variant would cost on the machine: compiling
-  // the generated kernel, then timing it runs_per_eval times.
-  virtual_time_s_ += costs_.compile_s;
-  virtual_time_s_ +=
+  // the generated kernel, then timing it runs_per_eval times. The cost is
+  // rounded to integer ticks before the atomic add, so the clock total is
+  // independent of commit order across threads.
+  const double cost_s =
+      costs_.compile_s +
       costs_.runs_per_eval * (mean_ms / 1e3 + costs_.launch_overhead_s);
-  ++unique_evals_;
+  virtual_time_ticks_.fetch_add(
+      static_cast<std::int64_t>(std::llround(cost_s * kTicksPerSecond)),
+      std::memory_order_acq_rel);
+  unique_evals_.fetch_add(1, std::memory_order_acq_rel);
 
-  cache_.emplace(key, mean_ms);
+  std::lock_guard<std::mutex> lock(result_mutex_);
   if (mean_ms < best_time_ms_) {
     best_time_ms_ = mean_ms;
     best_setting_ = setting;
-    trace_.record(iterations_, unique_evals_, virtual_time_s_, best_time_ms_);
+    trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
+                  best_time_ms_);
   }
   return mean_ms;
 }
 
+double Evaluator::evaluate(const space::Setting& setting) {
+  const std::uint64_t key = setting.hash();
+  if (double cached; cache_lookup(key, cached)) return cached;
+  if (!space_.is_valid(setting)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return commit(key, setting, measure(key, setting));
+}
+
+std::vector<double> Evaluator::evaluate_batch(
+    std::span<const space::Setting> settings) {
+  const std::size_t n = settings.size();
+  std::vector<double> results(n, std::numeric_limits<double>::infinity());
+  std::vector<std::uint64_t> keys(n, 0);
+  std::vector<double> means(n, 0.0);
+  std::vector<std::uint8_t> needs_commit(n, 0);
+
+  // Phase 1 (parallel): cache probes and pure measurements. Nothing is
+  // committed yet, so thread scheduling cannot influence any result.
+  const auto probe = [&](std::size_t i) {
+    const auto& setting = settings[i];
+    keys[i] = setting.hash();
+    if (double cached; cache_lookup(keys[i], cached)) {
+      results[i] = cached;
+      return;
+    }
+    if (!space_.is_valid(setting)) return;  // stays infinity, uncharged
+    means[i] = measure(keys[i], setting);
+    needs_commit[i] = 1;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, probe);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) probe(i);
+  }
+
+  // Phase 2 (sequential, input order): commit exactly as a serial caller
+  // would have. Duplicate settings within the batch commit once; later
+  // occurrences read the freshly cached value.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (needs_commit[i]) {
+      results[i] = commit(keys[i], settings[i], means[i]);
+    }
+  }
+  return results;
+}
+
+double Evaluator::best_time_ms() const {
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  return best_time_ms_;
+}
+
 void Evaluator::mark_iteration() {
-  ++iterations_;
+  iterations_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(result_mutex_);
   if (best_setting_.has_value()) {
-    trace_.record(iterations_, unique_evals_, virtual_time_s_, best_time_ms_);
+    trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
+                  best_time_ms_);
   }
 }
 
 void Evaluator::reset() {
-  cache_.clear();
-  virtual_time_s_ = 0.0;
-  unique_evals_ = 0;
-  iterations_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  virtual_time_ticks_.store(0, std::memory_order_release);
+  unique_evals_.store(0, std::memory_order_release);
+  iterations_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(result_mutex_);
   best_time_ms_ = std::numeric_limits<double>::infinity();
   best_setting_.reset();
   trace_.clear();

@@ -4,12 +4,32 @@
 // and a *virtual clock* that charges each evaluation what it would cost on
 // real hardware: per-variant compile time plus timing runs plus launch
 // overhead. Iso-time comparisons (Figs. 9-11) read this clock.
+//
+// The engine is thread-safe and batch-parallel (docs/threading.md):
+//   - the result cache is sharded across kCacheShards mutex-guarded maps,
+//     so concurrent lookups rarely contend;
+//   - the virtual clock accumulates integer picosecond ticks in an atomic.
+//     Integer addition is associative, so the clock reads bit-identically
+//     no matter which thread charged which evaluation first;
+//   - best-so-far and the convergence trace update under one small result
+//     mutex, keeping the trace monotone under concurrency;
+//   - evaluate_batch() measures a whole batch across the thread pool, then
+//     commits results in input order, so a batch is bit-identical to the
+//     same calls made serially — with 1 worker or 16.
+// Measurement noise keys off hash_combine(run_salt_, setting.hash()), which
+// is evaluation-order independent; that is what makes the parallel engine
+// deterministic at all.
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "gpusim/simulator.hpp"
 #include "space/search_space.hpp"
 #include "tuner/trace.hpp"
@@ -26,21 +46,39 @@ class Evaluator {
  public:
   Evaluator(const gpusim::Simulator& simulator,
             const space::SearchSpace& space, EvalCosts costs = {},
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1, ThreadPool* pool = &ThreadPool::global());
 
   /// Measures a setting (mean of runs_per_eval noisy runs); charges the
   /// virtual clock on first evaluation, serves repeats from cache for free.
   /// Returns infinity for invalid settings (callers should avoid them).
+  /// Thread-safe: concurrent callers racing on the same new setting charge
+  /// the clock exactly once.
   double evaluate(const space::Setting& setting);
+
+  /// Evaluates a batch of candidates, fanning the uncached measurements
+  /// across the thread pool. Results (cache, clock, best, trace) are
+  /// committed in input order after measurement, so the outcome is
+  /// bit-identical to evaluating the batch serially, for any worker count.
+  std::vector<double> evaluate_batch(std::span<const space::Setting> settings);
 
   /// Marks the end of one tuner iteration in the trace (iso-iteration data).
   void mark_iteration();
 
-  double virtual_time_s() const { return virtual_time_s_; }
-  std::size_t unique_evaluations() const { return unique_evals_; }
-  std::size_t iterations() const { return iterations_; }
+  double virtual_time_s() const {
+    return static_cast<double>(
+               virtual_time_ticks_.load(std::memory_order_acquire)) /
+           kTicksPerSecond;
+  }
+  std::size_t unique_evaluations() const {
+    return unique_evals_.load(std::memory_order_acquire);
+  }
+  std::size_t iterations() const {
+    return iterations_.load(std::memory_order_acquire);
+  }
 
-  double best_time_ms() const { return best_time_ms_; }
+  double best_time_ms() const;
+  /// Stable only while no evaluation is in flight (read it after a batch or
+  /// a tuning run, not during one).
   const std::optional<space::Setting>& best_setting() const {
     return best_setting_;
   }
@@ -50,19 +88,50 @@ class Evaluator {
   const space::SearchSpace& space() const { return space_; }
   const gpusim::Simulator& simulator() const { return simulator_; }
 
-  /// Resets clock, cache, best and trace (fresh tuning run).
+  /// Worker pool used by evaluate_batch; nullptr runs batches inline.
+  ThreadPool* thread_pool() const { return pool_; }
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Resets clock, cache, best and trace (fresh tuning run). Not safe
+  /// concurrently with evaluations.
   void reset();
 
  private:
+  /// Virtual-clock resolution: 1 tick = 1 ps. Costs round to a tick, so
+  /// ~2^62 ps (~50 virtual days) fit before overflow — far beyond any run.
+  static constexpr double kTicksPerSecond = 1e12;
+  static constexpr std::size_t kCacheShards = 16;
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, double> map;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // The low bits feed the unordered_map already; shard on higher ones.
+    return shards_[(key >> 56) & (kCacheShards - 1)];
+  }
+  bool cache_lookup(std::uint64_t key, double& value_out);
+  /// Pure measurement: mean of runs_per_eval noisy simulator runs.
+  double measure(std::uint64_t key, const space::Setting& setting) const;
+  /// First-writer-wins cache insert + clock charge + best/trace update.
+  /// Returns the cached value when another thread (or an earlier duplicate
+  /// in the same batch) committed the key first.
+  double commit(std::uint64_t key, const space::Setting& setting,
+                double mean_ms);
+
   const gpusim::Simulator& simulator_;
   const space::SearchSpace& space_;
   EvalCosts costs_;
   std::uint64_t run_salt_;
+  ThreadPool* pool_;
 
-  std::unordered_map<std::uint64_t, double> cache_;
-  double virtual_time_s_ = 0.0;
-  std::size_t unique_evals_ = 0;
-  std::size_t iterations_ = 0;
+  std::vector<Shard> shards_{kCacheShards};
+  std::atomic<std::int64_t> virtual_time_ticks_{0};
+  std::atomic<std::size_t> unique_evals_{0};
+  std::atomic<std::size_t> iterations_{0};
+
+  mutable std::mutex result_mutex_;  // guards the three fields below
   double best_time_ms_ = std::numeric_limits<double>::infinity();
   std::optional<space::Setting> best_setting_;
   ConvergenceTrace trace_;

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/cs_tuner.hpp"
+#include "stencil/stencils.hpp"
+#include "tuner/dataset.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace cstuner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::size_t sum = 0;
+  // Serial fallback: the body runs on the calling thread in index order.
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // Sibling indices still ran to completion.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, SubmitDeliversCompletionAndExceptions) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto ok = pool.submit([&] { ran = true; });
+  ok.get();
+  EXPECT_TRUE(ran.load());
+  auto bad = pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(17, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+  // And submit() still works after heavy parallel_for traffic.
+  auto f = pool.submit([&] { total.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(total.load(), 50u * 17u + 1u);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersDoNotDeadlock) {
+  // Several caller threads (like minimpi ranks) sharing one pool must all
+  // finish even when the pool has fewer workers than callers.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(32, [&](std::size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator determinism across worker counts.
+// ---------------------------------------------------------------------------
+
+class ParallelEvalFixture : public ::testing::Test {
+ protected:
+  ParallelEvalFixture()
+      : spec_(stencil::make_stencil("j3d7pt")),
+        space_(spec_),
+        sim_(gpusim::a100()) {}
+
+  stencil::StencilSpec spec_;
+  space::SearchSpace space_;
+  gpusim::Simulator sim_;
+};
+
+struct RunOutcome {
+  double best_time_ms = 0.0;
+  double virtual_time_s = 0.0;
+  std::size_t unique_evals = 0;
+  space::Setting best_setting;
+};
+
+TEST_F(ParallelEvalFixture, BatchMatchesSerialEvaluationExactly) {
+  Rng rng(11);
+  const auto settings = space_.sample_universe(rng, 200);
+
+  tuner::Evaluator serial(sim_, space_, {}, 7, nullptr);
+  std::vector<double> serial_times;
+  serial_times.reserve(settings.size());
+  for (const auto& s : settings) serial_times.push_back(serial.evaluate(s));
+
+  ThreadPool pool(4);
+  tuner::Evaluator batched(sim_, space_, {}, 7, &pool);
+  const auto batch_times = batched.evaluate_batch(settings);
+
+  ASSERT_EQ(batch_times.size(), serial_times.size());
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch_times[i], serial_times[i]) << "index " << i;
+  }
+  EXPECT_EQ(batched.unique_evaluations(), serial.unique_evaluations());
+  EXPECT_DOUBLE_EQ(batched.virtual_time_s(), serial.virtual_time_s());
+  EXPECT_DOUBLE_EQ(batched.best_time_ms(), serial.best_time_ms());
+}
+
+TEST_F(ParallelEvalFixture, DuplicatesInOneBatchChargeOnce) {
+  Rng rng(12);
+  const auto base = space_.random_valid(rng);
+  const std::vector<space::Setting> batch = {base, base, base};
+  ThreadPool pool(4);
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, &pool);
+  const auto times = evaluator.evaluate_batch(batch);
+  EXPECT_EQ(evaluator.unique_evaluations(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], times[1]);
+  EXPECT_DOUBLE_EQ(times[0], times[2]);
+}
+
+TEST_F(ParallelEvalFixture, DatasetCollectionIdenticalAcrossWorkerCounts) {
+  auto collect = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    Rng rng(21);
+    return tuner::collect_dataset(space_, sim_, 64, rng, &pool);
+  };
+  const auto serial = collect(0);
+  const auto four = collect(4);
+  const auto eight = collect(8);
+  ASSERT_EQ(serial.size(), four.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial.settings[i] == four.settings[i]);
+    EXPECT_TRUE(serial.settings[i] == eight.settings[i]);
+    EXPECT_DOUBLE_EQ(serial.times_ms[i], four.times_ms[i]);
+    EXPECT_DOUBLE_EQ(serial.times_ms[i], eight.times_ms[i]);
+    for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
+      EXPECT_DOUBLE_EQ(serial.metrics(i, m), four.metrics(i, m));
+      EXPECT_DOUBLE_EQ(serial.metrics(i, m), eight.metrics(i, m));
+    }
+  }
+}
+
+TEST_F(ParallelEvalFixture, GaDrivenTuningIdenticalAcrossWorkerCounts) {
+  auto run = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    tuner::Evaluator evaluator(sim_, space_, {}, 42, &pool);
+    core::CsTunerOptions options;
+    options.universe_size = 1200;
+    options.dataset_size = 64;
+    options.seed = 42;
+    core::CsTuner tuner(options);
+    tuner.tune(evaluator, {.max_virtual_seconds = 10.0});
+    RunOutcome out;
+    out.best_time_ms = evaluator.best_time_ms();
+    out.virtual_time_s = evaluator.virtual_time_s();
+    out.unique_evals = evaluator.unique_evaluations();
+    out.best_setting = *evaluator.best_setting();
+    return out;
+  };
+  const auto serial = run(0);
+  const auto four = run(4);
+  const auto eight = run(8);
+
+  // The issue's determinism contract: the same best setting, best time and
+  // unique-evaluation count no matter how many workers measured the
+  // batches.
+  EXPECT_TRUE(serial.best_setting == four.best_setting);
+  EXPECT_TRUE(serial.best_setting == eight.best_setting);
+  EXPECT_DOUBLE_EQ(serial.best_time_ms, four.best_time_ms);
+  EXPECT_DOUBLE_EQ(serial.best_time_ms, eight.best_time_ms);
+  EXPECT_EQ(serial.unique_evals, four.unique_evals);
+  EXPECT_EQ(serial.unique_evals, eight.unique_evals);
+  EXPECT_DOUBLE_EQ(serial.virtual_time_s, four.virtual_time_s);
+  EXPECT_DOUBLE_EQ(serial.virtual_time_s, eight.virtual_time_s);
+}
+
+}  // namespace
+}  // namespace cstuner
