@@ -1,0 +1,455 @@
+#include "analysis/analyzer.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "gpusim/occupancy.hpp"
+
+namespace cstuner::analysis {
+
+namespace {
+
+std::string at_line(int line) { return "kernel:line " + std::to_string(line); }
+
+}  // namespace
+
+void check_races(const KernelModel& model, Report& report) {
+  if (!model.uses_shared()) return;  // nothing to race on
+
+  // Which loops (by index) contain a shared-tile write: their bodies restage
+  // the tile every iteration, so the iteration boundary is a WAR hazard.
+  std::set<int> restaging_loops;
+  for (const auto& e : model.events) {
+    if (e.kind != EventKind::kSharedWrite) continue;
+    for (int loop : e.loops) restaging_loops.insert(loop);
+  }
+
+  bool pending_write = false;  // staging write not yet barriered
+  int pending_write_line = 0;
+  bool read_since_sync = false;
+  int last_read_line = 0;
+
+  for (const auto& e : model.events) {
+    switch (e.kind) {
+      case EventKind::kSharedWrite:
+        pending_write = true;
+        pending_write_line = e.line;
+        break;
+      case EventKind::kSharedRead:
+        if (pending_write) {
+          report.error("race.rw-no-sync", at_line(e.line),
+                       "shared tile '" + e.tile.tile + "' read before the "
+                       "staging write at line " +
+                           std::to_string(pending_write_line) +
+                           " is barriered by __syncthreads()");
+          pending_write = false;  // report each unsynced phase once
+        }
+        read_since_sync = true;
+        last_read_line = e.line;
+        break;
+      case EventKind::kSync:
+        if (e.guarded) {
+          report.error("race.divergent-sync", at_line(e.line),
+                       "__syncthreads() inside the divergent bounds-check "
+                       "branch: threads outside the domain never reach the "
+                       "barrier (deadlock)");
+        }
+        pending_write = false;
+        read_since_sync = false;
+        break;
+      case EventKind::kLoopClose:
+        if (restaging_loops.count(e.loop) != 0) {
+          if (read_since_sync) {
+            report.error(
+                "race.war-loop-carry", at_line(e.line),
+                "loop restages the shared tile but its body ends without a "
+                "__syncthreads() after the last tile read (line " +
+                    std::to_string(last_read_line) +
+                    "): next iteration's staging races the read");
+            read_since_sync = false;  // report once per loop nest
+          } else if (pending_write) {
+            report.error("race.rw-no-sync", at_line(e.line),
+                         "loop body ends with an unbarriered shared-tile "
+                         "staging write (line " +
+                             std::to_string(pending_write_line) + ")");
+            pending_write = false;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void check_bounds(const stencil::StencilSpec& spec,
+                  const space::Setting& setting, const KernelModel& model,
+                  Report& report) {
+  // Domain constants embedded in the source must match the spec: every
+  // downstream bound is computed from them.
+  const char* dim_names[3] = {"M1", "M2", "M3"};
+  for (int d = 0; d < 3; ++d) {
+    const auto m = model.define(dim_names[d]);
+    if (!m.has_value() || *m != spec.grid[static_cast<std::size_t>(d)]) {
+      report.error("bounds.domain-mismatch", "kernel",
+                   std::string(dim_names[d]) + " define " +
+                       (m.has_value() ? std::to_string(*m) : "missing") +
+                       " does not match grid extent " +
+                       std::to_string(spec.grid[static_cast<std::size_t>(d)]));
+    }
+  }
+  const auto halo_def = model.define("HALO");
+  if (!halo_def.has_value() || *halo_def != spec.order) {
+    report.error("bounds.domain-mismatch", "kernel",
+                 "HALO define " +
+                     (halo_def.has_value() ? std::to_string(*halo_def)
+                                           : "missing") +
+                     " does not match stencil order " +
+                     std::to_string(spec.order));
+  }
+  // Bound accesses against the padding the source actually allocates (the
+  // idx() macro pads by HALO), falling back to the spec when it is absent.
+  const std::int64_t halo = halo_def.value_or(spec.order);
+
+  const auto geometry = codegen::compute_launch_geometry(spec, setting);
+
+  bool guard_reported = false;
+  for (const auto& e : model.events) {
+    if (e.kind == EventKind::kGlobalRead || e.kind == EventKind::kGlobalWrite) {
+      for (int p = 0; p < 3; ++p) {
+        const IndexExpr& c = e.global.coord[p];
+        if (c.base.empty()) {
+          report.error("bounds.constant-coordinate", at_line(e.line),
+                       "global access to '" + e.global.array +
+                           "' uses a bare constant coordinate");
+          continue;
+        }
+        if (c.axis() != p) {
+          report.error("bounds.axis-mismatch", at_line(e.line),
+                       "coordinate " + std::to_string(p) + " of '" +
+                           e.global.array + "' indexes axis '" + c.base +
+                           "'");
+          continue;
+        }
+        if (c.base[0] == 'c') {
+          // Clamped staging coordinate: must be declared and unshifted
+          // (the clamp guarantees [0, M-1], but nothing beyond that).
+          if (model.clamps.find(c.base) == model.clamps.end()) {
+            report.error("bounds.unknown-clamp", at_line(e.line),
+                         "clamped coordinate '" + c.base +
+                             "' has no clamp declaration");
+          }
+          if (c.offset != 0) {
+            report.error("bounds.clamped-offset", at_line(e.line),
+                         "offset " + std::to_string(c.offset) +
+                             " applied to clamped coordinate '" + c.base +
+                             "' escapes the clamp");
+          }
+          continue;
+        }
+        // Global coordinate gx/gy/gz in [0, M-1] under the guard; the
+        // padded allocation admits offsets up to +-HALO.
+        if (std::abs(c.offset) > halo) {
+          report.error("bounds.halo-overflow", at_line(e.line),
+                       "access '" + e.global.array + "' offsets '" + c.base +
+                           "' by " + std::to_string(c.offset) +
+                           ", beyond the HALO padding of " +
+                           std::to_string(halo));
+        }
+        if (!e.guarded && !guard_reported) {
+          report.error("bounds.unguarded-access", at_line(e.line),
+                       "global access through '" + c.base +
+                           "' outside the bounds guard: overhanging threads "
+                           "index past the padded domain");
+          guard_reported = true;
+        }
+      }
+    } else if (e.kind == EventKind::kSharedRead ||
+               e.kind == EventKind::kSharedWrite) {
+      const SharedTileDecl* decl = model.tile(e.tile.tile);
+      if (decl == nullptr) {
+        report.error("bounds.unknown-tile", at_line(e.line),
+                     "access to undeclared shared tile '" + e.tile.tile +
+                         "'");
+        continue;
+      }
+      for (int p = 0; p < 3; ++p) {
+        const IndexExpr& ix = e.tile.index[p];
+        std::int64_t min_index = ix.offset;
+        std::int64_t max_index = ix.offset;
+        if (!ix.base.empty()) {
+          const int axis = ix.axis();
+          // Declaration order is [z][y][x]: position p indexes axis 2-p.
+          if (axis != 2 - p) {
+            report.error("bounds.axis-mismatch", at_line(e.line),
+                         "tile '" + e.tile.tile + "' position " +
+                             std::to_string(p) + " indexes axis '" + ix.base +
+                             "'");
+            continue;
+          }
+          // l-variables span [0, block_extent-1].
+          max_index += geometry.block[axis] - 1;
+        }
+        if (min_index < 0) {
+          report.error("bounds.negative-index", at_line(e.line),
+                       "tile '" + e.tile.tile + "' index '" + ix.base +
+                           (ix.offset < 0 ? std::to_string(ix.offset) : "") +
+                           "' can reach " + std::to_string(min_index) +
+                           " (missing halo shift)");
+        }
+        if (max_index >= decl->dims[p]) {
+          report.error("bounds.tile-overflow", at_line(e.line),
+                       "tile '" + e.tile.tile + "' position " +
+                           std::to_string(p) + " reaches index " +
+                           std::to_string(max_index) +
+                           " but the tile extent is " +
+                           std::to_string(decl->dims[p]));
+        }
+      }
+    }
+  }
+
+  // The kernel must bounds-guard whenever the block footprint can overhang
+  // the domain (with pow-2 factors and arbitrary extents it always can).
+  bool any_global = false;
+  for (const auto& e : model.events) {
+    if (e.kind == EventKind::kGlobalRead || e.kind == EventKind::kGlobalWrite) {
+      any_global = true;
+    }
+  }
+  if (any_global && !model.has_guard) {
+    report.error("bounds.missing-guard", "kernel",
+                 "no domain bounds guard (if gx >= M1 ...) in the emitted "
+                 "kernel");
+  }
+
+  // Launch geometry must cover the whole domain.
+  const bool streaming = setting.flag(space::kUseStreaming);
+  const int sd = static_cast<int>(setting.get(space::kSD)) - 1;
+  const space::ParamId tb[] = {space::kTBx, space::kTBy, space::kTBz};
+  const space::ParamId cm[] = {space::kCMx, space::kCMy, space::kCMz};
+  const space::ParamId bm[] = {space::kBMx, space::kBMy, space::kBMz};
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t extent = spec.grid[static_cast<std::size_t>(d)];
+    const std::int64_t per_block =
+        (streaming && d == sd)
+            ? setting.get(space::kSB)
+            : setting.get(tb[d]) * setting.get(cm[d]) * setting.get(bm[d]);
+    if (geometry.grid[d] * per_block < extent) {
+      report.error("bounds.domain-uncovered", "kernel",
+                   "dimension " + std::to_string(d) + ": " +
+                       std::to_string(geometry.grid[d]) + " blocks x " +
+                       std::to_string(per_block) + " points cover only " +
+                       std::to_string(geometry.grid[d] * per_block) + " of " +
+                       std::to_string(extent));
+    }
+  }
+}
+
+namespace {
+
+/// Structural register floor: every scalar/array the emitted source declares
+/// in registers. The analytic model must never claim fewer registers than
+/// the source visibly consumes.
+int structural_register_floor(const std::string& source) {
+  int count = 0;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const std::string code = line.substr(b);
+    if (code.rfind("__shared__", 0) == 0 ||
+        code.rfind("__constant__", 0) == 0) {
+      continue;
+    }
+    if (code.rfind("double pf_next[", 0) == 0) {
+      count += static_cast<int>(std::strtoll(code.c_str() + 15, nullptr, 10));
+      continue;
+    }
+    if (code.rfind("double ", 0) == 0 || code.rfind("const int ", 0) == 0 ||
+        code.rfind("int g", 0) == 0) {
+      // One register per initialized declarator on the line (declaration
+      // lines never contain comparison operators, so every '=' initializes
+      // one scalar).
+      for (char c : code) {
+        if (c == '=') ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+void check_resources(const stencil::StencilSpec& spec,
+                     const space::Setting& setting,
+                     const codegen::KernelSource& kernel,
+                     const KernelModel& model, const AnalyzerOptions& options,
+                     Report& report) {
+  const auto& limits = options.limits;
+  const auto& claimed = kernel.resources;
+
+  // --- Shared memory: re-derive from the declarations in the source. ------
+  std::int64_t derived_smem = 0;
+  for (const auto& tile : model.tiles) {
+    derived_smem += tile.element_count() * 8;
+  }
+  if (derived_smem != claimed.shared_mem_per_block) {
+    report.error("resource.smem-drift", "kernel",
+                 "declared shared tiles total " +
+                     std::to_string(derived_smem) + " B but the kernel "
+                     "reports " +
+                     std::to_string(claimed.shared_mem_per_block) + " B");
+  }
+  if (setting.flag(space::kUseShared) && model.tiles.empty()) {
+    report.error("resource.smem-drift", "kernel",
+                 "useShared is on but the kernel declares no shared tile");
+  }
+  if (!setting.flag(space::kUseShared) && !model.tiles.empty()) {
+    report.error("resource.smem-drift", "kernel",
+                 "useShared is off but the kernel declares shared tiles");
+  }
+  if (derived_smem > limits.max_smem_per_block) {
+    report.error("resource.smem-capacity", "kernel",
+                 "shared tiles need " + std::to_string(derived_smem) +
+                     " B, exceeding the " +
+                     std::to_string(limits.max_smem_per_block) +
+                     " B per-block limit");
+  }
+
+  // --- Cross-validate against the analytic resource model. -----------------
+  const auto modeled = space::estimate_resources(spec, setting, limits);
+  if (modeled.registers_per_thread != claimed.registers_per_thread ||
+      modeled.shared_mem_per_block != claimed.shared_mem_per_block ||
+      modeled.spilled != claimed.spilled) {
+    report.error("resource.model-drift", "kernel",
+                 "kernel-reported footprint (regs " +
+                     std::to_string(claimed.registers_per_thread) + ", smem " +
+                     std::to_string(claimed.shared_mem_per_block) +
+                     " B) drifts from the resource model (regs " +
+                     std::to_string(modeled.registers_per_thread) +
+                     ", smem " + std::to_string(modeled.shared_mem_per_block) +
+                     " B)");
+  }
+
+  // --- Registers: structural floor and spill limits. -----------------------
+  const int floor = structural_register_floor(kernel.source);
+  if (claimed.registers_per_thread < floor) {
+    report.error("resource.register-undercount", "kernel",
+                 "kernel reports " +
+                     std::to_string(claimed.registers_per_thread) +
+                     " registers/thread but the source declares at least " +
+                     std::to_string(floor) + " live values");
+  }
+  const bool should_spill =
+      claimed.registers_per_thread > limits.max_registers_per_thread;
+  if (claimed.spilled != should_spill) {
+    report.error("resource.spill-flag", "kernel",
+                 "spill flag inconsistent with the per-thread register "
+                 "limit");
+  }
+  if (should_spill) {
+    report.error("resource.register-spill", "kernel",
+                 std::to_string(claimed.registers_per_thread) +
+                     " registers/thread exceeds the ISA limit of " +
+                     std::to_string(limits.max_registers_per_thread));
+  }
+
+  // --- Launch configuration. ----------------------------------------------
+  const std::int64_t threads = setting.threads_per_block();
+  if (!model.launch_bounds.has_value()) {
+    report.error("resource.launch-drift", "kernel",
+                 "kernel has no __launch_bounds__ annotation");
+  } else if (*model.launch_bounds != threads) {
+    report.error("resource.launch-drift", "kernel",
+                 "__launch_bounds__(" + std::to_string(*model.launch_bounds) +
+                     ") does not match the setting's " +
+                     std::to_string(threads) + " threads/block");
+  }
+  if (threads > limits.max_threads_per_block) {
+    report.error("resource.thread-limit", "kernel",
+                 std::to_string(threads) + " threads/block exceeds " +
+                     std::to_string(limits.max_threads_per_block));
+  }
+
+  // Per-warp register allocation granularity: the block's total demand must
+  // fit the SM register file or the kernel cannot launch (mirrors the
+  // constraint checker, re-derived here from the claimed footprint).
+  const std::int64_t warps = (threads + 31) / 32;
+  const std::int64_t regs_per_warp =
+      ((static_cast<std::int64_t>(claimed.registers_per_thread) * 32 + 255) /
+       256) *
+      256;
+  if (warps * regs_per_warp > limits.max_registers_per_block) {
+    report.error("resource.register-file", "kernel",
+                 "block needs " + std::to_string(warps * regs_per_warp) +
+                     " registers; the register file holds " +
+                     std::to_string(limits.max_registers_per_block));
+  }
+
+  // --- Constant memory. ----------------------------------------------------
+  if (setting.flag(space::kUseConstant)) {
+    if (!model.constant_count.has_value()) {
+      report.error("resource.constant-drift", "kernel",
+                   "useConstant is on but no __constant__ coefficient array "
+                   "is declared");
+    } else {
+      if (*model.constant_count !=
+          static_cast<std::int64_t>(spec.taps.size())) {
+        report.error("resource.constant-drift", "kernel",
+                     "c_weights holds " +
+                         std::to_string(*model.constant_count) +
+                         " coefficients but the stencil has " +
+                         std::to_string(spec.taps.size()) + " taps");
+      }
+      if (*model.constant_count * 8 > 64 * 1024) {
+        report.error("resource.constant-capacity", "kernel",
+                     "constant coefficients exceed the 64 KiB constant "
+                     "memory bank");
+      }
+    }
+  } else if (model.constant_count.has_value()) {
+    report.error("resource.constant-drift", "kernel",
+                 "useConstant is off but the kernel declares __constant__ "
+                 "coefficients");
+  }
+
+  // --- Occupancy: the kernel must be launchable at all. --------------------
+  if (options.arch != nullptr) {
+    const auto occ = gpusim::compute_occupancy(
+        *options.arch, threads, claimed.registers_per_thread, derived_smem);
+    if (occ.blocks_per_sm < 1) {
+      report.error("resource.unlaunchable", "kernel",
+                   "zero blocks per SM on " + options.arch->name +
+                       " (limiter: " +
+                       gpusim::limiter_name(occ.limiter) + ")");
+    }
+  }
+}
+
+Report analyze_kernel(const stencil::StencilSpec& spec,
+                      const space::Setting& setting,
+                      const codegen::KernelSource& kernel,
+                      const AnalyzerOptions& options) {
+  Report report;
+  const KernelModel model = KernelModel::parse(kernel.source, &report);
+  if (options.race) check_races(model, report);
+  if (options.bounds) check_bounds(spec, setting, model, report);
+  if (options.resources) {
+    check_resources(spec, setting, kernel, model, options, report);
+  }
+  return report;
+}
+
+Report analyze_setting(const stencil::StencilSpec& spec,
+                       const space::Setting& setting,
+                       const AnalyzerOptions& options) {
+  return analyze_kernel(spec, setting, codegen::generate_kernel(spec, setting),
+                        options);
+}
+
+}  // namespace cstuner::analysis

@@ -1,0 +1,82 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace cstuner::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << " [" << rule << "] " << location << ": "
+     << message;
+  return os.str();
+}
+
+void Report::add(Severity severity, std::string rule, std::string location,
+                 std::string message) {
+  diagnostics_.push_back({severity, std::move(rule), std::move(location),
+                          std::move(message)});
+}
+
+void Report::merge(const Report& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has_rule(const std::string& rule) const {
+  for (const auto& d : diagnostics_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> Report::matching(
+    const std::string& rule_prefix) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_) {
+    if (d.rule.rfind(rule_prefix, 0) == 0) out.push_back(d);
+  }
+  return out;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+void Report::write_json(JsonWriter& json) const {
+  json.begin_array();
+  for (const auto& d : diagnostics_) {
+    json.begin_object();
+    json.field("severity", severity_name(d.severity));
+    json.field("rule", d.rule);
+    json.field("location", d.location);
+    json.field("message", d.message);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace cstuner::analysis

@@ -1,0 +1,363 @@
+#include "analysis/kernel_model.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace cstuner::analysis {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Drops a trailing "// ..." comment (the emitter never nests braces or
+/// brackets inside comments elsewhere than at end of line).
+std::string strip_comment(const std::string& s) {
+  const auto pos = s.find("//");
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+bool parse_index_expr(const std::string& text, IndexExpr& out) {
+  const std::string t = strip(text);
+  if (t.empty()) return false;
+  // Pure number.
+  if (t.find_first_not_of("0123456789-") == std::string::npos) {
+    out.base.clear();
+    out.offset = std::strtoll(t.c_str(), nullptr, 10);
+    return true;
+  }
+  // base, base+k, base-k (whitespace tolerated around the operator).
+  std::size_t op = t.find_first_of("+-", 1);
+  out.base = strip(t.substr(0, op));
+  if (op == std::string::npos) {
+    out.offset = 0;
+    return true;
+  }
+  const std::string rest = strip(t.substr(op + 1));
+  if (rest.empty() ||
+      rest.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out.offset = std::strtoll(rest.c_str(), nullptr, 10);
+  if (t[op] == '-') out.offset = -out.offset;
+  return true;
+}
+
+/// Parses "[a][b][c]" starting at `pos` (pointing at the first '[').
+/// Returns the position one past the last ']' or npos on failure.
+std::size_t parse_bracket_triple(const std::string& s, std::size_t pos,
+                                 IndexExpr out[3]) {
+  for (int i = 0; i < 3; ++i) {
+    if (pos >= s.size() || s[pos] != '[') return std::string::npos;
+    const auto close = s.find(']', pos);
+    if (close == std::string::npos) return std::string::npos;
+    if (!parse_index_expr(s.substr(pos + 1, close - pos - 1), out[i])) {
+      return std::string::npos;
+    }
+    pos = close + 1;
+  }
+  return pos;
+}
+
+/// Parses "idx(x, y, z)" starting at `pos` (pointing at "idx(").
+/// Returns the position one past ')' or npos.
+std::size_t parse_idx_call(const std::string& s, std::size_t pos,
+                           IndexExpr out[3]) {
+  const auto open = pos + 4;  // past "idx("
+  const auto close = s.find(')', open);
+  if (close == std::string::npos) return std::string::npos;
+  std::string args = s.substr(open, close - open);
+  std::istringstream is(args);
+  std::string part;
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(is, part, i < 2 ? ',' : '\n')) return std::string::npos;
+    if (!parse_index_expr(part, out[i])) return std::string::npos;
+  }
+  return close + 1;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Position of the top-level assignment '=' in a statement, or npos.
+/// Skips '==', '>=', '<=', '!=', '+=', '-=', '*=', '/='.
+std::size_t assignment_pos(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '=') continue;
+    if (i + 1 < s.size() && s[i + 1] == '=') {
+      ++i;
+      continue;
+    }
+    if (i > 0 && std::string("=<>!+-*/%&|^").find(s[i - 1]) !=
+                     std::string::npos) {
+      continue;
+    }
+    return i;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+int IndexExpr::axis() const {
+  if (base.empty()) return -1;
+  switch (base.back()) {
+    case 'x':
+      return 0;
+    case 'y':
+      return 1;
+    case 'z':
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+const SharedTileDecl* KernelModel::tile(const std::string& name) const {
+  for (const auto& t : tiles) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+KernelModel KernelModel::parse(const std::string& source, Report* report) {
+  KernelModel model;
+
+  struct OpenLoop {
+    int index;
+    int depth;  ///< brace depth inside the loop body
+  };
+  std::vector<OpenLoop> loop_stack;
+  int depth = 0;
+  int guard_depth = -1;  ///< body depth of the divergent else-branch
+  bool pending_else_guard = false;
+  int line_no = 0;
+
+  auto current_loops = [&] {
+    std::vector<int> out;
+    out.reserve(loop_stack.size());
+    for (const auto& l : loop_stack) out.push_back(l.index);
+    return out;
+  };
+  auto add_event = [&](Event e) {
+    e.line = line_no;
+    e.guarded = guard_depth >= 0 && depth >= guard_depth;
+    if (e.kind != EventKind::kLoopOpen && e.kind != EventKind::kLoopClose) {
+      e.loops = current_loops();
+    }
+    model.events.push_back(std::move(e));
+  };
+
+  std::istringstream is(source);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::string code = strip(strip_comment(raw));
+    if (code.empty()) {
+      // Comment-only or blank line; braces never hide in emitted comments.
+      continue;
+    }
+
+    // --- Declarations & defines (no brace bookkeeping needed first). ------
+    if (code.rfind("#define ", 0) == 0) {
+      std::istringstream def(code.substr(8));
+      std::string name, value;
+      def >> name >> value;
+      if (!value.empty() &&
+          value.find_first_not_of("0123456789") == std::string::npos) {
+        model.defines[name] = std::strtoll(value.c_str(), nullptr, 10);
+      }
+      continue;
+    }
+    if (const auto lb = code.find("__launch_bounds__(");
+        lb != std::string::npos) {
+      model.launch_bounds =
+          std::strtoll(code.c_str() + lb + 18, nullptr, 10);
+      // Fall through: the signature line also opens the kernel body brace.
+    }
+    if (code.rfind("__constant__ double c_weights[", 0) == 0) {
+      model.constant_count =
+          std::strtoll(code.c_str() + 30, nullptr, 10);
+      continue;
+    }
+    if (code.rfind("__shared__ double ", 0) == 0) {
+      SharedTileDecl decl;
+      decl.line = line_no;
+      std::size_t pos = 18;
+      while (pos < code.size() && is_ident_char(code[pos])) {
+        decl.name += code[pos++];
+      }
+      IndexExpr dims[3];
+      if (parse_bracket_triple(code, pos, dims) != std::string::npos) {
+        bool numeric = true;
+        for (int i = 0; i < 3; ++i) {
+          if (!dims[i].base.empty()) numeric = false;
+          decl.dims[i] = dims[i].offset;
+        }
+        if (numeric) {
+          model.tiles.push_back(decl);
+        } else if (report != nullptr) {
+          report->error("structure.tile-decl", "kernel:line " +
+                        std::to_string(line_no),
+                        "non-constant shared tile dimensions");
+        }
+      } else if (report != nullptr) {
+        report->error("structure.tile-decl",
+                      "kernel:line " + std::to_string(line_no),
+                      "unparseable __shared__ declaration: " + code);
+      }
+      continue;
+    }
+    if (code.rfind("const int c", 0) == 0) {
+      // "const int cx = gx < M1 ? gx : M1 - 1;"
+      const std::string name = code.substr(10, 2);
+      const auto eq = code.find('=');
+      if (eq != std::string::npos) {
+        const std::string rhs = strip(code.substr(eq + 1));
+        model.clamps[name] = rhs.substr(0, 2);
+      }
+      continue;
+    }
+
+    // --- Control flow. ----------------------------------------------------
+    const bool opens = code.find('{') != std::string::npos;
+    const bool closes_only = code[0] == '}';
+
+    if (code.rfind("if (gx >= M1", 0) == 0) {
+      model.has_guard = true;
+      pending_else_guard = true;
+      continue;
+    }
+    if (code.rfind("else", 0) == 0 && opens) {
+      ++depth;
+      if (pending_else_guard) {
+        guard_depth = depth;
+        pending_else_guard = false;
+      }
+      continue;
+    }
+    if (code.rfind("for (", 0) == 0 && opens) {
+      LoopInfo info;
+      info.open_line = line_no;
+      std::size_t pos = code.find("int ");
+      if (pos != std::string::npos) {
+        pos += 4;
+        while (pos < code.size() && is_ident_char(code[pos])) {
+          info.var += code[pos++];
+        }
+      }
+      const int index = static_cast<int>(model.loops.size());
+      model.loops.push_back(info);
+      Event e;
+      e.kind = EventKind::kLoopOpen;
+      e.loop = index;
+      e.loops = current_loops();
+      add_event(e);
+      ++depth;
+      loop_stack.push_back({index, depth});
+      continue;
+    }
+    if (closes_only) {
+      if (!loop_stack.empty() && loop_stack.back().depth == depth) {
+        Event e;
+        e.kind = EventKind::kLoopClose;
+        e.loop = loop_stack.back().index;
+        // The close belongs to the loop's enclosing scope, but record the
+        // loop itself as context too.
+        e.loops = current_loops();
+        add_event(e);
+        loop_stack.pop_back();
+      }
+      if (guard_depth >= 0 && depth == guard_depth) guard_depth = -1;
+      --depth;
+      continue;
+    }
+
+    // --- Statements. ------------------------------------------------------
+    if (code.find("__syncthreads()") != std::string::npos) {
+      Event e;
+      e.kind = EventKind::kSync;
+      add_event(e);
+      continue;
+    }
+
+    const std::size_t assign = assignment_pos(code);
+
+    // Scan every tile access in the statement.
+    std::size_t pos = 0;
+    while ((pos = code.find("tile", pos)) != std::string::npos) {
+      if (pos > 0 && is_ident_char(code[pos - 1])) {
+        ++pos;
+        continue;
+      }
+      std::size_t name_end = pos;
+      while (name_end < code.size() && is_ident_char(code[name_end])) {
+        ++name_end;
+      }
+      TileAccess access;
+      access.tile = code.substr(pos, name_end - pos);
+      const auto after = parse_bracket_triple(code, name_end, access.index);
+      if (after == std::string::npos) {
+        if (report != nullptr) {
+          report->error("structure.tile-access",
+                        "kernel:line " + std::to_string(line_no),
+                        "unparseable tile access: " + code);
+        }
+        pos = name_end;
+        continue;
+      }
+      Event e;
+      e.kind = (assign != std::string::npos && pos < assign)
+                   ? EventKind::kSharedWrite
+                   : EventKind::kSharedRead;
+      e.tile = access;
+      add_event(e);
+      pos = after;
+    }
+
+    // Scan every global access through idx() in the statement.
+    pos = 0;
+    while ((pos = code.find("[idx(", pos)) != std::string::npos) {
+      // Array name is the identifier immediately before '['.
+      std::size_t name_begin = pos;
+      while (name_begin > 0 && is_ident_char(code[name_begin - 1])) {
+        --name_begin;
+      }
+      GlobalAccess access;
+      access.array = code.substr(name_begin, pos - name_begin);
+      if (parse_idx_call(code, pos + 1, access.coord) == std::string::npos) {
+        if (report != nullptr) {
+          report->error("structure.global-access",
+                        "kernel:line " + std::to_string(line_no),
+                        "unparseable idx() access: " + code);
+        }
+        pos += 5;
+        continue;
+      }
+      Event e;
+      e.kind = (assign != std::string::npos && name_begin < assign)
+                   ? EventKind::kGlobalWrite
+                   : EventKind::kGlobalRead;
+      e.global = access;
+      add_event(e);
+      pos = code.find(')', pos) + 1;
+    }
+
+    if (opens) ++depth;
+  }
+
+  if (depth != 0 && report != nullptr) {
+    report->error("structure.braces", "kernel",
+                  "unbalanced braces in emitted kernel (depth " +
+                      std::to_string(depth) + " at end of file)");
+  }
+  return model;
+}
+
+}  // namespace cstuner::analysis

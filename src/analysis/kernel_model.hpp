@@ -1,0 +1,106 @@
+#pragma once
+// Structural model of an emitted CUDA kernel (ISSUE 2). The analyzer does
+// not run nvcc; it parses the generated translation unit into an ordered
+// event stream — shared-tile writes/reads, __syncthreads() barriers, global
+// loads/stores, loop nesting, the bounds guard — plus the declarations that
+// encode the kernel's resource footprint (#defines, __shared__ tiles,
+// __constant__ arrays, __launch_bounds__). The four analysis passes consume
+// this model instead of raw text, so a corrupted kernel (dropped sync,
+// shrunken tile, wrong halo) is still parseable and its defect attributable.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace cstuner::analysis {
+
+/// One bracketed index expression, e.g. "lz+2" -> {base "lz", offset 2},
+/// "cx" -> {base "cx", offset 0}, "7" -> {base "", offset 7}.
+struct IndexExpr {
+  std::string base;
+  std::int64_t offset = 0;
+
+  /// 0/1/2 for x/y/z-suffixed bases (lx, gy, cz, ...), -1 otherwise.
+  int axis() const;
+};
+
+/// A shared-tile access: tile name + the three index expressions in
+/// declaration order [z][y][x].
+struct TileAccess {
+  std::string tile;
+  IndexExpr index[3];
+};
+
+/// A global-memory access through the idx() macro: array name + the three
+/// coordinate expressions in idx(x, y, z) order.
+struct GlobalAccess {
+  std::string array;
+  IndexExpr coord[3];
+};
+
+enum class EventKind {
+  kSharedWrite,
+  kSharedRead,
+  kSync,
+  kGlobalRead,
+  kGlobalWrite,
+  kLoopOpen,
+  kLoopClose,
+};
+
+struct Event {
+  EventKind kind = EventKind::kSync;
+  int line = 0;            ///< 1-based line in the source text
+  bool guarded = false;    ///< inside the divergent bounds-check branch
+  int loop = -1;           ///< loop index for kLoopOpen/kLoopClose
+  std::vector<int> loops;  ///< enclosing loop indices, outermost first
+  TileAccess tile;         ///< payload for shared events
+  GlobalAccess global;     ///< payload for global events
+};
+
+struct LoopInfo {
+  std::string var;  ///< induction variable ("s", "tt", "cy", "by", "r", ...)
+  int open_line = 0;
+};
+
+struct SharedTileDecl {
+  std::string name;
+  std::int64_t dims[3] = {0, 0, 0};  ///< declaration order [z][y][x]
+  int line = 0;
+
+  std::int64_t element_count() const { return dims[0] * dims[1] * dims[2]; }
+};
+
+/// Parsed structural view of one generated kernel translation unit.
+class KernelModel {
+ public:
+  /// Parses the emitted source. Structural anomalies that prevent a clean
+  /// parse (unbalanced braces, malformed index expressions) are reported
+  /// under the "structure." rule family when `report` is non-null.
+  static KernelModel parse(const std::string& source,
+                           Report* report = nullptr);
+
+  std::map<std::string, std::int64_t> defines;  ///< M1/M2/M3/HALO
+  std::optional<std::int64_t> launch_bounds;
+  std::optional<std::int64_t> constant_count;  ///< c_weights extent
+  std::vector<SharedTileDecl> tiles;
+  std::vector<LoopInfo> loops;
+  std::vector<Event> events;
+  bool has_guard = false;   ///< "if (gx >= M1 || ...)" bounds check present
+  /// Clamped coordinate variables: name -> source variable ("cx" -> "gx").
+  std::map<std::string, std::string> clamps;
+
+  std::optional<std::int64_t> define(const std::string& name) const {
+    const auto it = defines.find(name);
+    if (it == defines.end()) return std::nullopt;
+    return it->second;
+  }
+  const SharedTileDecl* tile(const std::string& name) const;
+  bool uses_shared() const { return !tiles.empty(); }
+};
+
+}  // namespace cstuner::analysis

@@ -1,0 +1,49 @@
+#include "analysis/pruner.hpp"
+
+namespace cstuner::analysis {
+
+bool StaticPruner::is_valid(const space::Setting& setting) {
+  const space::Setting canonical = space_.checker().canonicalized(setting);
+  const std::uint64_t key = canonical.hash();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.checked;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++stats_.memo_hits;
+      if (!it->second) ++stats_.pruned;
+      return it->second;
+    }
+  }
+  const bool valid = space_.checker().is_valid(canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  memo_.emplace(key, valid);
+  if (!valid) ++stats_.pruned;
+  return valid;
+}
+
+std::vector<char> StaticPruner::filter(
+    const std::vector<space::Setting>& settings) {
+  std::vector<char> keep(settings.size(), 0);
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    keep[i] = is_valid(settings[i]) ? 1 : 0;
+  }
+  return keep;
+}
+
+std::size_t StaticPruner::prune(std::vector<space::Setting>& settings) {
+  const std::size_t before = settings.size();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    if (is_valid(settings[i])) settings[out++] = settings[i];
+  }
+  settings.resize(out);
+  return before - out;
+}
+
+StaticPruner::Stats StaticPruner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cstuner::analysis

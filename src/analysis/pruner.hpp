@@ -1,0 +1,50 @@
+#pragma once
+// Tuner-side static pruning built on the constraint machinery (ISSUE 2).
+// Search strategies generate far more candidate settings than survive the
+// ConstraintChecker, and GA/DE populations revisit the same encodings over
+// and over; the pruner memoizes validity by canonical content hash so each
+// distinct setting pays the full rule evaluation exactly once. Thread-safe:
+// strategies probe candidates from the evaluator's thread pool.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "space/search_space.hpp"
+
+namespace cstuner::analysis {
+
+class StaticPruner {
+ public:
+  struct Stats {
+    std::size_t checked = 0;    ///< total is_valid() queries
+    std::size_t pruned = 0;     ///< queries answered "invalid"
+    std::size_t memo_hits = 0;  ///< queries served from the memo table
+  };
+
+  explicit StaticPruner(const space::SearchSpace& space) : space_(space) {}
+
+  StaticPruner(const StaticPruner&) = delete;
+  StaticPruner& operator=(const StaticPruner&) = delete;
+
+  /// Memoized constraint check (canonical-hash keyed).
+  bool is_valid(const space::Setting& setting);
+
+  /// keep[i] == 1 iff settings[i] is valid.
+  std::vector<char> filter(const std::vector<space::Setting>& settings);
+
+  /// Drops invalid settings in place, preserving order; returns the number
+  /// removed.
+  std::size_t prune(std::vector<space::Setting>& settings);
+
+  Stats stats() const;
+
+ private:
+  const space::SearchSpace& space_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, bool> memo_;
+  Stats stats_;
+};
+
+}  // namespace cstuner::analysis

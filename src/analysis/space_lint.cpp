@@ -1,0 +1,243 @@
+#include "analysis/space_lint.hpp"
+
+#include <sstream>
+
+namespace cstuner::analysis {
+
+namespace {
+
+using space::ParamId;
+using space::Setting;
+
+/// One (parameter, value) pin applied on top of a candidate setting.
+struct Pin {
+  ParamId id;
+  std::int64_t value;
+};
+
+void apply_pins(Setting& s, const std::vector<Pin>& pins) {
+  for (const auto& pin : pins) s.set(pin.id, pin.value);
+}
+
+bool pins_hold(const Setting& s, const std::vector<Pin>& pins) {
+  for (const auto& pin : pins) {
+    if (s.get(pin.id) != pin.value) return false;
+  }
+  return true;
+}
+
+/// Deterministic witness templates: the all-ones setting (always valid on
+/// its own) and its streaming variants, which unlock the SD/SB/prefetching
+/// subspace the canonical encoding ties to useStreaming.
+std::vector<Setting> witness_templates() {
+  std::vector<Setting> out;
+  out.emplace_back();  // all ones
+  for (std::int64_t sd = 1; sd <= 3; ++sd) {
+    Setting s;
+    s.set(space::kUseStreaming, space::kOn);
+    s.set(space::kSD, sd);
+    s.set(space::kSB, 1);
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Systematic dimension-local sweep: enumerates the streaming configuration
+/// (useStreaming x SD x SB) and, for every grid dimension one of the pinned
+/// parameters belongs to, its TB/CM/BM support values — everything else at
+/// the all-ones baseline. Large unroll/merge factors are only admissible
+/// with the right support (UF <= CM*BM, or UF <= SB on the streaming
+/// dimension), which uniform random probing almost never assembles; this
+/// sweep finds such witnesses deterministically.
+bool sweep_witness(const space::SearchSpace& space,
+                   const std::vector<Pin>& pins) {
+  const auto& checker = space.checker();
+  std::vector<int> dims;
+  for (const auto& pin : pins) {
+    const int d = space::param_dimension(pin.id);
+    if (d >= 0) dims.push_back(d);
+  }
+
+  const space::ParamId tb[] = {space::kTBx, space::kTBy, space::kTBz};
+  const space::ParamId cm[] = {space::kCMx, space::kCMy, space::kCMz};
+  const space::ParamId bm[] = {space::kBMx, space::kBMy, space::kBMz};
+
+  // Per-dimension support combinations (including the trivial all-ones one).
+  std::vector<Setting> supports{Setting{}};
+  for (const int d : dims) {
+    std::vector<Setting> expanded;
+    for (const Setting& base : supports) {
+      for (const std::int64_t t : space.parameter(tb[d]).values) {
+        for (const std::int64_t c : space.parameter(cm[d]).values) {
+          for (const std::int64_t b : space.parameter(bm[d]).values) {
+            Setting s = base;
+            s.set(tb[d], t);
+            s.set(cm[d], c);
+            s.set(bm[d], b);
+            expanded.push_back(s);
+          }
+        }
+      }
+    }
+    supports = std::move(expanded);
+  }
+
+  // Retiming/shared/constant change the register and shared-memory
+  // footprint, so a borderline merge factor may only be feasible with the
+  // right flag combination; enumerate all eight.
+  const space::ParamId flags[] = {space::kUseRetiming, space::kUseShared,
+                                  space::kUseConstant};
+  for (int mask = 0; mask < 8; ++mask) {
+    for (const Setting& support : supports) {
+      Setting flagged = support;
+      for (int f = 0; f < 3; ++f) {
+        flagged.set(flags[f], (mask >> f) & 1 ? space::kOn : space::kOff);
+      }
+      // Non-streaming configuration.
+      {
+        Setting s = flagged;
+        apply_pins(s, pins);
+        if (checker.is_valid(s)) return true;
+      }
+      // Streaming configurations.
+      for (const std::int64_t sd : space.parameter(space::kSD).values) {
+        for (const std::int64_t sb : space.parameter(space::kSB).values) {
+          Setting s = flagged;
+          s.set(space::kUseStreaming, space::kOn);
+          s.set(space::kSD, sd);
+          s.set(space::kSB, sb);
+          // Rule 4: the streaming dimension carries no block/merge factors.
+          const int d = static_cast<int>(sd) - 1;
+          s.set(tb[d], 1);
+          s.set(cm[d], 1);
+          s.set(bm[d], 1);
+          apply_pins(s, pins);
+          if (checker.is_valid(s)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// True when some valid setting satisfies all pins: first the deterministic
+/// templates (with and without repair), then the systematic dimension-local
+/// sweep, then randomized search for anything the sweep's all-ones baseline
+/// cannot reach.
+bool find_witness(const space::SearchSpace& space, const std::vector<Pin>& pins,
+                  std::size_t attempts, Rng& rng) {
+  const auto& checker = space.checker();
+  for (const Setting& base : witness_templates()) {
+    Setting s = base;
+    apply_pins(s, pins);
+    if (checker.is_valid(s)) return true;
+    const Setting repaired = checker.repaired(s);
+    if (pins_hold(repaired, pins) && checker.is_valid(repaired)) return true;
+  }
+  if (sweep_witness(space, pins)) return true;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    Setting s = space.random_setting(rng);
+    apply_pins(s, pins);
+    if (checker.is_valid(s)) return true;
+    const Setting repaired = checker.repaired(s);
+    if (pins_hold(repaired, pins) && checker.is_valid(repaired)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SpaceLintResult::value_is_live(ParamId id, std::int64_t value,
+                                    const space::SearchSpace& space) const {
+  const auto p = static_cast<std::size_t>(id);
+  const auto& values = space.parameters()[p].values;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == value) return live[p][i] != 0;
+  }
+  return false;
+}
+
+SpaceLintResult lint_space(const space::SearchSpace& space,
+                           const SpaceLintOptions& options) {
+  SpaceLintResult result;
+  Rng rng(options.seed);
+  const auto& params = space.parameters();
+
+  // --- Per-parameter value liveness. ---------------------------------------
+  result.live.resize(params.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const auto& param = params[p];
+    result.live[p].assign(param.values.size(), 0);
+    std::size_t dead_here = 0;
+    for (std::size_t i = 0; i < param.values.size(); ++i) {
+      const std::int64_t value = param.values[i];
+      const bool live = find_witness(
+          space, {{param.id, value}}, options.probe_attempts, rng);
+      result.live[p][i] = live ? 1 : 0;
+      if (!live) {
+        ++dead_here;
+        ++result.dead_values;
+        std::ostringstream msg;
+        msg << param.name << '=' << value
+            << " appears in no valid setting (statically prunable)";
+        result.report.warn("space.dead-value", "space:" + param.name,
+                           msg.str());
+      }
+    }
+    if (dead_here == param.values.size()) {
+      result.report.error("space.dead-parameter", "space:" + param.name,
+                          "every admissible value of " + param.name +
+                              " is dead: the space is empty");
+    }
+  }
+
+  // --- Pairwise subspace liveness over the small (bool/enum) parameters. ---
+  if (options.check_pairs) {
+    for (std::size_t a = 0; a < params.size(); ++a) {
+      if (params[a].kind == space::ParamKind::kPow2) continue;
+      for (std::size_t b = a + 1; b < params.size(); ++b) {
+        if (params[b].kind == space::ParamKind::kPow2) continue;
+        for (std::size_t i = 0; i < params[a].values.size(); ++i) {
+          for (std::size_t j = 0; j < params[b].values.size(); ++j) {
+            if (result.live[a][i] == 0 || result.live[b][j] == 0) {
+              continue;  // implied by a dead value; already reported
+            }
+            const std::vector<Pin> pins = {
+                {params[a].id, params[a].values[i]},
+                {params[b].id, params[b].values[j]}};
+            if (!find_witness(space, pins, options.probe_attempts, rng)) {
+              ++result.dead_pairs;
+              std::ostringstream msg;
+              msg << params[a].name << '=' << params[a].values[i] << " with "
+                  << params[b].name << '=' << params[b].values[j]
+                  << " is jointly infeasible (statically prunable subspace)";
+              result.report.note("space.dead-subspace",
+                                 "space:" + params[a].name + "x" +
+                                     params[b].name,
+                                 msg.str());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Valid fraction of the unconstrained cartesian space. ----------------
+  if (options.validity_samples > 0) {
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < options.validity_samples; ++i) {
+      if (space.is_valid(space.random_setting(rng))) ++valid;
+    }
+    result.sampled_valid_fraction =
+        static_cast<double>(valid) /
+        static_cast<double>(options.validity_samples);
+    std::ostringstream msg;
+    msg << "~" << result.sampled_valid_fraction * 100.0
+        << "% of independently-uniform draws satisfy all constraints";
+    result.report.note("space.valid-fraction", "space", msg.str());
+  }
+
+  return result;
+}
+
+}  // namespace cstuner::analysis

@@ -1,0 +1,45 @@
+#pragma once
+// Pass 4 of the static analyzer (ISSUE 2): search-space lint. Enumerates
+// per-parameter value liveness under the ConstraintChecker — a value is
+// *dead* when no valid setting assigns it — and probes small cross-parameter
+// subspaces (bool/enum pairs) for joint infeasibility. Auto-tuning spaces
+// are notoriously full of such holes (Schoonhoven et al.); surfacing them as
+// structured diagnostics both documents the space and feeds the tuner-side
+// static pruning (analysis/pruner.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "space/search_space.hpp"
+
+namespace cstuner::analysis {
+
+struct SpaceLintOptions {
+  /// Randomized witness-search attempts per (parameter, value) after the
+  /// deterministic templates fail.
+  std::size_t probe_attempts = 200;
+  /// Random draws for the valid-fraction estimate (0 disables it).
+  std::size_t validity_samples = 2000;
+  /// Probe joint liveness of bool/enum parameter pairs.
+  bool check_pairs = true;
+  std::uint64_t seed = 1;
+};
+
+struct SpaceLintResult {
+  Report report;
+  /// live[p][i]: some valid setting assigns parameters()[p].values[i].
+  std::vector<std::vector<char>> live;
+  std::size_t dead_values = 0;
+  std::size_t dead_pairs = 0;
+  /// Fraction of independently-uniform draws that satisfy all constraints.
+  double sampled_valid_fraction = 0.0;
+
+  bool value_is_live(space::ParamId id, std::int64_t value,
+                     const space::SearchSpace& space) const;
+};
+
+SpaceLintResult lint_space(const space::SearchSpace& space,
+                           const SpaceLintOptions& options = {});
+
+}  // namespace cstuner::analysis

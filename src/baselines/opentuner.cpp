@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/pruner.hpp"
 #include "common/error.hpp"
 
 namespace cstuner::baselines {
@@ -93,16 +94,32 @@ void OpenTuner::tune_global_ga(tuner::Evaluator& evaluator,
     return setting_to_genome(space, space.random_valid(rng));
   };
   ga::IslandGa island(parameter_cardinalities(space), ga_options);
+  // OpenTuner breeds plenty of constraint-invalid genomes; the static
+  // pruner hands them the penalty fitness directly (memoized per encoding)
+  // instead of routing them through the evaluator batch.
+  analysis::StaticPruner pruner(space);
   auto evaluate = [&](const std::vector<ga::Genome>& genomes) {
     std::vector<Setting> candidates;
     candidates.reserve(genomes.size());
     for (const auto& genome : genomes) {
       candidates.push_back(genome_to_setting(space, genome));
     }
-    const auto times = evaluator.evaluate_batch(candidates);
-    std::vector<double> fitnesses;
-    fitnesses.reserve(times.size());
-    for (double t : times) fitnesses.push_back(fitness_of(t));
+    const auto keep = pruner.filter(candidates);
+    std::vector<Setting> kept;
+    std::vector<std::size_t> kept_pos;
+    kept.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (keep[i]) {
+        kept.push_back(candidates[i]);
+        kept_pos.push_back(i);
+      }
+    }
+    const auto kept_times = evaluator.evaluate_batch(kept);
+    std::vector<double> fitnesses(candidates.size(), fitness_of(
+        std::numeric_limits<double>::infinity()));
+    for (std::size_t j = 0; j < kept_times.size(); ++j) {
+      fitnesses[kept_pos[j]] = fitness_of(kept_times[j]);
+    }
     return fitnesses;
   };
   auto should_stop = [&](const ga::GaState&) {
@@ -166,6 +183,7 @@ void OpenTuner::tune_differential_evolution(
     tuner::Evaluator& evaluator, const tuner::StopCriteria& stop) {
   const auto& space = evaluator.space();
   Rng rng(options_.seed);
+  analysis::StaticPruner pruner(space);
   const auto cards = parameter_cardinalities(space);
   const std::size_t pop_size = static_cast<std::size_t>(
       options_.ga.sub_populations * options_.ga.population_size);
@@ -227,7 +245,24 @@ void OpenTuner::tune_differential_evolution(
       }
       trial_settings.push_back(vec_to_setting(trials[i]));
     }
-    const auto trial_times = evaluator.evaluate_batch(trial_settings);
+    // Static pruning: invalid trial vectors keep their infinite time
+    // without occupying evaluator batch slots.
+    const auto keep = pruner.filter(trial_settings);
+    std::vector<Setting> kept;
+    std::vector<std::size_t> kept_pos;
+    kept.reserve(trial_settings.size());
+    for (std::size_t i = 0; i < trial_settings.size(); ++i) {
+      if (keep[i]) {
+        kept.push_back(trial_settings[i]);
+        kept_pos.push_back(i);
+      }
+    }
+    const auto kept_times = evaluator.evaluate_batch(kept);
+    std::vector<double> trial_times(trial_settings.size(),
+                                    std::numeric_limits<double>::infinity());
+    for (std::size_t j = 0; j < kept_times.size(); ++j) {
+      trial_times[kept_pos[j]] = kept_times[j];
+    }
     for (std::size_t i = 0; i < pop_size; ++i) {
       if (trial_times[i] < times[i]) {
         population[i] = std::move(trials[i]);

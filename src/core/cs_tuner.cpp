@@ -42,6 +42,7 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
                    const tuner::StopCriteria& stop) {
   report_ = PreprocessReport{};
   const auto& space = evaluator.space();
+  analysis::StaticPruner pruner(space);
   Rng rng(options_.seed);
 
   // --- Offline: candidate universe + performance dataset (§IV-A). ---------
@@ -52,6 +53,10 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   } else {
     universe = space.sample_universe(rng, options_.universe_size);
   }
+  // Static pruning: preset universes may carry constraint-invalid settings;
+  // drop them before any tuning stage sees them. sample_universe() output is
+  // valid by construction, so this only seeds the pruner's memo there.
+  report_.universe_pruned = pruner.prune(universe);
   tuner::PerfDataset dataset;
   if (preset_dataset_.has_value()) {
     dataset = *preset_dataset_;
@@ -179,9 +184,21 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
           // searchable.
           candidates.push_back(space.checker().repaired(candidate));
         }
-        const auto times = evaluator.evaluate_batch(candidates);
-        for (std::size_t i = 0; i < times.size(); ++i) {
-          consider(first_tuple + i, times[i]);
+        // Static pruning: anything still invalid after repair never reaches
+        // the evaluator (it would score infinity there anyway).
+        const auto keep = pruner.filter(candidates);
+        std::vector<space::Setting> kept;
+        std::vector<std::size_t> kept_pos;
+        kept.reserve(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (keep[i]) {
+            kept.push_back(candidates[i]);
+            kept_pos.push_back(i);
+          }
+        }
+        const auto kept_times = evaluator.evaluate_batch(kept);
+        for (std::size_t j = 0; j < kept_times.size(); ++j) {
+          consider(first_tuple + kept_pos[j], kept_times[j]);
         }
         evaluator.mark_iteration();
       }
@@ -203,7 +220,24 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
           group.apply(genome[0], candidate);
           candidates.push_back(space.checker().repaired(candidate));
         }
-        const auto times = evaluator.evaluate_batch(candidates);
+        // Static pruning: statically-invalid genomes take the penalty
+        // fitness directly instead of occupying evaluator batch slots.
+        const auto keep = pruner.filter(candidates);
+        std::vector<space::Setting> kept;
+        std::vector<std::size_t> kept_pos;
+        kept.reserve(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (keep[i]) {
+            kept.push_back(candidates[i]);
+            kept_pos.push_back(i);
+          }
+        }
+        const auto kept_times = evaluator.evaluate_batch(kept);
+        std::vector<double> times(candidates.size(),
+                                  std::numeric_limits<double>::infinity());
+        for (std::size_t j = 0; j < kept_times.size(); ++j) {
+          times[kept_pos[j]] = kept_times[j];
+        }
         std::vector<double> fitnesses(times.size());
         std::lock_guard<std::mutex> lock(consider_mutex);
         for (std::size_t i = 0; i < times.size(); ++i) {
@@ -250,6 +284,8 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
     evaluator.mark_iteration();
     p = chunk_end;
   }
+
+  report_.prune = pruner.stats();
 }
 
 }  // namespace cstuner::core

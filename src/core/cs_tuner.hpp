@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "analysis/pruner.hpp"
 #include "core/approx.hpp"
 #include "core/reindex.hpp"
 #include "core/sampling.hpp"
@@ -59,6 +60,11 @@ struct PreprocessReport {
   std::size_t universe_count = 0;
   std::size_t sampled_count = 0;
   std::size_t generated_kernel_bytes = 0;
+  /// Constraint-invalid settings dropped from the candidate universe before
+  /// tuning (only preset universes can contain them).
+  std::size_t universe_pruned = 0;
+  /// Static-pruner counters over the whole run (universe + in-loop grafts).
+  analysis::StaticPruner::Stats prune;
 };
 
 class CsTuner : public tuner::Tuner {

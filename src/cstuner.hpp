@@ -11,6 +11,9 @@
 //   tuner.tune(evaluator, {.max_virtual_seconds = 100.0});
 //   // evaluator.best_setting() / evaluator.best_time_ms()
 
+#include "analysis/analyzer.hpp"
+#include "analysis/pruner.hpp"
+#include "analysis/space_lint.hpp"
 #include "baselines/artemis.hpp"
 #include "baselines/garvey.hpp"
 #include "baselines/opentuner.hpp"

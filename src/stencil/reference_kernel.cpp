@@ -21,10 +21,10 @@ void Grid3::fill_pattern(std::uint64_t salt) {
       for (int x = -halo_; x < nx_ + halo_; ++x) {
         // Cheap coordinate hash mapped into [0.5, 1.5): smooth enough to be
         // numerically benign, varied enough to catch indexing bugs.
-        std::uint64_t h = hash_combine(salt, static_cast<std::uint64_t>(
-                                                 (x + 7) * 73856093));
-        h = hash_combine(h, static_cast<std::uint64_t>((y + 7) * 19349663));
-        h = hash_combine(h, static_cast<std::uint64_t>((z + 7) * 83492791));
+        std::uint64_t h = hash_combine(
+            salt, static_cast<std::uint64_t>(x + 7) * 73856093ULL);
+        h = hash_combine(h, static_cast<std::uint64_t>(y + 7) * 19349663ULL);
+        h = hash_combine(h, static_cast<std::uint64_t>(z + 7) * 83492791ULL);
         at(x, y, z) = 0.5 + static_cast<double>(h % 1024) / 1024.0;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/analyzer.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -27,6 +28,17 @@ bool Evaluator::cache_lookup(std::uint64_t key, double& value_out) {
     return true;
   }
   return false;
+}
+
+void Evaluator::precheck(const space::Setting& setting) const {
+  analysis::AnalyzerOptions options;
+  options.arch = &simulator_.arch();
+  const analysis::Report report =
+      analysis::analyze_setting(space_.spec(), setting, options);
+  if (report.error_count() > 0) {
+    throw ConstraintError("debug precheck failed for setting " +
+                          setting.to_string() + "\n" + report.to_string());
+  }
 }
 
 double Evaluator::measure(std::uint64_t key,
@@ -77,6 +89,7 @@ double Evaluator::evaluate(const space::Setting& setting) {
   if (!space_.is_valid(setting)) {
     return std::numeric_limits<double>::infinity();
   }
+  if (debug_precheck_) precheck(setting);
   return commit(key, setting, measure(key, setting));
 }
 
@@ -98,6 +111,7 @@ std::vector<double> Evaluator::evaluate_batch(
       return;
     }
     if (!space_.is_valid(setting)) return;  // stays infinity, uncharged
+    if (debug_precheck_) precheck(setting);  // parallel_for rethrows
     means[i] = measure(keys[i], setting);
     needs_commit[i] = 1;
   };

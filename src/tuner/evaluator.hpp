@@ -92,6 +92,15 @@ class Evaluator {
   ThreadPool* thread_pool() const { return pool_; }
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Debug mode: before the first (cache-miss) measurement of a valid
+  /// setting, run the static analyzer over the kernel the codegen layer
+  /// would emit for it and throw ConstraintError when any pass reports an
+  /// error. Catches codegen/constraint drift at the point of use instead of
+  /// ten thousand evaluations later. Off by default (it generates and parses
+  /// the kernel source per unique setting).
+  void set_debug_precheck(bool enabled) { debug_precheck_ = enabled; }
+  bool debug_precheck() const { return debug_precheck_; }
+
   /// Resets clock, cache, best and trace (fresh tuning run). Not safe
   /// concurrently with evaluations.
   void reset();
@@ -112,6 +121,9 @@ class Evaluator {
     return shards_[(key >> 56) & (kCacheShards - 1)];
   }
   bool cache_lookup(std::uint64_t key, double& value_out);
+  /// Debug-mode static analysis of the kernel for `setting`; throws
+  /// ConstraintError when the analyzer reports an error-severity diagnostic.
+  void precheck(const space::Setting& setting) const;
   /// Pure measurement: mean of runs_per_eval noisy simulator runs.
   double measure(std::uint64_t key, const space::Setting& setting) const;
   /// First-writer-wins cache insert + clock charge + best/trace update.
@@ -125,6 +137,7 @@ class Evaluator {
   EvalCosts costs_;
   std::uint64_t run_salt_;
   ThreadPool* pool_;
+  bool debug_precheck_ = false;
 
   std::vector<Shard> shards_{kCacheShards};
   std::atomic<std::int64_t> virtual_time_ticks_{0};

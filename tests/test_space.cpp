@@ -382,5 +382,102 @@ TEST_F(SearchSpaceTest, DeterministicSamplingForSameSeed) {
   for (std::size_t i = 0; i < ua.size(); ++i) EXPECT_EQ(ua[i], ub[i]);
 }
 
+// --- canonicalized() / repaired() edge cases ------------------------------
+
+TEST_F(ConstraintTest, StreamingDisabledSettingsAliasToOneEncoding) {
+  // With streaming off, SD/SB/prefetching are inert; any assignment of them
+  // must canonicalize (and hash) to the same encoding, or caches and dedup
+  // would treat behaviorally identical kernels as distinct.
+  Setting a = valid_base();
+  a.set(kSD, 2);
+  a.set(kSB, 64);
+  a.set(kUsePrefetching, kOn);
+  Setting b = valid_base();
+  b.set(kSD, 3);
+  b.set(kSB, 8);
+  const Setting ca = space_.checker().canonicalized(a);
+  const Setting cb = space_.checker().canonicalized(b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(ca.hash(), cb.hash());
+  EXPECT_EQ(ca.get(kSD), 1);
+  EXPECT_EQ(ca.get(kSB), 1);
+  EXPECT_EQ(ca.get(kUsePrefetching), kOff);
+}
+
+TEST_F(ConstraintTest, CanonicalizationIsIdempotent) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const Setting s = space_.random_setting(rng);
+    const Setting once = space_.checker().canonicalized(s);
+    EXPECT_EQ(once, space_.checker().canonicalized(once));
+  }
+}
+
+TEST_F(ConstraintTest, RepairIsFixedPointAtAllOnes) {
+  // The all-ones setting is valid in every space, so repair must return it
+  // untouched — it is the sink every repair chain can terminate in.
+  const Setting ones;
+  ASSERT_TRUE(space_.is_valid(ones));
+  EXPECT_EQ(space_.checker().repaired(ones), ones);
+}
+
+TEST_F(ConstraintTest, RepairTerminatesFromMaximalPressure) {
+  // Every factor at its largest admissible value: repair has to walk the
+  // longest possible shedding chain and still land on a valid setting.
+  Setting s;
+  for (std::size_t p = 0; p < kParamCount; ++p) {
+    const auto id = static_cast<ParamId>(p);
+    s.set(id, space_.parameter(id).values.back());
+  }
+  const Setting repaired = space_.checker().repaired(s);
+  EXPECT_TRUE(space_.is_valid(repaired))
+      << space_.checker().violation(repaired).value_or("");
+}
+
+TEST_F(ConstraintTest, RepairedIsAlwaysValidOnRandomInputs) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const Setting s = space_.random_setting(rng);
+    const Setting repaired = space_.checker().repaired(s);
+    EXPECT_TRUE(space_.is_valid(repaired))
+        << "from " << s.to_string() << "\nto " << repaired.to_string()
+        << "\nwhy " << space_.checker().violation(repaired).value_or("");
+  }
+}
+
+TEST(ConstraintEdge, RepairedValidOnTinyGrid) {
+  // A tiny grid makes the coverage rule bite on nearly every factor.
+  const auto spec = stencil::scaled_stencil("j3d7pt", 8);
+  SearchSpace tiny(spec);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Setting repaired = tiny.checker().repaired(tiny.random_setting(rng));
+    EXPECT_TRUE(tiny.is_valid(repaired))
+        << tiny.checker().violation(repaired).value_or("");
+  }
+}
+
+TEST(ConstraintEdge, RepairedValidWithStreamingAndTemporal) {
+  SpaceLimits limits;
+  limits.max_temporal = 4;
+  SearchSpace space(test_spec(), limits);
+  Rng rng(9);
+  int streaming_temporal_seen = 0;
+  for (int i = 0; i < 500; ++i) {
+    Setting s = space.random_setting(rng);
+    s.set(kUseStreaming, kOn);
+    s.set(kTemporal, 4);
+    const Setting repaired = space.checker().repaired(s);
+    EXPECT_TRUE(space.is_valid(repaired))
+        << space.checker().violation(repaired).value_or("");
+    if (repaired.flag(kUseStreaming) && repaired.get(kTemporal) > 1) {
+      ++streaming_temporal_seen;
+    }
+  }
+  // Repair sheds pressure but must not systematically strip the
+  // streaming+temporal combination the extension exists for.
+  EXPECT_GT(streaming_temporal_seen, 0);
+}
+
 }  // namespace
 }  // namespace cstuner::space

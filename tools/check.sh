@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures a dedicated build tree with ASan+UBSan, builds
+# everything, and runs the full test suite under instrumentation. The TSan
+# variant for the parallel evaluation engine is one flag away:
+#
+#   tools/check.sh              # address,undefined (default)
+#   tools/check.sh thread       # ThreadSanitizer
+#
+# Exits nonzero on any configure/build/test failure or sanitizer report.
+set -euo pipefail
+
+SANITIZE="${1:-address,undefined}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-sanitize-${SANITIZE//,/+}"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSTUNER_SANITIZE="${SANITIZE}"
+cmake --build "${BUILD}" -j "$(nproc)"
+
+# halt_on_error makes a sanitizer finding fail the ctest run instead of
+# scrolling past; detect_leaks stays on for the ASan configuration.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+echo "sanitize(${SANITIZE}): all tests clean"

@@ -7,6 +7,7 @@
 //   codegen   <stencil> [--set k=v ...] emit the CUDA kernel for a setting
 //   dataset   <stencil> [-n N]          collect a performance dataset (CSV)
 //   validate  <stencil> [--scale S]     tiled executor vs reference oracle
+//   analyze   <stencil> [--set k=v ...] static analysis of generated kernels
 //   tune      <stencil> [--method M] [--budget S] [--json]   run a tuner
 //
 // Common flags: --arch a100|v100 (default a100), --seed N.
@@ -236,12 +237,105 @@ int cmd_validate(const Args& args) {
   return 0;
 }
 
+int cmd_analyze(const Args& args) {
+  const auto spec = resolve_spec(args);
+  space::SearchSpace space(spec);
+  const auto arch = gpusim::arch_by_name(args.get("arch", "a100"));
+  analysis::AnalyzerOptions options;
+  options.arch = &arch;
+
+  // Settings under analysis: an explicit --set assignment, or a seeded
+  // sample of valid settings covering the space.
+  std::vector<space::Setting> settings;
+  if (!args.get_all("set").empty()) {
+    settings.push_back(parse_setting(space, args));
+  } else {
+    Rng rng(args.get_u64("seed", 1));
+    const auto n = static_cast<std::size_t>(args.get_u64("samples", 16));
+    for (std::size_t i = 0; i < n; ++i) {
+      settings.push_back(space.random_valid(rng));
+    }
+  }
+
+  std::vector<analysis::Report> reports;
+  reports.reserve(settings.size());
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& setting : settings) {
+    analysis::Report report;
+    if (const auto why = space.checker().violation(setting)) {
+      report.error("constraint.violation", "setting", *why);
+    } else {
+      report = analysis::analyze_setting(spec, setting, options);
+    }
+    errors += report.error_count();
+    warnings += report.count(analysis::Severity::kWarning);
+    reports.push_back(std::move(report));
+  }
+
+  analysis::SpaceLintResult lint;
+  const bool run_lint = !args.has("no-lint");
+  if (run_lint) {
+    analysis::SpaceLintOptions lint_options;
+    lint_options.seed = args.get_u64("seed", 1);
+    lint = analysis::lint_space(space, lint_options);
+    errors += lint.report.error_count();
+    warnings += lint.report.count(analysis::Severity::kWarning);
+  }
+
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("stencil", spec.name);
+    json.field("arch", arch.name);
+    json.key("settings").begin_array();
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      json.begin_object();
+      json.field("setting", settings[i].to_string());
+      json.field("clean", reports[i].clean());
+      json.key("diagnostics");
+      reports[i].write_json(json);
+      json.end_object();
+    }
+    json.end_array();
+    if (run_lint) {
+      json.field("dead_values", lint.dead_values);
+      json.field("dead_pairs", lint.dead_pairs);
+      json.field("valid_fraction", lint.sampled_valid_fraction);
+      json.key("space_lint");
+      lint.report.write_json(json);
+    }
+    json.field("errors", errors);
+    json.field("warnings", warnings);
+    json.end_object();
+    std::cout << json.str() << '\n';
+  } else {
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      std::cout << "-- " << settings[i].to_string() << '\n';
+      if (reports[i].empty()) {
+        std::cout << "   clean (race, bounds, resource)\n";
+      } else {
+        std::cout << reports[i].to_string();
+      }
+    }
+    if (run_lint) {
+      std::cout << "-- space lint\n" << lint.report.to_string();
+    }
+    std::cout << settings.size() << " setting(s) analyzed: " << errors
+              << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 int cmd_tune(const Args& args) {
   const auto spec = resolve_spec(args);
   space::SearchSpace space(spec);
   gpusim::Simulator sim(gpusim::arch_by_name(args.get("arch", "a100")));
   const auto seed = args.get_u64("seed", 7);
   tuner::Evaluator evaluator(sim, space, {}, seed);
+  // Debug mode: statically analyze every kernel before its first
+  // measurement; aborts the run on analyzer errors.
+  evaluator.set_debug_precheck(args.has("precheck"));
 
   const std::string method = args.get("method", "csTuner");
   std::unique_ptr<tuner::Tuner> tuner;
@@ -315,8 +409,11 @@ int usage() {
          "  codegen  <stencil> [--set name=value ...]\n"
          "  dataset  <stencil> [-n N] [--arch ...] [--seed N]\n"
          "  validate <stencil> [--scale S] [--trials N]\n"
+         "  analyze  <stencil> [--arch ...] [--set name=value ...]\n"
+         "           [--samples N] [--seed N] [--no-lint] [--json]\n"
          "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
-         "           [--budget seconds] [--arch ...] [--seed N] [--json]\n";
+         "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
+         "           [--precheck]\n";
   return 2;
 }
 
@@ -332,6 +429,7 @@ int main(int argc, char** argv) {
     if (args.command == "codegen") return cmd_codegen(args);
     if (args.command == "dataset") return cmd_dataset(args);
     if (args.command == "validate") return cmd_validate(args);
+    if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "tune") return cmd_tune(args);
     return usage();
   } catch (const std::exception& e) {

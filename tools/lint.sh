@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Static lint gate: clang-tidy (bugprone-*/performance-* as errors, see
+# .clang-tidy) plus a clang-format diff check. Both tools degrade gracefully
+# when not installed — the script reports what it skipped and only fails on
+# findings from tools that actually ran.
+#
+#   tools/lint.sh            # lint src/ + tools/ against build/ compile db
+#   tools/lint.sh <builddir> # use another compilation database
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+status=0
+
+if [[ ! -f "${BUILD}/compile_commands.json" ]]; then
+  echo "lint: no compilation database at ${BUILD}/compile_commands.json" >&2
+  echo "lint: configure first: cmake -B ${BUILD} -S ${ROOT}" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "${ROOT}/src" "${ROOT}/tools" -name '*.cpp' | sort)
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy over ${#sources[@]} files"
+  if ! clang-tidy -p "${BUILD}" --quiet "${sources[@]}"; then
+    status=1
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping tidy checks"
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "lint: clang-format diff check"
+  mapfile -t formatted < <(find "${ROOT}/src" "${ROOT}/tools" "${ROOT}/tests" \
+    -name '*.cpp' -o -name '*.hpp' | sort)
+  if ! clang-format --dry-run --Werror "${formatted[@]}"; then
+    status=1
+  fi
+else
+  echo "lint: clang-format not installed; skipping format check"
+fi
+
+exit "${status}"
