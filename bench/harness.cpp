@@ -112,6 +112,11 @@ RunResult run_tuning(const ArtifactCache::Entry& entry,
                      const std::string& method, const BenchConfig& config,
                      const tuner::StopCriteria& stop, std::uint64_t seed) {
   tuner::Evaluator evaluator(*entry.simulator, *entry.space, {}, seed);
+  const double fault_rate = gpusim::FaultConfig::rate_from_env();
+  if (fault_rate > 0.0) {
+    evaluator.set_fault_injection(
+        gpusim::FaultConfig::uniform(fault_rate, seed), entry.spec.name);
+  }
   auto tuner = make_tuner(method, config, entry, seed);
   tuner->tune(evaluator, stop);
   RunResult result;
@@ -120,6 +125,7 @@ RunResult run_tuning(const ArtifactCache::Entry& entry,
   result.virtual_time_s = evaluator.virtual_time_s();
   result.evaluations = evaluator.unique_evaluations();
   result.iterations = evaluator.iterations();
+  result.fault_stats = evaluator.fault_stats();
   return result;
 }
 

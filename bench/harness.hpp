@@ -65,12 +65,16 @@ inline const std::vector<std::string>& method_names() {
 }
 
 /// Runs one tuning session and returns the evaluator (trace + best).
+/// Fault injection is armed from the CSTUNER_FAULT_RATE environment knob
+/// (the CI fault-storm gate runs the whole bench suite under it); the
+/// resulting failure statistics ride along in `fault_stats`.
 struct RunResult {
   tuner::ConvergenceTrace trace;
   double best_time_ms = 0.0;
   double virtual_time_s = 0.0;
   std::size_t evaluations = 0;
   std::size_t iterations = 0;
+  tuner::FaultStats fault_stats;
 };
 
 RunResult run_tuning(const ArtifactCache::Entry& entry,

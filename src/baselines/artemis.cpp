@@ -48,10 +48,10 @@ void Artemis::tune(tuner::Evaluator& evaluator,
     while (seeds.size() < options_.survivors) {
       seeds.push_back(space.random_valid(rng));
     }
-    const auto seed_times = evaluator.evaluate_batch(seeds);
+    const auto seed_results = evaluator.evaluate_batch(seeds);
     survivors.reserve(seeds.size());
     for (std::size_t i = 0; i < seeds.size(); ++i) {
-      survivors.push_back({seeds[i], seed_times[i]});
+      survivors.push_back({seeds[i], seed_results[i].time_or_inf()});
     }
   }
   std::size_t since_mark = survivors.size();

@@ -109,10 +109,10 @@ void Garvey::tune(tuner::Evaluator& evaluator,
       for (std::size_t k = c; k < chunk_end; ++k) {
         candidates.push_back(apply_combo(space, group, combos[k], base));
       }
-      const auto chunk_times = evaluator.evaluate_batch(candidates);
-      for (std::size_t k = 0; k < chunk_times.size(); ++k) {
-        if (chunk_times[k] < best_time) {
-          best_time = chunk_times[k];
+      const auto chunk_results = evaluator.evaluate_batch(candidates);
+      for (std::size_t k = 0; k < chunk_results.size(); ++k) {
+        if (chunk_results[k].time_or_inf() < best_time) {
+          best_time = chunk_results[k].time_or_inf();
           best_combo = combos[c + k];
         }
       }

@@ -114,11 +114,11 @@ void OpenTuner::tune_global_ga(tuner::Evaluator& evaluator,
         kept_pos.push_back(i);
       }
     }
-    const auto kept_times = evaluator.evaluate_batch(kept);
+    const auto kept_results = evaluator.evaluate_batch(kept);
     std::vector<double> fitnesses(candidates.size(), fitness_of(
         std::numeric_limits<double>::infinity()));
-    for (std::size_t j = 0; j < kept_times.size(); ++j) {
-      fitnesses[kept_pos[j]] = fitness_of(kept_times[j]);
+    for (std::size_t j = 0; j < kept_results.size(); ++j) {
+      fitnesses[kept_pos[j]] = fitness_of(kept_results[j].time_or_inf());
     }
     return fitnesses;
   };
@@ -158,12 +158,12 @@ void OpenTuner::tune_hill_climber(tuner::Evaluator& evaluator,
       neighbor.set(pid, p.values[next]);
       neighbors.push_back(space.checker().repaired(neighbor));
     }
-    const auto times = evaluator.evaluate_batch(neighbors);
+    const auto results = evaluator.evaluate_batch(neighbors);
     Setting best_neighbor = current;
     double best_time = current_time;
-    for (std::size_t m = 0; m < times.size(); ++m) {
-      if (times[m] < best_time) {
-        best_time = times[m];
+    for (std::size_t m = 0; m < results.size(); ++m) {
+      if (results[m].time_or_inf() < best_time) {
+        best_time = results[m].time_or_inf();
         best_neighbor = neighbors[m];
       }
     }
@@ -216,7 +216,11 @@ void OpenTuner::tune_differential_evolution(
       }
       seeds.push_back(vec_to_setting(population[i]));
     }
-    times = evaluator.evaluate_batch(seeds);
+    const auto seed_results = evaluator.evaluate_batch(seeds);
+    times.resize(seed_results.size());
+    for (std::size_t i = 0; i < seed_results.size(); ++i) {
+      times[i] = seed_results[i].time_or_inf();
+    }
   }
   evaluator.mark_iteration();
 
@@ -257,11 +261,11 @@ void OpenTuner::tune_differential_evolution(
         kept_pos.push_back(i);
       }
     }
-    const auto kept_times = evaluator.evaluate_batch(kept);
+    const auto kept_results = evaluator.evaluate_batch(kept);
     std::vector<double> trial_times(trial_settings.size(),
                                     std::numeric_limits<double>::infinity());
-    for (std::size_t j = 0; j < kept_times.size(); ++j) {
-      trial_times[kept_pos[j]] = kept_times[j];
+    for (std::size_t j = 0; j < kept_results.size(); ++j) {
+      trial_times[kept_pos[j]] = kept_results[j].time_or_inf();
     }
     for (std::size_t i = 0; i < pop_size; ++i) {
       if (trial_times[i] < times[i]) {

@@ -1,7 +1,11 @@
 #include "common/json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -62,7 +66,10 @@ JsonWriter& JsonWriter::value(const std::string& v) {
 JsonWriter& JsonWriter::value(double v) {
   comma();
   if (std::isfinite(v)) {
-    os_ << v;
+    // Shortest representation that parses back to the identical bits.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    os_.write(buf, res.ptr - buf);
   } else {
     os_ << "null";  // JSON has no Inf/NaN
   }
@@ -84,6 +91,14 @@ JsonWriter& JsonWriter::value(std::uint64_t v) {
 JsonWriter& JsonWriter::value(bool v) {
   comma();
   os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_field(const std::string& name,
+                                  const std::string& json) {
+  key(name);
+  comma();  // consumes pending_key_
+  os_ << json;
   return *this;
 }
 
@@ -118,6 +133,284 @@ std::string JsonWriter::escape(const std::string& s) {
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t pos, const std::string& what) {
+  throw Error("JSON parse error at offset " + std::to_string(pos) + ": " +
+              what);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw Error("JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ == Type::kNull) {
+    // value(double) writes non-finite values as null; read them back as the
+    // infinity the tuner uses for "no measurement".
+    return std::numeric_limits<double>::infinity();
+  }
+  if (type_ != Type::kNumber) throw Error("JSON value is not a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (type_ != Type::kNumber) throw Error("JSON value is not a number");
+  return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (type_ != Type::kNumber) throw Error("JSON value is not a number");
+  return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw Error("JSON value is not a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) throw Error("JSON value is not an array");
+  return array_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw Error("JSON object has no member \"" + key + "\"");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) throw Error("JSON value is not an object");
+  return object_;
+}
+
+/// Recursive-descent parser over a string_view. Depth-limited so malformed
+/// (or adversarial) deeply nested input fails cleanly instead of smashing
+/// the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) parse_fail(pos_, "trailing content");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) parse_fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      parse_fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) parse_fail(pos_, "nesting too deep");
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.type_ = JsonValue::Type::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string name = parse_string_token();
+        skip_ws();
+        expect(':');
+        v.object_.emplace_back(std::move(name), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.type_ = JsonValue::Type::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array_.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type_ = JsonValue::Type::kString;
+      v.scalar_ = parse_string_token();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.type_ = JsonValue::Type::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type_ = JsonValue::Type::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    if (consume_literal("null")) {
+      v.type_ = JsonValue::Type::kNull;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.type_ = JsonValue::Type::kNumber;
+      const std::size_t start = pos_;
+      if (peek() == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+        parse_fail(start, "malformed number");
+      }
+      v.scalar_.assign(text_.substr(start, pos_ - start));
+      return v;
+    }
+    parse_fail(pos_, "unexpected character");
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) parse_fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) parse_fail(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) parse_fail(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              parse_fail(pos_ - 1, "bad \\u escape digit");
+            }
+          }
+          // The writer only emits \u00xx for control bytes; decode the
+          // low byte and accept (rare) higher codepoints as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          parse_fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue json_parse(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace cstuner

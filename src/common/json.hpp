@@ -1,11 +1,19 @@
 #pragma once
-// Minimal JSON emission (writer only) for machine-readable tuning reports.
-// Deliberately tiny: objects, arrays, strings, numbers, bools — enough for
-// the CLI's --json output and the trace exports.
+// Minimal JSON support for machine-readable tuning reports and crash-safe
+// checkpoints: a streaming writer (objects, arrays, strings, numbers, bools)
+// and a small recursive-descent parser that feeds checkpoint/trace loading.
+//
+// Round-tripping: value(double) emits the shortest representation that
+// parses back to the identical bits (std::to_chars), so checkpoints and
+// traces survive a write/parse cycle without drifting by an ULP. Non-finite
+// doubles are written as null (JSON has no Inf/NaN); loaders that need an
+// explicit infinity encode status separately.
 
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cstuner {
@@ -35,6 +43,10 @@ class JsonWriter {
     return value(v);
   }
 
+  /// Key + pre-serialized JSON fragment, spliced in verbatim (for payloads
+  /// composed elsewhere, e.g. a snapshot embedding a dataset blob).
+  JsonWriter& raw_field(const std::string& name, const std::string& json);
+
   std::string str() const { return os_.str(); }
 
   static std::string escape(const std::string& s);
@@ -46,5 +58,44 @@ class JsonWriter {
   std::vector<bool> first_in_scope_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON document node. Numbers keep their raw token so integer
+/// values up to 64 bits round-trip exactly (a double would truncate them).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; throw cstuner::Error on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws cstuner::Error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< raw number token, or decoded string
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (throws cstuner::Error on malformed input).
+JsonValue json_parse(std::string_view text);
 
 }  // namespace cstuner

@@ -60,10 +60,22 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   tuner::PerfDataset dataset;
   if (preset_dataset_.has_value()) {
     dataset = *preset_dataset_;
+  } else if (evaluator.checkpoint() != nullptr &&
+             evaluator.checkpoint()->loaded_dataset().has_value()) {
+    // Resume: the snapshot carries the dataset bit-exactly; skip the
+    // offline collection entirely.
+    dataset = *evaluator.checkpoint()->loaded_dataset();
   } else {
+    // Collection draws from its own stream so that skipping it on resume
+    // leaves `rng` — and everything downstream of it — unchanged.
+    Rng dataset_rng(hash_combine(options_.seed, 0xDA7A5E7ULL));
     dataset = tuner::collect_dataset(space, evaluator.simulator(),
-                                     options_.dataset_size, rng,
-                                     evaluator.thread_pool());
+                                     options_.dataset_size, dataset_rng,
+                                     evaluator.thread_pool(),
+                                     evaluator.fault_injector());
+  }
+  if (evaluator.checkpoint() != nullptr) {
+    evaluator.checkpoint()->set_dataset_json(tuner::serialize_dataset(dataset));
   }
   report_.dataset_s = seconds_since(t0);
   report_.universe_count = universe.size();
@@ -185,20 +197,22 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
           candidates.push_back(space.checker().repaired(candidate));
         }
         // Static pruning: anything still invalid after repair never reaches
-        // the evaluator (it would score infinity there anyway).
+        // the evaluator (it would score infinity there anyway). Quarantined
+        // repeat offenders are skipped the same way — a penalty outcome is
+        // already known, so they should not burn batch slots.
         const auto keep = pruner.filter(candidates);
         std::vector<space::Setting> kept;
         std::vector<std::size_t> kept_pos;
         kept.reserve(candidates.size());
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-          if (keep[i]) {
+          if (keep[i] && !evaluator.is_quarantined(candidates[i].hash())) {
             kept.push_back(candidates[i]);
             kept_pos.push_back(i);
           }
         }
-        const auto kept_times = evaluator.evaluate_batch(kept);
-        for (std::size_t j = 0; j < kept_times.size(); ++j) {
-          consider(first_tuple + kept_pos[j], kept_times[j]);
+        const auto kept_results = evaluator.evaluate_batch(kept);
+        for (std::size_t j = 0; j < kept_results.size(); ++j) {
+          consider(first_tuple + kept_pos[j], kept_results[j].time_or_inf());
         }
         evaluator.mark_iteration();
       }
@@ -221,22 +235,23 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
           candidates.push_back(space.checker().repaired(candidate));
         }
         // Static pruning: statically-invalid genomes take the penalty
-        // fitness directly instead of occupying evaluator batch slots.
+        // fitness directly instead of occupying evaluator batch slots; so
+        // do quarantined repeat offenders.
         const auto keep = pruner.filter(candidates);
         std::vector<space::Setting> kept;
         std::vector<std::size_t> kept_pos;
         kept.reserve(candidates.size());
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-          if (keep[i]) {
+          if (keep[i] && !evaluator.is_quarantined(candidates[i].hash())) {
             kept.push_back(candidates[i]);
             kept_pos.push_back(i);
           }
         }
-        const auto kept_times = evaluator.evaluate_batch(kept);
+        const auto kept_results = evaluator.evaluate_batch(kept);
         std::vector<double> times(candidates.size(),
                                   std::numeric_limits<double>::infinity());
-        for (std::size_t j = 0; j < kept_times.size(); ++j) {
-          times[kept_pos[j]] = kept_times[j];
+        for (std::size_t j = 0; j < kept_results.size(); ++j) {
+          times[kept_pos[j]] = kept_results[j].time_or_inf();
         }
         std::vector<double> fitnesses(times.size());
         std::lock_guard<std::mutex> lock(consider_mutex);

@@ -1,0 +1,81 @@
+#include "gpusim/fault_model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace cstuner::gpusim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCompileFail:
+      return "compile_fail";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kTransient:
+      return "transient";
+  }
+  return "unknown";
+}
+
+FaultConfig FaultConfig::uniform(double total_rate, std::uint64_t seed) {
+  const double r = std::clamp(total_rate, 0.0, 0.95);
+  FaultConfig c;
+  c.compile_fail_rate = 0.35 * r;
+  c.crash_rate = 0.15 * r;
+  c.timeout_rate = 0.30 * r;
+  c.transient_rate = 0.20 * r;
+  c.noisy_run_rate = 0.5 * r;  // noisy reads are cheap; make them common
+  c.seed = seed;
+  return c;
+}
+
+double FaultConfig::rate_from_env() {
+  const char* env = std::getenv("CSTUNER_FAULT_RATE");
+  if (env == nullptr) return 0.0;
+  const double rate = std::strtod(env, nullptr);
+  return (rate > 0.0 && rate <= 1.0) ? rate : 0.0;
+}
+
+FaultModel::FaultModel(FaultConfig config) : config_(config) {}
+
+double FaultModel::draw(std::uint64_t a, std::uint64_t b) const {
+  // One SplitMix64 step over the mixed key gives well-distributed bits
+  // without constructing a full generator per decision.
+  const std::uint64_t mixed =
+      SplitMix64(hash_combine(hash_combine(config_.seed, a), b)).next();
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+FaultKind FaultModel::decide(std::uint64_t key, int attempt) const {
+  // Permanent draw first: keyed on the setting alone so the verdict is the
+  // same on every attempt, like a deterministic nvcc rejection.
+  const double p = draw(key, 0x5045524dULL /*'PERM'*/);
+  if (p < config_.compile_fail_rate) return FaultKind::kCompileFail;
+  if (p < config_.compile_fail_rate + config_.crash_rate) {
+    return FaultKind::kCrash;
+  }
+  // Transient draw: keyed on (setting, attempt) so retries reroll.
+  const double t =
+      draw(key, hash_combine(0x5452414eULL /*'TRAN'*/,
+                             static_cast<std::uint64_t>(attempt)));
+  if (t < config_.timeout_rate) return FaultKind::kTimeout;
+  if (t < config_.timeout_rate + config_.transient_rate) {
+    return FaultKind::kTransient;
+  }
+  return FaultKind::kNone;
+}
+
+double FaultModel::noise_factor(std::uint64_t key,
+                                std::uint64_t run_index) const {
+  if (config_.noisy_run_rate <= 0.0) return 1.0;
+  const double n = draw(key, hash_combine(0x4e4f4953ULL /*'NOIS'*/, run_index));
+  return n < config_.noisy_run_rate ? config_.noise_multiplier : 1.0;
+}
+
+}  // namespace cstuner::gpusim

@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic fault oracle for the simulated evaluation pipeline.
+//
+// Real tuning runs lose a large fraction of candidate kernels to nvcc
+// rejections, register-spill aborts, kernel hangs and flaky profiler
+// readings (Cummins et al. report double-digit runtime-failure rates for
+// legal workgroup configurations). This model reproduces those failure
+// modes on top of the analytical simulator so the fault-tolerance layer in
+// src/tuner/ can be exercised — and tested bit-for-bit — without real
+// hardware misbehaving on cue.
+//
+// Determinism contract (the whole point): every decision is a pure function
+// of (seed, setting key, attempt).
+//   - *Permanent* classes (compile failure, kernel crash) draw from the
+//     setting key alone: retrying a kernel nvcc rejects will never help,
+//     exactly like the real tool chain.
+//   - *Transient* classes (hang/timeout, profiler error) draw from
+//     (setting key, attempt): a retry rolls a fresh number and can succeed,
+//     like re-running a flaky profile.
+//   - Extra measurement noise draws from (setting key, run index).
+// Because no decision depends on evaluation order or wall-clock time, fault
+// injection preserves the evaluator's bit-identical-across-worker-counts
+// guarantee (docs/threading.md).
+
+#include <cstdint>
+
+namespace cstuner::gpusim {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kCompileFail,  ///< nvcc rejected the variant (permanent)
+  kCrash,        ///< kernel aborted at launch/runtime (permanent)
+  kTimeout,      ///< kernel hung; the watchdog killed it (transient)
+  kTransient,    ///< profiler hiccup / spurious measurement error (transient)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultConfig {
+  double compile_fail_rate = 0.0;  ///< P(permanent nvcc rejection)
+  double crash_rate = 0.0;         ///< P(permanent runtime abort)
+  double timeout_rate = 0.0;       ///< P(hang) per attempt
+  double transient_rate = 0.0;     ///< P(profiler error) per attempt
+  /// P(a timing run reads with `noise_multiplier` extra noise) per run.
+  double noisy_run_rate = 0.0;
+  double noise_multiplier = 1.5;
+  std::uint64_t seed = 0xFA017;
+
+  bool any() const {
+    return compile_fail_rate > 0.0 || crash_rate > 0.0 || timeout_rate > 0.0 ||
+           transient_rate > 0.0 || noisy_run_rate > 0.0;
+  }
+
+  /// Splits one overall fault rate across the classes in the proportions a
+  /// real tune sees most: compile failures and hangs dominate, crashes and
+  /// profiler errors trail. `total_rate` is clamped to [0, 0.95].
+  static FaultConfig uniform(double total_rate, std::uint64_t seed = 0xFA017);
+
+  /// CSTUNER_FAULT_RATE=<r> environment knob (the CI fault-storm gate);
+  /// returns 0 when unset or unparsable.
+  static double rate_from_env();
+};
+
+/// The seedable decision kernel. Stateless and thread-safe by construction.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Fault class for attempt number `attempt` (1-based) of the setting
+  /// identified by `key`. kNone means the attempt measures normally.
+  FaultKind decide(std::uint64_t key, int attempt) const;
+
+  /// Multiplicative noise factor for one timing run (usually 1.0; the
+  /// configured multiplier when the noisy-run draw fires).
+  double noise_factor(std::uint64_t key, std::uint64_t run_index) const;
+
+ private:
+  /// Uniform double in [0, 1) derived from the mixed hash of the inputs.
+  double draw(std::uint64_t a, std::uint64_t b) const;
+
+  FaultConfig config_;
+};
+
+}  // namespace cstuner::gpusim

@@ -7,6 +7,9 @@ namespace cstuner::minimpi {
 
 void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
   CSTUNER_CHECK(dest >= 0 && dest < size_);
+  if (ctx_->is_dead(dest)) {
+    throw Error("minimpi: send to dead rank " + std::to_string(dest));
+  }
   Message m;
   m.source = rank_;
   m.tag = tag;
@@ -44,12 +47,26 @@ std::vector<double> Comm::allgather(double value) {
   return out;
 }
 
-Context::Context(int nranks) : nranks_(nranks) {
+Context::Context(int nranks)
+    : nranks_(nranks), dead_(static_cast<std::size_t>(nranks)) {
   CSTUNER_CHECK(nranks >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+}
+
+void Context::mark_dead(int rank) {
+  dead_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+  dead_count_.fetch_add(1, std::memory_order_acq_rel);
+  // Lock-then-notify so a peer that checked the flag just before it was set
+  // cannot go to sleep and miss the wakeup.
+  for (auto& box : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(box->mutex); }
+    box->cv.notify_all();
+  }
+  { std::lock_guard<std::mutex> lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
 }
 
 void Context::post(int dest, Message message) {
@@ -72,6 +89,11 @@ Message Context::take(int dest, int source, int tag) {
         return m;
       }
     }
+    // Nothing queued from `source`: if it died, nothing ever will be.
+    // (Checked after the scan so messages sent before death still arrive.)
+    if (is_dead(source)) {
+      throw Error("minimpi: recv from dead rank " + std::to_string(source));
+    }
     box.cv.wait(lock);
   }
 }
@@ -87,6 +109,9 @@ bool Context::peek(int dest, int source, int tag) {
 
 void Context::barrier_wait() {
   std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (dead_count_.load(std::memory_order_acquire) > 0) {
+    throw Error("minimpi: barrier with dead rank");
+  }
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_arrived_ == nranks_) {
     barrier_arrived_ = 0;
@@ -94,8 +119,15 @@ void Context::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock,
-                   [&] { return barrier_generation_ != generation; });
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != generation ||
+           dead_count_.load(std::memory_order_acquire) > 0;
+  });
+  if (barrier_generation_ == generation) {
+    // Woken by a death, not by completion: a missing rank can never arrive.
+    --barrier_arrived_;
+    throw Error("minimpi: barrier with dead rank");
+  }
 }
 
 void Context::run(int nranks, const std::function<void(Comm&)>& body) {
@@ -110,6 +142,8 @@ void Context::run(int nranks, const std::function<void(Comm&)>& body) {
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Fail loudly: peers blocked on this rank get an error, not a hang.
+        ctx.mark_dead(r);
       }
     });
   }

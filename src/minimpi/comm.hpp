@@ -8,6 +8,7 @@
 // whole framework stays a single dependency-free process.  The API is shaped
 // so a real MPI backend could replace it without touching the GA.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -37,16 +38,23 @@ class Comm {
   int rank() const { return rank_; }
   int size() const { return size_; }
 
-  /// Blocking tagged send of raw bytes to `dest`.
+  /// Blocking tagged send of raw bytes to `dest`. Throws cstuner::Error if
+  /// `dest` has died (its body exited by exception) — a dead peer is a hard
+  /// error, never a silent drop.
   void send(int dest, int tag, std::vector<std::uint8_t> payload);
 
   /// Blocking receive of the next message from `source` with `tag`.
+  /// Messages `source` sent before dying are still delivered; once its
+  /// mailbox contribution is drained, receiving from a dead rank throws
+  /// cstuner::Error instead of blocking forever.
   Message recv(int source, int tag);
 
   /// True if a matching message is already queued (non-blocking probe).
   bool probe(int source, int tag);
 
-  /// All ranks must call; returns when every rank has arrived.
+  /// All ranks must call; returns when every rank has arrived. Throws
+  /// cstuner::Error when a rank dies instead of leaving the survivors
+  /// blocked on an arrival that can never happen.
   void barrier();
 
   /// Ring topology helpers (single-ring migration, as in the paper).
@@ -105,6 +113,13 @@ class Context {
   Message take(int dest, int source, int tag);
   bool peek(int dest, int source, int tag);
   void barrier_wait();
+  /// Declares a rank dead (its body threw) and wakes every blocked peer so
+  /// sends, receives and barriers involving it fail fast.
+  void mark_dead(int rank);
+  bool is_dead(int rank) const {
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
 
   struct Mailbox {
     std::mutex mutex;
@@ -114,6 +129,8 @@ class Context {
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::atomic<bool>> dead_;
+  std::atomic<int> dead_count_{0};
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

@@ -1,0 +1,258 @@
+#include "tuner/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cstuner::tuner {
+
+namespace fs = std::filesystem;
+
+double JournalEntry::time_ms() const {
+  return std::bit_cast<double>(time_bits);
+}
+
+EvalResult JournalEntry::to_result() const {
+  EvalResult r;
+  r.status = status;
+  r.time_ms = time_ms();
+  r.attempts = attempts;
+  return r;
+}
+
+namespace {
+
+EvalStatus status_from_name(const std::string& name) {
+  for (int s = 0; s <= static_cast<int>(EvalStatus::kQuarantined); ++s) {
+    if (name == eval_status_name(static_cast<EvalStatus>(s))) {
+      return static_cast<EvalStatus>(s);
+    }
+  }
+  throw Error("unknown eval status in journal: " + name);
+}
+
+std::string format_journal_line(const JournalEntry& e) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("key", e.key);
+  json.field("status", eval_status_name(e.status));
+  json.field("time_bits", e.time_bits);
+  json.field("attempts", static_cast<std::uint64_t>(e.attempts));
+  json.field("overhead_ticks", static_cast<std::int64_t>(e.overhead_ticks));
+  json.end_object();
+  return json.str() + "\n";
+}
+
+JournalEntry parse_journal_line(std::string_view line) {
+  JsonValue v = json_parse(line);
+  JournalEntry e;
+  e.key = v.at("key").as_u64();
+  e.status = status_from_name(v.at("status").as_string());
+  e.time_bits = v.at("time_bits").as_u64();
+  e.attempts = static_cast<std::uint8_t>(v.at("attempts").as_u64());
+  e.overhead_ticks = v.at("overhead_ticks").as_i64();
+  return e;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+struct Checkpoint::Writer {
+  std::vector<std::string> pending;
+  std::ofstream out;
+  bool opened = false;
+};
+
+Checkpoint::Checkpoint(std::string directory)
+    : directory_(std::move(directory)), writer_(new Writer) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) throw Error("cannot create checkpoint dir " + directory_);
+}
+
+Checkpoint::~Checkpoint() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; an unflushed tail just loses the last
+    // batch, which resume tolerates by design.
+  }
+  delete writer_;
+}
+
+std::string Checkpoint::journal_path() const {
+  return directory_ + "/journal.jsonl";
+}
+
+std::string Checkpoint::snapshot_path() const {
+  return directory_ + "/snapshot.json";
+}
+
+std::size_t Checkpoint::load() {
+  replay_.clear();
+  loaded_dataset_.reset();
+  loaded_stats_.reset();
+
+  // Snapshot first: it is either absent or complete (atomic rename).
+  if (fs::exists(snapshot_path())) {
+    JsonValue snap = json_parse(read_file(snapshot_path()));
+    if (const JsonValue* ds = snap.find("dataset"); ds && !ds->is_null()) {
+      loaded_dataset_ = parse_dataset(*ds);
+      // Re-register so the resumed run's snapshots keep embedding it even
+      // if the caller never calls set_dataset_json again.
+      dataset_json_ = serialize_dataset(*loaded_dataset_);
+    }
+    if (const JsonValue* ev = snap.find("evaluator"); ev && !ev->is_null()) {
+      if (const JsonValue* st = ev->find("stats")) {
+        loaded_stats_ = FaultStats::from_json(*st);
+      }
+    }
+  }
+
+  // Journal: accept every complete line; a torn tail (kill mid-write) is
+  // truncated away so subsequent appends produce a well-formed file.
+  if (fs::exists(journal_path())) {
+    const std::string text = read_file(journal_path());
+    std::size_t valid = 0;  // byte offset past the last complete good line
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) break;  // no terminator: torn tail
+      const std::string_view line(text.data() + pos, nl - pos);
+      try {
+        JournalEntry e = parse_journal_line(line);
+        replay_.emplace(e.key, e);  // first occurrence wins
+      } catch (const Error&) {
+        break;  // torn or corrupt line: drop it and everything after
+      }
+      pos = valid = nl + 1;
+    }
+    if (valid < text.size()) {
+      std::error_code ec;
+      fs::resize_file(journal_path(), valid, ec);
+      if (ec) throw Error("cannot truncate torn journal " + journal_path());
+    }
+  }
+  return replay_.size();
+}
+
+void Checkpoint::append(const JournalEntry& entry) {
+  writer_->pending.push_back(format_journal_line(entry));
+}
+
+void Checkpoint::flush() {
+  if (writer_->pending.empty()) return;
+  if (!writer_->opened) {
+    writer_->out.open(journal_path(), std::ios::binary | std::ios::app);
+    if (!writer_->out) throw Error("cannot open journal " + journal_path());
+    writer_->opened = true;
+  }
+  for (const std::string& line : writer_->pending) writer_->out << line;
+  writer_->pending.clear();
+  writer_->out.flush();
+  if (!writer_->out) throw Error("journal write failed: " + journal_path());
+}
+
+void Checkpoint::set_dataset_json(std::string dataset_json) {
+  dataset_json_ = std::move(dataset_json);
+}
+
+void Checkpoint::write_snapshot(const std::string& evaluator_json) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("format", std::int64_t{1});
+  json.raw_field("dataset", dataset_json_);
+  json.raw_field("evaluator", evaluator_json);
+  json.end_object();
+
+  const std::string tmp = snapshot_path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write snapshot temp " + tmp);
+    out << json.str();
+    out.flush();
+    if (!out) throw Error("snapshot write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, snapshot_path(), ec);
+  if (ec) throw Error("cannot publish snapshot " + snapshot_path());
+}
+
+void Checkpoint::set_snapshot_interval(int interval) {
+  snapshot_interval_ = interval > 0 ? interval : 1;
+}
+
+std::string serialize_dataset(const PerfDataset& dataset) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("settings").begin_array();
+  for (const auto& s : dataset.settings) {
+    json.begin_array();
+    for (std::int64_t v : s.raw()) json.value(v);
+    json.end_array();
+  }
+  json.end_array();
+  json.key("times_bits").begin_array();
+  for (double t : dataset.times_ms) json.value(std::bit_cast<std::uint64_t>(t));
+  json.end_array();
+  json.key("metrics").begin_object();
+  json.field("rows", static_cast<std::uint64_t>(dataset.metrics.rows()));
+  json.field("cols", static_cast<std::uint64_t>(dataset.metrics.cols()));
+  json.key("bits").begin_array();
+  for (std::size_t r = 0; r < dataset.metrics.rows(); ++r) {
+    for (std::size_t c = 0; c < dataset.metrics.cols(); ++c) {
+      json.value(std::bit_cast<std::uint64_t>(dataset.metrics(r, c)));
+    }
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+PerfDataset parse_dataset(const JsonValue& value) {
+  PerfDataset ds;
+  for (const JsonValue& row : value.at("settings").as_array()) {
+    const auto& vals = row.as_array();
+    if (vals.size() != space::kParamCount) {
+      throw Error("dataset setting has wrong arity");
+    }
+    space::Setting s;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      s.set(static_cast<space::ParamId>(i), vals[i].as_i64());
+    }
+    ds.settings.push_back(s);
+  }
+  for (const JsonValue& t : value.at("times_bits").as_array()) {
+    ds.times_ms.push_back(std::bit_cast<double>(t.as_u64()));
+  }
+  const JsonValue& m = value.at("metrics");
+  const std::size_t rows = m.at("rows").as_u64();
+  const std::size_t cols = m.at("cols").as_u64();
+  const auto& bits = m.at("bits").as_array();
+  if (bits.size() != rows * cols) throw Error("dataset metrics size mismatch");
+  ds.metrics = regress::Matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      ds.metrics(r, c) = std::bit_cast<double>(bits[r * cols + c].as_u64());
+    }
+  }
+  if (ds.settings.size() != ds.times_ms.size() ||
+      (rows != ds.settings.size() && rows != 0)) {
+    throw Error("dataset row counts disagree");
+  }
+  return ds;
+}
+
+}  // namespace cstuner::tuner

@@ -1,0 +1,138 @@
+#pragma once
+// Crash-safe checkpointing of a tuning run (docs/fault-tolerance.md).
+//
+// Two complementary artifacts live in the checkpoint directory:
+//
+//   journal.jsonl   An append-only log with one JSON line per *committed*
+//                   evaluation (key, status, time bits, attempts, fault
+//                   overhead). Appended in commit order — which the
+//                   evaluator keeps deterministic — and flushed at every
+//                   iteration mark, so a kill loses at most the current
+//                   batch. A torn final line (killed mid-write) is detected
+//                   and truncated on load.
+//
+//   snapshot.json   A periodic whole-state snapshot: RNG/seed identity,
+//                   the performance dataset (bit-exact doubles), the
+//                   quarantine list, and failure statistics. Written
+//                   atomically (write temp + rename), so a reader always
+//                   sees either the old or the new snapshot, never a torn
+//                   one.
+//
+// Resume = memoized replay. Measurements recorded in the journal are
+// served back to the evaluator instead of being re-simulated, while the
+// tuner's deterministic control flow replays from its seed; the virtual
+// clock, best-so-far, quarantine and statistics therefore evolve exactly
+// as in the original run, and the continuation past the kill point is
+// bit-identical to an uninterrupted run. The snapshot spares the resumed
+// run the offline dataset collection and preserves the audit state.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "tuner/dataset.hpp"
+#include "tuner/fault.hpp"
+
+namespace cstuner::tuner {
+
+/// One committed evaluation, as journaled. `time_bits` is the IEEE-754 bit
+/// pattern of the result time (the bit pattern of +inf for failures), so
+/// the round trip is exact; `overhead_ticks` is the fault overhead charged
+/// at commit, in virtual picoseconds.
+struct JournalEntry {
+  std::uint64_t key = 0;
+  EvalStatus status = EvalStatus::kOk;
+  std::uint64_t time_bits = 0;
+  std::uint8_t attempts = 0;
+  std::int64_t overhead_ticks = 0;
+
+  double time_ms() const;
+  EvalResult to_result() const;
+};
+
+/// Owns the checkpoint directory: journal appends, atomic snapshots, and
+/// loading both on resume. Writes are serialized internally, so the
+/// evaluator may call append() from its (already commit-ordered) commit
+/// path without extra locking.
+class Checkpoint {
+ public:
+  /// Opens (and creates if needed) the checkpoint directory. Nothing is
+  /// read; call load() first to resume.
+  explicit Checkpoint(std::string directory);
+  ~Checkpoint();
+
+  Checkpoint(const Checkpoint&) = delete;
+  Checkpoint& operator=(const Checkpoint&) = delete;
+
+  const std::string& directory() const { return directory_; }
+
+  /// Loads journal + snapshot from the directory. Tolerates a missing
+  /// snapshot, a missing journal, and a torn journal tail (the file is
+  /// truncated back to the last complete line before appends resume).
+  /// Returns the number of journal entries recovered.
+  std::size_t load();
+
+  /// Journal entries recovered by load(), deduplicated by key (first
+  /// occurrence wins; repeat encounters of a transient-failing setting
+  /// re-serve the same deterministic outcome).
+  const std::unordered_map<std::uint64_t, JournalEntry>& replay() const {
+    return replay_;
+  }
+
+  /// Appends one committed evaluation. Buffered; becomes durable at the
+  /// next flush().
+  void append(const JournalEntry& entry);
+
+  /// Flushes buffered journal lines to disk (called at iteration marks).
+  void flush();
+
+  /// Registers the serialized performance dataset to embed in snapshots
+  /// (CsTuner calls this once the dataset exists).
+  void set_dataset_json(std::string dataset_json);
+  bool has_dataset() const { return loaded_dataset_.has_value(); }
+  /// Dataset recovered from a loaded snapshot, if any.
+  const std::optional<PerfDataset>& loaded_dataset() const {
+    return loaded_dataset_;
+  }
+
+  /// Atomically writes snapshot.json. `evaluator_json` is the evaluator's
+  /// serialized mutable state (quarantine, statistics, counters).
+  void write_snapshot(const std::string& evaluator_json);
+
+  /// Snapshot interval: write_snapshot is invoked by the evaluator every
+  /// this many iteration marks.
+  int snapshot_interval() const { return snapshot_interval_; }
+  void set_snapshot_interval(int interval);
+
+  /// Fault statistics recovered from a loaded snapshot (informational;
+  /// replay rebuilds the live counters).
+  const std::optional<FaultStats>& loaded_stats() const {
+    return loaded_stats_;
+  }
+
+ private:
+  std::string journal_path() const;
+  std::string snapshot_path() const;
+
+  std::string directory_;
+  int snapshot_interval_ = 8;
+  std::string dataset_json_ = "null";
+
+  std::unordered_map<std::uint64_t, JournalEntry> replay_;
+  std::optional<PerfDataset> loaded_dataset_;
+  std::optional<FaultStats> loaded_stats_;
+
+  // Journal write half: buffered lines + the open append stream.
+  struct Writer;
+  Writer* writer_;
+};
+
+/// Bit-exact JSON round trip for the performance dataset: times and
+/// metrics are stored as IEEE-754 bit patterns, settings as value rows.
+std::string serialize_dataset(const PerfDataset& dataset);
+PerfDataset parse_dataset(const JsonValue& value);
+
+}  // namespace cstuner::tuner

@@ -33,17 +33,35 @@ std::vector<double> PerfDataset::metric_column(std::size_t metric) const {
 PerfDataset profile_settings(const space::SearchSpace& space,
                              const gpusim::Simulator& simulator,
                              const std::vector<space::Setting>& settings,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, const FaultInjector* injector) {
+  // Faulting settings are dropped up front (a pure per-setting decision, so
+  // the surviving row order is deterministic); the rows that remain then
+  // profile with disjoint, stable run indices.
+  std::vector<space::Setting> kept;
+  if (injector != nullptr) {
+    kept.reserve(settings.size());
+    for (const auto& s : settings) {
+      if (injector->decide(s.hash(), /*attempt=*/1) == gpusim::FaultKind::kNone) {
+        kept.push_back(s);
+      }
+    }
+  }
+  const auto& rows = injector != nullptr ? kept : settings;
+
   PerfDataset ds;
-  ds.settings = settings;
-  ds.times_ms.resize(settings.size());
-  ds.metrics = regress::Matrix(settings.size(), gpusim::kMetricCount);
+  ds.settings = rows;
+  ds.times_ms.resize(rows.size());
+  ds.metrics = regress::Matrix(rows.size(), gpusim::kMetricCount);
   // Each row depends only on its own (setting, run_index), so rows profile
   // concurrently into disjoint slots and the result is order-independent.
   const auto profile_row = [&](std::size_t i) {
-    const auto& s = settings[i];
+    const auto& s = rows[i];
     CSTUNER_CHECK_MSG(space.is_valid(s), "dataset requires valid settings");
-    ds.times_ms[i] = simulator.measure_ms(space.spec(), s, /*run_index=*/i);
+    double ms = simulator.measure_ms(space.spec(), s, /*run_index=*/i);
+    if (injector != nullptr) {
+      ms *= injector->noise_factor(s.hash(), /*run_index=*/i);
+    }
+    ds.times_ms[i] = ms;
     const auto metrics =
         simulator.measure_metrics(space.spec(), s, /*run_index=*/i);
     for (std::size_t m = 0; m < gpusim::kMetricCount; ++m) {
@@ -51,18 +69,19 @@ PerfDataset profile_settings(const space::SearchSpace& space,
     }
   };
   if (pool != nullptr) {
-    pool->parallel_for(settings.size(), profile_row);
+    pool->parallel_for(rows.size(), profile_row);
   } else {
-    for (std::size_t i = 0; i < settings.size(); ++i) profile_row(i);
+    for (std::size_t i = 0; i < rows.size(); ++i) profile_row(i);
   }
   return ds;
 }
 
 PerfDataset collect_dataset(const space::SearchSpace& space,
                             const gpusim::Simulator& simulator,
-                            std::size_t count, Rng& rng, ThreadPool* pool) {
+                            std::size_t count, Rng& rng, ThreadPool* pool,
+                            const FaultInjector* injector) {
   const auto settings = space.sample_universe(rng, count);
-  return profile_settings(space, simulator, settings, pool);
+  return profile_settings(space, simulator, settings, pool, injector);
 }
 
 }  // namespace cstuner::tuner

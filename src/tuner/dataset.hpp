@@ -11,6 +11,7 @@
 #include "gpusim/simulator.hpp"
 #include "regress/matrix.hpp"
 #include "space/search_space.hpp"
+#include "tuner/fault.hpp"
 
 namespace cstuner::tuner {
 
@@ -35,15 +36,22 @@ struct PerfDataset {
 /// Samples `count` distinct valid settings and profiles them. Profiling
 /// fans across `pool` when given (row i's measurements depend only on i, so
 /// the dataset is bit-identical for any worker count); nullptr runs serial.
+/// When `injector` is armed, settings whose first profiling attempt faults
+/// are dropped before profiling — offline collection does not retry, it
+/// simply works with the survivors — so the dataset shrinks but stays
+/// deterministic (the drop decision is a pure function of the setting).
 PerfDataset collect_dataset(const space::SearchSpace& space,
                             const gpusim::Simulator& simulator,
                             std::size_t count, Rng& rng,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            const FaultInjector* injector = nullptr);
 
-/// Profiles an externally chosen set of settings (parallel across `pool`).
+/// Profiles an externally chosen set of settings (parallel across `pool`),
+/// dropping settings that fault under `injector` as in collect_dataset.
 PerfDataset profile_settings(const space::SearchSpace& space,
                              const gpusim::Simulator& simulator,
                              const std::vector<space::Setting>& settings,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             const FaultInjector* injector = nullptr);
 
 }  // namespace cstuner::tuner

@@ -1,9 +1,12 @@
 #include "tuner/evaluator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "analysis/analyzer.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 
 namespace cstuner::tuner {
@@ -20,7 +23,32 @@ Evaluator::Evaluator(const gpusim::Simulator& simulator,
                     "EvalCosts.runs_per_eval must be positive");
 }
 
-bool Evaluator::cache_lookup(std::uint64_t key, double& value_out) {
+std::int64_t Evaluator::to_ticks(double seconds) {
+  return std::llround(seconds * kTicksPerSecond);
+}
+
+void Evaluator::set_fault_injection(const gpusim::FaultConfig& config,
+                                    const std::string& scope) {
+  if (config.any()) {
+    injector_.emplace(config, scope);
+  } else {
+    injector_.reset();
+  }
+}
+
+void Evaluator::set_retry_policy(const RetryPolicy& policy) {
+  CSTUNER_CHECK_MSG(policy.max_attempts >= 1,
+                    "RetryPolicy.max_attempts must be >= 1");
+  CSTUNER_CHECK_MSG(policy.quarantine_threshold >= 1,
+                    "RetryPolicy.quarantine_threshold must be >= 1");
+  policy_ = policy;
+}
+
+void Evaluator::set_checkpoint(Checkpoint* checkpoint) {
+  checkpoint_ = checkpoint;
+}
+
+bool Evaluator::cache_lookup(std::uint64_t key, EvalResult& value_out) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (const auto it = shard.map.find(key); it != shard.map.end()) {
@@ -47,88 +75,311 @@ double Evaluator::measure(std::uint64_t key,
   for (int run = 0; run < costs_.runs_per_eval; ++run) {
     const auto run_index =
         hash_combine(run_salt_, key) + static_cast<std::uint64_t>(run);
-    sum_ms += simulator_.measure_ms(space_.spec(), setting, run_index);
+    double ms = simulator_.measure_ms(space_.spec(), setting, run_index);
+    if (injector_.has_value()) {
+      ms *= injector_->noise_factor(key, static_cast<std::uint64_t>(run));
+    }
+    sum_ms += ms;
   }
   return sum_ms / costs_.runs_per_eval;
 }
 
-double Evaluator::commit(std::uint64_t key, const space::Setting& setting,
-                         double mean_ms) {
+int Evaluator::effective_max_attempts() const {
+  if (!std::isfinite(policy_.fault_budget_s)) return policy_.max_attempts;
+  const auto spent = fault_overhead_ticks_.load(std::memory_order_acquire);
+  // Budget spent: fail fast on the first faulty attempt instead of
+  // retrying. (A finite budget trades bit-identical replay for a bound on
+  // time lost to faults; see RetryPolicy.)
+  return spent >= to_ticks(policy_.fault_budget_s) ? 1
+                                                   : policy_.max_attempts;
+}
+
+Evaluator::Probe Evaluator::run_attempt_ladder(std::uint64_t key,
+                                               const space::Setting& setting,
+                                               int max_attempts) const {
+  Probe probe;
+  probe.state = Probe::State::kMeasured;
+
+  if (!injector_.has_value()) {
+    probe.result = {EvalStatus::kOk, measure(key, setting), 1};
+    return probe;
+  }
+
+  std::int64_t ticks = 0;
+  double backoff_s = policy_.backoff_initial_s;
+  EvalStatus last_failure = EvalStatus::kTransient;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ticks += to_ticks(backoff_s);
+      backoff_s *= policy_.backoff_multiplier;
+    }
+    const gpusim::FaultKind kind = injector_->decide(key, attempt);
+    if (kind == gpusim::FaultKind::kNone) {
+      probe.result = {EvalStatus::kOk, measure(key, setting),
+                      static_cast<std::uint8_t>(attempt)};
+      probe.overhead_ticks = ticks;
+      return probe;
+    }
+    switch (kind) {
+      case gpusim::FaultKind::kCompileFail:
+        // nvcc burned its compile time and rejected the variant; retrying
+        // can never help (the permanent draw repeats on every attempt).
+        probe.result = {EvalStatus::kCompileFail,
+                        std::numeric_limits<double>::infinity(),
+                        static_cast<std::uint8_t>(attempt)};
+        probe.overhead_ticks = ticks + to_ticks(costs_.compile_s);
+        return probe;
+      case gpusim::FaultKind::kCrash:
+        // Compiled, launched, aborted. Also permanent.
+        probe.result = {EvalStatus::kCrash,
+                        std::numeric_limits<double>::infinity(),
+                        static_cast<std::uint8_t>(attempt)};
+        probe.overhead_ticks =
+            ticks + to_ticks(costs_.compile_s + costs_.launch_overhead_s);
+        return probe;
+      case gpusim::FaultKind::kTimeout:
+        // The kernel hung until the watchdog deadline; the full deadline is
+        // lost virtual time. Transient: the retry rerolls.
+        ticks += to_ticks(policy_.eval_deadline_s);
+        last_failure = EvalStatus::kTimeout;
+        break;
+      case gpusim::FaultKind::kTransient:
+        // The runs launched but the profiler readings were garbage; the
+        // launches are lost.
+        ticks += to_ticks(costs_.runs_per_eval * costs_.launch_overhead_s);
+        last_failure = EvalStatus::kTransient;
+        break;
+      case gpusim::FaultKind::kNone:
+        break;  // unreachable; handled above
+    }
+  }
+  // Retries exhausted on transient-class faults. The compile still
+  // happened once; charge it here because the normal (success) cost path
+  // never runs for a failed evaluation.
+  probe.result = {last_failure, std::numeric_limits<double>::infinity(),
+                  static_cast<std::uint8_t>(max_attempts)};
+  probe.overhead_ticks = ticks + to_ticks(costs_.compile_s);
+  return probe;
+}
+
+Evaluator::Probe Evaluator::probe_one(std::uint64_t key,
+                                      const space::Setting& setting,
+                                      int max_attempts) {
+  Probe probe;
+  if (EvalResult cached; cache_lookup(key, cached)) {
+    probe.state = Probe::State::kCached;
+    probe.result = cached;
+    return probe;
+  }
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (quarantine_.contains(key)) {
+      probe.state = Probe::State::kQuarantine;
+      probe.result = {EvalStatus::kQuarantined,
+                      std::numeric_limits<double>::infinity(), 0};
+      return probe;
+    }
+  }
+  if (!space_.is_valid(setting)) {
+    probe.state = Probe::State::kInvalid;
+    probe.result = {EvalStatus::kInvalid,
+                    std::numeric_limits<double>::infinity(), 0};
+    return probe;
+  }
+  if (debug_precheck_) precheck(setting);
+  if (checkpoint_ != nullptr) {
+    const auto& replay = checkpoint_->replay();
+    if (const auto it = replay.find(key); it != replay.end()) {
+      probe.state = Probe::State::kMeasured;
+      probe.result = it->second.to_result();
+      probe.overhead_ticks = it->second.overhead_ticks;
+      probe.replayed = true;
+      return probe;
+    }
+  }
+  return run_attempt_ladder(key, setting, max_attempts);
+}
+
+EvalResult Evaluator::commit_one(std::uint64_t key,
+                                 const space::Setting& setting,
+                                 const Probe& probe) {
+  switch (probe.state) {
+    case Probe::State::kCached:
+    case Probe::State::kInvalid:
+      return probe.result;
+    case Probe::State::kQuarantine: {
+      std::lock_guard<std::mutex> fault_lock(fault_mutex_);
+      ++stats_.quarantine_hits;
+      std::lock_guard<std::mutex> result_lock(result_mutex_);
+      trace_.record_event(key, EvalStatus::kQuarantined, 0);
+      return probe.result;
+    }
+    case Probe::State::kMeasured:
+      break;
+  }
+
+  const EvalResult& result = probe.result;
+
+  // Cache first, exactly as a serial caller would probe: successes and
+  // permanent failures are cacheable; a duplicate committer (earlier in
+  // this batch, or a concurrent batch) serves the cached outcome and
+  // charges nothing.
+  const bool cacheable = result.ok() ||
+                         result.status == EvalStatus::kCompileFail ||
+                         result.status == EvalStatus::kCrash;
   {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto [it, inserted] = shard.map.emplace(key, mean_ms);
-    if (!inserted) return it->second;  // another committer won: free repeat
+    if (cacheable) {
+      const auto [it, inserted] = shard.map.emplace(key, result);
+      if (!inserted) return it->second;
+    } else if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      return it->second;
+    }
   }
 
-  // Charge what tuning this variant would cost on the machine: compiling
-  // the generated kernel, then timing it runs_per_eval times. The cost is
-  // rounded to integer ticks before the atomic add, so the clock total is
-  // independent of commit order across threads.
-  const double cost_s =
-      costs_.compile_s +
-      costs_.runs_per_eval * (mean_ms / 1e3 + costs_.launch_overhead_s);
-  virtual_time_ticks_.fetch_add(
-      static_cast<std::int64_t>(std::llround(cost_s * kTicksPerSecond)),
-      std::memory_order_acq_rel);
-  unique_evals_.fetch_add(1, std::memory_order_acq_rel);
+  // Quarantine accounting under the fault mutex. Charges for one key are
+  // capped at the quarantine threshold: once the key is quarantined (by an
+  // earlier commit in this batch or by a concurrent batch), this commit
+  // degrades to a quarantine hit — matching what a serial re-evaluation
+  // would have seen at probe time, and keeping clock/stat totals
+  // independent of commit interleaving.
+  bool quarantined_now = false;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (!cacheable && quarantine_.contains(key)) {
+      ++stats_.quarantine_hits;
+      EvalResult hit{EvalStatus::kQuarantined,
+                     std::numeric_limits<double>::infinity(), 0};
+      std::lock_guard<std::mutex> result_lock(result_mutex_);
+      trace_.record_event(key, EvalStatus::kQuarantined, 0);
+      return hit;
+    }
+    if (result.failed()) {
+      switch (result.status) {
+        case EvalStatus::kCompileFail:
+          ++stats_.compile_fail;
+          break;
+        case EvalStatus::kCrash:
+          ++stats_.crash;
+          break;
+        case EvalStatus::kTimeout:
+          ++stats_.timeout;
+          break;
+        case EvalStatus::kTransient:
+          ++stats_.transient;
+          break;
+        default:
+          break;
+      }
+      if (cacheable) {
+        // Permanent failure: quarantine immediately.
+        quarantined_now = quarantine_.insert(key).second;
+      } else {
+        const int count = ++fail_counts_[key];
+        if (count >= policy_.quarantine_threshold) {
+          quarantined_now = quarantine_.insert(key).second;
+        }
+      }
+      if (quarantined_now) ++stats_.quarantined_settings;
+    }
+    stats_.retries += result.attempts > 1 ? result.attempts - 1u : 0u;
+    if (result.ok() && result.attempts > 1) ++stats_.recovered;
+    if (probe.replayed) ++stats_.replayed;
+  }
+
+  // Clock charges: fault overhead always; the normal compile+runs cost only
+  // for a successful measurement. Both are tick-quantized before the atomic
+  // add, so the total is independent of commit order across threads.
+  if (probe.overhead_ticks != 0) {
+    virtual_time_ticks_.fetch_add(probe.overhead_ticks,
+                                  std::memory_order_acq_rel);
+    fault_overhead_ticks_.fetch_add(probe.overhead_ticks,
+                                    std::memory_order_acq_rel);
+  }
+  if (result.ok()) {
+    const double cost_s = costs_.compile_s +
+                          costs_.runs_per_eval * (result.time_ms / 1e3 +
+                                                  costs_.launch_overhead_s);
+    virtual_time_ticks_.fetch_add(to_ticks(cost_s), std::memory_order_acq_rel);
+    unique_evals_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Journal the committed outcome (unless it *came* from the journal).
+  if (checkpoint_ != nullptr && !probe.replayed) {
+    JournalEntry entry;
+    entry.key = key;
+    entry.status = result.status;
+    entry.time_bits = std::bit_cast<std::uint64_t>(result.time_ms);
+    entry.attempts = result.attempts;
+    entry.overhead_ticks = probe.overhead_ticks;
+    checkpoint_->append(entry);
+  }
 
   std::lock_guard<std::mutex> lock(result_mutex_);
-  if (mean_ms < best_time_ms_) {
-    best_time_ms_ = mean_ms;
+  if (result.failed()) {
+    trace_.record_event(key, result.status, result.attempts);
+  } else if (result.attempts > 1) {
+    trace_.record_event(key, EvalStatus::kOk, result.attempts);
+  }
+  if (result.ok() && result.time_ms < best_time_ms_) {
+    best_time_ms_ = result.time_ms;
     best_setting_ = setting;
     trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
                   best_time_ms_);
   }
-  return mean_ms;
+  return result;
+}
+
+EvalResult Evaluator::evaluate_result(const space::Setting& setting) {
+  const std::uint64_t key = setting.hash();
+  Probe probe = probe_one(key, setting, effective_max_attempts());
+  return commit_one(key, setting, probe);
 }
 
 double Evaluator::evaluate(const space::Setting& setting) {
-  const std::uint64_t key = setting.hash();
-  if (double cached; cache_lookup(key, cached)) return cached;
-  if (!space_.is_valid(setting)) {
-    return std::numeric_limits<double>::infinity();
-  }
-  if (debug_precheck_) precheck(setting);
-  return commit(key, setting, measure(key, setting));
+  return evaluate_result(setting).time_or_inf();
 }
 
-std::vector<double> Evaluator::evaluate_batch(
+std::vector<EvalResult> Evaluator::evaluate_batch(
     std::span<const space::Setting> settings) {
   const std::size_t n = settings.size();
-  std::vector<double> results(n, std::numeric_limits<double>::infinity());
+  std::vector<EvalResult> results(n);
   std::vector<std::uint64_t> keys(n, 0);
-  std::vector<double> means(n, 0.0);
-  std::vector<std::uint8_t> needs_commit(n, 0);
-
-  // Phase 1 (parallel): cache probes and pure measurements. Nothing is
-  // committed yet, so thread scheduling cannot influence any result.
-  const auto probe = [&](std::size_t i) {
-    const auto& setting = settings[i];
-    keys[i] = setting.hash();
-    if (double cached; cache_lookup(keys[i], cached)) {
-      results[i] = cached;
-      return;
-    }
-    if (!space_.is_valid(setting)) return;  // stays infinity, uncharged
-    if (debug_precheck_) precheck(setting);  // parallel_for rethrows
-    means[i] = measure(keys[i], setting);
-    needs_commit[i] = 1;
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(n, probe);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) probe(i);
-  }
+  std::vector<Probe> probes(n);
+  const int max_attempts = effective_max_attempts();
 
   // Phase 2 (sequential, input order): commit exactly as a serial caller
   // would have. Duplicate settings within the batch commit once; later
-  // occurrences read the freshly cached value.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (needs_commit[i]) {
-      results[i] = commit(keys[i], settings[i], means[i]);
+  // occurrences read the freshly cached value. Probes that never ran (an
+  // exception stopped phase 1) default to kInvalid and commit nothing.
+  const auto commit_phase = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = commit_one(keys[i], settings[i], probes[i]);
     }
+  };
+
+  // Phase 1 (parallel): cache/quarantine probes and pure measurements.
+  // Nothing is committed yet, so thread scheduling cannot influence any
+  // result.
+  const auto probe = [&](std::size_t i) {
+    keys[i] = settings[i].hash();
+    probes[i] = probe_one(keys[i], settings[i], max_attempts);
+  };
+  try {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n, probe);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) probe(i);
+    }
+  } catch (...) {
+    // Drain, don't leak: parallel_for finishes every index before
+    // rethrowing, so commit whatever measured successfully (cache, clock,
+    // journal) and only then propagate. The throwing slots stayed kInvalid.
+    commit_phase();
+    throw;
   }
+  commit_phase();
   return results;
 }
 
@@ -137,12 +388,66 @@ double Evaluator::best_time_ms() const {
   return best_time_ms_;
 }
 
+FaultStats Evaluator::fault_stats() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  FaultStats stats = stats_;
+  stats.fault_overhead_s =
+      static_cast<double>(
+          fault_overhead_ticks_.load(std::memory_order_acquire)) /
+      kTicksPerSecond;
+  return stats;
+}
+
+bool Evaluator::is_quarantined(std::uint64_t setting_key) const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return quarantine_.contains(setting_key);
+}
+
+std::vector<std::uint64_t> Evaluator::quarantined_keys() const {
+  std::vector<std::uint64_t> keys;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    keys.assign(quarantine_.begin(), quarantine_.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string Evaluator::serialize_state() const {
+  const FaultStats stats = fault_stats();
+  JsonWriter json;
+  json.begin_object();
+  json.key("stats");
+  stats.write_json(json);
+  json.key("quarantine").begin_array();
+  for (std::uint64_t key : quarantined_keys()) json.value(key);
+  json.end_array();
+  json.field("unique_evals",
+             static_cast<std::uint64_t>(unique_evaluations()));
+  json.field("iterations", static_cast<std::uint64_t>(iterations()));
+  json.field("virtual_time_ticks",
+             virtual_time_ticks_.load(std::memory_order_acquire));
+  json.field("best_ms_bits", std::bit_cast<std::uint64_t>(best_time_ms()));
+  json.end_object();
+  return json.str();
+}
+
 void Evaluator::mark_iteration() {
   iterations_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lock(result_mutex_);
-  if (best_setting_.has_value()) {
-    trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
-                  best_time_ms_);
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    if (best_setting_.has_value()) {
+      trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
+                    best_time_ms_);
+    }
+  }
+  if (checkpoint_ != nullptr) {
+    checkpoint_->flush();
+    const auto iter = iterations();
+    if (iter % static_cast<std::size_t>(checkpoint_->snapshot_interval()) ==
+        0) {
+      checkpoint_->write_snapshot(serialize_state());
+    }
   }
 }
 
@@ -154,6 +459,13 @@ void Evaluator::reset() {
   virtual_time_ticks_.store(0, std::memory_order_release);
   unique_evals_.store(0, std::memory_order_release);
   iterations_.store(0, std::memory_order_release);
+  fault_overhead_ticks_.store(0, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    stats_ = FaultStats{};
+    fail_counts_.clear();
+    quarantine_.clear();
+  }
   std::lock_guard<std::mutex> lock(result_mutex_);
   best_time_ms_ = std::numeric_limits<double>::infinity();
   best_setting_.reset();

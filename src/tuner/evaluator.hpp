@@ -1,9 +1,25 @@
 #pragma once
 // The evaluation engine every auto-tuner drives. It owns the
-// (setting -> measured time) oracle, a result cache, the best-so-far state,
-// and a *virtual clock* that charges each evaluation what it would cost on
-// real hardware: per-variant compile time plus timing runs plus launch
-// overhead. Iso-time comparisons (Figs. 9-11) read this clock.
+// (setting -> measured outcome) oracle, a result cache, the best-so-far
+// state, and a *virtual clock* that charges each evaluation what it would
+// cost on real hardware: per-variant compile time plus timing runs plus
+// launch overhead. Iso-time comparisons (Figs. 9-11) read this clock.
+//
+// Evaluations return EvalResult, not bare doubles: real tuning runs lose a
+// large fraction of candidates to compile failures, crashes, hangs and
+// flaky profiler readings, and the engine absorbs those through a
+// deterministic fault pipeline (docs/fault-tolerance.md):
+//   - a seedable FaultInjector decides, purely from (seed, setting,
+//     attempt), whether an attempt compiles, crashes, hangs or misreads;
+//   - transient faults are retried with exponential backoff charged to the
+//     virtual clock, bounded by RetryPolicy (attempts, per-eval deadline,
+//     per-tune fault budget);
+//   - permanent failures are cached and quarantined immediately; settings
+//     that repeatedly exhaust their retries join the quarantine list and
+//     are answered with a penalty result without burning measurements;
+//   - an optional Checkpoint journals every committed evaluation and
+//     snapshots state periodically; on resume, journaled measurements are
+//     replayed so the continuation is bit-identical to an unkilled run.
 //
 // The engine is thread-safe and batch-parallel (docs/threading.md):
 //   - the result cache is sharded across kCacheShards mutex-guarded maps,
@@ -15,7 +31,10 @@
 //     mutex, keeping the trace monotone under concurrency;
 //   - evaluate_batch() measures a whole batch across the thread pool, then
 //     commits results in input order, so a batch is bit-identical to the
-//     same calls made serially — with 1 worker or 16.
+//     same calls made serially — with 1 worker or 16;
+//   - fault decisions are pure functions of the setting key, and fault
+//     charges for one setting are capped at the quarantine threshold, so
+//     totals stay commit-order independent even across concurrent batches.
 // Measurement noise keys off hash_combine(run_salt_, setting.hash()), which
 // is evaluation-order independent; that is what makes the parallel engine
 // deterministic at all.
@@ -27,11 +46,14 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "gpusim/simulator.hpp"
 #include "space/search_space.hpp"
+#include "tuner/checkpoint.hpp"
+#include "tuner/fault.hpp"
 #include "tuner/trace.hpp"
 
 namespace cstuner::tuner {
@@ -48,20 +70,29 @@ class Evaluator {
             const space::SearchSpace& space, EvalCosts costs = {},
             std::uint64_t seed = 1, ThreadPool* pool = &ThreadPool::global());
 
-  /// Measures a setting (mean of runs_per_eval noisy runs); charges the
-  /// virtual clock on first evaluation, serves repeats from cache for free.
-  /// Returns infinity for invalid settings (callers should avoid them).
-  /// Thread-safe: concurrent callers racing on the same new setting charge
-  /// the clock exactly once.
+  /// Measures a setting and returns the full outcome (status, time,
+  /// attempts). Charges the virtual clock on first evaluation; repeats are
+  /// served from cache (successes and permanent failures) or from the
+  /// quarantine list for free. Thread-safe: concurrent callers racing on
+  /// the same new setting charge the clock exactly once.
+  EvalResult evaluate_result(const space::Setting& setting);
+
+  /// Convenience wrapper: evaluate_result().time_or_inf(). Returns infinity
+  /// for invalid, failed and quarantined settings.
   double evaluate(const space::Setting& setting);
 
   /// Evaluates a batch of candidates, fanning the uncached measurements
   /// across the thread pool. Results (cache, clock, best, trace) are
   /// committed in input order after measurement, so the outcome is
   /// bit-identical to evaluating the batch serially, for any worker count.
-  std::vector<double> evaluate_batch(std::span<const space::Setting> settings);
+  /// Exception-safe: if a measurement throws, every completed slot is still
+  /// committed (cache, clock, journal) before the exception propagates —
+  /// in-flight work is drained, not leaked.
+  std::vector<EvalResult> evaluate_batch(
+      std::span<const space::Setting> settings);
 
-  /// Marks the end of one tuner iteration in the trace (iso-iteration data).
+  /// Marks the end of one tuner iteration in the trace (iso-iteration
+  /// data); flushes the checkpoint journal and snapshots periodically.
   void mark_iteration();
 
   double virtual_time_s() const {
@@ -92,6 +123,45 @@ class Evaluator {
   ThreadPool* thread_pool() const { return pool_; }
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  // --- Fault pipeline -----------------------------------------------------
+
+  /// Arms fault injection. `scope` (typically the stencil name) salts the
+  /// fault decisions so different stencils fail independently under the
+  /// same seed. A config with no rates disarms injection.
+  void set_fault_injection(const gpusim::FaultConfig& config,
+                           const std::string& scope);
+  bool fault_injection_armed() const { return injector_.has_value(); }
+  /// The armed injector (nullptr when injection is off) — shared with the
+  /// offline dataset collection so it sees the same fault pattern.
+  const FaultInjector* fault_injector() const {
+    return injector_.has_value() ? &*injector_ : nullptr;
+  }
+
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Snapshot of the failure counters (fills fault_overhead_s from the
+  /// tick-exact accumulator).
+  FaultStats fault_stats() const;
+
+  /// True when the setting key sits on the quarantine list; searches use
+  /// this to skip repeat offenders without burning batch slots.
+  bool is_quarantined(std::uint64_t setting_key) const;
+  /// Quarantined keys in sorted order (deterministic for snapshots/tests).
+  std::vector<std::uint64_t> quarantined_keys() const;
+
+  // --- Checkpoint/resume --------------------------------------------------
+
+  /// Attaches a checkpoint (non-owning; may be nullptr to detach). Journal
+  /// entries already loaded into the checkpoint replay future evaluations
+  /// of the same settings; call before tuning starts.
+  void set_checkpoint(Checkpoint* checkpoint);
+  Checkpoint* checkpoint() const { return checkpoint_; }
+
+  /// Serializes the mutable engine state (stats, quarantine, counters) as
+  /// one JSON object — the "evaluator" half of a snapshot.
+  std::string serialize_state() const;
+
   /// Debug mode: before the first (cache-miss) measurement of a valid
   /// setting, run the static analyzer over the kernel the codegen layer
   /// would emit for it and throw ConstraintError when any pass reports an
@@ -101,8 +171,9 @@ class Evaluator {
   void set_debug_precheck(bool enabled) { debug_precheck_ = enabled; }
   bool debug_precheck() const { return debug_precheck_; }
 
-  /// Resets clock, cache, best and trace (fresh tuning run). Not safe
-  /// concurrently with evaluations.
+  /// Resets clock, cache, best, trace, quarantine and fault statistics
+  /// (fresh tuning run); keeps the injector, policy and checkpoint
+  /// attachment. Not safe concurrently with evaluations.
   void reset();
 
  private:
@@ -113,24 +184,56 @@ class Evaluator {
 
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<std::uint64_t, double> map;
+    std::unordered_map<std::uint64_t, EvalResult> map;
+  };
+
+  /// Outcome of the pure (parallel-phase) half of one evaluation.
+  struct Probe {
+    enum class State : std::uint8_t {
+      kCached,      ///< served from the result cache; no commit work
+      kQuarantine,  ///< quarantine list answered; commit counts the hit
+      kInvalid,     ///< constraint-invalid; never measured, never charged
+      kMeasured,    ///< measured (or replayed); commit charges and caches
+    };
+    State state = State::kInvalid;
+    EvalResult result;
+    std::int64_t overhead_ticks = 0;  ///< fault overhead of the ladder
+    bool replayed = false;            ///< served from the resume journal
   };
 
   Shard& shard_for(std::uint64_t key) {
     // The low bits feed the unordered_map already; shard on higher ones.
     return shards_[(key >> 56) & (kCacheShards - 1)];
   }
-  bool cache_lookup(std::uint64_t key, double& value_out);
+  bool cache_lookup(std::uint64_t key, EvalResult& value_out);
   /// Debug-mode static analysis of the kernel for `setting`; throws
   /// ConstraintError when the analyzer reports an error-severity diagnostic.
   void precheck(const space::Setting& setting) const;
-  /// Pure measurement: mean of runs_per_eval noisy simulator runs.
+  /// Pure measurement: mean of runs_per_eval noisy simulator runs (with the
+  /// injector's extra per-run noise when armed).
   double measure(std::uint64_t key, const space::Setting& setting) const;
-  /// First-writer-wins cache insert + clock charge + best/trace update.
-  /// Returns the cached value when another thread (or an earlier duplicate
-  /// in the same batch) committed the key first.
-  double commit(std::uint64_t key, const space::Setting& setting,
-                double mean_ms);
+  /// The retry ladder: walks attempts through the fault oracle, accruing
+  /// backoff/deadline overhead, until a measurement lands or attempts run
+  /// out. Pure — safe to run in the parallel phase.
+  Probe run_attempt_ladder(std::uint64_t key, const space::Setting& setting,
+                           int max_attempts) const;
+  /// Pure phase-1 work for one setting: cache probe, quarantine probe,
+  /// validity, replay lookup, then the attempt ladder.
+  Probe probe_one(std::uint64_t key, const space::Setting& setting,
+                  int max_attempts);
+  /// Phase-2 commit for one probed setting: first-writer-wins cache insert,
+  /// quarantine accounting (charges capped at the quarantine threshold per
+  /// key, so clock totals are commit-order independent), clock charge,
+  /// best/trace update, journal append. Runs in input order within a batch.
+  EvalResult commit_one(std::uint64_t key, const space::Setting& setting,
+                        const Probe& probe);
+  /// Retry allowance for the next evaluation: collapses to one attempt once
+  /// the per-tune fault budget is spent.
+  int effective_max_attempts() const;
+
+  /// Rounds a cost to whole clock ticks (all charges are tick-quantized so
+  /// accumulation order cannot change the total).
+  static std::int64_t to_ticks(double seconds);
 
   const gpusim::Simulator& simulator_;
   const space::SearchSpace& space_;
@@ -139,10 +242,20 @@ class Evaluator {
   ThreadPool* pool_;
   bool debug_precheck_ = false;
 
+  std::optional<FaultInjector> injector_;
+  RetryPolicy policy_;
+  Checkpoint* checkpoint_ = nullptr;
+
   std::vector<Shard> shards_{kCacheShards};
   std::atomic<std::int64_t> virtual_time_ticks_{0};
   std::atomic<std::size_t> unique_evals_{0};
   std::atomic<std::size_t> iterations_{0};
+  std::atomic<std::int64_t> fault_overhead_ticks_{0};
+
+  mutable std::mutex fault_mutex_;  // guards the three fields below
+  FaultStats stats_;
+  std::unordered_map<std::uint64_t, int> fail_counts_;
+  std::unordered_set<std::uint64_t> quarantine_;
 
   mutable std::mutex result_mutex_;  // guards the three fields below
   double best_time_ms_ = std::numeric_limits<double>::infinity();

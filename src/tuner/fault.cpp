@@ -1,0 +1,76 @@
+#include "tuner/fault.hpp"
+
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace cstuner::tuner {
+
+const char* eval_status_name(EvalStatus status) {
+  switch (status) {
+    case EvalStatus::kOk:
+      return "ok";
+    case EvalStatus::kInvalid:
+      return "invalid";
+    case EvalStatus::kCompileFail:
+      return "compile_fail";
+    case EvalStatus::kCrash:
+      return "crash";
+    case EvalStatus::kTimeout:
+      return "timeout";
+    case EvalStatus::kTransient:
+      return "transient";
+    case EvalStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+void FaultStats::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.field("compile_fail", compile_fail);
+  json.field("crash", crash);
+  json.field("timeout", timeout);
+  json.field("transient", transient);
+  json.field("retries", retries);
+  json.field("recovered", recovered);
+  json.field("quarantined_settings", quarantined_settings);
+  json.field("quarantine_hits", quarantine_hits);
+  json.field("replayed", replayed);
+  json.field("fault_overhead_s", fault_overhead_s);
+  json.end_object();
+}
+
+FaultStats FaultStats::from_json(const JsonValue& value) {
+  FaultStats s;
+  s.compile_fail = value.at("compile_fail").as_u64();
+  s.crash = value.at("crash").as_u64();
+  s.timeout = value.at("timeout").as_u64();
+  s.transient = value.at("transient").as_u64();
+  s.retries = value.at("retries").as_u64();
+  s.recovered = value.at("recovered").as_u64();
+  s.quarantined_settings = value.at("quarantined_settings").as_u64();
+  s.quarantine_hits = value.at("quarantine_hits").as_u64();
+  s.replayed = value.at("replayed").as_u64();
+  s.fault_overhead_s = value.at("fault_overhead_s").as_double();
+  return s;
+}
+
+std::string FaultStats::to_string() const {
+  std::ostringstream os;
+  os << failed_evaluations() << " failed (" << compile_fail << " compile, "
+     << crash << " crash, " << timeout << " timeout, " << transient
+     << " transient), " << retries << " retries (" << recovered
+     << " recovered), " << quarantined_settings << " quarantined ("
+     << quarantine_hits << " hits), " << replayed << " replayed, "
+     << fault_overhead_s << " s fault overhead";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(gpusim::FaultConfig config,
+                             const std::string& scope)
+    : model_(config),
+      scope_salt_(hash_combine(config.seed,
+                               fnv1a(scope.data(), scope.size()))) {}
+
+}  // namespace cstuner::tuner

@@ -1,0 +1,138 @@
+#pragma once
+// Fault-tolerance vocabulary of the evaluation pipeline: the EvalResult
+// outcome type that replaces bare measured doubles, the retry/backoff
+// policy (budgeted against the virtual clock), per-tune failure statistics,
+// and the FaultInjector that scopes the deterministic gpusim::FaultModel to
+// one stencil.
+//
+// Failure taxonomy (docs/fault-tolerance.md):
+//   ok           measurement succeeded (possibly after retries)
+//   invalid      setting violates space constraints; never measured
+//   compile_fail nvcc rejected the variant — permanent, cached, quarantined
+//   crash        kernel aborted — permanent, cached, quarantined
+//   timeout      kernel hung until the per-evaluation deadline — transient
+//   transient    profiler error — transient, retried with backoff
+//   quarantined  served from the quarantine list without a measurement
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/rng.hpp"
+#include "gpusim/fault_model.hpp"
+
+namespace cstuner {
+class JsonWriter;
+class JsonValue;
+}  // namespace cstuner
+
+namespace cstuner::tuner {
+
+enum class EvalStatus : std::uint8_t {
+  kOk = 0,
+  kInvalid,
+  kCompileFail,
+  kCrash,
+  kTimeout,
+  kTransient,
+  kQuarantined,
+};
+
+const char* eval_status_name(EvalStatus status);
+
+/// Outcome of one evaluation. Failed evaluations carry the penalty time
+/// (infinity), so callers that only rank by time can use time_or_inf()
+/// and stay failure-oblivious; callers that care (statistics, traces,
+/// quarantine) read the status.
+struct EvalResult {
+  EvalStatus status = EvalStatus::kInvalid;
+  double time_ms = std::numeric_limits<double>::infinity();
+  /// Measurement attempts consumed (0 for invalid/quarantined results).
+  std::uint8_t attempts = 0;
+
+  bool ok() const { return status == EvalStatus::kOk; }
+  bool failed() const {
+    return status != EvalStatus::kOk && status != EvalStatus::kInvalid;
+  }
+  double time_or_inf() const {
+    return ok() ? time_ms : std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Retry/backoff policy, charged against the evaluator's *virtual* clock —
+/// a retried evaluation costs tuning budget exactly as it would cost
+/// wall-clock time on real hardware.
+struct RetryPolicy {
+  /// Total measurement attempts per evaluation (1 = no retries).
+  int max_attempts = 3;
+  /// Virtual backoff before retry k: initial * multiplier^(k-2).
+  double backoff_initial_s = 0.05;
+  double backoff_multiplier = 2.0;
+  /// Per-evaluation deadline: the virtual cost of one hung attempt (the
+  /// watchdog kills the kernel after this long).
+  double eval_deadline_s = 2.0;
+  /// Per-tune budget of cumulative fault overhead (retries, backoffs,
+  /// deadlines). Once spent, evaluations fail fast on the first faulty
+  /// attempt instead of retrying. Infinity disables the guard. NOTE: a
+  /// finite budget makes retry counts depend on cross-batch commit order,
+  /// relaxing bit-identical reproducibility; leave infinite when exact
+  /// replay matters.
+  double fault_budget_s = std::numeric_limits<double>::infinity();
+  /// Committed transient-class failures of one setting before it enters
+  /// the quarantine list. Permanent failures quarantine immediately.
+  int quarantine_threshold = 2;
+};
+
+/// Counters surfaced in the `cstuner tune` summary and bench JSON.
+struct FaultStats {
+  std::uint64_t compile_fail = 0;  ///< evaluations failed: nvcc rejection
+  std::uint64_t crash = 0;         ///< evaluations failed: runtime abort
+  std::uint64_t timeout = 0;       ///< evaluations failed: watchdog deadline
+  std::uint64_t transient = 0;     ///< evaluations failed: profiler error
+  std::uint64_t retries = 0;       ///< extra attempts beyond the first
+  std::uint64_t recovered = 0;     ///< evaluations that succeeded on a retry
+  std::uint64_t quarantined_settings = 0;  ///< settings on the quarantine list
+  std::uint64_t quarantine_hits = 0;  ///< evaluations served from quarantine
+  std::uint64_t replayed = 0;  ///< evaluations served from a resume journal
+  double fault_overhead_s = 0.0;  ///< virtual seconds burned on faults
+
+  std::uint64_t failed_evaluations() const {
+    return compile_fail + crash + timeout + transient;
+  }
+  bool any() const {
+    return failed_evaluations() + retries + quarantine_hits + replayed > 0;
+  }
+
+  void write_json(JsonWriter& json) const;
+  static FaultStats from_json(const JsonValue& value);
+  /// Human-readable one-line summary ("12 failed (7 compile, ...), ...").
+  std::string to_string() const;
+};
+
+/// The deterministic fault oracle scoped to one (stencil, seed): thin
+/// wrapper folding the stencil identity into the gpusim::FaultModel key so
+/// different stencils see independent fault patterns from the same seed.
+class FaultInjector {
+ public:
+  FaultInjector(gpusim::FaultConfig config, const std::string& scope);
+
+  const gpusim::FaultConfig& config() const { return model_.config(); }
+
+  gpusim::FaultKind decide(std::uint64_t setting_key, int attempt) const {
+    return model_.decide(scoped(setting_key), attempt);
+  }
+  double noise_factor(std::uint64_t setting_key,
+                      std::uint64_t run_index) const {
+    return model_.noise_factor(scoped(setting_key), run_index);
+  }
+
+ private:
+  std::uint64_t scoped(std::uint64_t key) const {
+    return hash_combine(scope_salt_, key);
+  }
+
+  gpusim::FaultModel model_;
+  std::uint64_t scope_salt_;
+};
+
+}  // namespace cstuner::tuner

@@ -2,6 +2,9 @@
 
 #include <limits>
 
+#include "common/error.hpp"
+#include "common/json.hpp"
+
 namespace cstuner::tuner {
 
 namespace {
@@ -11,6 +14,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void ConvergenceTrace::record(std::size_t iteration, std::size_t evaluations,
                               double virtual_time_s, double best_time_ms) {
   points.push_back({iteration, evaluations, virtual_time_s, best_time_ms});
+}
+
+void ConvergenceTrace::record_event(std::uint64_t setting_key,
+                                    EvalStatus status, std::uint8_t attempts) {
+  events.push_back({setting_key, status, attempts});
 }
 
 double ConvergenceTrace::best_at_iteration(std::size_t k) const {
@@ -55,6 +63,67 @@ std::size_t ConvergenceTrace::iterations_to_reach(double target_ms) const {
     }
   }
   return first;
+}
+
+std::size_t ConvergenceTrace::event_count(EvalStatus status) const {
+  std::size_t n = 0;
+  for (const auto& e : events) {
+    if (e.status == status) ++n;
+  }
+  return n;
+}
+
+void ConvergenceTrace::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.key("points").begin_array();
+  for (const auto& p : points) {
+    json.begin_object();
+    json.field("iteration", static_cast<std::uint64_t>(p.iteration));
+    json.field("evaluations", static_cast<std::uint64_t>(p.evaluations));
+    json.field("time_s", p.virtual_time_s);
+    json.field("best_ms", p.best_time_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("events").begin_array();
+  for (const auto& e : events) {
+    json.begin_object();
+    json.field("key", e.setting_key);
+    json.field("status", eval_status_name(e.status));
+    json.field("attempts", static_cast<std::uint64_t>(e.attempts));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+ConvergenceTrace ConvergenceTrace::from_json(const JsonValue& value) {
+  ConvergenceTrace trace;
+  for (const auto& p : value.at("points").as_array()) {
+    TracePoint point;
+    point.iteration = static_cast<std::size_t>(p.at("iteration").as_u64());
+    point.evaluations = static_cast<std::size_t>(p.at("evaluations").as_u64());
+    point.virtual_time_s = p.at("time_s").as_double();
+    point.best_time_ms = p.at("best_ms").as_double();
+    trace.points.push_back(point);
+  }
+  for (const auto& e : value.at("events").as_array()) {
+    EvalEvent event;
+    event.setting_key = e.at("key").as_u64();
+    const std::string& name = e.at("status").as_string();
+    bool matched = false;
+    for (int s = 0; s <= static_cast<int>(EvalStatus::kQuarantined); ++s) {
+      if (name == eval_status_name(static_cast<EvalStatus>(s))) {
+        event.status = static_cast<EvalStatus>(s);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) throw Error("unknown eval status in trace: " + name);
+    event.attempts = static_cast<std::uint8_t>(e.at("attempts").as_u64());
+    trace.events.push_back(event);
+  }
+  return trace;
 }
 
 double mean_finite(const std::vector<double>& values) {

@@ -2,9 +2,18 @@
 // Convergence traces: best-found time as a function of elapsed iterations
 // and virtual seconds, plus aggregation across repeated runs (the paper
 // averages 10 runs per method).
+//
+// Besides the convergence points, a trace carries the evaluation *events*
+// the fault-tolerance layer emits — failed, retried and quarantined
+// evaluations — so a tuning run's failure history is auditable after the
+// fact. Both halves round-trip through JSON (write_json / from_json) for
+// the CLI's --json output and offline analysis.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "tuner/fault.hpp"
 
 namespace cstuner::tuner {
 
@@ -15,12 +24,27 @@ struct TracePoint {
   double best_time_ms = 0.0;
 };
 
+/// One noteworthy evaluation: any failure, any retried success, and any
+/// evaluation served from the quarantine list. Plain successes are not
+/// evented (they are the overwhelming majority and carry no diagnosis).
+struct EvalEvent {
+  std::uint64_t setting_key = 0;
+  EvalStatus status = EvalStatus::kOk;
+  std::uint8_t attempts = 0;
+};
+
 struct ConvergenceTrace {
   std::vector<TracePoint> points;
+  std::vector<EvalEvent> events;
 
   void record(std::size_t iteration, std::size_t evaluations,
               double virtual_time_s, double best_time_ms);
-  void clear() { points.clear(); }
+  void record_event(std::uint64_t setting_key, EvalStatus status,
+                    std::uint8_t attempts);
+  void clear() {
+    points.clear();
+    events.clear();
+  }
 
   /// Best kernel time found by the end of iteration `k` (inclusive);
   /// +inf when nothing was evaluated yet.
@@ -39,6 +63,14 @@ struct ConvergenceTrace {
   /// First iteration at which the best reached `target_ms`; SIZE_MAX if
   /// never.
   std::size_t iterations_to_reach(double target_ms) const;
+
+  /// Events with the given status (quarantine audits, retry counts).
+  std::size_t event_count(EvalStatus status) const;
+
+  /// JSON round trip: write_json(w); from_json(json_parse(w.str())) is
+  /// field-for-field (and bit-for-bit, for the doubles) identical.
+  void write_json(JsonWriter& json) const;
+  static ConvergenceTrace from_json(const JsonValue& value);
 };
 
 /// Element-wise mean of per-repeat values, ignoring +inf entries (a repeat

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/cs_tuner.hpp"
+#include "gpusim/fault_model.hpp"
+#include "stencil/stencils.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace cstuner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultModel: the deterministic decision kernel.
+// ---------------------------------------------------------------------------
+
+TEST(FaultModel, DecisionsAreDeterministic) {
+  const gpusim::FaultConfig config = gpusim::FaultConfig::uniform(0.4, 77);
+  const gpusim::FaultModel a(config);
+  const gpusim::FaultModel b(config);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      EXPECT_EQ(a.decide(key * 0x9E3779B9ULL, attempt),
+                b.decide(key * 0x9E3779B9ULL, attempt));
+    }
+    EXPECT_DOUBLE_EQ(a.noise_factor(key, 0), b.noise_factor(key, 0));
+  }
+}
+
+TEST(FaultModel, PermanentVerdictRepeatsEveryAttempt) {
+  gpusim::FaultConfig config;
+  config.compile_fail_rate = 0.3;
+  config.crash_rate = 0.2;
+  const gpusim::FaultModel model(config);
+  int permanents = 0;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    const auto first = model.decide(key, 1);
+    if (first == gpusim::FaultKind::kCompileFail ||
+        first == gpusim::FaultKind::kCrash) {
+      ++permanents;
+      // A retry can never clear a permanent verdict.
+      for (int attempt = 2; attempt <= 5; ++attempt) {
+        EXPECT_EQ(model.decide(key, attempt), first);
+      }
+    }
+  }
+  EXPECT_GT(permanents, 0);
+}
+
+TEST(FaultModel, TransientFaultsRerollAcrossAttempts) {
+  gpusim::FaultConfig config;
+  config.timeout_rate = 0.5;
+  const gpusim::FaultModel model(config);
+  bool recovered = false;
+  for (std::uint64_t key = 0; key < 200 && !recovered; ++key) {
+    recovered = model.decide(key, 1) == gpusim::FaultKind::kTimeout &&
+                model.decide(key, 2) == gpusim::FaultKind::kNone;
+  }
+  // At ~25% per key, some key must hang once and then succeed on retry.
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FaultModel, NoiseFactorTakesOnlyConfiguredValues) {
+  gpusim::FaultConfig config;
+  config.noisy_run_rate = 0.5;
+  config.noise_multiplier = 1.5;
+  const gpusim::FaultModel model(config);
+  int noisy = 0;
+  int clean = 0;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const double f = model.noise_factor(key, key % 3);
+    if (f == 1.5) {
+      ++noisy;
+    } else {
+      EXPECT_DOUBLE_EQ(f, 1.0);
+      ++clean;
+    }
+  }
+  EXPECT_GT(noisy, 0);
+  EXPECT_GT(clean, 0);
+
+  const gpusim::FaultModel quiet(gpusim::FaultConfig{});
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    EXPECT_DOUBLE_EQ(quiet.noise_factor(key, 0), 1.0);
+  }
+}
+
+TEST(FaultModel, UniformConfigSplitsAndClamps) {
+  const auto c = gpusim::FaultConfig::uniform(0.2);
+  EXPECT_NEAR(c.compile_fail_rate + c.crash_rate + c.timeout_rate +
+                  c.transient_rate,
+              0.2, 1e-12);
+  EXPECT_TRUE(c.any());
+
+  const auto clamped = gpusim::FaultConfig::uniform(2.0);
+  EXPECT_NEAR(clamped.compile_fail_rate + clamped.crash_rate +
+                  clamped.timeout_rate + clamped.transient_rate,
+              0.95, 1e-12);
+
+  EXPECT_FALSE(gpusim::FaultConfig::uniform(0.0).any());
+  EXPECT_FALSE(gpusim::FaultConfig{}.any());
+}
+
+TEST(FaultInjector, ScopesSeeIndependentPatterns) {
+  const auto config = gpusim::FaultConfig::uniform(0.4, 5);
+  const tuner::FaultInjector a(config, "j3d7pt");
+  const tuner::FaultInjector b(config, "helmholtz");
+  bool differs = false;
+  for (std::uint64_t key = 0; key < 200 && !differs; ++key) {
+    differs = a.decide(key, 1) != b.decide(key, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// FaultStats JSON round trip (the bench/CLI reporting surface).
+// ---------------------------------------------------------------------------
+
+TEST(FaultStats, JsonRoundTripsAndSummarizes) {
+  tuner::FaultStats stats;
+  stats.compile_fail = 7;
+  stats.crash = 2;
+  stats.timeout = 3;
+  stats.transient = 1;
+  stats.retries = 9;
+  stats.recovered = 5;
+  stats.quarantined_settings = 4;
+  stats.quarantine_hits = 11;
+  stats.replayed = 6;
+  stats.fault_overhead_s = 12.34567890123;
+  EXPECT_EQ(stats.failed_evaluations(), 13u);
+  EXPECT_TRUE(stats.any());
+
+  JsonWriter json;
+  stats.write_json(json);
+  const auto back = tuner::FaultStats::from_json(json_parse(json.str()));
+  EXPECT_EQ(back.compile_fail, stats.compile_fail);
+  EXPECT_EQ(back.crash, stats.crash);
+  EXPECT_EQ(back.timeout, stats.timeout);
+  EXPECT_EQ(back.transient, stats.transient);
+  EXPECT_EQ(back.retries, stats.retries);
+  EXPECT_EQ(back.recovered, stats.recovered);
+  EXPECT_EQ(back.quarantined_settings, stats.quarantined_settings);
+  EXPECT_EQ(back.quarantine_hits, stats.quarantine_hits);
+  EXPECT_EQ(back.replayed, stats.replayed);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.fault_overhead_s),
+            std::bit_cast<std::uint64_t>(stats.fault_overhead_s));
+
+  EXPECT_NE(stats.to_string().find("13 failed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator under injected faults.
+// ---------------------------------------------------------------------------
+
+class FaultEvalFixture : public ::testing::Test {
+ protected:
+  FaultEvalFixture()
+      : spec_(stencil::make_stencil("j3d7pt")),
+        space_(spec_),
+        sim_(gpusim::a100()) {}
+
+  stencil::StencilSpec spec_;
+  space::SearchSpace space_;
+  gpusim::Simulator sim_;
+};
+
+TEST_F(FaultEvalFixture, PermanentFailureIsCachedAndQuarantined) {
+  gpusim::FaultConfig config;
+  config.compile_fail_rate = 1.0;  // every new setting is rejected by nvcc
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+
+  Rng rng(13);
+  const auto setting = space_.random_valid(rng);
+  const auto first = evaluator.evaluate_result(setting);
+  EXPECT_EQ(first.status, tuner::EvalStatus::kCompileFail);
+  EXPECT_EQ(first.attempts, 1);
+  EXPECT_TRUE(std::isinf(first.time_or_inf()));
+  EXPECT_TRUE(evaluator.is_quarantined(setting.hash()));
+
+  auto stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.compile_fail, 1u);
+  EXPECT_EQ(stats.retries, 0u);  // permanent verdicts are never retried
+  EXPECT_EQ(stats.quarantined_settings, 1u);
+  // The failed compile still burned its compile time on the virtual clock.
+  tuner::EvalCosts costs;
+  EXPECT_NEAR(stats.fault_overhead_s, costs.compile_s, 1e-9);
+  EXPECT_NEAR(evaluator.virtual_time_s(), costs.compile_s, 1e-9);
+  EXPECT_EQ(evaluator.unique_evaluations(), 0u);
+
+  // Re-evaluating serves the cached failure: same outcome, no new charges.
+  const auto second = evaluator.evaluate_result(setting);
+  EXPECT_EQ(second.status, tuner::EvalStatus::kCompileFail);
+  stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.compile_fail, 1u);
+  EXPECT_EQ(stats.quarantine_hits, 0u);
+  EXPECT_NEAR(evaluator.virtual_time_s(), costs.compile_s, 1e-9);
+}
+
+TEST_F(FaultEvalFixture, TransientExhaustionQuarantinesAtThreshold) {
+  gpusim::FaultConfig config;
+  config.transient_rate = 1.0;  // every attempt misreads; retries never help
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  const tuner::RetryPolicy policy;  // max_attempts 3, threshold 2
+
+  Rng rng(14);
+  const auto setting = space_.random_valid(rng);
+  const auto first = evaluator.evaluate_result(setting);
+  EXPECT_EQ(first.status, tuner::EvalStatus::kTransient);
+  EXPECT_EQ(first.attempts, 3);
+  EXPECT_FALSE(evaluator.is_quarantined(setting.hash()));
+  EXPECT_EQ(evaluator.fault_stats().retries, 2u);
+
+  // Transient failures are not cached: the second evaluation retries the
+  // full ladder, and the second committed failure trips the quarantine.
+  const auto second = evaluator.evaluate_result(setting);
+  EXPECT_EQ(second.status, tuner::EvalStatus::kTransient);
+  EXPECT_TRUE(evaluator.is_quarantined(setting.hash()));
+  auto stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.transient, 2u);
+  EXPECT_EQ(stats.retries, 4u);
+  EXPECT_EQ(stats.quarantined_settings, 1u);
+
+  // From now on the quarantine list answers without burning measurements.
+  const double time_before = evaluator.virtual_time_s();
+  const auto third = evaluator.evaluate_result(setting);
+  EXPECT_EQ(third.status, tuner::EvalStatus::kQuarantined);
+  EXPECT_EQ(third.attempts, 0);
+  stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.quarantine_hits, 1u);
+  EXPECT_EQ(stats.transient, 2u);
+  EXPECT_DOUBLE_EQ(evaluator.virtual_time_s(), time_before);
+
+  // Overhead ledger: per failed evaluation, two backoffs (0.05 + 0.10),
+  // three wasted launch rounds, and the one compile that preceded them.
+  tuner::EvalCosts costs;
+  const double per_eval =
+      policy.backoff_initial_s * (1.0 + policy.backoff_multiplier) +
+      3.0 * costs.runs_per_eval * costs.launch_overhead_s + costs.compile_s;
+  EXPECT_NEAR(stats.fault_overhead_s, 2.0 * per_eval, 1e-9);
+  EXPECT_NEAR(evaluator.virtual_time_s(), 2.0 * per_eval, 1e-9);
+  EXPECT_EQ(evaluator.unique_evaluations(), 0u);
+  EXPECT_EQ(evaluator.quarantined_keys(),
+            std::vector<std::uint64_t>{setting.hash()});
+}
+
+TEST_F(FaultEvalFixture, RetryRecoversAndChargesBackoff) {
+  gpusim::FaultConfig config;
+  config.timeout_rate = 0.4;
+  const tuner::FaultInjector oracle(config, "test");
+
+  // Find a setting that hangs once and then measures cleanly on the retry.
+  Rng rng(15);
+  std::optional<space::Setting> pick;
+  for (int i = 0; i < 400 && !pick.has_value(); ++i) {
+    const auto s = space_.random_valid(rng);
+    if (oracle.decide(s.hash(), 1) == gpusim::FaultKind::kTimeout &&
+        oracle.decide(s.hash(), 2) == gpusim::FaultKind::kNone) {
+      pick = s;
+    }
+  }
+  ASSERT_TRUE(pick.has_value());
+
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  const auto result = evaluator.evaluate_result(*pick);
+  EXPECT_EQ(result.status, tuner::EvalStatus::kOk);
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_TRUE(std::isfinite(result.time_ms));
+  EXPECT_EQ(evaluator.unique_evaluations(), 1u);
+
+  const auto stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.recovered, 1u);
+  // The final status is ok, so no failure class is charged...
+  EXPECT_EQ(stats.failed_evaluations(), 0u);
+  // ...but the hung attempt cost the full watchdog deadline plus one backoff.
+  const tuner::RetryPolicy policy;
+  EXPECT_NEAR(stats.fault_overhead_s,
+              policy.eval_deadline_s + policy.backoff_initial_s, 1e-9);
+}
+
+TEST_F(FaultEvalFixture, SpentFaultBudgetFailsFast) {
+  gpusim::FaultConfig config;
+  config.transient_rate = 1.0;
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  tuner::RetryPolicy policy;
+  policy.fault_budget_s = 0.0;  // budget already spent: no retries at all
+  evaluator.set_retry_policy(policy);
+
+  Rng rng(16);
+  const auto result = evaluator.evaluate_result(space_.random_valid(rng));
+  EXPECT_EQ(result.status, tuner::EvalStatus::kTransient);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(evaluator.fault_stats().retries, 0u);
+}
+
+TEST_F(FaultEvalFixture, BatchMatchesSerialEvaluationUnderFaults) {
+  const auto config = gpusim::FaultConfig::uniform(0.3, 9);
+  Rng rng(17);
+  const auto settings = space_.sample_universe(rng, 300);
+
+  tuner::Evaluator serial(sim_, space_, {}, 7, nullptr);
+  serial.set_fault_injection(config, "j3d7pt");
+  std::vector<tuner::EvalResult> serial_results;
+  serial_results.reserve(settings.size());
+  for (const auto& s : settings) {
+    serial_results.push_back(serial.evaluate_result(s));
+  }
+
+  ThreadPool pool(4);
+  tuner::Evaluator batched(sim_, space_, {}, 7, &pool);
+  batched.set_fault_injection(config, "j3d7pt");
+  const auto batch_results = batched.evaluate_batch(settings);
+
+  ASSERT_EQ(batch_results.size(), serial_results.size());
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    EXPECT_EQ(batch_results[i].status, serial_results[i].status)
+        << "index " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(batch_results[i].time_ms),
+              std::bit_cast<std::uint64_t>(serial_results[i].time_ms))
+        << "index " << i;
+    EXPECT_EQ(batch_results[i].attempts, serial_results[i].attempts)
+        << "index " << i;
+  }
+  EXPECT_EQ(batched.unique_evaluations(), serial.unique_evaluations());
+  EXPECT_DOUBLE_EQ(batched.virtual_time_s(), serial.virtual_time_s());
+  EXPECT_DOUBLE_EQ(batched.best_time_ms(), serial.best_time_ms());
+
+  const auto a = serial.fault_stats();
+  const auto b = batched.fault_stats();
+  EXPECT_EQ(a.compile_fail, b.compile_fail);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.timeout, b.timeout);
+  EXPECT_EQ(a.transient, b.transient);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.quarantined_settings, b.quarantined_settings);
+  EXPECT_EQ(a.quarantine_hits, b.quarantine_hits);
+  EXPECT_DOUBLE_EQ(a.fault_overhead_s, b.fault_overhead_s);
+  EXPECT_GT(b.failed_evaluations(), 0u);  // the storm actually hit
+}
+
+TEST_F(FaultEvalFixture, FaultEventsLandInTrace) {
+  const auto config = gpusim::FaultConfig::uniform(0.3, 9);
+  tuner::Evaluator evaluator(sim_, space_, {}, 7, nullptr);
+  evaluator.set_fault_injection(config, "j3d7pt");
+  Rng rng(17);
+  for (const auto& s : space_.sample_universe(rng, 300)) {
+    evaluator.evaluate_result(s);
+  }
+  const auto stats = evaluator.fault_stats();
+  const auto& trace = evaluator.trace();
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kCompileFail),
+            stats.compile_fail);
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kCrash), stats.crash);
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kTimeout), stats.timeout);
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kTransient),
+            stats.transient);
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kQuarantined),
+            stats.quarantine_hits);
+  EXPECT_EQ(trace.event_count(tuner::EvalStatus::kOk), stats.recovered);
+  EXPECT_GT(stats.failed_evaluations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a full tune at 20% fault rate converges near the clean run and
+// stays bit-identical across worker counts.
+// ---------------------------------------------------------------------------
+
+struct TuneOutcome {
+  space::Setting best_setting;
+  double best_time_ms = 0.0;
+  double virtual_time_s = 0.0;
+  std::size_t unique_evals = 0;
+  tuner::FaultStats stats;
+};
+
+TuneOutcome run_faulty_tune(const space::SearchSpace& space,
+                            const gpusim::Simulator& sim, std::size_t workers,
+                            double fault_rate) {
+  ThreadPool pool(workers);
+  tuner::Evaluator evaluator(sim, space, {}, 42, &pool);
+  if (fault_rate > 0.0) {
+    evaluator.set_fault_injection(
+        gpusim::FaultConfig::uniform(fault_rate, 42), "j3d7pt");
+  }
+  core::CsTunerOptions options;
+  options.universe_size = 1200;
+  options.dataset_size = 64;
+  options.seed = 42;
+  core::CsTuner tuner(options);
+  tuner.tune(evaluator, {.max_virtual_seconds = 10.0});
+  TuneOutcome out;
+  out.best_setting = *evaluator.best_setting();
+  out.best_time_ms = evaluator.best_time_ms();
+  out.virtual_time_s = evaluator.virtual_time_s();
+  out.unique_evals = evaluator.unique_evaluations();
+  out.stats = evaluator.fault_stats();
+  return out;
+}
+
+TEST_F(FaultEvalFixture, TuningAtTwentyPercentFaultsStaysDeterministic) {
+  const auto serial = run_faulty_tune(space_, sim_, 0, 0.2);
+  const auto four = run_faulty_tune(space_, sim_, 4, 0.2);
+  const auto eight = run_faulty_tune(space_, sim_, 8, 0.2);
+
+  EXPECT_GT(serial.stats.failed_evaluations(), 0u);
+
+  // The determinism fingerprint under faults: best setting/time, unique
+  // evaluations, the virtual clock, and the committed failure ledger.
+  // (quarantine_hits is excluded: a concurrent island may see a key's
+  // quarantine either at probe or at commit; both are free and produce the
+  // same result, but only committed ladders feed the counters below.)
+  for (const auto* run : {&four, &eight}) {
+    EXPECT_TRUE(serial.best_setting == run->best_setting);
+    EXPECT_DOUBLE_EQ(serial.best_time_ms, run->best_time_ms);
+    EXPECT_DOUBLE_EQ(serial.virtual_time_s, run->virtual_time_s);
+    EXPECT_EQ(serial.unique_evals, run->unique_evals);
+    EXPECT_EQ(serial.stats.compile_fail, run->stats.compile_fail);
+    EXPECT_EQ(serial.stats.crash, run->stats.crash);
+    EXPECT_EQ(serial.stats.timeout, run->stats.timeout);
+    EXPECT_EQ(serial.stats.transient, run->stats.transient);
+    EXPECT_EQ(serial.stats.quarantined_settings,
+              run->stats.quarantined_settings);
+    EXPECT_DOUBLE_EQ(serial.stats.fault_overhead_s,
+                     run->stats.fault_overhead_s);
+  }
+}
+
+TEST_F(FaultEvalFixture, FaultyTuneQualityNearFaultFreeRun) {
+  const auto clean = run_faulty_tune(space_, sim_, 4, 0.0);
+  const auto faulty = run_faulty_tune(space_, sim_, 4, 0.2);
+  ASSERT_TRUE(std::isfinite(clean.best_time_ms));
+  ASSERT_TRUE(std::isfinite(faulty.best_time_ms));
+  // A 20% fault storm costs budget, not correctness: the surviving search
+  // must land within the penalty tolerance of the clean optimum.
+  EXPECT_LE(faulty.best_time_ms, clean.best_time_ms * 2.0);
+}
+
+}  // namespace
+}  // namespace cstuner

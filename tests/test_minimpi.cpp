@@ -209,5 +209,89 @@ TEST(MiniMpi, TypedRoundTripPreservesDoubles) {
   });
 }
 
+TEST(MiniMpi, RecvFromDeadRankThrowsInsteadOfHanging) {
+  // Rank 1 dies without ever sending; rank 0's blocking recv must turn into
+  // a hard error, not a hang.  Rank 0 swallows the induced error so the
+  // original UsageError from rank 1 is what propagates out of run().
+  std::atomic<bool> recv_failed{false};
+  EXPECT_THROW(Context::run(2,
+                            [&](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw UsageError("rank 1 dies");
+                              }
+                              try {
+                                comm.recv_values<int>(1, 3);
+                              } catch (const Error&) {
+                                recv_failed = true;
+                              }
+                            }),
+               UsageError);
+  EXPECT_TRUE(recv_failed.load());
+}
+
+TEST(MiniMpi, SendToDeadRankThrows) {
+  std::atomic<bool> send_failed{false};
+  EXPECT_THROW(Context::run(2,
+                            [&](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw UsageError("rank 1 dies");
+                              }
+                              // Learn of the death via the failing recv, then
+                              // verify a subsequent send also fails fast.
+                              try {
+                                comm.recv_values<int>(1, 3);
+                              } catch (const Error&) {
+                              }
+                              try {
+                                comm.send_values<int>(1, 4, {42});
+                              } catch (const Error&) {
+                                send_failed = true;
+                              }
+                            }),
+               UsageError);
+  EXPECT_TRUE(send_failed.load());
+}
+
+TEST(MiniMpi, BarrierWithDeadRankThrows) {
+  std::atomic<int> barrier_failures{0};
+  EXPECT_THROW(Context::run(3,
+                            [&](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw UsageError("rank 1 dies");
+                              }
+                              try {
+                                comm.barrier();
+                              } catch (const Error&) {
+                                barrier_failures.fetch_add(1);
+                              }
+                            }),
+               UsageError);
+  // Both survivors must have been released with an error, not left blocked.
+  EXPECT_EQ(barrier_failures.load(), 2);
+}
+
+TEST(MiniMpi, MessagesSentBeforeDeathStillDelivered) {
+  // A dead rank's queued messages are drained before recv reports the death.
+  std::atomic<bool> got_payload{false};
+  std::atomic<bool> second_recv_failed{false};
+  EXPECT_THROW(Context::run(2,
+                            [&](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                comm.send_values<int>(0, 5, {99});
+                                throw UsageError("rank 1 dies after send");
+                              }
+                              try {
+                                const auto got = comm.recv_values<int>(1, 5);
+                                got_payload = (got == std::vector<int>{99});
+                                comm.recv_values<int>(1, 5);
+                              } catch (const Error&) {
+                                second_recv_failed = true;
+                              }
+                            }),
+               UsageError);
+  EXPECT_TRUE(got_payload.load());
+  EXPECT_TRUE(second_recv_failed.load());
+}
+
 }  // namespace
 }  // namespace cstuner::minimpi

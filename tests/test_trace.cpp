@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "tuner/trace.hpp"
+
+namespace cstuner::tuner {
+namespace {
+
+ConvergenceTrace make_trace() {
+  ConvergenceTrace trace;
+  trace.record(0, 4, 0.125, 3.5);
+  trace.record(1, 9, 0.6789012345678901, 2.25);
+  trace.record(2, 17, 1.0000000000000002, 2.25);
+  trace.record_event(0x1234567890abcdefULL, EvalStatus::kCompileFail, 1);
+  trace.record_event(42, EvalStatus::kOk, 3);  // retried success
+  trace.record_event(42, EvalStatus::kQuarantined, 0);
+  trace.record_event(7, EvalStatus::kTimeout, 2);
+  return trace;
+}
+
+TEST(Trace, RecordEventAndCount) {
+  const ConvergenceTrace trace = make_trace();
+  EXPECT_EQ(trace.events.size(), 4u);
+  EXPECT_EQ(trace.event_count(EvalStatus::kCompileFail), 1u);
+  EXPECT_EQ(trace.event_count(EvalStatus::kOk), 1u);
+  EXPECT_EQ(trace.event_count(EvalStatus::kQuarantined), 1u);
+  EXPECT_EQ(trace.event_count(EvalStatus::kTimeout), 1u);
+  EXPECT_EQ(trace.event_count(EvalStatus::kCrash), 0u);
+}
+
+TEST(Trace, ClearDropsPointsAndEvents) {
+  ConvergenceTrace trace = make_trace();
+  trace.clear();
+  EXPECT_TRUE(trace.points.empty());
+  EXPECT_TRUE(trace.events.empty());
+}
+
+TEST(Trace, JsonRoundTripIsBitIdentical) {
+  const ConvergenceTrace trace = make_trace();
+  JsonWriter json;
+  trace.write_json(json);
+  const ConvergenceTrace back =
+      ConvergenceTrace::from_json(json_parse(json.str()));
+
+  ASSERT_EQ(back.points.size(), trace.points.size());
+  for (std::size_t i = 0; i < trace.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].iteration, trace.points[i].iteration);
+    EXPECT_EQ(back.points[i].evaluations, trace.points[i].evaluations);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.points[i].virtual_time_s),
+              std::bit_cast<std::uint64_t>(trace.points[i].virtual_time_s));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.points[i].best_time_ms),
+              std::bit_cast<std::uint64_t>(trace.points[i].best_time_ms));
+  }
+  ASSERT_EQ(back.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].setting_key, trace.events[i].setting_key);
+    EXPECT_EQ(back.events[i].status, trace.events[i].status);
+    EXPECT_EQ(back.events[i].attempts, trace.events[i].attempts);
+  }
+}
+
+TEST(Trace, SecondRoundTripIsTextIdentical) {
+  // Serialization is a fixed point: write -> parse -> write reproduces the
+  // exact same text (the shortest-round-trip double formatting is stable).
+  const ConvergenceTrace trace = make_trace();
+  JsonWriter first;
+  trace.write_json(first);
+  JsonWriter second;
+  ConvergenceTrace::from_json(json_parse(first.str())).write_json(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+  const ConvergenceTrace trace;
+  JsonWriter json;
+  trace.write_json(json);
+  const ConvergenceTrace back =
+      ConvergenceTrace::from_json(json_parse(json.str()));
+  EXPECT_TRUE(back.points.empty());
+  EXPECT_TRUE(back.events.empty());
+}
+
+TEST(Trace, FromJsonRejectsUnknownStatus) {
+  const std::string bad =
+      R"({"points":[],"events":[{"key":1,"status":"exploded","attempts":1}]})";
+  EXPECT_THROW(ConvergenceTrace::from_json(json_parse(bad)), Error);
+}
+
+TEST(Trace, AllStatusNamesRoundTrip) {
+  ConvergenceTrace trace;
+  for (int s = 0; s <= static_cast<int>(EvalStatus::kQuarantined); ++s) {
+    trace.record_event(static_cast<std::uint64_t>(s),
+                       static_cast<EvalStatus>(s), 1);
+  }
+  JsonWriter json;
+  trace.write_json(json);
+  const ConvergenceTrace back =
+      ConvergenceTrace::from_json(json_parse(json.str()));
+  ASSERT_EQ(back.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].status, trace.events[i].status);
+  }
+}
+
+}  // namespace
+}  // namespace cstuner::tuner

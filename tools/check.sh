@@ -26,3 +26,11 @@ export TSAN_OPTIONS="halt_on_error=1"
 
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 echo "sanitize(${SANITIZE}): all tests clean"
+
+# Fault-storm gate: the end-to-end tune must converge and exit cleanly while
+# a fifth of all evaluations are failing (docs/fault-tolerance.md), still
+# under the sanitizers — retry/backoff, quarantine and the failure-stats
+# reporting all run hot on this path.
+CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
+  --budget 20 --universe 2000 --json > /dev/null
+echo "sanitize(${SANITIZE}): fault-storm tune (CSTUNER_FAULT_RATE=0.2) clean"

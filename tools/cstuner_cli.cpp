@@ -337,6 +337,36 @@ int cmd_tune(const Args& args) {
   // measurement; aborts the run on analyzer errors.
   evaluator.set_debug_precheck(args.has("precheck"));
 
+  // Fault injection: --fault-rate, or the CSTUNER_FAULT_RATE environment
+  // knob (the CI fault-storm gate) when the flag is absent.
+  const double fault_rate = args.has("fault-rate")
+                                ? args.get_double("fault-rate", 0.0)
+                                : gpusim::FaultConfig::rate_from_env();
+  if (fault_rate > 0.0) {
+    evaluator.set_fault_injection(gpusim::FaultConfig::uniform(fault_rate, seed),
+                                  spec.name);
+  }
+  tuner::RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(args.get_u64("max-attempts",
+                                    static_cast<std::uint64_t>(policy.max_attempts)));
+  policy.fault_budget_s = args.get_double("fault-budget", policy.fault_budget_s);
+  evaluator.set_retry_policy(policy);
+
+  // Crash-safe checkpointing: journal + periodic snapshots in --checkpoint
+  // <dir>; --resume replays the journal so the continuation is
+  // bit-identical to a run that was never interrupted.
+  std::optional<tuner::Checkpoint> checkpoint;
+  if (args.has("checkpoint")) {
+    checkpoint.emplace(args.get("checkpoint", "checkpoint"));
+    if (args.has("resume")) {
+      const auto recovered = checkpoint->load();
+      std::cerr << "resuming from " << checkpoint->directory() << ": "
+                << recovered << " journaled evaluation(s)\n";
+    }
+    evaluator.set_checkpoint(&*checkpoint);
+  }
+
   const std::string method = args.get("method", "csTuner");
   std::unique_ptr<tuner::Tuner> tuner;
   if (method == "csTuner") {
@@ -367,6 +397,14 @@ int cmd_tune(const Args& args) {
   stop.max_virtual_seconds = args.get_double("budget", 60.0);
   tuner->tune(evaluator, stop);
 
+  if (checkpoint.has_value()) {
+    // Final durability point: everything committed is journaled and the
+    // closing snapshot reflects the finished run.
+    checkpoint->flush();
+    checkpoint->write_snapshot(evaluator.serialize_state());
+  }
+
+  const tuner::FaultStats stats = evaluator.fault_stats();
   if (args.has("json")) {
     JsonWriter json;
     json.begin_object();
@@ -378,15 +416,11 @@ int cmd_tune(const Args& args) {
     json.field("evaluations", evaluator.unique_evaluations());
     json.field("iterations", evaluator.iterations());
     json.field("virtual_time_s", evaluator.virtual_time_s());
-    json.key("trace").begin_array();
-    for (const auto& p : evaluator.trace().points) {
-      json.begin_object();
-      json.field("iteration", p.iteration);
-      json.field("time_s", p.virtual_time_s);
-      json.field("best_ms", p.best_time_ms);
-      json.end_object();
-    }
-    json.end_array();
+    json.field("fault_rate", fault_rate);
+    json.key("fault_stats");
+    stats.write_json(json);
+    json.key("trace");
+    evaluator.trace().write_json(json);
     json.end_object();
     std::cout << json.str() << '\n';
   } else {
@@ -396,6 +430,9 @@ int cmd_tune(const Args& args) {
               << '\n'
               << "evaluations:   " << evaluator.unique_evaluations() << '\n'
               << "virtual time:  " << evaluator.virtual_time_s() << " s\n";
+    if (stats.any() || fault_rate > 0.0) {
+      std::cout << "failures:      " << stats.to_string() << '\n';
+    }
   }
   return 0;
 }
@@ -413,7 +450,8 @@ int usage() {
          "           [--samples N] [--seed N] [--no-lint] [--json]\n"
          "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
          "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
-         "           [--precheck]\n";
+         "           [--precheck] [--fault-rate R] [--max-attempts N]\n"
+         "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n";
   return 2;
 }
 
