@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "harness.hpp"
+#include "obs/obs.hpp"
 
 using namespace cstuner;
 
@@ -92,5 +93,19 @@ int main() {
   table.print(std::cout);
   std::cout << "\nresults identical across thread counts: "
             << (all_identical ? "yes" : "NO — determinism bug") << "\n";
+
+  // Instrumentation overhead: the same 4-thread session back-to-back with
+  // the span tracer off and armed. The budget is <= 2% of wall time
+  // (docs/observability.md); wall noise on shared runners makes this a
+  // report, not a gate.
+  const auto plain = run_session(entry, config, 4);
+  obs::Tracer::global().set_enabled(true);
+  const auto traced = run_session(entry, config, 4);
+  obs::Tracer::global().set_enabled(false);
+  const double overhead =
+      (traced.wall_s - plain.wall_s) / std::max(plain.wall_s, 1e-9);
+  std::cout << "instrumentation overhead (4 threads, tracer on): "
+            << TextTable::fmt(overhead * 100.0, 2) << "% of "
+            << TextTable::fmt(plain.wall_s, 2) << " s (budget 2%)\n";
   return all_identical ? 0 : 1;
 }

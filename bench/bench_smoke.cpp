@@ -1,0 +1,114 @@
+// Deterministic smoke benchmark for the CI bench-regression gate. A small,
+// fixed tuning profile (two stencils x four methods, virtual-clock budget)
+// runs single-threaded and emits a JSON report whose payload is
+// bit-reproducible: best times, evaluation counts and the deterministic
+// subset of the metrics registry. CI diffs it against the committed
+// bench/baseline_smoke.json with `cstuner report --tol 10%`.
+//
+// The profile is intentionally hard-coded (no CSTUNER_* env knobs): the
+// gate only means something when every run measures the same workload.
+// Wall-clock readings are emitted under "wall"-prefixed keys, which the
+// comparator ignores by default.
+//
+// Usage: bench_smoke [out.json]   (JSON also goes to stdout)
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "obs/obs.hpp"
+
+using namespace cstuner;
+
+namespace {
+
+// Registry counters that are deterministic under the threading contract
+// (docs/threading.md): batch structure, GA generations and communication
+// counts do not depend on scheduling. Cache-hit and retry counters do
+// (concurrent probes race on shared keys), so they stay out of the gate.
+const std::vector<std::string> kGatedCounters = {
+    "cstuner.passes",      "evaluator.batches",  "evaluator.evals",
+    "evaluator.iterations", "ga.generations",     "ga.migrations",
+    "minimpi.sends",       "minimpi.bytes_sent", "regress.pmnf_fits",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config;  // fixed smoke profile; env knobs ignored
+  config.universe_size = 2000;
+  config.dataset_size = 64;
+  config.budget_s = 10.0;
+  config.stencils = {"j3d7pt", "helmholtz"};
+  const std::uint64_t seed = 4242;
+
+  bench::ArtifactCache cache(config);
+  const tuner::StopCriteria stop{.max_virtual_seconds = config.budget_s};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("universe", static_cast<std::uint64_t>(config.universe_size));
+  json.field("dataset", static_cast<std::uint64_t>(config.dataset_size));
+  json.field("budget_s", config.budget_s);
+  json.field("seed", seed);
+  json.end_object();
+
+  TextTable table({"stencil", "method", "best_ms", "evals", "virtual_s"});
+  json.key("results").begin_array();
+  for (const auto& stencil : config.stencils) {
+    const auto& entry = cache.get(stencil, "a100");
+    for (const auto& method : bench::method_names()) {
+      const auto r = bench::run_tuning(entry, method, config, stop, seed);
+      json.begin_object();
+      json.field("stencil", stencil);
+      json.field("method", method);
+      json.field("best_ms", r.best_time_ms);
+      json.field("evals", static_cast<std::uint64_t>(r.evaluations));
+      json.field("iterations", static_cast<std::uint64_t>(r.iterations));
+      json.field("virtual_s", r.virtual_time_s);
+      json.end_object();
+      table.add_row({stencil, method, TextTable::fmt(r.best_time_ms, 4),
+                     std::to_string(r.evaluations),
+                     TextTable::fmt(r.virtual_time_s, 2)});
+    }
+  }
+  json.end_array();
+
+  json.key("counters").begin_object();
+  for (const auto& name : kGatedCounters) {
+    json.field(name, obs::metrics().counter(name).value());
+  }
+  json.end_object();
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  json.field("wall_s", wall_s);
+  json.end_object();
+
+  table.print(std::cerr);
+  std::cerr << "wall: " << wall_s << " s\n";
+
+  std::cout << json.str() << '\n';
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << argv[1] << '\n';
+      return 1;
+    }
+    out << json.str() << '\n';
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << argv[1] << '\n';
+      return 1;
+    }
+    std::cerr << "report written to " << argv[1] << '\n';
+  }
+  return 0;
+}

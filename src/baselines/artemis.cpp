@@ -6,6 +6,7 @@
 
 #include "baselines/subspace.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::baselines {
 
@@ -15,6 +16,7 @@ Artemis::Artemis(ArtemisOptions options) : options_(options) {}
 
 void Artemis::tune(tuner::Evaluator& evaluator,
                    const tuner::StopCriteria& stop) {
+  CSTUNER_TRACE_PHASE("tune.artemis");
   const auto& space = evaluator.space();
   Rng rng(options_.seed);
 

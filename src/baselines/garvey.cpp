@@ -6,6 +6,7 @@
 
 #include "baselines/subspace.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::baselines {
 
@@ -19,6 +20,7 @@ void Garvey::set_dataset(tuner::PerfDataset dataset) {
 
 void Garvey::tune(tuner::Evaluator& evaluator,
                   const tuner::StopCriteria& stop) {
+  CSTUNER_TRACE_PHASE("tune.garvey");
   const auto& space = evaluator.space();
   Rng rng(options_.seed);
 

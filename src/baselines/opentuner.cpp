@@ -6,6 +6,7 @@
 
 #include "analysis/pruner.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::baselines {
 
@@ -73,6 +74,7 @@ std::string OpenTuner::name() const {
 
 void OpenTuner::tune(tuner::Evaluator& evaluator,
                      const tuner::StopCriteria& stop) {
+  CSTUNER_TRACE_PHASE("tune.opentuner");
   switch (options_.technique) {
     case OpenTunerTechnique::kGlobalGa:
       return tune_global_ga(evaluator, stop);

@@ -8,6 +8,7 @@
 
 #include "codegen/cuda_codegen.hpp"
 #include "core/grouping.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::core {
 
@@ -40,6 +41,7 @@ void CsTuner::set_universe(std::vector<space::Setting> universe) {
 
 void CsTuner::tune(tuner::Evaluator& evaluator,
                    const tuner::StopCriteria& stop) {
+  CSTUNER_TRACE_PHASE("cstuner.tune");
   report_ = PreprocessReport{};
   const auto& space = evaluator.space();
   analysis::StaticPruner pruner(space);
@@ -48,85 +50,100 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   // --- Offline: candidate universe + performance dataset (§IV-A). ---------
   auto t0 = Clock::now();
   std::vector<space::Setting> universe;
-  if (preset_universe_.has_value()) {
-    universe = *preset_universe_;
-  } else {
-    universe = space.sample_universe(rng, options_.universe_size);
-  }
-  // Static pruning: preset universes may carry constraint-invalid settings;
-  // drop them before any tuning stage sees them. sample_universe() output is
-  // valid by construction, so this only seeds the pruner's memo there.
-  report_.universe_pruned = pruner.prune(universe);
   tuner::PerfDataset dataset;
-  if (preset_dataset_.has_value()) {
-    dataset = *preset_dataset_;
-  } else if (evaluator.checkpoint() != nullptr &&
-             evaluator.checkpoint()->loaded_dataset().has_value()) {
-    // Resume: the snapshot carries the dataset bit-exactly; skip the
-    // offline collection entirely.
-    dataset = *evaluator.checkpoint()->loaded_dataset();
-  } else {
-    // Collection draws from its own stream so that skipping it on resume
-    // leaves `rng` — and everything downstream of it — unchanged.
-    Rng dataset_rng(hash_combine(options_.seed, 0xDA7A5E7ULL));
-    dataset = tuner::collect_dataset(space, evaluator.simulator(),
-                                     options_.dataset_size, dataset_rng,
-                                     evaluator.thread_pool(),
-                                     evaluator.fault_injector());
+  {
+    CSTUNER_TRACE_PHASE("cstuner.offline");
+    if (preset_universe_.has_value()) {
+      universe = *preset_universe_;
+    } else {
+      universe = space.sample_universe(rng, options_.universe_size);
+    }
+    // Static pruning: preset universes may carry constraint-invalid
+    // settings; drop them before any tuning stage sees them.
+    // sample_universe() output is valid by construction, so this only seeds
+    // the pruner's memo there.
+    report_.universe_pruned = pruner.prune(universe);
+    if (preset_dataset_.has_value()) {
+      dataset = *preset_dataset_;
+    } else if (evaluator.checkpoint() != nullptr &&
+               evaluator.checkpoint()->loaded_dataset().has_value()) {
+      // Resume: the snapshot carries the dataset bit-exactly; skip the
+      // offline collection entirely.
+      dataset = *evaluator.checkpoint()->loaded_dataset();
+    } else {
+      // Collection draws from its own stream so that skipping it on resume
+      // leaves `rng` — and everything downstream of it — unchanged.
+      Rng dataset_rng(hash_combine(options_.seed, 0xDA7A5E7ULL));
+      dataset = tuner::collect_dataset(space, evaluator.simulator(),
+                                       options_.dataset_size, dataset_rng,
+                                       evaluator.thread_pool(),
+                                       evaluator.fault_injector());
+    }
+    if (evaluator.checkpoint() != nullptr) {
+      evaluator.checkpoint()->set_dataset_json(
+          tuner::serialize_dataset(dataset));
+    }
+    report_.dataset_s = seconds_since(t0);
+    report_.universe_count = universe.size();
   }
-  if (evaluator.checkpoint() != nullptr) {
-    evaluator.checkpoint()->set_dataset_json(tuner::serialize_dataset(dataset));
-  }
-  report_.dataset_s = seconds_since(t0);
-  report_.universe_count = universe.size();
+  CSTUNER_OBS_GAUGE("cstuner.universe_size", universe.size());
 
   // --- Pre-processing 1: parameter grouping (§IV-C). ----------------------
   t0 = Clock::now();
-  switch (options_.grouping_mode) {
-    case GroupingMode::kStatistical:
-      report_.groups = group_parameters(space, dataset);
-      break;
-    case GroupingMode::kSingleton:
-      for (std::size_t p = 0; p < space::kParamCount; ++p) {
-        report_.groups.push_back({p});
-      }
-      break;
-    case GroupingMode::kByDimension:
-      report_.groups = {
-          {space::kTBx, space::kUFx, space::kCMx, space::kBMx},
-          {space::kTBy, space::kUFy, space::kCMy, space::kBMy},
-          {space::kTBz, space::kUFz, space::kCMz, space::kBMz},
-          {space::kUseStreaming, space::kSD, space::kSB,
-           space::kUsePrefetching},
-          {space::kUseShared, space::kUseConstant, space::kUseRetiming},
-      };
-      break;
+  {
+    CSTUNER_TRACE_PHASE("cstuner.grouping");
+    switch (options_.grouping_mode) {
+      case GroupingMode::kStatistical:
+        report_.groups = group_parameters(space, dataset);
+        break;
+      case GroupingMode::kSingleton:
+        for (std::size_t p = 0; p < space::kParamCount; ++p) {
+          report_.groups.push_back({p});
+        }
+        break;
+      case GroupingMode::kByDimension:
+        report_.groups = {
+            {space::kTBx, space::kUFx, space::kCMx, space::kBMx},
+            {space::kTBy, space::kUFy, space::kCMy, space::kBMy},
+            {space::kTBz, space::kUFz, space::kCMz, space::kBMz},
+            {space::kUseStreaming, space::kSD, space::kSB,
+             space::kUsePrefetching},
+            {space::kUseShared, space::kUseConstant, space::kUseRetiming},
+        };
+        break;
+    }
+    report_.grouping_s = seconds_since(t0);
   }
-  report_.grouping_s = seconds_since(t0);
+  CSTUNER_OBS_GAUGE("cstuner.groups", report_.groups.size());
 
   // --- Pre-processing 2: metric combination + PMNF sampling (§IV-D). ------
   t0 = Clock::now();
   SampledSpace sampled;
-  if (options_.sampling_mode == SamplingMode::kPmnf) {
-    sampled = sample_search_space(space, dataset, report_.groups, universe,
-                                  options_.sampling,
-                                  evaluator.thread_pool());
-  } else {
-    // Ablation: plain random subset, no model guidance.
-    std::vector<space::Setting> shuffled = universe;
-    rng.shuffle(shuffled);
-    const auto keep = std::max<std::size_t>(
-        1, static_cast<std::size_t>(options_.sampling.ratio *
-                                    static_cast<double>(shuffled.size())));
-    shuffled.resize(std::min(shuffled.size(), keep));
-    sampled.settings = std::move(shuffled);
+  {
+    CSTUNER_TRACE_PHASE("cstuner.sampling");
+    if (options_.sampling_mode == SamplingMode::kPmnf) {
+      sampled = sample_search_space(space, dataset, report_.groups, universe,
+                                    options_.sampling,
+                                    evaluator.thread_pool());
+    } else {
+      // Ablation: plain random subset, no model guidance.
+      std::vector<space::Setting> shuffled = universe;
+      rng.shuffle(shuffled);
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options_.sampling.ratio *
+                                      static_cast<double>(shuffled.size())));
+      shuffled.resize(std::min(shuffled.size(), keep));
+      sampled.settings = std::move(shuffled);
+    }
+    report_.sampling_s = seconds_since(t0);
+    report_.sampled_count = sampled.settings.size();
+    report_.models = sampled.models;
   }
-  report_.sampling_s = seconds_since(t0);
-  report_.sampled_count = sampled.settings.size();
-  report_.models = sampled.models;
+  CSTUNER_OBS_GAUGE("cstuner.sampled_count", sampled.settings.size());
 
   // --- Pre-processing 3: code generation for the sampled settings. --------
   if (options_.generate_kernels) {
+    CSTUNER_TRACE_PHASE("cstuner.codegen");
     t0 = Clock::now();
     for (const auto& setting : sampled.settings) {
       const auto kernel = codegen::generate_kernel(space.spec(), setting);
@@ -161,11 +178,17 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   // remaining budget funds refinement passes around the improved base until
   // a pass stops paying off.
   for (std::size_t pass = 0; !stop.reached(evaluator); ++pass) {
+    CSTUNER_TRACE_PHASE("cstuner.group_pass");
+    CSTUNER_OBS_COUNT("cstuner.passes", 1);
     const double best_before_pass = evaluator.best_time_ms();
     for (std::size_t gi : group_order) {
     if (stop.reached(evaluator)) break;
     const GroupIndex& group = indices[gi];
     if (group.cardinality() == 0) continue;
+    // Quiescent at entry and exit (island.run joins its ranks; the
+    // exhaustive branch is synchronous), so virtual attribution per group
+    // is deterministic.
+    CSTUNER_TRACE_PHASE("cstuner.group");
 
     std::size_t best_tuple = GroupIndex::npos;
     double best_time = std::numeric_limits<double>::infinity();
@@ -289,6 +312,7 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   const auto polish_chunk =
       static_cast<std::size_t>(options_.ga.population_size);
   std::size_t p = 0;
+  CSTUNER_TRACE_PHASE("cstuner.polish");
   while (p < sampled.settings.size() && !stop.reached(evaluator)) {
     const std::size_t chunk_end =
         std::min(p + polish_chunk, sampled.settings.size());

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::ga {
 
@@ -60,6 +61,7 @@ GaResult IslandGa::run(
 GaResult IslandGa::run(
     const BatchFitness& evaluate,
     const std::function<bool(const GaState&)>& should_stop) {
+  CSTUNER_TRACE_SPAN("ga", "ga.run");
   GaResult result;
 
   const std::size_t n_genes = cardinalities_.size();
@@ -163,6 +165,8 @@ GaResult IslandGa::run(
       // --- Ring migration: top individuals go to the right neighbour.
       if (options_.sub_populations > 1 &&
           gen % static_cast<std::size_t>(options_.migration_interval) == 0) {
+        CSTUNER_TRACE_SPAN("comm", "ga.migration");
+        CSTUNER_OBS_COUNT("ga.migrations", 1);
         std::vector<Individual> sorted = pop;
         std::sort(sorted.begin(), sorted.end(),
                   [](const Individual& a, const Individual& b) {
@@ -202,6 +206,9 @@ GaResult IslandGa::run(
       }
       bool stop = false;
       if (comm.rank() == 0) {
+        // One generation finished across all islands (rank 0 decides after
+        // gathering every rank's stats, so this count is deterministic).
+        CSTUNER_OBS_COUNT("ga.generations", 1);
         GaState state;
         state.generation = gen;
         state.fitnesses = local_fitness;

@@ -3,6 +3,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace cstuner::minimpi {
 
 void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
@@ -10,6 +12,8 @@ void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
   if (ctx_->is_dead(dest)) {
     throw Error("minimpi: send to dead rank " + std::to_string(dest));
   }
+  CSTUNER_OBS_COUNT("minimpi.sends", 1);
+  CSTUNER_OBS_COUNT("minimpi.bytes_sent", payload.size());
   Message m;
   m.source = rank_;
   m.tag = tag;
@@ -19,6 +23,10 @@ void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
 
 Message Comm::recv(int source, int tag) {
   CSTUNER_CHECK(source >= 0 && source < size_);
+  // The span shows how long this rank sat blocked on its peer — the
+  // island-imbalance signal in a trace.
+  CSTUNER_TRACE_SPAN("comm", "minimpi.recv_wait");
+  CSTUNER_OBS_COUNT("minimpi.recvs", 1);
   return ctx_->take(rank_, source, tag);
 }
 
@@ -27,7 +35,11 @@ bool Comm::probe(int source, int tag) {
   return ctx_->peek(rank_, source, tag);
 }
 
-void Comm::barrier() { ctx_->barrier_wait(); }
+void Comm::barrier() {
+  CSTUNER_TRACE_SPAN("comm", "minimpi.barrier");
+  CSTUNER_OBS_COUNT("minimpi.barriers", 1);
+  ctx_->barrier_wait();
+}
 
 std::vector<double> Comm::allgather(double value) {
   // Simple ring allgather: everyone sends to everyone (size is small — the

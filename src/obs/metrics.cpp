@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "common/json.hpp"
+
+namespace cstuner::obs {
+
+void Histogram::observe(std::uint64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::size_t Histogram::used_buckets() const {
+  for (std::size_t b = kBuckets; b > 0; --b) {
+    if (bucket(b - 1) != 0) return b;
+  }
+  return 0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::write_json(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) json.field(name, c->value());
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) json.field(name, g->value());
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name).begin_object();
+    json.field("count", h->count());
+    json.field("sum", h->sum());
+    json.field("min", h->count() == 0 ? 0 : h->min());
+    json.field("max", h->max());
+    json.field("mean", h->mean());
+    json.key("buckets").begin_array();
+    const std::size_t used = h->used_buckets();
+    for (std::size_t b = 0; b < used; ++b) json.value(h->bucket(b));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace cstuner::obs

@@ -1,0 +1,124 @@
+#pragma once
+// Metrics registry of the observability layer (docs/observability.md):
+// named counters, gauges and histograms that the instrumented subsystems
+// bump on their hot paths and the CLI merges into `tune --json`.
+//
+// Design constraints, in order:
+//   - hot-path increments must be one atomic RMW (no lock, no lookup):
+//     instrumentation sites resolve their instrument once into a
+//     function-local static reference and then only touch the atomic;
+//   - references returned by the registry stay valid for the process
+//     lifetime (node-based storage), so cached references never dangle;
+//   - exports are name-sorted, so JSON output is deterministic and the
+//     `cstuner report` comparator can diff two exports field by field.
+//
+// Counter values mirror — not replace — the richer per-subsystem statistics
+// (FaultStats, PreprocessReport): the registry is the cross-cutting view
+// one flat namespace wide, cheap enough to leave always on.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cstuner {
+class JsonWriter;
+}
+
+namespace cstuner::obs {
+
+/// Monotone event count (evals run, cache hits, retries, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (universe size, sampled count, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed distribution of non-negative integer samples
+/// (batch sizes, retry ladders). Bucket b holds samples whose bit width is
+/// b, i.e. bucket 0 = {0}, bucket 1 = {1}, bucket 2 = {2,3}, bucket 3 =
+/// {4..7}, ... All fields are independent relaxed atomics: totals are
+/// exact, min/max converge via CAS.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t sample);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// UINT64_MAX when empty.
+  std::uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Index of the highest non-empty bucket + 1 (0 when empty).
+  std::size_t used_buckets() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Name -> instrument registry. Lookup (first use) takes a mutex; the
+/// returned reference is stable forever after, so sites cache it.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Instruments registered so far, name-sorted.
+  std::vector<std::string> counter_names() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with name-sorted members. Zero-valued counters are included — absence
+  /// means "never registered", which the report comparator treats
+  /// differently from "registered but quiet".
+  void write_json(JsonWriter& json) const;
+
+  /// Zeroes every registered instrument (fresh run / test isolation).
+  /// Registered names survive, so cached references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all instrumentation macros write to.
+MetricsRegistry& metrics();
+
+}  // namespace cstuner::obs

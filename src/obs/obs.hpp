@@ -1,0 +1,86 @@
+#pragma once
+// Instrumentation macros of the observability layer. Every hook in the
+// tuning pipeline goes through these, so a build configured with
+// -DCSTUNER_OBS=OFF (which defines CSTUNER_OBS_DISABLED) compiles the
+// instrumentation out entirely — zero code, zero data, zero cost.
+//
+//   CSTUNER_TRACE_SPAN(cat, name)   wall-clock-only RAII span (hot paths;
+//                                   safe anywhere, any thread)
+//   CSTUNER_TRACE_PHASE(name)       wall + virtual-clock RAII span; place
+//                                   ONLY at quiescent points (no concurrent
+//                                   batch commits in flight) so the virtual
+//                                   attribution is deterministic — see
+//                                   obs/tracer.hpp
+//   CSTUNER_OBS_COUNT(name, delta)  bump a registry counter
+//   CSTUNER_OBS_GAUGE(name, v)      set a registry gauge
+//   CSTUNER_OBS_OBSERVE(name, v)    add a sample to a registry histogram
+//
+// The scalar macros cache the instrument reference in a function-local
+// static, so steady state is one relaxed atomic RMW per call.
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace cstuner::obs {
+/// False when the instrumentation macros were compiled out
+/// (-DCSTUNER_OBS=OFF); lets the CLI warn instead of writing empty traces.
+#if defined(CSTUNER_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+}  // namespace cstuner::obs
+
+#if defined(CSTUNER_OBS_DISABLED)
+
+#define CSTUNER_TRACE_SPAN(cat, name)
+#define CSTUNER_TRACE_PHASE(name)
+#define CSTUNER_OBS_COUNT(name, delta) \
+  do {                                 \
+  } while (0)
+#define CSTUNER_OBS_GAUGE(name, v) \
+  do {                             \
+  } while (0)
+#define CSTUNER_OBS_OBSERVE(name, v) \
+  do {                               \
+  } while (0)
+
+#else
+
+#define CSTUNER_OBS_CONCAT_IMPL(a, b) a##b
+#define CSTUNER_OBS_CONCAT(a, b) CSTUNER_OBS_CONCAT_IMPL(a, b)
+
+#define CSTUNER_TRACE_SPAN(cat, name)                                     \
+  ::cstuner::obs::Span CSTUNER_OBS_CONCAT(cstuner_obs_span_, __LINE__) { \
+    (cat), (name), false                                                  \
+  }
+
+#define CSTUNER_TRACE_PHASE(name)                                         \
+  ::cstuner::obs::Span CSTUNER_OBS_CONCAT(cstuner_obs_span_, __LINE__) { \
+    "phase", (name), true                                                 \
+  }
+
+#define CSTUNER_OBS_COUNT(name, delta)                         \
+  do {                                                         \
+    static ::cstuner::obs::Counter& cstuner_obs_instrument =   \
+        ::cstuner::obs::metrics().counter(name);               \
+    cstuner_obs_instrument.add(                                \
+        static_cast<std::uint64_t>(delta));                    \
+  } while (0)
+
+#define CSTUNER_OBS_GAUGE(name, v)                           \
+  do {                                                       \
+    static ::cstuner::obs::Gauge& cstuner_obs_instrument =   \
+        ::cstuner::obs::metrics().gauge(name);               \
+    cstuner_obs_instrument.set(static_cast<double>(v));      \
+  } while (0)
+
+#define CSTUNER_OBS_OBSERVE(name, v)                             \
+  do {                                                           \
+    static ::cstuner::obs::Histogram& cstuner_obs_instrument =   \
+        ::cstuner::obs::metrics().histogram(name);               \
+    cstuner_obs_instrument.observe(                              \
+        static_cast<std::uint64_t>(v));                          \
+  } while (0)
+
+#endif  // CSTUNER_OBS_DISABLED

@@ -1,0 +1,224 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace cstuner::obs {
+
+namespace {
+
+struct FlatDoc {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> labels;  // strings and bools
+};
+
+void flatten(const JsonValue& value, const std::string& path, FlatDoc& out) {
+  switch (value.type()) {
+    case JsonValue::Type::kObject:
+      for (const auto& [key, member] : value.members()) {
+        flatten(member, path.empty() ? key : path + "." + key, out);
+      }
+      break;
+    case JsonValue::Type::kArray: {
+      const auto& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        flatten(items[i], path + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    }
+    case JsonValue::Type::kNumber:
+      out.numbers[path] = value.as_double();
+      break;
+    case JsonValue::Type::kString:
+      out.labels[path] = value.as_string();
+      break;
+    case JsonValue::Type::kBool:
+      out.labels[path] = value.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNull:
+      // Null encodes non-finite doubles (common/json.hpp); nothing to
+      // compare numerically.
+      break;
+  }
+}
+
+bool ignored(const std::string& path, const CompareOptions& options) {
+  return std::any_of(options.ignore.begin(), options.ignore.end(),
+                     [&](const std::string& needle) {
+                       return !needle.empty() &&
+                              path.find(needle) != std::string::npos;
+                     });
+}
+
+}  // namespace
+
+double parse_tolerance(const std::string& text) {
+  std::string trimmed;
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) trimmed += c;
+  }
+  bool percent = false;
+  if (!trimmed.empty() && trimmed.back() == '%') {
+    percent = true;
+    trimmed.pop_back();
+  }
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(trimmed, &consumed);
+  } catch (const std::exception&) {
+    throw UsageError("cannot parse tolerance: " + text);
+  }
+  if (consumed != trimmed.size() || !std::isfinite(value) || value < 0.0) {
+    throw UsageError("cannot parse tolerance: " + text);
+  }
+  return percent ? value / 100.0 : value;
+}
+
+std::size_t CompareReport::violations() const {
+  std::size_t n = static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const CompareEntry& e) { return !e.within; }));
+  if (fail_on_missing) n += missing.size();
+  return n;
+}
+
+std::string CompareReport::to_string() const {
+  std::ostringstream os;
+  // Out-of-tolerance entries first, then the worst survivors for context.
+  std::vector<const CompareEntry*> shown;
+  std::vector<const CompareEntry*> within;
+  for (const auto& e : entries) {
+    (e.within ? within : shown).push_back(&e);
+  }
+  std::sort(within.begin(), within.end(),
+            [](const CompareEntry* a, const CompareEntry* b) {
+              return a->rel_delta > b->rel_delta;
+            });
+  const std::size_t context = std::min<std::size_t>(within.size(), 5);
+  shown.insert(shown.end(), within.begin(),
+               within.begin() + static_cast<std::ptrdiff_t>(context));
+
+  TextTable table({"metric", "baseline", "current", "delta", "status"});
+  for (const auto* e : shown) {
+    table.add_row({e->path, TextTable::fmt(e->baseline, 6),
+                   TextTable::fmt(e->current, 6),
+                   TextTable::fmt_pct(e->rel_delta, 2),
+                   e->within ? "ok" : "REGRESSION"});
+  }
+  table.print(os);
+  for (const auto& path : missing) {
+    os << (fail_on_missing ? "MISSING  " : "missing  ") << path << '\n';
+  }
+  for (const auto& path : added) os << "added    " << path << '\n';
+  for (const auto& path : drifted_labels) os << "drifted  " << path << '\n';
+  os << entries.size() << " metric(s) compared at tolerance "
+     << TextTable::fmt_pct(tolerance, 1) << ": " << violations()
+     << " violation(s)\n";
+  return os.str();
+}
+
+void CompareReport::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.field("tolerance", tolerance);
+  json.field("compared", static_cast<std::uint64_t>(entries.size()));
+  json.field("violations", static_cast<std::uint64_t>(violations()));
+  json.field("ok", ok());
+  json.key("regressions").begin_array();
+  for (const auto& e : entries) {
+    if (e.within) continue;
+    json.begin_object();
+    json.field("path", e.path);
+    json.field("baseline", e.baseline);
+    json.field("current", e.current);
+    json.field("rel_delta", e.rel_delta);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("missing").begin_array();
+  for (const auto& path : missing) json.value(path);
+  json.end_array();
+  json.key("added").begin_array();
+  for (const auto& path : added) json.value(path);
+  json.end_array();
+  json.key("drifted_labels").begin_array();
+  for (const auto& path : drifted_labels) json.value(path);
+  json.end_array();
+  json.end_object();
+}
+
+CompareReport compare_reports(const JsonValue& baseline,
+                              const JsonValue& current,
+                              const CompareOptions& options) {
+  FlatDoc base;
+  FlatDoc cur;
+  flatten(baseline, "", base);
+  flatten(current, "", cur);
+
+  CompareReport report;
+  report.tolerance = options.tolerance;
+  report.fail_on_missing = options.fail_on_missing;
+
+  for (const auto& [path, base_value] : base.numbers) {
+    if (ignored(path, options)) continue;
+    const auto it = cur.numbers.find(path);
+    if (it == cur.numbers.end()) {
+      report.missing.push_back(path);
+      continue;
+    }
+    const double cur_value = it->second;
+    CompareEntry entry;
+    entry.path = path;
+    entry.baseline = base_value;
+    entry.current = cur_value;
+    const double scale = std::max(std::abs(base_value), std::abs(cur_value));
+    if (scale <= options.abs_floor) {
+      entry.rel_delta = 0.0;
+    } else {
+      entry.rel_delta = std::abs(cur_value - base_value) / scale;
+    }
+    entry.within = entry.rel_delta <= options.tolerance;
+    report.entries.push_back(std::move(entry));
+  }
+  for (const auto& [path, _] : cur.numbers) {
+    if (ignored(path, options)) continue;
+    if (!base.numbers.contains(path)) report.added.push_back(path);
+  }
+  for (const auto& [path, base_label] : base.labels) {
+    if (ignored(path, options)) continue;
+    const auto it = cur.labels.find(path);
+    if (it == cur.labels.end()) {
+      report.missing.push_back(path);
+    } else if (it->second != base_label) {
+      report.drifted_labels.push_back(path);
+    }
+  }
+  std::sort(report.missing.begin(), report.missing.end());
+  return report;
+}
+
+CompareReport compare_report_files(const std::string& baseline_path,
+                                   const std::string& current_path,
+                                   const CompareOptions& options) {
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot open report file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const JsonValue baseline = json_parse(read_file(baseline_path));
+  const JsonValue current = json_parse(read_file(current_path));
+  return compare_reports(baseline, current, options);
+}
+
+}  // namespace cstuner::obs

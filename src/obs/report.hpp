@@ -1,0 +1,84 @@
+#pragma once
+// Metrics/bench report comparator (docs/observability.md): diffs two JSON
+// documents — a committed baseline and a fresh run — field by field with a
+// relative tolerance. `cstuner report` wraps it for humans; the CI
+// bench-smoke gate wraps it for machines (exit code = pass/fail).
+//
+// Semantics:
+//   - both documents are flattened to dotted paths ("results[0].best_ms");
+//   - numeric leaves present in both are compared with a relative
+//     tolerance: |cur - base| / max(|base|, |cur|) <= tol. Values whose
+//     magnitudes are both <= abs_floor compare equal (quiet counters);
+//   - paths whose name contains an ignore substring (default: "wall",
+//     "evals_per_s", "info") are skipped — wall-clock readings vary by
+//     machine, only the deterministic payload gates;
+//   - baseline paths missing from the current run are violations (a
+//     disappearing series is a silent coverage loss); new paths are
+//     informational only, so adding metrics never breaks the gate;
+//   - string/bool leaves are compared for equality but reported as
+//     informational drift, not violations (e.g. a best-setting string).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cstuner {
+class JsonValue;
+class JsonWriter;
+}  // namespace cstuner
+
+namespace cstuner::obs {
+
+struct CompareOptions {
+  /// Relative tolerance as a fraction (0.10 = 10%).
+  double tolerance = 0.10;
+  /// Values with |base| and |cur| both <= abs_floor are considered equal.
+  double abs_floor = 1e-9;
+  /// Case-sensitive substrings; a path containing any of them is skipped.
+  std::vector<std::string> ignore = {"wall", "evals_per_s", "info"};
+  /// When false, baseline paths absent from the current run do not count
+  /// as violations.
+  bool fail_on_missing = true;
+};
+
+/// "10%", "10 %", "0.1" -> 0.10. Throws UsageError on garbage or a
+/// negative value.
+double parse_tolerance(const std::string& text);
+
+struct CompareEntry {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;
+  bool within = true;
+};
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;        ///< numeric comparisons, path-sorted
+  std::vector<std::string> missing;         ///< in baseline, not in current
+  std::vector<std::string> added;           ///< in current, not in baseline
+  std::vector<std::string> drifted_labels;  ///< string/bool leaves that changed
+  double tolerance = 0.0;
+  bool fail_on_missing = true;
+
+  std::size_t violations() const;
+  bool ok() const { return violations() == 0; }
+
+  /// Human-readable table: every out-of-tolerance entry, the worst
+  /// in-tolerance entries, and the missing/added/drifted lists.
+  std::string to_string() const;
+  void write_json(JsonWriter& json) const;
+};
+
+/// Compares two parsed JSON documents (see file comment for semantics).
+CompareReport compare_reports(const JsonValue& baseline,
+                              const JsonValue& current,
+                              const CompareOptions& options = {});
+
+/// Convenience: reads, parses and compares two files. Throws
+/// cstuner::Error when a file is unreadable or malformed.
+CompareReport compare_report_files(const std::string& baseline_path,
+                                   const std::string& current_path,
+                                   const CompareOptions& options = {});
+
+}  // namespace cstuner::obs

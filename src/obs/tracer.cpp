@@ -1,0 +1,213 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace cstuner::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<std::uint32_t> g_next_thread_index{0};
+
+thread_local std::uint32_t t_thread_index = ~0U;
+thread_local std::uint16_t t_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() {
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  ring_.reserve(capacity_);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::read_virtual_ticks() const {
+  const auto* clock = virtual_clock();
+  return clock == nullptr ? 0 : clock->load(std::memory_order_acquire);
+}
+
+std::int64_t Tracer::now_wall_ns() const {
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  total_recorded_ = 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  total_recorded_ = 0;
+  aggregates_.clear();
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+void Tracer::record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[total_recorded_ % capacity_] = span;
+  }
+  ++total_recorded_;
+  SpanAggregate& agg = aggregates_[span.name];
+  agg.category = span.category;
+  ++agg.count;
+  agg.wall_ns += span.wall_dur_ns;
+  agg.virt_ticks += span.virt_dur_ticks;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> spans;
+  spans.reserve(ring_.size());
+  if (total_recorded_ <= capacity_) {
+    spans = ring_;
+  } else {
+    const std::size_t head = total_recorded_ % capacity_;
+    spans.insert(spans.end(),
+                 ring_.begin() + static_cast<std::ptrdiff_t>(head),
+                 ring_.end());
+    spans.insert(spans.end(), ring_.begin(),
+                 ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return spans;
+}
+
+std::map<std::string, SpanAggregate> Tracer::aggregates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aggregates_;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_ <= capacity_ ? 0 : total_recorded_ - capacity_;
+}
+
+void Tracer::write_chrome_json(JsonWriter& json) const {
+  const auto spans = snapshot();
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const auto& span : spans) {
+    json.begin_object();
+    json.field("name", span.name);
+    json.field("cat", span.category);
+    json.field("ph", "X");
+    json.field("pid", 0);
+    json.field("tid", static_cast<std::uint64_t>(span.thread));
+    json.field("ts", static_cast<double>(span.wall_start_ns) / 1e3);
+    json.field("dur", static_cast<double>(span.wall_dur_ns) / 1e3);
+    json.key("args").begin_object();
+    json.field("depth", static_cast<std::uint64_t>(span.depth));
+    if (span.track_virtual) {
+      json.field("virt_start_ticks", span.virt_start_ticks);
+      json.field("virt_ticks", span.virt_dur_ticks);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.key("otherData").begin_object();
+  json.field("recorded", recorded());
+  json.field("dropped", dropped());
+  json.end_object();
+  json.end_object();
+}
+
+void Tracer::write_summary(std::ostream& os) const {
+  const auto aggs = aggregates();
+  TextTable table({"span", "category", "count", "wall_ms_total",
+                   "wall_ms_mean", "virtual_s_total"});
+  for (const auto& [name, agg] : aggs) {
+    const double wall_ms = static_cast<double>(agg.wall_ns) / 1e6;
+    table.add_row(
+        {name, agg.category, std::to_string(agg.count),
+         TextTable::fmt(wall_ms, 3),
+         TextTable::fmt(wall_ms / static_cast<double>(agg.count), 4),
+         TextTable::fmt(static_cast<double>(agg.virt_ticks) / 1e12, 6)});
+  }
+  table.print(os);
+  if (dropped() > 0) {
+    os << "(ring full: " << dropped()
+       << " oldest span(s) dropped from the event list; totals are exact)\n";
+  }
+}
+
+void Tracer::write_virtual_totals_json(JsonWriter& json) const {
+  const auto aggs = aggregates();
+  json.begin_object();
+  for (const auto& [name, agg] : aggs) {
+    if (agg.virt_ticks != 0) json.field(name, agg.virt_ticks);
+  }
+  json.end_object();
+}
+
+std::uint32_t Tracer::thread_index() {
+  if (t_thread_index == ~0U) {
+    t_thread_index =
+        g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
+
+std::uint16_t Tracer::enter_depth() { return t_depth++; }
+
+void Tracer::leave_depth() {
+  if (t_depth > 0) --t_depth;
+}
+
+Span::Span(const char* category, const char* name, bool track_virtual)
+    : active_(Tracer::global().enabled()) {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  track_virtual_ = track_virtual;
+  name_ = name;
+  category_ = category;
+  depth_ = Tracer::enter_depth();
+  wall_start_ns_ = tracer.now_wall_ns();
+  if (track_virtual_) virt_start_ticks_ = tracer.read_virtual_ticks();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  SpanRecord span;
+  span.name = name_;
+  span.category = category_;
+  span.thread = Tracer::thread_index();
+  span.depth = depth_;
+  span.track_virtual = track_virtual_;
+  span.wall_start_ns = wall_start_ns_;
+  span.wall_dur_ns = tracer.now_wall_ns() - wall_start_ns_;
+  if (track_virtual_) {
+    span.virt_start_ticks = virt_start_ticks_;
+    span.virt_dur_ticks = tracer.read_virtual_ticks() - virt_start_ticks_;
+  }
+  Tracer::leave_depth();
+  tracer.record(span);
+}
+
+}  // namespace cstuner::obs

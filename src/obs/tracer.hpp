@@ -1,0 +1,158 @@
+#pragma once
+// Span tracer of the observability layer (docs/observability.md): RAII
+// scopes around the tuning pipeline's phases and hot paths, recorded into a
+// bounded ring buffer and exported as Chrome `trace_event` JSON (load the
+// file in chrome://tracing or Perfetto) plus a flat per-name summary table.
+//
+// Every span carries two clocks:
+//   wall     steady-clock nanoseconds since the tracer epoch — real elapsed
+//            time, for finding where the tuner actually spends wall clock;
+//   virtual  the evaluator's deterministic virtual clock (picosecond ticks,
+//            docs/threading.md) — the simulated hardware cost attributed to
+//            the span.
+//
+// Virtual readings are only meaningful at *quiescent points*: the virtual
+// clock is charged at batch commit, and concurrent batches (two GA islands)
+// interleave their charges nondeterministically, so a span that closes
+// while another thread is mid-batch would attribute the neighbour's ticks
+// to itself. Spans therefore opt in via `track_virtual` — the phase-level
+// macros set it, the hot-path macros do not — and in exchange the per-name
+// virtual totals are bit-identical across 0/4/8 worker threads (tested).
+//
+// Cost model: a disabled tracer (the default) costs one relaxed atomic load
+// per span site; compiling with CSTUNER_OBS=OFF removes the sites
+// entirely. An enabled tracer costs two clock reads plus one short
+// mutex-guarded ring append per span. The ring overwrites the oldest spans
+// when full (dropped() counts them); the per-name aggregates are updated on
+// every span close, so summary totals stay exact even after wraparound.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cstuner {
+class JsonWriter;
+}
+
+namespace cstuner::obs {
+
+/// One closed span. `name`/`category` must be string literals (they are
+/// stored unowned; every call site uses literals via the macros).
+struct SpanRecord {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t thread = 0;  ///< dense per-thread index (not the OS tid)
+  std::uint16_t depth = 0;   ///< nesting depth on its thread (0 = root)
+  bool track_virtual = false;
+  std::int64_t wall_start_ns = 0;  ///< since the tracer epoch
+  std::int64_t wall_dur_ns = 0;
+  std::int64_t virt_start_ticks = 0;  ///< virtual clock, picoseconds
+  std::int64_t virt_dur_ticks = 0;
+};
+
+/// Exact per-name totals, immune to ring wraparound.
+struct SpanAggregate {
+  const char* category = "";
+  std::uint64_t count = 0;
+  std::int64_t wall_ns = 0;
+  std::int64_t virt_ticks = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// The process-wide tracer all CSTUNER_TRACE_* macros write to.
+  static Tracer& global();
+
+  /// Recording gate. Disabled spans cost one relaxed load at the site.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Attaches the virtual clock the spans sample (the evaluator's tick
+  /// accumulator; it registers itself on construction). nullptr detaches —
+  /// spans then read virtual time 0.
+  void set_virtual_clock(const std::atomic<std::int64_t>* ticks) {
+    virtual_clock_.store(ticks, std::memory_order_release);
+  }
+  const std::atomic<std::int64_t>* virtual_clock() const {
+    return virtual_clock_.load(std::memory_order_acquire);
+  }
+
+  std::int64_t read_virtual_ticks() const;
+  /// Steady-clock nanoseconds since the tracer epoch (clear() resets it).
+  std::int64_t now_wall_ns() const;
+
+  /// Ring capacity in spans (default 65536). Clears recorded spans.
+  void set_capacity(std::size_t capacity);
+
+  /// Drops all recorded spans and aggregates and restarts the epoch.
+  void clear();
+
+  void record(const SpanRecord& span);
+
+  /// Recorded spans, oldest first (at most `capacity` — older ones were
+  /// overwritten and only survive in the aggregates).
+  std::vector<SpanRecord> snapshot() const;
+  /// Exact per-name totals, name-sorted by map order.
+  std::map<std::string, SpanAggregate> aggregates() const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}
+  /// with one complete ("ph":"X") event per span; ts/dur in microseconds,
+  /// virtual ticks in args.
+  void write_chrome_json(JsonWriter& json) const;
+
+  /// Flat per-name summary table (count, wall totals, virtual totals).
+  void write_summary(std::ostream& os) const;
+  /// The summary's virtual-total column as JSON ({"name": ticks, ...});
+  /// bit-identical across worker counts for virtual-tracking spans.
+  void write_virtual_totals_json(JsonWriter& json) const;
+
+  /// Dense index of the calling thread, assigned on first use.
+  static std::uint32_t thread_index();
+
+  /// Nesting depth bookkeeping for the calling thread (used by Span).
+  static std::uint16_t enter_depth();
+  static void leave_depth();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<const std::atomic<std::int64_t>*> virtual_clock_{nullptr};
+  std::atomic<std::int64_t> epoch_ns_{0};  // steady_clock at ctor/clear
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_ = 65536;
+  std::uint64_t total_recorded_ = 0;  // ring position = total % capacity
+  std::map<std::string, SpanAggregate> aggregates_;
+};
+
+/// RAII scope: opens on construction, records on destruction. Inactive
+/// (zero work beyond one load) when the tracer is disabled at entry.
+class Span {
+ public:
+  Span(const char* category, const char* name, bool track_virtual = false);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+  bool track_virtual_ = false;
+  const char* name_ = "";
+  const char* category_ = "";
+  std::uint16_t depth_ = 0;
+  std::int64_t wall_start_ns_ = 0;
+  std::int64_t virt_start_ticks_ = 0;
+};
+
+}  // namespace cstuner::obs

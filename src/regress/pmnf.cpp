@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::regress {
 
@@ -93,6 +94,8 @@ std::vector<PmnfFitResult> PmnfFitter::fit_all(
       candidates.emplace_back(i_exp, j_exp);
     }
   }
+  CSTUNER_TRACE_SPAN("regress", "pmnf.fit_all");
+  CSTUNER_OBS_COUNT("regress.pmnf_fits", candidates.size());
   // Each candidate is an independent least-squares solve writing its own
   // result slot, so the grid fits concurrently.
   std::vector<PmnfFitResult> results(candidates.size());

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::tuner {
 
@@ -148,11 +149,14 @@ std::size_t Checkpoint::load() {
 }
 
 void Checkpoint::append(const JournalEntry& entry) {
+  CSTUNER_OBS_COUNT("checkpoint.appends", 1);
   writer_->pending.push_back(format_journal_line(entry));
 }
 
 void Checkpoint::flush() {
   if (writer_->pending.empty()) return;
+  CSTUNER_TRACE_SPAN("io", "checkpoint.flush");
+  CSTUNER_OBS_COUNT("checkpoint.flushes", 1);
   if (!writer_->opened) {
     writer_->out.open(journal_path(), std::ios::binary | std::ios::app);
     if (!writer_->out) throw Error("cannot open journal " + journal_path());
@@ -169,6 +173,8 @@ void Checkpoint::set_dataset_json(std::string dataset_json) {
 }
 
 void Checkpoint::write_snapshot(const std::string& evaluator_json) {
+  CSTUNER_TRACE_SPAN("io", "checkpoint.snapshot");
+  CSTUNER_OBS_COUNT("checkpoint.snapshots", 1);
   JsonWriter json;
   json.begin_object();
   json.field("format", std::int64_t{1});

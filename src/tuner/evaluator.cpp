@@ -1,6 +1,7 @@
 #include "tuner/evaluator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 
@@ -8,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::tuner {
 
@@ -21,6 +23,17 @@ Evaluator::Evaluator(const gpusim::Simulator& simulator,
       pool_(pool) {
   CSTUNER_CHECK_MSG(costs_.runs_per_eval > 0,
                     "EvalCosts.runs_per_eval must be positive");
+  // The most recently constructed evaluator owns the tracer's virtual
+  // clock: spans opened while this engine runs attribute its virtual time
+  // (benches and tests construct evaluators strictly sequentially).
+  obs::Tracer::global().set_virtual_clock(&virtual_time_ticks_);
+}
+
+Evaluator::~Evaluator() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.virtual_clock() == &virtual_time_ticks_) {
+    tracer.set_virtual_clock(nullptr);
+  }
 }
 
 std::int64_t Evaluator::to_ticks(double seconds) {
@@ -50,12 +63,32 @@ void Evaluator::set_checkpoint(Checkpoint* checkpoint) {
 
 bool Evaluator::cache_lookup(std::uint64_t key, EvalResult& value_out) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (const auto it = shard.map.find(key); it != shard.map.end()) {
-    value_out = it->second;
-    return true;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      value_out = it->second;
+      hit = true;
+    }
   }
-  return false;
+#if !defined(CSTUNER_OBS_DISABLED)
+  if (hit) {
+    // Per-shard hit counters expose cache skew (a hot shard means hash
+    // clustering); the counter references resolve once.
+    static const auto shard_hits = [] {
+      std::array<obs::Counter*, kCacheShards> counters{};
+      for (std::size_t s = 0; s < kCacheShards; ++s) {
+        counters[s] = &obs::metrics().counter(
+            "evaluator.cache_hits.shard" + std::to_string(s / 10) +
+            std::to_string(s % 10));
+      }
+      return counters;
+    }();
+    shard_hits[(key >> 56) & (kCacheShards - 1)]->add(1);
+    CSTUNER_OBS_COUNT("evaluator.cache_hits", 1);
+  }
+#endif
+  return hit;
 }
 
 void Evaluator::precheck(const space::Setting& setting) const {
@@ -71,6 +104,7 @@ void Evaluator::precheck(const space::Setting& setting) const {
 
 double Evaluator::measure(std::uint64_t key,
                           const space::Setting& setting) const {
+  CSTUNER_OBS_COUNT("evaluator.measure_runs", costs_.runs_per_eval);
   double sum_ms = 0.0;
   for (int run = 0; run < costs_.runs_per_eval; ++run) {
     const auto run_index =
@@ -208,6 +242,7 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
     case Probe::State::kInvalid:
       return probe.result;
     case Probe::State::kQuarantine: {
+      CSTUNER_OBS_COUNT("evaluator.quarantine_hits", 1);
       std::lock_guard<std::mutex> fault_lock(fault_mutex_);
       ++stats_.quarantine_hits;
       std::lock_guard<std::mutex> result_lock(result_mutex_);
@@ -248,6 +283,7 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
   {
     std::lock_guard<std::mutex> lock(fault_mutex_);
     if (!cacheable && quarantine_.contains(key)) {
+      CSTUNER_OBS_COUNT("evaluator.quarantine_hits", 1);
       ++stats_.quarantine_hits;
       EvalResult hit{EvalStatus::kQuarantined,
                      std::numeric_limits<double>::infinity(), 0};
@@ -287,6 +323,12 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
     if (result.ok() && result.attempts > 1) ++stats_.recovered;
     if (probe.replayed) ++stats_.replayed;
   }
+  if (quarantined_now) CSTUNER_OBS_COUNT("evaluator.quarantined", 1);
+  if (result.failed()) CSTUNER_OBS_COUNT("evaluator.failed", 1);
+  if (result.attempts > 1) {
+    CSTUNER_OBS_COUNT("evaluator.retries", result.attempts - 1u);
+  }
+  if (probe.replayed) CSTUNER_OBS_COUNT("evaluator.replayed", 1);
 
   // Clock charges: fault overhead always; the normal compile+runs cost only
   // for a successful measurement. Both are tick-quantized before the atomic
@@ -303,6 +345,7 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
                                                   costs_.launch_overhead_s);
     virtual_time_ticks_.fetch_add(to_ticks(cost_s), std::memory_order_acq_rel);
     unique_evals_.fetch_add(1, std::memory_order_acq_rel);
+    CSTUNER_OBS_COUNT("evaluator.evals", 1);
   }
 
   // Journal the committed outcome (unless it *came* from the journal).
@@ -343,6 +386,9 @@ double Evaluator::evaluate(const space::Setting& setting) {
 
 std::vector<EvalResult> Evaluator::evaluate_batch(
     std::span<const space::Setting> settings) {
+  CSTUNER_TRACE_SPAN("eval", "evaluator.batch");
+  CSTUNER_OBS_COUNT("evaluator.batches", 1);
+  CSTUNER_OBS_OBSERVE("evaluator.batch_size", settings.size());
   const std::size_t n = settings.size();
   std::vector<EvalResult> results(n);
   std::vector<std::uint64_t> keys(n, 0);
@@ -433,6 +479,7 @@ std::string Evaluator::serialize_state() const {
 }
 
 void Evaluator::mark_iteration() {
+  CSTUNER_OBS_COUNT("evaluator.iterations", 1);
   iterations_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> lock(result_mutex_);

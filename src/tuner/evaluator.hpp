@@ -69,6 +69,11 @@ class Evaluator {
   Evaluator(const gpusim::Simulator& simulator,
             const space::SearchSpace& space, EvalCosts costs = {},
             std::uint64_t seed = 1, ThreadPool* pool = &ThreadPool::global());
+  /// Detaches this engine's virtual clock from the span tracer.
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   /// Measures a setting and returns the full outcome (status, time,
   /// attempts). Charges the virtual clock on first evaluation; repeats are

@@ -1,0 +1,367 @@
+// Observability layer: metrics registry, span tracer (nesting,
+// thread-safety, ring wraparound, Chrome-trace export), virtual-clock span
+// determinism across worker counts, and the report comparator behind the CI
+// bench gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "core/cs_tuner.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "stencil/stencils.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace cstuner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  obs::Histogram h;
+  // Bucket b holds samples of bit width b: 0 -> 0, 1 -> 1, {2,3} -> 2, ...
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(7);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.used_buckets(), 4u);
+}
+
+TEST(Metrics, RegistryReferencesAreStableAndShared) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("test.same");
+  // Force rebalancing pressure: many more instruments after the first.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("test.filler." + std::to_string(i));
+  }
+  obs::Counter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("test.same").value(), 3u);
+}
+
+TEST(Metrics, CountersSurviveConcurrentIncrements) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("test.concurrent");
+  ThreadPool pool(4);
+  pool.parallel_for(10000, [&](std::size_t) { c.add(); });
+  EXPECT_EQ(c.value(), 10000u);
+}
+
+TEST(Metrics, JsonExportRoundTripsAndIsNameSorted) {
+  obs::MetricsRegistry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("g.level").set(2.5);
+  registry.histogram("h.sizes").observe(4);
+
+  JsonWriter json;
+  registry.write_json(json);
+  const JsonValue v = json_parse(json.str());
+  EXPECT_EQ(v.at("counters").at("a.first").as_u64(), 1u);
+  EXPECT_EQ(v.at("counters").at("b.second").as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("g.level").as_double(), 2.5);
+  EXPECT_EQ(v.at("histograms").at("h.sizes").at("count").as_u64(), 1u);
+  EXPECT_EQ(v.at("histograms").at("h.sizes").at("max").as_u64(), 4u);
+  // Name-sorted export: "a.first" serializes before "b.second".
+  EXPECT_LT(json.str().find("a.first"), json.str().find("b.second"));
+
+  registry.reset();
+  JsonWriter after;
+  registry.write_json(after);
+  const JsonValue r = json_parse(after.str());
+  // Reset zeroes values but keeps the registered names visible.
+  EXPECT_EQ(r.at("counters").at("b.second").as_u64(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracer.
+// ---------------------------------------------------------------------------
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().clear();
+    tracer().set_enabled(true);
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+  obs::Tracer& tracer() { return obs::Tracer::global(); }
+};
+
+TEST_F(TracerTest, RecordsNestedSpansWithDepth) {
+  {
+    obs::Span outer("test", "outer");
+    {
+      obs::Span inner("test", "inner");
+    }
+  }
+  const auto spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].thread, spans[1].thread);
+  EXPECT_GE(spans[1].wall_dur_ns, spans[0].wall_dur_ns);
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  tracer().set_enabled(false);
+  {
+    obs::Span span("test", "ignored");
+  }
+  EXPECT_EQ(tracer().recorded(), 0u);
+}
+
+TEST_F(TracerTest, AggregatesStayExactAfterRingWraparound) {
+  tracer().set_capacity(8);
+  tracer().set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    obs::Span span("test", "wrapped");
+  }
+  EXPECT_EQ(tracer().snapshot().size(), 8u);
+  EXPECT_EQ(tracer().recorded(), 100u);
+  EXPECT_EQ(tracer().dropped(), 92u);
+  const auto aggregates = tracer().aggregates();
+  ASSERT_TRUE(aggregates.count("wrapped"));
+  EXPECT_EQ(aggregates.at("wrapped").count, 100u);
+  tracer().set_capacity(65536);
+}
+
+TEST_F(TracerTest, ThreadSafeUnderThreadPool) {
+  constexpr std::size_t kSpans = 2000;
+  ThreadPool pool(4);
+  pool.parallel_for(kSpans, [](std::size_t) {
+    obs::Span outer("test", "pooled");
+    obs::Span inner("test", "pooled.inner");
+  });
+  EXPECT_EQ(tracer().recorded(), 2 * kSpans);
+  const auto aggregates = tracer().aggregates();
+  EXPECT_EQ(aggregates.at("pooled").count, kSpans);
+  EXPECT_EQ(aggregates.at("pooled.inner").count, kSpans);
+  // Dense thread indices: every span came from the caller or a pool worker.
+  std::map<std::uint32_t, std::size_t> by_thread;
+  for (const auto& span : tracer().snapshot()) ++by_thread[span.thread];
+  EXPECT_LE(by_thread.size(), 5u);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonRoundTrips) {
+  {
+    obs::Span outer("phase", "round.trip");
+    obs::Span inner("eval", "round.trip.inner");
+  }
+  JsonWriter json;
+  tracer().write_chrome_json(json);
+  const JsonValue v = json_parse(json.str());
+  const auto& events = v.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    EXPECT_GE(e.at("ts").as_double(), 0.0);
+    EXPECT_TRUE(e.find("args") != nullptr);
+  }
+  EXPECT_EQ(events[0].at("name").as_string(), "round.trip.inner");
+  EXPECT_EQ(events[0].at("cat").as_string(), "eval");
+  EXPECT_EQ(events[0].at("args").at("depth").as_u64(), 1u);
+  EXPECT_EQ(v.at("otherData").at("recorded").as_u64(), 2u);
+  EXPECT_EQ(v.at("otherData").at("dropped").as_u64(), 0u);
+}
+
+TEST_F(TracerTest, SummaryTableListsEverySpanName) {
+  {
+    obs::Span a("test", "summary.alpha");
+    obs::Span b("test", "summary.beta");
+  }
+  std::ostringstream os;
+  tracer().write_summary(os);
+  EXPECT_NE(os.str().find("summary.alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("summary.beta"), std::string::npos);
+}
+
+TEST_F(TracerTest, VirtualClockSampledOnlyByTrackingSpans) {
+  std::atomic<std::int64_t> clock{0};
+  tracer().set_virtual_clock(&clock);
+  {
+    obs::Span phase("phase", "virt.tracking", /*track_virtual=*/true);
+    obs::Span hot("eval", "virt.hot", /*track_virtual=*/false);
+    clock.store(500);
+  }
+  tracer().set_virtual_clock(nullptr);
+  const auto aggregates = tracer().aggregates();
+  EXPECT_EQ(aggregates.at("virt.tracking").virt_ticks, 500);
+  EXPECT_EQ(aggregates.at("virt.hot").virt_ticks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-clock span determinism across worker counts: the acceptance
+// criterion of the observability issue. Phase spans sample the evaluator's
+// virtual clock only at quiescent points, so their per-name totals must be
+// bit-identical no matter how many pool workers measured the batches.
+// ---------------------------------------------------------------------------
+
+TEST(TracerDeterminism, VirtualSpanTotalsIdenticalAcross048Workers) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "instrumentation compiled out (CSTUNER_OBS=OFF)";
+  }
+  const auto spec = stencil::make_stencil("j3d7pt");
+  space::SearchSpace space(spec);
+  gpusim::Simulator sim(gpusim::a100());
+
+  auto run = [&](std::size_t workers) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+    ThreadPool pool(workers);
+    tuner::Evaluator evaluator(sim, space, {}, 42, &pool);
+    core::CsTunerOptions options;
+    options.universe_size = 1200;
+    options.dataset_size = 64;
+    options.seed = 42;
+    core::CsTuner tuner(options);
+    tuner.tune(evaluator, {.max_virtual_seconds = 10.0});
+    obs::Tracer::global().set_enabled(false);
+
+    std::map<std::string, std::int64_t> totals;
+    for (const auto& [name, agg] : obs::Tracer::global().aggregates()) {
+      if (agg.virt_ticks != 0) totals[name] = agg.virt_ticks;
+    }
+    obs::Tracer::global().clear();
+    return totals;
+  };
+
+  const auto serial = run(0);
+  const auto four = run(4);
+  const auto eight = run(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+}
+
+// ---------------------------------------------------------------------------
+// Report comparator (the CI bench gate).
+// ---------------------------------------------------------------------------
+
+TEST(Report, ParseTolerance) {
+  EXPECT_DOUBLE_EQ(obs::parse_tolerance("10%"), 0.10);
+  EXPECT_DOUBLE_EQ(obs::parse_tolerance("0.1"), 0.1);
+  EXPECT_DOUBLE_EQ(obs::parse_tolerance("2 %"), 0.02);
+  EXPECT_THROW(obs::parse_tolerance("snails"), UsageError);
+  EXPECT_THROW(obs::parse_tolerance("-5%"), UsageError);
+}
+
+TEST(Report, WithinToleranceIsOk) {
+  const JsonValue base = json_parse(R"({"a": {"best_ms": 1.0}, "n": 100})");
+  const JsonValue cur = json_parse(R"({"a": {"best_ms": 1.05}, "n": 100})");
+  const auto report = obs::compare_reports(base, cur, {.tolerance = 0.10});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.entries.size(), 2u);
+  for (const auto& e : report.entries) EXPECT_TRUE(e.within);
+}
+
+TEST(Report, OutOfToleranceIsViolation) {
+  const JsonValue base = json_parse(R"({"best_ms": 1.0})");
+  const JsonValue cur = json_parse(R"({"best_ms": 1.5})");
+  const auto tight = obs::compare_reports(base, cur, {.tolerance = 0.10});
+  EXPECT_FALSE(tight.ok());
+  EXPECT_EQ(tight.violations(), 1u);
+  // The same delta passes a loose gate: |1.5-1.0|/1.5 = 1/3 < 0.40.
+  const auto loose = obs::compare_reports(base, cur, {.tolerance = 0.40});
+  EXPECT_TRUE(loose.ok());
+}
+
+TEST(Report, MissingPathFailsUnlessAllowed) {
+  const JsonValue base = json_parse(R"({"kept": 1.0, "gone": 2.0})");
+  const JsonValue cur = json_parse(R"({"kept": 1.0, "fresh": 3.0})");
+  const auto strict = obs::compare_reports(base, cur);
+  EXPECT_FALSE(strict.ok());
+  ASSERT_EQ(strict.missing.size(), 1u);
+  EXPECT_EQ(strict.missing[0], "gone");
+  // Added paths are informational in both modes.
+  ASSERT_EQ(strict.added.size(), 1u);
+  EXPECT_EQ(strict.added[0], "fresh");
+  const auto lax =
+      obs::compare_reports(base, cur, {.fail_on_missing = false});
+  EXPECT_TRUE(lax.ok());
+}
+
+TEST(Report, IgnoredPathsAndLabelDriftDoNotGate) {
+  const JsonValue base = json_parse(
+      R"({"wall_s": 10.0, "best": 1.0, "label": "a", "flag": true})");
+  const JsonValue cur = json_parse(
+      R"({"wall_s": 99.0, "best": 1.0, "label": "b", "flag": false})");
+  const auto report = obs::compare_reports(base, cur);
+  EXPECT_TRUE(report.ok());
+  // wall_s was skipped entirely, not compared-and-passed.
+  for (const auto& e : report.entries) EXPECT_NE(e.path, "wall_s");
+  EXPECT_EQ(report.drifted_labels.size(), 2u);
+}
+
+TEST(Report, ArraysFlattenToIndexedPaths) {
+  const JsonValue base = json_parse(R"({"r": [{"ms": 1.0}, {"ms": 2.0}]})");
+  const JsonValue cur = json_parse(R"({"r": [{"ms": 1.0}, {"ms": 9.0}]})");
+  const auto report = obs::compare_reports(base, cur);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations(), 1u);
+  bool found = false;
+  for (const auto& e : report.entries) {
+    if (e.path == "r[1].ms") found = !e.within;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Report, QuietCountersCompareEqualUnderAbsFloor) {
+  const JsonValue base = json_parse(R"({"retries": 0})");
+  const JsonValue cur = json_parse(R"({"retries": 0})");
+  const auto report = obs::compare_reports(base, cur);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Report, JsonOutputRoundTrips) {
+  const JsonValue base = json_parse(R"({"a": 1.0, "b": 5.0})");
+  const JsonValue cur = json_parse(R"({"a": 1.0, "b": 9.0})");
+  const auto report = obs::compare_reports(base, cur);
+  JsonWriter json;
+  report.write_json(json);
+  const JsonValue v = json_parse(json.str());
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("violations").as_u64(), 1u);
+  EXPECT_EQ(v.at("regressions").as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cstuner

@@ -6,17 +6,46 @@
 #   tools/check.sh              # address,undefined (default)
 #   tools/check.sh thread       # ThreadSanitizer
 #
-# Exits nonzero on any configure/build/test failure or sanitizer report.
-set -euo pipefail
+# The build tree defaults to build-sanitize-<config> next to the sources;
+# set CSTUNER_BUILD_DIR to put it elsewhere (CI uses this to share the
+# ccache-warmed tree between steps).
+#
+# Configure/build failures abort immediately (nothing later can run).
+# The test and fault-storm stages both run even if one fails, and every
+# stage's exit code is accumulated into the final status, so one red stage
+# cannot mask another.
+set -uo pipefail
 
 SANITIZE="${1:-address,undefined}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${ROOT}/build-sanitize-${SANITIZE//,/+}"
+BUILD="${CSTUNER_BUILD_DIR:-${ROOT}/build-sanitize-${SANITIZE//,/+}}"
 
-cmake -B "${BUILD}" -S "${ROOT}" \
+status=0
+failed=()
+
+# run_stage <name> <command...>: runs the command, records a failure in
+# $status/$failed, and returns the command's exit code so callers can still
+# abort on stages that later stages depend on.
+run_stage() {
+  local name="$1"
+  shift
+  echo "== ${name}"
+  "$@"
+  local rc=$?
+  if [[ ${rc} -ne 0 ]]; then
+    echo "== ${name}: FAILED (exit ${rc})" >&2
+    status=1
+    failed+=("${name}")
+  else
+    echo "== ${name}: ok"
+  fi
+  return "${rc}"
+}
+
+run_stage "configure(${SANITIZE})" cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCSTUNER_SANITIZE="${SANITIZE}"
-cmake --build "${BUILD}" -j "$(nproc)"
+  -DCSTUNER_SANITIZE="${SANITIZE}" || exit 1
+run_stage "build" cmake --build "${BUILD}" -j "$(nproc)" || exit 1
 
 # halt_on_error makes a sanitizer finding fail the ctest run instead of
 # scrolling past; detect_leaks stays on for the ASan configuration.
@@ -24,13 +53,22 @@ export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
-ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
-echo "sanitize(${SANITIZE}): all tests clean"
+run_stage "tests" ctest --test-dir "${BUILD}" --output-on-failure \
+  -j "$(nproc)" || true
 
 # Fault-storm gate: the end-to-end tune must converge and exit cleanly while
 # a fifth of all evaluations are failing (docs/fault-tolerance.md), still
 # under the sanitizers — retry/backoff, quarantine and the failure-stats
 # reporting all run hot on this path.
-CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
-  --budget 20 --universe 2000 --json > /dev/null
-echo "sanitize(${SANITIZE}): fault-storm tune (CSTUNER_FAULT_RATE=0.2) clean"
+fault_storm() {
+  CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
+    --budget 20 --universe 2000 --json > /dev/null
+}
+run_stage "fault-storm(CSTUNER_FAULT_RATE=0.2)" fault_storm || true
+
+if [[ ${status} -ne 0 ]]; then
+  echo "sanitize(${SANITIZE}): FAILED stages: ${failed[*]}" >&2
+else
+  echo "sanitize(${SANITIZE}): all stages clean"
+fi
+exit "${status}"

@@ -9,10 +9,13 @@
 //   validate  <stencil> [--scale S]     tiled executor vs reference oracle
 //   analyze   <stencil> [--set k=v ...] static analysis of generated kernels
 //   tune      <stencil> [--method M] [--budget S] [--json]   run a tuner
+//   report    <current.json> --baseline <file> [--tol 10%]   bench gate
 //
-// Common flags: --arch a100|v100 (default a100), --seed N.
+// Common flags: --arch a100|v100 (default a100), --seed N. Flags accept
+// both "--key value" and "--key=value".
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -23,6 +26,8 @@
 #include "common/table.hpp"
 #include "core/grouping.hpp"
 #include "cstuner.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 
 using namespace cstuner;
 
@@ -62,9 +67,14 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
-      const std::string name = token.substr(2);
+      std::string name = token.substr(2);
       std::string value;
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      // "--key=value" binds inline; otherwise the next non-flag token (if
+      // any) is the value.
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name.resize(eq);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         value = argv[++i];
       }
       args.flags[name] = value;
@@ -328,6 +338,16 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_tune(const Args& args) {
+  // Observability: --trace-out enables the global span tracer and writes a
+  // Chrome trace_event file; --metrics folds the metrics registry into the
+  // --json document (or prints it after the text summary).
+  const bool want_trace = args.has("trace-out");
+  const bool want_metrics = args.has("metrics");
+  if ((want_trace || want_metrics) && !obs::kCompiledIn) {
+    std::cerr << "warning: built with CSTUNER_OBS=OFF; trace/metrics "
+                 "output will be empty\n";
+  }
+  if (want_trace) obs::Tracer::global().set_enabled(true);
   const auto spec = resolve_spec(args);
   space::SearchSpace space(spec);
   gpusim::Simulator sim(gpusim::arch_by_name(args.get("arch", "a100")));
@@ -404,6 +424,20 @@ int cmd_tune(const Args& args) {
     checkpoint->write_snapshot(evaluator.serialize_state());
   }
 
+  if (want_trace) {
+    const std::string path = args.get("trace-out", "trace.json");
+    JsonWriter trace_json;
+    obs::Tracer::global().write_chrome_json(trace_json);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write trace " + path);
+    out << trace_json.str() << '\n';
+    out.flush();
+    if (!out) throw Error("trace write failed: " + path);
+    std::cerr << "trace written to " << path
+              << " (load it at chrome://tracing or ui.perfetto.dev)\n";
+    obs::Tracer::global().write_summary(std::cerr);
+  }
+
   const tuner::FaultStats stats = evaluator.fault_stats();
   if (args.has("json")) {
     JsonWriter json;
@@ -421,6 +455,14 @@ int cmd_tune(const Args& args) {
     stats.write_json(json);
     json.key("trace");
     evaluator.trace().write_json(json);
+    if (want_metrics) {
+      json.key("metrics");
+      obs::metrics().write_json(json);
+    }
+    if (want_trace) {
+      json.key("virtual_span_totals");
+      obs::Tracer::global().write_virtual_totals_json(json);
+    }
     json.end_object();
     std::cout << json.str() << '\n';
   } else {
@@ -433,8 +475,38 @@ int cmd_tune(const Args& args) {
     if (stats.any() || fault_rate > 0.0) {
       std::cout << "failures:      " << stats.to_string() << '\n';
     }
+    if (want_metrics) {
+      JsonWriter metrics_json;
+      obs::metrics().write_json(metrics_json);
+      std::cout << "metrics:       " << metrics_json.str() << '\n';
+    }
   }
   return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.empty() || !args.has("baseline")) {
+    std::cerr << "usage: cstuner report <current.json> --baseline <file>\n"
+                 "       [--tol 10%] [--ignore substr ...] [--allow-missing]\n"
+                 "       [--json]\n";
+    return 2;
+  }
+  obs::CompareOptions options;
+  options.tolerance = obs::parse_tolerance(args.get("tol", "10%"));
+  for (const auto& extra : args.get_all("ignore")) {
+    if (!extra.empty()) options.ignore.push_back(extra);
+  }
+  options.fail_on_missing = !args.has("allow-missing");
+  const obs::CompareReport report = obs::compare_report_files(
+      args.get("baseline", ""), args.positional.at(0), options);
+  if (args.has("json")) {
+    JsonWriter json;
+    report.write_json(json);
+    std::cout << json.str() << '\n';
+  } else {
+    std::cout << report.to_string();
+  }
+  return report.ok() ? 0 : 1;
 }
 
 int usage() {
@@ -451,7 +523,10 @@ int usage() {
          "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
          "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
          "           [--precheck] [--fault-rate R] [--max-attempts N]\n"
-         "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n";
+         "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n"
+         "           [--trace-out file.json] [--metrics]\n"
+         "  report   <current.json> --baseline <file> [--tol 10%]\n"
+         "           [--ignore substr ...] [--allow-missing] [--json]\n";
   return 2;
 }
 
@@ -461,6 +536,7 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
     if (args.command == "list-stencils") return cmd_list_stencils();
+    if (args.command == "report") return cmd_report(args);
     if (args.positional.empty() && !args.has("spec")) return usage();
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "profile") return cmd_profile(args);
