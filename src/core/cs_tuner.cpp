@@ -246,6 +246,22 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
       ga::GaOptions ga_options = options_.ga;
       ga_options.seed =
           hash_combine(hash_combine(options_.seed, gi + 1), pass);
+      // Survivability wiring: the fault injector's rank-kill plan drives
+      // island deaths (one-shot per entry, so the plan fires in whichever
+      // group/pass first reaches the scheduled generation), and recovery
+      // events are journaled so --resume replays a degraded run.
+      if (const tuner::FaultInjector* injector = evaluator.fault_injector();
+          injector != nullptr && injector->has_kill_plan()) {
+        ga_options.kill_predicate = [injector](int rank,
+                                               std::uint64_t generation) {
+          return injector->should_kill(rank, generation);
+        };
+      }
+      if (tuner::Checkpoint* checkpoint = evaluator.checkpoint()) {
+        ga_options.event_sink = [checkpoint](const tuner::IslandEvent& e) {
+          checkpoint->append_island_event(e);
+        };
+      }
       ga::IslandGa island({static_cast<std::uint32_t>(group.cardinality())},
                           ga_options);
       std::mutex consider_mutex;

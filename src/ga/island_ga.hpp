@@ -10,6 +10,7 @@
 #include <string>
 
 #include "ga/gene.hpp"
+#include "tuner/fault.hpp"
 
 namespace cstuner::ga {
 
@@ -22,6 +23,17 @@ using GenomeInitializer = std::function<Genome(Rng&)>;
 /// batched tuner::Evaluator::evaluate_batch is the intended backend.
 using BatchFitness =
     std::function<std::vector<double>(const std::vector<Genome>&)>;
+
+/// Deterministic crash schedule: consulted by every island at the start of
+/// every generation; returning true makes that island die there (a
+/// one-shot decision — tuner::FaultInjector::should_kill is the intended
+/// backend). Must be thread-safe.
+using KillPredicate = std::function<bool(int rank, std::uint64_t generation)>;
+
+/// Receives island-level recovery events (deaths, ring heals, elite
+/// adoptions) as they happen, from island threads. Must be thread-safe;
+/// tuner::Checkpoint::append_island_event is the intended backend.
+using IslandEventSink = std::function<void(const tuner::IslandEvent&)>;
 
 }  // namespace cstuner::ga
 
@@ -39,6 +51,13 @@ struct GaOptions {
   /// Custom initial-population generator (e.g. constraint-aware seeding);
   /// empty = uniform random genomes.
   GenomeInitializer initializer;
+  /// Injected-crash schedule; empty = no islands ever die.
+  KillPredicate kill_predicate;
+  /// Recovery-event observer; empty = events are only counted in obs.
+  IslandEventSink event_sink;
+  /// Abort (cstuner::Error) if the live island count drops below this.
+  /// 1 = degrade all the way down to a single surviving island.
+  int min_islands = 1;
 };
 
 /// Global view after each generation, passed to the stop predicate.
@@ -55,6 +74,10 @@ struct GaResult {
   Genome best;
   double best_fitness = 0.0;
   std::size_t generations = 0;
+  /// Islands still alive when the run finished (== sub_populations when no
+  /// kill fired) and how many died along the way.
+  std::size_t islands_survived = 0;
+  std::size_t rank_deaths = 0;
 };
 
 class IslandGa {
@@ -65,8 +88,15 @@ class IslandGa {
   /// Runs the GA, evaluating each island's generation of offspring as one
   /// batch. There is no internal evaluation mutex: islands invoke
   /// `evaluate` concurrently, so it must be thread-safe (a parallel
-  /// Evaluator, or any pure function). `should_stop` is consulted on rank 0
-  /// after every generation, while all islands are quiescent.
+  /// Evaluator, or any pure function). `should_stop` is consulted on the
+  /// coordinator (lowest live rank; rank 0 until it dies) after every
+  /// generation, while all islands are quiescent.
+  ///
+  /// Islands killed by `kill_predicate` do not abort the run: the
+  /// migration ring heals around the gap, the dead island's last-migrated
+  /// elites are adopted by its right live neighbour, and the search
+  /// degrades gracefully down to `min_islands` survivors (throwing
+  /// cstuner::Error only below that, or if every island dies).
   GaResult run(const BatchFitness& evaluate,
                const std::function<bool(const GaState&)>& should_stop);
 

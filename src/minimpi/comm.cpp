@@ -1,5 +1,6 @@
 #include "minimpi/comm.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 
@@ -7,10 +8,57 @@
 
 namespace cstuner::minimpi {
 
+const char* comm_status_name(CommStatus status) {
+  switch (status) {
+    case CommStatus::kOk:
+      return "ok";
+    case CommStatus::kPeerDead:
+      return "peer_dead";
+    case CommStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "?";
+}
+
+bool MembershipView::contains(int rank) const {
+  return std::binary_search(live.begin(), live.end(), rank);
+}
+
+namespace {
+
+std::size_t live_index_of(const std::vector<int>& live, int rank) {
+  const auto it = std::lower_bound(live.begin(), live.end(), rank);
+  CSTUNER_CHECK_MSG(it != live.end() && *it == rank,
+                    "rank is not in the live membership set");
+  return static_cast<std::size_t>(it - live.begin());
+}
+
+}  // namespace
+
+int MembershipView::left_neighbor_of(int rank) const {
+  CSTUNER_CHECK(live.size() >= 2);
+  const std::size_t i = live_index_of(live, rank);
+  return live[(i + live.size() - 1) % live.size()];
+}
+
+int MembershipView::right_neighbor_of(int rank) const {
+  CSTUNER_CHECK(live.size() >= 2);
+  const std::size_t i = live_index_of(live, rank);
+  return live[(i + 1) % live.size()];
+}
+
 void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  if (try_send(dest, tag, std::move(payload)) == CommStatus::kPeerDead) {
+    throw Error("minimpi: send to dead rank " + std::to_string(dest));
+  }
+}
+
+CommStatus Comm::try_send(int dest, int tag,
+                          std::vector<std::uint8_t> payload) {
   CSTUNER_CHECK(dest >= 0 && dest < size_);
   if (ctx_->is_dead(dest)) {
-    throw Error("minimpi: send to dead rank " + std::to_string(dest));
+    CSTUNER_OBS_COUNT("minimpi.peer_dead", 1);
+    return CommStatus::kPeerDead;
   }
   CSTUNER_OBS_COUNT("minimpi.sends", 1);
   CSTUNER_OBS_COUNT("minimpi.bytes_sent", payload.size());
@@ -19,6 +67,7 @@ void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
   m.tag = tag;
   m.payload = std::move(payload);
   ctx_->post(dest, std::move(m));
+  return CommStatus::kOk;
 }
 
 Message Comm::recv(int source, int tag) {
@@ -30,6 +79,32 @@ Message Comm::recv(int source, int tag) {
   return ctx_->take(rank_, source, tag);
 }
 
+RecvOutcome Comm::try_recv(int source, int tag) {
+  CSTUNER_CHECK(source >= 0 && source < size_);
+  CSTUNER_TRACE_SPAN("comm", "minimpi.recv_wait");
+  CSTUNER_OBS_COUNT("minimpi.recvs", 1);
+  RecvOutcome out;
+  out.status = ctx_->try_take(rank_, source, tag, nullptr, out.message);
+  if (out.status == CommStatus::kPeerDead) {
+    CSTUNER_OBS_COUNT("minimpi.peer_dead", 1);
+  }
+  return out;
+}
+
+RecvOutcome Comm::try_recv(int source, int tag,
+                           std::chrono::milliseconds deadline) {
+  CSTUNER_CHECK(source >= 0 && source < size_);
+  CSTUNER_TRACE_SPAN("comm", "minimpi.recv_wait");
+  CSTUNER_OBS_COUNT("minimpi.recvs", 1);
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  RecvOutcome out;
+  out.status = ctx_->try_take(rank_, source, tag, &until, out.message);
+  if (out.status == CommStatus::kPeerDead) {
+    CSTUNER_OBS_COUNT("minimpi.peer_dead", 1);
+  }
+  return out;
+}
+
 bool Comm::probe(int source, int tag) {
   CSTUNER_CHECK(source >= 0 && source < size_);
   return ctx_->peek(rank_, source, tag);
@@ -38,7 +113,26 @@ bool Comm::probe(int source, int tag) {
 void Comm::barrier() {
   CSTUNER_TRACE_SPAN("comm", "minimpi.barrier");
   CSTUNER_OBS_COUNT("minimpi.barriers", 1);
+  if (ctx_->options().recover_killed_ranks) {
+    (void)ctx_->membership_sync(rank_);
+    return;
+  }
   ctx_->barrier_wait();
+}
+
+MembershipView Comm::sync_membership() {
+  CSTUNER_TRACE_SPAN("comm", "minimpi.sync_membership");
+  CSTUNER_OBS_COUNT("minimpi.membership_syncs", 1);
+  return ctx_->membership_sync(rank_);
+}
+
+MembershipView Comm::membership() const {
+  return ctx_->membership_snapshot();
+}
+
+bool Comm::is_alive(int rank) const {
+  CSTUNER_CHECK(rank >= 0 && rank < size_);
+  return !ctx_->is_dead(rank);
 }
 
 std::vector<double> Comm::allgather(double value) {
@@ -59,8 +153,11 @@ std::vector<double> Comm::allgather(double value) {
   return out;
 }
 
-Context::Context(int nranks)
-    : nranks_(nranks), dead_(static_cast<std::size_t>(nranks)) {
+Context::Context(int nranks, RunOptions options)
+    : nranks_(nranks),
+      options_(options),
+      dead_(static_cast<std::size_t>(nranks)),
+      sync_arrived_(static_cast<std::size_t>(nranks), 0) {
   CSTUNER_CHECK(nranks >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -79,6 +176,14 @@ void Context::mark_dead(int rank) {
   }
   { std::lock_guard<std::mutex> lock(barrier_mutex_); }
   barrier_cv_.notify_all();
+  // A membership-sync round waiting on this rank can now complete without
+  // it; drop any stale arrival and re-evaluate the round.
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    sync_arrived_[static_cast<std::size_t>(rank)] = 0;
+    (void)sync_try_complete_locked();
+  }
+  sync_cv_.notify_all();
 }
 
 void Context::post(int dest, Message message) {
@@ -91,22 +196,43 @@ void Context::post(int dest, Message message) {
 }
 
 Message Context::take(int dest, int source, int tag) {
+  Message out;
+  if (try_take(dest, source, tag, nullptr, out) == CommStatus::kPeerDead) {
+    throw Error("minimpi: recv from dead rank " + std::to_string(source));
+  }
+  return out;
+}
+
+CommStatus Context::try_take(
+    int dest, int source, int tag,
+    const std::chrono::steady_clock::time_point* deadline, Message& out) {
   auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
   std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
+  auto scan = [&]() -> bool {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->source == source && it->tag == tag) {
-        Message m = std::move(*it);
+        out = std::move(*it);
         box.messages.erase(it);
-        return m;
+        return true;
       }
     }
+    return false;
+  };
+  for (;;) {
+    if (scan()) return CommStatus::kOk;
     // Nothing queued from `source`: if it died, nothing ever will be.
     // (Checked after the scan so messages sent before death still arrive.)
-    if (is_dead(source)) {
-      throw Error("minimpi: recv from dead rank " + std::to_string(source));
+    if (is_dead(source)) return CommStatus::kPeerDead;
+    if (deadline == nullptr) {
+      box.cv.wait(lock);
+      continue;
     }
-    box.cv.wait(lock);
+    if (box.cv.wait_until(lock, *deadline) == std::cv_status::timeout) {
+      // Final rescan: a message (or a death) that raced the deadline wins.
+      if (scan()) return CommStatus::kOk;
+      if (is_dead(source)) return CommStatus::kPeerDead;
+      return CommStatus::kTimedOut;
+    }
   }
 }
 
@@ -142,8 +268,62 @@ void Context::barrier_wait() {
   }
 }
 
+bool Context::sync_try_complete_locked() {
+  int live = 0;
+  bool all_arrived = true;
+  for (int r = 0; r < nranks_; ++r) {
+    if (is_dead(r)) continue;
+    ++live;
+    if (!sync_arrived_[static_cast<std::size_t>(r)]) all_arrived = false;
+  }
+  if (live == 0 || !all_arrived) return false;
+  MembershipView view;
+  view.epoch = static_cast<std::uint64_t>(
+      dead_count_.load(std::memory_order_acquire));
+  view.live.reserve(static_cast<std::size_t>(live));
+  for (int r = 0; r < nranks_; ++r) {
+    if (!is_dead(r)) view.live.push_back(r);
+  }
+  sync_view_ = std::move(view);
+  std::fill(sync_arrived_.begin(), sync_arrived_.end(), 0);
+  ++sync_generation_;
+  return true;
+}
+
+MembershipView Context::membership_sync(int rank) {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  CSTUNER_CHECK(!is_dead(rank));
+  sync_arrived_[static_cast<std::size_t>(rank)] = 1;
+  const std::uint64_t round = sync_generation_;
+  if (sync_try_complete_locked()) {
+    sync_cv_.notify_all();
+    return sync_view_;
+  }
+  // Wait for this round to complete (by the last live arrival, or by a
+  // death that makes the remaining arrivals sufficient). The next round
+  // cannot complete before this rank re-enters, so on wakeup sync_view_
+  // is exactly this round's published view.
+  sync_cv_.wait(lock, [&] { return sync_generation_ != round; });
+  return sync_view_;
+}
+
+MembershipView Context::membership_snapshot() const {
+  MembershipView view;
+  view.epoch = static_cast<std::uint64_t>(
+      dead_count_.load(std::memory_order_acquire));
+  for (int r = 0; r < nranks_; ++r) {
+    if (!is_dead(r)) view.live.push_back(r);
+  }
+  return view;
+}
+
 void Context::run(int nranks, const std::function<void(Comm&)>& body) {
-  Context ctx(nranks);
+  run(nranks, RunOptions{}, body);
+}
+
+void Context::run(int nranks, const RunOptions& options,
+                  const std::function<void(Comm&)>& body) {
+  Context ctx(nranks, options);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -152,6 +332,13 @@ void Context::run(int nranks, const std::function<void(Comm&)>& body) {
       Comm comm(&ctx, r, nranks);
       try {
         body(comm);
+      } catch (const RankKilled&) {
+        // An injected crash: in recoverable runs the death is the whole
+        // point — record it and let the survivors carry on.
+        if (!options.recover_killed_ranks) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+        ctx.mark_dead(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Fail loudly: peers blocked on this rank get an error, not a hang.

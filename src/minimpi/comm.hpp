@@ -7,8 +7,25 @@
 // barrier, and ring-topology helpers — with ranks mapped to threads so the
 // whole framework stays a single dependency-free process.  The API is shaped
 // so a real MPI backend could replace it without touching the GA.
+//
+// Two failure disciplines coexist (docs/fault-tolerance.md, "Distributed
+// failures"):
+//
+//   hard-error (default)  Any operation touching a dead peer throws
+//                         cstuner::Error; Context::run rethrows. One crash
+//                         aborts the whole job — the right behaviour for
+//                         code that has no recovery story.
+//
+//   recoverable           Opted into per operation (try_send / try_recv /
+//                         sync_membership) and per run (RunOptions::
+//                         recover_killed_ranks). Dead peers yield a typed
+//                         CommStatus::kPeerDead outcome instead of an
+//                         exception, barriers complete over the *live*
+//                         membership set, and survivors agree on who is
+//                         alive through epoch-stamped MembershipViews.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -16,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
@@ -28,6 +46,59 @@ struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// Outcome of a recoverable communication attempt.
+enum class CommStatus : std::uint8_t {
+  kOk = 0,
+  kPeerDead,  ///< the peer's body exited; the operation can never complete
+  kTimedOut,  ///< deadline elapsed with no matching message (try_recv only)
+};
+
+const char* comm_status_name(CommStatus status);
+
+/// Result of a recoverable receive: `message` is meaningful only for kOk.
+struct RecvOutcome {
+  CommStatus status = CommStatus::kPeerDead;
+  Message message;
+
+  bool ok() const { return status == CommStatus::kOk; }
+};
+
+/// An agreed snapshot of which ranks are alive, produced by
+/// Comm::sync_membership(). Every rank completing the same sync round
+/// receives an identical copy (same epoch, same live set), so survivors can
+/// make matching topology decisions without further communication.
+struct MembershipView {
+  /// Number of deaths observed when the view was published; strictly
+  /// increases whenever membership shrinks, identical across one round.
+  std::uint64_t epoch = 0;
+  /// Live ranks, sorted ascending. Never empty for a view returned to a
+  /// live rank (the caller itself is in it).
+  std::vector<int> live;
+
+  bool contains(int rank) const;
+  /// Ring neighbours over the live set (wrap-around). `rank` must be live
+  /// and the view must contain at least two ranks.
+  int left_neighbor_of(int rank) const;
+  int right_neighbor_of(int rank) const;
+};
+
+/// Thrown by a rank body to simulate that rank crashing. In a recoverable
+/// run (RunOptions::recover_killed_ranks) the context records the death and
+/// absorbs the exception — survivors keep running; in a hard-error run it
+/// propagates like any other error.
+class RankKilled : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Per-run behaviour switches for Context::run.
+struct RunOptions {
+  /// When true, a rank exiting via RankKilled is marked dead and absorbed
+  /// instead of rethrown, and Comm::barrier() degrades to the live-set
+  /// membership barrier. Any other exception still aborts the run.
+  bool recover_killed_ranks = false;
 };
 
 class Context;
@@ -49,15 +120,48 @@ class Comm {
   /// cstuner::Error instead of blocking forever.
   Message recv(int source, int tag);
 
+  /// Recoverable send: like send(), but a dead `dest` yields kPeerDead
+  /// instead of throwing.
+  CommStatus try_send(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  /// Recoverable receive: blocks like recv(), but a dead `source` (with its
+  /// pre-death messages drained) yields kPeerDead instead of throwing. A
+  /// receiver already blocked when the peer dies wakes promptly.
+  RecvOutcome try_recv(int source, int tag);
+
+  /// Deadline-bounded recoverable receive: additionally yields kTimedOut if
+  /// no matching message arrives within `deadline`. Peer death still wakes
+  /// the caller immediately — it never sits out the full deadline on a
+  /// rank that can no longer send.
+  RecvOutcome try_recv(int source, int tag,
+                       std::chrono::milliseconds deadline);
+
   /// True if a matching message is already queued (non-blocking probe).
   bool probe(int source, int tag);
 
-  /// All ranks must call; returns when every rank has arrived. Throws
-  /// cstuner::Error when a rank dies instead of leaving the survivors
-  /// blocked on an arrival that can never happen.
+  /// All ranks must call. Hard-error runs: returns when every rank has
+  /// arrived, throws cstuner::Error when a rank dies instead of leaving the
+  /// survivors blocked on an arrival that can never happen. Recoverable
+  /// runs: completes over the live membership set (sync_membership), so
+  /// survivors pass the barrier even after deaths.
   void barrier();
 
-  /// Ring topology helpers (single-ring migration, as in the paper).
+  /// Generation-stamped barrier over the live membership set: returns once
+  /// every currently-live rank has entered the same sync round, and hands
+  /// every participant an identical MembershipView. A rank dying while
+  /// others wait is dropped from the round's requirement, so survivors are
+  /// never stuck. Valid in both run modes; never throws on peer death.
+  MembershipView sync_membership();
+
+  /// Unagreed convenience snapshot of the live set (no synchronization —
+  /// use sync_membership when survivors must agree).
+  MembershipView membership() const;
+
+  bool is_alive(int rank) const;
+
+  /// Ring topology helpers (single-ring migration, as in the paper). These
+  /// are the *static* full-ring neighbours; recoverable code should derive
+  /// neighbours from an agreed MembershipView instead.
   int left_neighbor() const { return (rank_ + size_ - 1) % size_; }
   int right_neighbor() const { return (rank_ + 1) % size_; }
 
@@ -65,23 +169,29 @@ class Comm {
   template <typename T>
   void send_values(int dest, int tag, const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::uint8_t> bytes(values.size() * sizeof(T));
-    if (!values.empty()) {
-      std::memcpy(bytes.data(), values.data(), bytes.size());
-    }
-    send(dest, tag, std::move(bytes));
+    send(dest, tag, pack_values(values));
   }
 
   template <typename T>
   std::vector<T> recv_values(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     Message m = recv(source, tag);
-    CSTUNER_CHECK(m.payload.size() % sizeof(T) == 0);
-    std::vector<T> values(m.payload.size() / sizeof(T));
-    if (!values.empty()) {
-      std::memcpy(values.data(), m.payload.data(), m.payload.size());
-    }
-    return values;
+    return unpack_values<T>(m);
+  }
+
+  template <typename T>
+  CommStatus try_send_values(int dest, int tag, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return try_send(dest, tag, pack_values(values));
+  }
+
+  /// Recoverable typed receive: nullopt means the peer died.
+  template <typename T>
+  std::optional<std::vector<T>> try_recv_values(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RecvOutcome out = try_recv(source, tag);
+    if (!out.ok()) return std::nullopt;
+    return unpack_values<T>(out.message);
   }
 
   /// Gather one double from every rank to every rank (allgather).
@@ -91,6 +201,25 @@ class Comm {
   friend class Context;
   Comm(Context* ctx, int rank, int size)
       : ctx_(ctx), rank_(rank), size_(size) {}
+
+  template <typename T>
+  static std::vector<std::uint8_t> pack_values(const std::vector<T>& values) {
+    std::vector<std::uint8_t> bytes(values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  static std::vector<T> unpack_values(const Message& m) {
+    CSTUNER_CHECK(m.payload.size() % sizeof(T) == 0);
+    std::vector<T> values(m.payload.size() / sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(values.data(), m.payload.data(), m.payload.size());
+    }
+    return values;
+  }
 
   Context* ctx_;
   int rank_;
@@ -104,22 +233,43 @@ class Context {
   /// Exceptions thrown by any rank are captured and the first is rethrown.
   static void run(int nranks, const std::function<void(Comm&)>& body);
 
+  /// As above with explicit behaviour switches. With
+  /// options.recover_killed_ranks, RankKilled exceptions mark the rank dead
+  /// and are absorbed; survivors run to completion and run() returns
+  /// normally unless a rank failed with a genuine error.
+  static void run(int nranks, const RunOptions& options,
+                  const std::function<void(Comm&)>& body);
+
  private:
   friend class Comm;
 
-  explicit Context(int nranks);
+  Context(int nranks, RunOptions options);
 
   void post(int dest, Message message);
   Message take(int dest, int source, int tag);
+  /// Recoverable take: fills `out` on kOk. A null `deadline` blocks until a
+  /// message arrives or the source dies.
+  CommStatus try_take(int dest, int source, int tag,
+                      const std::chrono::steady_clock::time_point* deadline,
+                      Message& out);
   bool peek(int dest, int source, int tag);
   void barrier_wait();
+  /// Live-set barrier round for `rank`; returns the agreed view.
+  MembershipView membership_sync(int rank);
+  MembershipView membership_snapshot() const;
   /// Declares a rank dead (its body threw) and wakes every blocked peer so
-  /// sends, receives and barriers involving it fail fast.
+  /// sends, receives, barriers and membership syncs involving it resolve
+  /// promptly instead of hanging.
   void mark_dead(int rank);
   bool is_dead(int rank) const {
     return dead_[static_cast<std::size_t>(rank)].load(
         std::memory_order_acquire);
   }
+  const RunOptions& options() const { return options_; }
+
+  /// With sync_mutex_ held: if every live rank has arrived, publish the
+  /// view, reset arrivals and advance the round. Returns true on completion.
+  bool sync_try_complete_locked();
 
   struct Mailbox {
     std::mutex mutex;
@@ -128,6 +278,7 @@ class Context {
   };
 
   int nranks_;
+  RunOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::atomic<bool>> dead_;
   std::atomic<int> dead_count_{0};
@@ -136,6 +287,13 @@ class Context {
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // Membership-sync state: a generation-stamped barrier over the live set.
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  std::vector<char> sync_arrived_;  // per-rank arrival flag, current round
+  std::uint64_t sync_generation_ = 0;
+  MembershipView sync_view_;  // view published by the last completed round
 };
 
 }  // namespace cstuner::minimpi

@@ -48,8 +48,7 @@ std::string format_journal_line(const JournalEntry& e) {
   return json.str() + "\n";
 }
 
-JournalEntry parse_journal_line(std::string_view line) {
-  JsonValue v = json_parse(line);
+JournalEntry parse_journal_line(const JsonValue& v) {
   JournalEntry e;
   e.key = v.at("key").as_u64();
   e.status = status_from_name(v.at("status").as_string());
@@ -57,6 +56,30 @@ JournalEntry parse_journal_line(std::string_view line) {
   e.attempts = static_cast<std::uint8_t>(v.at("attempts").as_u64());
   e.overhead_ticks = v.at("overhead_ticks").as_i64();
   return e;
+}
+
+std::string format_island_event_line(const IslandEvent& e) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("island_event", island_event_kind_name(e.kind));
+  json.field("rank", static_cast<std::int64_t>(e.rank));
+  json.field("generation", e.generation);
+  json.field("peer", static_cast<std::int64_t>(e.peer));
+  json.end_object();
+  return json.str() + "\n";
+}
+
+IslandEvent parse_island_event(const JsonValue& v) {
+  IslandEvent e;
+  e.kind = island_event_kind_from_name(v.at("island_event").as_string());
+  e.rank = static_cast<int>(v.at("rank").as_i64());
+  e.generation = v.at("generation").as_u64();
+  e.peer = static_cast<int>(v.at("peer").as_i64());
+  return e;
+}
+
+std::tuple<int, int, std::uint64_t, int> event_key(const IslandEvent& e) {
+  return {static_cast<int>(e.kind), e.rank, e.generation, e.peer};
 }
 
 std::string read_file(const std::string& path) {
@@ -100,8 +123,14 @@ std::string Checkpoint::snapshot_path() const {
   return directory_ + "/snapshot.json";
 }
 
+bool Checkpoint::has_journal_file() const {
+  return fs::exists(journal_path());
+}
+
 std::size_t Checkpoint::load() {
   replay_.clear();
+  island_events_.clear();
+  known_events_.clear();
   loaded_dataset_.reset();
   loaded_stats_.reset();
 
@@ -132,8 +161,16 @@ std::size_t Checkpoint::load() {
       if (nl == std::string::npos) break;  // no terminator: torn tail
       const std::string_view line(text.data() + pos, nl - pos);
       try {
-        JournalEntry e = parse_journal_line(line);
-        replay_.emplace(e.key, e);  // first occurrence wins
+        JsonValue v = json_parse(line);
+        if (v.find("island_event") != nullptr) {
+          IslandEvent e = parse_island_event(v);
+          if (known_events_.insert(event_key(e)).second) {
+            island_events_.push_back(e);
+          }
+        } else {
+          JournalEntry e = parse_journal_line(v);
+          replay_.emplace(e.key, e);  // first occurrence wins
+        }
       } catch (const Error&) {
         break;  // torn or corrupt line: drop it and everything after
       }
@@ -150,10 +187,25 @@ std::size_t Checkpoint::load() {
 
 void Checkpoint::append(const JournalEntry& entry) {
   CSTUNER_OBS_COUNT("checkpoint.appends", 1);
-  writer_->pending.push_back(format_journal_line(entry));
+  std::string line = format_journal_line(entry);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  writer_->pending.push_back(std::move(line));
+}
+
+void Checkpoint::append_island_event(const IslandEvent& event) {
+  std::string line = format_island_event_line(event);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // A resumed run re-fires its journaled kills and re-emits the matching
+  // events; dropping the duplicates keeps the journal stable across any
+  // number of resume cycles.
+  if (!known_events_.insert(event_key(event)).second) return;
+  island_events_.push_back(event);
+  CSTUNER_OBS_COUNT("checkpoint.island_events", 1);
+  writer_->pending.push_back(std::move(line));
 }
 
 void Checkpoint::flush() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   if (writer_->pending.empty()) return;
   CSTUNER_TRACE_SPAN("io", "checkpoint.flush");
   CSTUNER_OBS_COUNT("checkpoint.flushes", 1);

@@ -27,8 +27,11 @@
 // run the offline dataset collection and preserves the audit state.
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +72,13 @@ class Checkpoint {
 
   const std::string& directory() const { return directory_; }
 
+  /// True if the journal file exists on disk. `cstuner tune --resume`
+  /// refuses to run without one: silently starting a fresh run when the
+  /// user asked to continue an old one would discard their intent.
+  bool has_journal_file() const;
+  /// The journal path (for error messages).
+  std::string journal_file() const { return journal_path(); }
+
   /// Loads journal + snapshot from the directory. Tolerates a missing
   /// snapshot, a missing journal, and a torn journal tail (the file is
   /// truncated back to the last complete line before appends resume).
@@ -83,10 +93,24 @@ class Checkpoint {
   }
 
   /// Appends one committed evaluation. Buffered; becomes durable at the
-  /// next flush().
+  /// next flush(). Thread-safe: concurrent GA islands commit and journal
+  /// island events from their own threads.
   void append(const JournalEntry& entry);
 
+  /// Appends one island recovery event (rank death, ring heal, elite
+  /// adoption) so a degraded run resumes bit-identically: on --resume the
+  /// journaled deaths are folded back into the kill plan. Duplicate events
+  /// (a resumed run replays its kills and re-emits them) are dropped.
+  /// Thread-safe.
+  void append_island_event(const IslandEvent& event);
+
+  /// Island events recovered by load(), in journal order.
+  const std::vector<IslandEvent>& island_events() const {
+    return island_events_;
+  }
+
   /// Flushes buffered journal lines to disk (called at iteration marks).
+  /// Thread-safe.
   void flush();
 
   /// Registers the serialized performance dataset to embed in snapshots
@@ -122,10 +146,17 @@ class Checkpoint {
   std::string dataset_json_ = "null";
 
   std::unordered_map<std::uint64_t, JournalEntry> replay_;
+  std::vector<IslandEvent> island_events_;
+  /// Every island event this checkpoint knows about (loaded or appended),
+  /// keyed by (kind, rank, generation, peer) — the dedup set behind
+  /// append_island_event.
+  std::set<std::tuple<int, int, std::uint64_t, int>> known_events_;
   std::optional<PerfDataset> loaded_dataset_;
   std::optional<FaultStats> loaded_stats_;
 
-  // Journal write half: buffered lines + the open append stream.
+  // Journal write half: buffered lines + the open append stream. The mutex
+  // serializes appends/flushes from concurrent island threads.
+  std::mutex writer_mutex_;
   struct Writer;
   Writer* writer_;
 };

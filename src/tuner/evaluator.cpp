@@ -49,6 +49,17 @@ void Evaluator::set_fault_injection(const gpusim::FaultConfig& config,
   }
 }
 
+void Evaluator::set_kill_plan(std::vector<RankKill> plan,
+                              const std::string& scope) {
+  if (plan.empty()) return;
+  if (!injector_.has_value()) {
+    // Rank kills without eval faults: a zero-rate injector carries the
+    // plan and never injects a measurement failure.
+    injector_.emplace(gpusim::FaultConfig{}, scope);
+  }
+  injector_->set_kill_plan(std::move(plan));
+}
+
 void Evaluator::set_retry_policy(const RetryPolicy& policy) {
   CSTUNER_CHECK_MSG(policy.max_attempts >= 1,
                     "RetryPolicy.max_attempts must be >= 1");

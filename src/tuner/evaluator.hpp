@@ -142,6 +142,13 @@ class Evaluator {
     return injector_.has_value() ? &*injector_ : nullptr;
   }
 
+  /// Schedules deterministic island deaths for the distributed GA
+  /// ("kill rank r at generation g"). Arms a zero-rate injector when fault
+  /// injection is otherwise off, so a kill plan works without eval faults;
+  /// when injection is armed, call set_fault_injection first (it resets
+  /// the injector, dropping any plan installed earlier).
+  void set_kill_plan(std::vector<RankKill> plan, const std::string& scope);
+
   void set_retry_policy(const RetryPolicy& policy);
   const RetryPolicy& retry_policy() const { return policy_; }
 

@@ -1,7 +1,9 @@
 #include "tuner/fault.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 
 namespace cstuner::tuner {
@@ -67,10 +69,79 @@ std::string FaultStats::to_string() const {
   return os.str();
 }
 
+const char* island_event_kind_name(IslandEvent::Kind kind) {
+  switch (kind) {
+    case IslandEvent::Kind::kRankDeath:
+      return "rank_death";
+    case IslandEvent::Kind::kRingHeal:
+      return "ring_heal";
+    case IslandEvent::Kind::kEliteAdoption:
+      return "elite_adoption";
+  }
+  return "unknown";
+}
+
+IslandEvent::Kind island_event_kind_from_name(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(IslandEvent::Kind::kEliteAdoption);
+       ++k) {
+    const auto kind = static_cast<IslandEvent::Kind>(k);
+    if (name == island_event_kind_name(kind)) return kind;
+  }
+  throw Error("unknown island event kind: " + name);
+}
+
+std::vector<RankKill> kill_plan_from_events(
+    const std::vector<IslandEvent>& events) {
+  std::vector<RankKill> plan;
+  for (const IslandEvent& e : events) {
+    if (e.kind != IslandEvent::Kind::kRankDeath) continue;
+    const RankKill kill{e.rank, e.generation};
+    if (std::find(plan.begin(), plan.end(), kill) == plan.end()) {
+      plan.push_back(kill);
+    }
+  }
+  return plan;
+}
+
 FaultInjector::FaultInjector(gpusim::FaultConfig config,
                              const std::string& scope)
     : model_(config),
       scope_salt_(hash_combine(config.seed,
                                fnv1a(scope.data(), scope.size()))) {}
+
+void FaultInjector::set_kill_plan(std::vector<RankKill> plan) {
+  // Normalize: dedup and order by (generation, rank) so the installed plan
+  // is a pure function of its set of entries, not of flag order.
+  std::sort(plan.begin(), plan.end(), [](const RankKill& a, const RankKill& b) {
+    return a.generation != b.generation ? a.generation < b.generation
+                                        : a.rank < b.rank;
+  });
+  plan.erase(std::unique(plan.begin(), plan.end()), plan.end());
+  kill_plan_ = std::move(plan);
+  kill_fired_.reset(kill_plan_.empty()
+                        ? nullptr
+                        : new std::atomic<bool>[kill_plan_.size()]);
+  for (std::size_t i = 0; i < kill_plan_.size(); ++i) {
+    kill_fired_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::should_kill(int rank, std::uint64_t generation) const {
+  for (std::size_t i = 0; i < kill_plan_.size(); ++i) {
+    if (kill_plan_[i].rank == rank &&
+        kill_plan_[i].generation == generation) {
+      return !kill_fired_[i].exchange(true, std::memory_order_acq_rel);
+    }
+  }
+  return false;
+}
+
+std::size_t FaultInjector::kills_fired() const {
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < kill_plan_.size(); ++i) {
+    if (kill_fired_[i].load(std::memory_order_acquire)) ++fired;
+  }
+  return fired;
+}
 
 }  // namespace cstuner::tuner

@@ -14,9 +14,12 @@
 //   transient    profiler error — transient, retried with backoff
 //   quarantined  served from the quarantine list without a measurement
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "gpusim/fault_model.hpp"
@@ -109,9 +112,45 @@ struct FaultStats {
   std::string to_string() const;
 };
 
+/// One scheduled island death: rank `rank` of the distributed GA dies at
+/// the start of generation `generation`. Kill plans make whole-rank failure
+/// as deterministic as the per-evaluation fault oracle.
+struct RankKill {
+  int rank = 0;
+  std::uint64_t generation = 0;
+
+  friend bool operator==(const RankKill& a, const RankKill& b) {
+    return a.rank == b.rank && a.generation == b.generation;
+  }
+};
+
+/// An island-level recovery event (death, ring heal, elite adoption),
+/// emitted by the GA and journaled by the checkpoint so a degraded run
+/// resumes bit-identically.
+struct IslandEvent {
+  enum class Kind : std::uint8_t { kRankDeath = 0, kRingHeal, kEliteAdoption };
+
+  Kind kind = Kind::kRankDeath;
+  int rank = -1;  ///< who died / whose ring edge healed / who adopted
+  std::uint64_t generation = 0;
+  int peer = -1;  ///< the dead neighbour (heal/adoption); -1 for deaths
+};
+
+const char* island_event_kind_name(IslandEvent::Kind kind);
+IslandEvent::Kind island_event_kind_from_name(const std::string& name);
+
+/// Extracts the deterministic kill plan implied by journaled island events
+/// (deduplicated): feeding it back into a fresh run replays the original
+/// run's deaths without re-passing --kill-rank flags.
+std::vector<RankKill> kill_plan_from_events(
+    const std::vector<IslandEvent>& events);
+
 /// The deterministic fault oracle scoped to one (stencil, seed): thin
 /// wrapper folding the stencil identity into the gpusim::FaultModel key so
 /// different stencils see independent fault patterns from the same seed.
+/// Also carries the rank-kill plan for the distributed GA: each planned
+/// (rank, generation) death fires exactly once per tune, in whichever GA
+/// instance first reaches that generation on that rank.
 class FaultInjector {
  public:
   FaultInjector(gpusim::FaultConfig config, const std::string& scope);
@@ -126,6 +165,20 @@ class FaultInjector {
     return model_.noise_factor(scoped(setting_key), run_index);
   }
 
+  /// Installs the rank-kill schedule (deduplicated, order-normalized) and
+  /// resets the fired state.
+  void set_kill_plan(std::vector<RankKill> plan);
+  const std::vector<RankKill>& kill_plan() const { return kill_plan_; }
+  bool has_kill_plan() const { return !kill_plan_.empty(); }
+
+  /// One-shot kill query: true the first time a planned (rank, generation)
+  /// entry is reached, false on every later query. Safe to call from
+  /// concurrent island threads.
+  bool should_kill(int rank, std::uint64_t generation) const;
+
+  /// Plan entries that have fired so far (for tests and summaries).
+  std::size_t kills_fired() const;
+
  private:
   std::uint64_t scoped(std::uint64_t key) const {
     return hash_combine(scope_salt_, key);
@@ -133,6 +186,8 @@ class FaultInjector {
 
   gpusim::FaultModel model_;
   std::uint64_t scope_salt_;
+  std::vector<RankKill> kill_plan_;
+  mutable std::unique_ptr<std::atomic<bool>[]> kill_fired_;
 };
 
 }  // namespace cstuner::tuner

@@ -83,6 +83,46 @@ TEST(Checkpoint, JournalRoundTripsAndFirstOccurrenceWins) {
   EXPECT_EQ(replay.at(1).to_result().time_ms, 3.25);
 }
 
+TEST(Checkpoint, IslandEventsRoundTripAndDeduplicate) {
+  const std::string dir = fresh_dir("island_events");
+  {
+    Checkpoint cp(dir);
+    EXPECT_FALSE(cp.has_journal_file());
+    cp.append(make_entry(1, EvalStatus::kOk, 3.25, 1, 0));
+    cp.append_island_event({IslandEvent::Kind::kRankDeath, 1, 3, -1});
+    cp.append_island_event({IslandEvent::Kind::kRingHeal, 2, 3, 1});
+    cp.append_island_event({IslandEvent::Kind::kEliteAdoption, 2, 3, 1});
+    // A resumed run re-fires the same kill and re-emits the event; the
+    // journal must not grow a duplicate line.
+    cp.append_island_event({IslandEvent::Kind::kRankDeath, 1, 3, -1});
+    cp.flush();
+    EXPECT_TRUE(cp.has_journal_file());
+  }
+  Checkpoint cp(dir);
+  EXPECT_EQ(cp.load(), 1u);  // island events are not replay entries
+  ASSERT_EQ(cp.island_events().size(), 3u);
+  const IslandEvent& death = cp.island_events()[0];
+  EXPECT_EQ(death.kind, IslandEvent::Kind::kRankDeath);
+  EXPECT_EQ(death.rank, 1);
+  EXPECT_EQ(death.generation, 3u);
+  EXPECT_EQ(death.peer, -1);
+  EXPECT_EQ(cp.island_events()[1].kind, IslandEvent::Kind::kRingHeal);
+  EXPECT_EQ(cp.island_events()[1].peer, 1);
+  EXPECT_EQ(cp.island_events()[2].kind, IslandEvent::Kind::kEliteAdoption);
+  // The loaded events seed the dedup set, so appending them again after a
+  // resume is also a no-op.
+  cp.append_island_event({IslandEvent::Kind::kRankDeath, 1, 3, -1});
+  cp.flush();
+  Checkpoint again(dir);
+  again.load();
+  EXPECT_EQ(again.island_events().size(), 3u);
+  // And the deaths convert back into the kill plan that caused them.
+  const auto plan = kill_plan_from_events(again.island_events());
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rank, 1);
+  EXPECT_EQ(plan[0].generation, 3u);
+}
+
 TEST(Checkpoint, TornJournalTailIsTruncatedOnLoad) {
   const std::string dir = fresh_dir("torn");
   {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -304,6 +305,165 @@ TEST_F(FaultEvalFixture, SpentFaultBudgetFailsFast) {
   EXPECT_EQ(result.status, tuner::EvalStatus::kTransient);
   EXPECT_EQ(result.attempts, 1);
   EXPECT_EQ(evaluator.fault_stats().retries, 0u);
+}
+
+TEST_F(FaultEvalFixture, BackoffChargedThroughTheFinalAttempt) {
+  // Boundary guard for the attempt == max_attempts case: an exhausted
+  // ladder with N attempts charges exactly N-1 backoffs (attempts 2..N),
+  // never one more or fewer.
+  gpusim::FaultConfig config;
+  config.transient_rate = 1.0;
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  tuner::RetryPolicy policy;
+  policy.max_attempts = 4;
+  evaluator.set_retry_policy(policy);
+
+  Rng rng(17);
+  const auto result = evaluator.evaluate_result(space_.random_valid(rng));
+  EXPECT_EQ(result.status, tuner::EvalStatus::kTransient);
+  EXPECT_EQ(result.attempts, 4);
+  const auto stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.retries, 3u);
+  // Backoffs 0.05 + 0.10 + 0.20, four wasted launch rounds, one compile.
+  tuner::EvalCosts costs;
+  const double backoffs =
+      policy.backoff_initial_s *
+      (1.0 + policy.backoff_multiplier +
+       policy.backoff_multiplier * policy.backoff_multiplier);
+  EXPECT_NEAR(stats.fault_overhead_s,
+              backoffs + 4.0 * costs.runs_per_eval * costs.launch_overhead_s +
+                  costs.compile_s,
+              1e-9);
+}
+
+TEST_F(FaultEvalFixture, SuccessOnTheFinalAttemptChargesAllBackoffs) {
+  // The other side of the attempt == max_attempts boundary: a measurement
+  // that succeeds exactly on the last allowed attempt keeps its result and
+  // still pays every backoff and deadline it burned getting there.
+  gpusim::FaultConfig config;
+  config.timeout_rate = 0.4;
+  const tuner::FaultInjector oracle(config, "test");
+
+  Rng rng(18);
+  std::optional<space::Setting> pick;
+  for (int i = 0; i < 2000 && !pick.has_value(); ++i) {
+    const auto s = space_.random_valid(rng);
+    if (oracle.decide(s.hash(), 1) == gpusim::FaultKind::kTimeout &&
+        oracle.decide(s.hash(), 2) == gpusim::FaultKind::kTimeout &&
+        oracle.decide(s.hash(), 3) == gpusim::FaultKind::kNone) {
+      pick = s;
+    }
+  }
+  ASSERT_TRUE(pick.has_value());
+
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  const tuner::RetryPolicy policy;  // max_attempts 3
+  const auto result = evaluator.evaluate_result(*pick);
+  EXPECT_EQ(result.status, tuner::EvalStatus::kOk);
+  EXPECT_EQ(result.attempts, policy.max_attempts);
+  const auto stats = evaluator.fault_stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.recovered, 1u);
+  EXPECT_NEAR(stats.fault_overhead_s,
+              2.0 * policy.eval_deadline_s +
+                  policy.backoff_initial_s *
+                      (1.0 + policy.backoff_multiplier),
+              1e-9);
+}
+
+TEST_F(FaultEvalFixture, QuarantineTripsExactlyAtThreshold) {
+  // Off-by-one guard: with threshold N, the setting stays usable through
+  // its first N-1 committed failures and quarantines on the Nth.
+  gpusim::FaultConfig config;
+  config.transient_rate = 1.0;
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  tuner::RetryPolicy policy;
+  policy.quarantine_threshold = 3;
+  evaluator.set_retry_policy(policy);
+
+  Rng rng(19);
+  const auto setting = space_.random_valid(rng);
+  for (int failures = 1; failures <= 2; ++failures) {
+    EXPECT_EQ(evaluator.evaluate_result(setting).status,
+              tuner::EvalStatus::kTransient);
+    EXPECT_FALSE(evaluator.is_quarantined(setting.hash()))
+        << "quarantined after " << failures << " of 3 failures";
+  }
+  EXPECT_EQ(evaluator.evaluate_result(setting).status,
+            tuner::EvalStatus::kTransient);
+  EXPECT_TRUE(evaluator.is_quarantined(setting.hash()));
+  EXPECT_EQ(evaluator.fault_stats().quarantined_settings, 1u);
+}
+
+TEST_F(FaultEvalFixture, QuarantineThresholdOneQuarantinesImmediately) {
+  gpusim::FaultConfig config;
+  config.transient_rate = 1.0;
+  tuner::Evaluator evaluator(sim_, space_, {}, 3, nullptr);
+  evaluator.set_fault_injection(config, "test");
+  tuner::RetryPolicy policy;
+  policy.quarantine_threshold = 1;
+  evaluator.set_retry_policy(policy);
+
+  Rng rng(20);
+  const auto setting = space_.random_valid(rng);
+  EXPECT_EQ(evaluator.evaluate_result(setting).status,
+            tuner::EvalStatus::kTransient);
+  EXPECT_TRUE(evaluator.is_quarantined(setting.hash()));
+}
+
+// ---------------------------------------------------------------------------
+// Rank-kill plans: the whole-island analogue of the per-eval fault oracle.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, KillPlanFiresEachEntryExactlyOnce) {
+  tuner::FaultInjector injector(gpusim::FaultConfig{}, "test");
+  EXPECT_FALSE(injector.has_kill_plan());
+  EXPECT_FALSE(injector.should_kill(0, 1));
+
+  injector.set_kill_plan({{1, 3}, {2, 5}});
+  EXPECT_TRUE(injector.has_kill_plan());
+  EXPECT_FALSE(injector.should_kill(1, 2));  // wrong generation
+  EXPECT_FALSE(injector.should_kill(0, 3));  // wrong rank
+  EXPECT_TRUE(injector.should_kill(1, 3));
+  EXPECT_FALSE(injector.should_kill(1, 3));  // one-shot
+  EXPECT_EQ(injector.kills_fired(), 1u);
+  EXPECT_TRUE(injector.should_kill(2, 5));
+  EXPECT_EQ(injector.kills_fired(), 2u);
+}
+
+TEST(FaultInjector, KillPlanIsDeduplicatedAndOrderNormalized) {
+  tuner::FaultInjector injector(gpusim::FaultConfig{}, "test");
+  injector.set_kill_plan({{2, 5}, {1, 3}, {2, 5}, {1, 3}});
+  ASSERT_EQ(injector.kill_plan().size(), 2u);
+  EXPECT_EQ(injector.kill_plan()[0], (tuner::RankKill{1, 3}));
+  EXPECT_EQ(injector.kill_plan()[1], (tuner::RankKill{2, 5}));
+}
+
+TEST(FaultInjector, KillPlanFromEventsExtractsDeathsOnly) {
+  const std::vector<tuner::IslandEvent> events = {
+      {tuner::IslandEvent::Kind::kRankDeath, 1, 3, -1},
+      {tuner::IslandEvent::Kind::kRingHeal, 2, 3, 1},
+      {tuner::IslandEvent::Kind::kEliteAdoption, 2, 3, 1},
+      {tuner::IslandEvent::Kind::kRankDeath, 1, 3, -1},  // duplicate
+      {tuner::IslandEvent::Kind::kRankDeath, 0, 7, -1},
+  };
+  const auto plan = tuner::kill_plan_from_events(events);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], (tuner::RankKill{1, 3}));
+  EXPECT_EQ(plan[1], (tuner::RankKill{0, 7}));
+}
+
+TEST(FaultInjector, IslandEventKindNamesRoundTrip) {
+  using Kind = tuner::IslandEvent::Kind;
+  for (Kind kind : {Kind::kRankDeath, Kind::kRingHeal, Kind::kEliteAdoption}) {
+    EXPECT_EQ(tuner::island_event_kind_from_name(
+                  tuner::island_event_kind_name(kind)),
+              kind);
+  }
+  EXPECT_THROW(tuner::island_event_kind_from_name("nope"), Error);
 }
 
 TEST_F(FaultEvalFixture, BatchMatchesSerialEvaluationUnderFaults) {

@@ -276,5 +276,189 @@ TEST(IslandGa, InvalidOptionsRejected) {
   EXPECT_THROW(IslandGa({4}, bad), Error);
 }
 
+// --- Rank-failure recovery: ring healing, elite adoption, degradation.
+
+/// Kill predicate for a fixed plan (the FaultInjector provides the real,
+/// one-shot implementation; the GA-level tests use a pure function).
+KillPredicate plan_kills(std::vector<tuner::RankKill> plan) {
+  return [plan](int rank, std::uint64_t generation) {
+    for (const auto& kill : plan) {
+      if (kill.rank == rank && kill.generation == generation) return true;
+    }
+    return false;
+  };
+}
+
+/// Thread-safe event collector.
+struct EventLog {
+  std::mutex mu;
+  std::vector<tuner::IslandEvent> events;
+
+  IslandEventSink sink() {
+    return [this](const tuner::IslandEvent& e) {
+      std::lock_guard<std::mutex> lock(mu);
+      events.push_back(e);
+    };
+  }
+  std::size_t count(tuner::IslandEvent::Kind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += (e.kind == kind);
+    return n;
+  }
+};
+
+TEST(IslandGaSurvival, KilledIslandDoesNotAbortTheRun) {
+  GaOptions o = small_options();
+  o.sub_populations = 4;
+  o.max_generations = 8;
+  o.kill_predicate = plan_kills({{1, 3}});
+  EventLog log;
+  o.event_sink = log.sink();
+  IslandGa island({64}, o);
+  const auto result = island.run(
+      [](const Genome& g) { return -static_cast<double>(g[0]); },
+      [](const GaState&) { return false; });
+  EXPECT_EQ(result.generations, 8u);
+  EXPECT_EQ(result.rank_deaths, 1u);
+  EXPECT_EQ(result.islands_survived, 3u);
+  EXPECT_EQ(log.count(tuner::IslandEvent::Kind::kRankDeath), 1u);
+  // Exactly one survivor's left edge pointed at the dead island.
+  EXPECT_EQ(log.count(tuner::IslandEvent::Kind::kRingHeal), 1u);
+  for (const auto& e : log.events) {
+    if (e.kind == tuner::IslandEvent::Kind::kRankDeath) {
+      EXPECT_EQ(e.rank, 1);
+      EXPECT_EQ(e.generation, 3u);
+    }
+    if (e.kind == tuner::IslandEvent::Kind::kRingHeal) {
+      EXPECT_EQ(e.rank, 2);  // the dead island's right live neighbour
+      EXPECT_EQ(e.peer, 1);
+    }
+  }
+}
+
+TEST(IslandGaSurvival, DeadIslandsBestGenomeSurvivesAdoption) {
+  // No variation operators: populations are frozen at their random initial
+  // genomes, so the global best is known exactly. Kill the island that
+  // holds it *after* it has migrated its elites; ring healing + adoption
+  // must keep that genome alive to the final result.
+  GaOptions o = small_options();
+  o.sub_populations = 4;
+  o.max_generations = 8;
+  o.crossover_rate = 0.0;
+  o.mutation_rate = 0.0;
+  const std::vector<std::uint32_t> cards = {64, 64};
+  auto fitness = [](const Genome& g) {
+    return static_cast<double>(g[0]) * 64.0 + static_cast<double>(g[1]);
+  };
+
+  // Replicate each island's initial population (same RNG derivation as
+  // IslandGa::run) to find which island owns the global best.
+  double global_best = -1.0;
+  int best_island = -1;
+  for (int r = 0; r < o.sub_populations; ++r) {
+    Rng rng(hash_combine(o.seed, static_cast<std::uint64_t>(r) + 101));
+    for (int i = 0; i < o.population_size; ++i) {
+      const double f = fitness(random_genome(cards, rng));
+      if (f > global_best) {
+        global_best = f;
+        best_island = r;
+      }
+    }
+  }
+  ASSERT_GE(best_island, 0);
+
+  o.kill_predicate = plan_kills(
+      {{best_island, 3}});  // dies after migrating at generations 1 and 2
+  EventLog log;
+  o.event_sink = log.sink();
+  IslandGa island(cards, o);
+  const auto result =
+      island.run(fitness, [](const GaState&) { return false; });
+  EXPECT_EQ(result.rank_deaths, 1u);
+  // The acceptance bar: the run's best is no worse than the best genome the
+  // dead island ever produced (here: exactly it, since nothing evolves).
+  EXPECT_DOUBLE_EQ(result.best_fitness, global_best);
+  EXPECT_EQ(log.count(tuner::IslandEvent::Kind::kEliteAdoption), 1u);
+}
+
+TEST(IslandGaSurvival, DegradesToSingleIsland) {
+  GaOptions o = small_options();
+  o.sub_populations = 4;
+  o.max_generations = 8;
+  o.kill_predicate = plan_kills({{0, 2}, {1, 3}, {3, 4}});
+  IslandGa island({64}, o);
+  const auto result = island.run(
+      [](const Genome& g) { return -static_cast<double>(g[0]); },
+      [](const GaState&) { return false; });
+  // Rank 2 survives alone, keeps evolving, and writes the closure as the
+  // elected coordinator.
+  EXPECT_EQ(result.generations, 8u);
+  EXPECT_EQ(result.islands_survived, 1u);
+  EXPECT_EQ(result.rank_deaths, 3u);
+}
+
+TEST(IslandGaSurvival, GenerationZeroKillRemovesIslandBeforeFirstSync) {
+  GaOptions o = small_options();
+  o.max_generations = 4;
+  o.kill_predicate = plan_kills({{1, 0}});
+  EventLog log;
+  o.event_sink = log.sink();
+  IslandGa island({64}, o);
+  const auto result = island.run(
+      [](const Genome& g) { return -static_cast<double>(g[0]); },
+      [](const GaState&) { return false; });
+  EXPECT_EQ(result.islands_survived, 1u);
+  // The survivor's first sync sees the gen-0 death and heals its ring edge.
+  EXPECT_EQ(log.count(tuner::IslandEvent::Kind::kRingHeal), 1u);
+}
+
+TEST(IslandGaSurvival, MinIslandsViolationAborts) {
+  GaOptions o = small_options();
+  o.sub_populations = 4;
+  o.max_generations = 8;
+  o.min_islands = 3;
+  o.kill_predicate = plan_kills({{0, 2}, {1, 3}});
+  IslandGa island({64}, o);
+  EXPECT_THROW(
+      island.run([](const Genome& g) { return -static_cast<double>(g[0]); },
+                 [](const GaState&) { return false; }),
+      Error);
+}
+
+TEST(IslandGaSurvival, AllIslandsKilledAborts) {
+  GaOptions o = small_options();
+  o.max_generations = 8;
+  o.kill_predicate = plan_kills({{0, 1}, {1, 1}});
+  IslandGa island({64}, o);
+  EXPECT_THROW(
+      island.run([](const Genome& g) { return -static_cast<double>(g[0]); },
+                 [](const GaState&) { return false; }),
+      Error);
+}
+
+TEST(IslandGaSurvival, DeterministicWithKillPlan) {
+  auto run_once = [](EventLog& log) {
+    GaOptions o = small_options();
+    o.sub_populations = 4;
+    o.max_generations = 10;
+    o.kill_predicate = plan_kills({{2, 4}});
+    o.event_sink = log.sink();
+    IslandGa island({128, 128}, o);
+    return island.run(
+        [](const Genome& g) {
+          return -std::fabs(static_cast<double>(g[0]) * 0.7 -
+                            static_cast<double>(g[1]));
+        },
+        [](const GaState&) { return false; });
+  };
+  EventLog log_a, log_b;
+  const auto a = run_once(log_a);
+  const auto b = run_once(log_b);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_fitness, b.best_fitness);
+  EXPECT_EQ(a.islands_survived, b.islands_survived);
+  EXPECT_EQ(log_a.events.size(), log_b.events.size());
+}
+
 }  // namespace
 }  // namespace cstuner::ga

@@ -293,5 +293,171 @@ TEST(MiniMpi, MessagesSentBeforeDeathStillDelivered) {
   EXPECT_TRUE(second_recv_failed.load());
 }
 
+// --- Recoverable mode: typed outcomes, membership views, live barriers.
+
+RunOptions recoverable() {
+  RunOptions options;
+  options.recover_killed_ranks = true;
+  return options;
+}
+
+TEST(MiniMpiRecoverable, TryRecvDeadlineTimesOut) {
+  // Nobody ever sends: the deadline variant must report kTimedOut instead
+  // of blocking forever.
+  Context::run(2, recoverable(), [](Comm& comm) {
+    if (comm.rank() != 0) return;
+    const RecvOutcome out =
+        comm.try_recv(1, 3, std::chrono::milliseconds(50));
+    EXPECT_EQ(out.status, CommStatus::kTimedOut);
+    EXPECT_FALSE(out.ok());
+  });
+}
+
+TEST(MiniMpiRecoverable, TryRecvWakesPromptlyOnPeerDeath) {
+  // The receiver probes (sees nothing), releases the sender to die, then
+  // blocks in try_recv with a deadline far beyond the test timeout. The
+  // death must wake it promptly — kPeerDead long before the deadline — not
+  // leave it hanging until the clock runs out.
+  std::atomic<bool> woke_with_peer_dead{false};
+  std::atomic<long> wait_ms{-1};
+  Context::run(2, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Die only after rank 0 has peeked and is about to block.
+      comm.recv_values<int>(0, 1);
+      throw RankKilled("rank 1 killed");
+    }
+    EXPECT_FALSE(comm.probe(1, 3));  // peek: nothing queued yet
+    comm.send_values<int>(1, 1, {0});  // release the sender to die
+    const auto t0 = std::chrono::steady_clock::now();
+    const RecvOutcome out =
+        comm.try_recv(1, 3, std::chrono::milliseconds(60000));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    woke_with_peer_dead = (out.status == CommStatus::kPeerDead);
+    wait_ms = elapsed.count();
+  });
+  EXPECT_TRUE(woke_with_peer_dead.load());
+  // Generous bound: promptness means "the death woke us", not "we sat out
+  // the 60 s deadline".
+  EXPECT_LT(wait_ms.load(), 10000);
+}
+
+TEST(MiniMpiRecoverable, TrySendToDeadPeerReturnsPeerDead) {
+  std::atomic<bool> saw_peer_dead{false};
+  Context::run(2, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 1) throw RankKilled("rank 1 killed");
+    // Learn of the death via try_recv, then verify try_send agrees.
+    EXPECT_EQ(comm.try_recv(1, 3).status, CommStatus::kPeerDead);
+    saw_peer_dead =
+        comm.try_send_values<int>(1, 4, {42}) == CommStatus::kPeerDead;
+  });
+  EXPECT_TRUE(saw_peer_dead.load());
+}
+
+TEST(MiniMpiRecoverable, TryRecvDrainsQueuedMessagesBeforeReportingDeath) {
+  std::atomic<bool> got_payload{false};
+  std::atomic<bool> then_peer_dead{false};
+  Context::run(2, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send_values<int>(0, 5, {99});
+      throw RankKilled("rank 1 killed after send");
+    }
+    const auto got = comm.try_recv_values<int>(1, 5);
+    got_payload = got.has_value() && *got == std::vector<int>{99};
+    then_peer_dead = !comm.try_recv_values<int>(1, 5).has_value();
+  });
+  EXPECT_TRUE(got_payload.load());
+  EXPECT_TRUE(then_peer_dead.load());
+}
+
+TEST(MiniMpiRecoverable, RunAbsorbsKilledRanksButPropagatesRealErrors) {
+  // RankKilled is absorbed (survivors finish, run returns normally)...
+  std::atomic<int> survivors{0};
+  Context::run(3, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 1) throw RankKilled("injected");
+    survivors.fetch_add(1);
+  });
+  EXPECT_EQ(survivors.load(), 2);
+  // ...while a genuine error still aborts the run, and in hard-error mode
+  // even RankKilled propagates.
+  EXPECT_THROW(Context::run(2, recoverable(),
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw UsageError("real bug");
+                              }
+                            }),
+               UsageError);
+  EXPECT_THROW(Context::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw RankKilled("killed");
+                              }
+                              try {
+                                comm.recv_values<int>(1, 1);
+                              } catch (const Error&) {
+                              }
+                            }),
+               RankKilled);
+}
+
+TEST(MiniMpiRecoverable, SyncMembershipAgreesAcrossSurvivors) {
+  // Rank 2 dies before ever syncing; every survivor's first agreed view
+  // must be identical: epoch 1, live = {0, 1, 3}.
+  std::mutex mu;
+  std::vector<MembershipView> views;
+  Context::run(4, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 2) throw RankKilled("rank 2 killed");
+    const MembershipView view = comm.sync_membership();
+    std::lock_guard<std::mutex> lock(mu);
+    views.push_back(view);
+  });
+  ASSERT_EQ(views.size(), 3u);
+  for (const MembershipView& v : views) {
+    EXPECT_EQ(v.epoch, 1u);
+    EXPECT_EQ(v.live, (std::vector<int>{0, 1, 3}));
+  }
+}
+
+TEST(MiniMpiRecoverable, SyncMembershipIsReusableAndStable) {
+  std::atomic<bool> all_stable{true};
+  Context::run(3, recoverable(), [&](Comm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      const MembershipView view = comm.sync_membership();
+      if (view.epoch != 0 || view.live != std::vector<int>{0, 1, 2}) {
+        all_stable = false;
+      }
+    }
+  });
+  EXPECT_TRUE(all_stable.load());
+}
+
+TEST(MiniMpiRecoverable, BarrierCompletesOverLiveSetAfterDeath) {
+  // In recoverable mode barrier() is the live-set membership barrier:
+  // survivors pass it after a death instead of throwing.
+  std::atomic<int> passed{0};
+  Context::run(3, recoverable(), [&](Comm& comm) {
+    if (comm.rank() == 1) throw RankKilled("rank 1 killed");
+    comm.barrier();
+    comm.barrier();
+    passed.fetch_add(1);
+  });
+  EXPECT_EQ(passed.load(), 2);
+}
+
+TEST(MiniMpiRecoverable, MembershipViewRingNeighbors) {
+  MembershipView view;
+  view.live = {0, 1, 3};
+  EXPECT_TRUE(view.contains(3));
+  EXPECT_FALSE(view.contains(2));
+  // The live ring after rank 2 died: 0 -> 1 -> 3 -> 0.
+  EXPECT_EQ(view.right_neighbor_of(0), 1);
+  EXPECT_EQ(view.right_neighbor_of(1), 3);
+  EXPECT_EQ(view.right_neighbor_of(3), 0);
+  EXPECT_EQ(view.left_neighbor_of(0), 3);
+  EXPECT_EQ(view.left_neighbor_of(1), 0);
+  EXPECT_EQ(view.left_neighbor_of(3), 1);
+  EXPECT_THROW(view.left_neighbor_of(2), Error);
+}
+
 }  // namespace
 }  // namespace cstuner::minimpi

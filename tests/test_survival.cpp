@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/cs_tuner.hpp"
+#include "gpusim/fault_model.hpp"
+#include "stencil/stencils.hpp"
+#include "tuner/checkpoint.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/fault.hpp"
+
+// Survivable distributed tuning (docs/fault-tolerance.md, "Distributed
+// failures"): a full csTuner run with a deterministic rank-kill plan must
+// complete, heal the migration ring around the dead islands, and stay
+// bit-identical across evaluator worker counts and across checkpoint
+// resume of the degraded run.
+
+namespace cstuner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "cstuner_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+class SurvivalFixture : public ::testing::Test {
+ protected:
+  SurvivalFixture()
+      : spec_(stencil::make_stencil("j3d7pt")),
+        space_(spec_),
+        sim_(gpusim::a100()) {}
+
+  stencil::StencilSpec spec_;
+  space::SearchSpace space_;
+  gpusim::Simulator sim_;
+};
+
+struct SurvivalOutcome {
+  space::Setting best_setting;
+  double best_time_ms = 0.0;
+  double virtual_time_s = 0.0;
+  std::size_t unique_evals = 0;
+  std::size_t kills_fired = 0;
+};
+
+// One 4-island tune over a universe large enough that at least one group
+// exceeds the total GA population (4 islands x 16), so the island GA — and
+// with it the kill plan — actually runs. The CV(top-n) approximation stops
+// the GA after generation 2 on this space, so kills must be scheduled at
+// generations 1-2 to fire.
+SurvivalOutcome run_survival_tune(const space::SearchSpace& space,
+                                  const gpusim::Simulator& sim,
+                                  std::size_t workers,
+                                  std::vector<tuner::RankKill> plan,
+                                  tuner::Checkpoint* checkpoint = nullptr) {
+  ThreadPool pool(workers);
+  tuner::Evaluator evaluator(sim, space, {}, 42, &pool);
+  if (checkpoint != nullptr) {
+    evaluator.set_checkpoint(checkpoint);
+  }
+  evaluator.set_kill_plan(std::move(plan), "j3d7pt");
+  core::CsTunerOptions options;
+  options.universe_size = 8000;
+  options.dataset_size = 64;
+  options.seed = 42;
+  options.ga.sub_populations = 4;
+  options.ga.min_islands = 1;
+  core::CsTuner tuner(options);
+  tuner.tune(evaluator, {});
+  SurvivalOutcome out;
+  out.best_setting = *evaluator.best_setting();
+  out.best_time_ms = evaluator.best_time_ms();
+  out.virtual_time_s = evaluator.virtual_time_s();
+  out.unique_evals = evaluator.unique_evaluations();
+  if (const tuner::FaultInjector* injector = evaluator.fault_injector()) {
+    out.kills_fired = injector->kills_fired();
+  }
+  return out;
+}
+
+TEST_F(SurvivalFixture, KillPlanTuneIsBitIdenticalAcrossWorkerCounts) {
+  const std::vector<tuner::RankKill> plan = {{1, 2}};
+  const auto serial = run_survival_tune(space_, sim_, 0, plan);
+  const auto four = run_survival_tune(space_, sim_, 4, plan);
+  const auto eight = run_survival_tune(space_, sim_, 8, plan);
+
+  // Non-vacuous: the kill actually fired (the GA ran and reached gen 2).
+  ASSERT_EQ(serial.kills_fired, 1u);
+
+  for (const auto* run : {&four, &eight}) {
+    EXPECT_EQ(run->kills_fired, 1u);
+    EXPECT_TRUE(serial.best_setting == run->best_setting);
+    EXPECT_DOUBLE_EQ(serial.best_time_ms, run->best_time_ms);
+    EXPECT_DOUBLE_EQ(serial.virtual_time_s, run->virtual_time_s);
+    EXPECT_EQ(serial.unique_evals, run->unique_evals);
+  }
+}
+
+TEST_F(SurvivalFixture, KillAllButOneDegradesToSingleIsland) {
+  // Three of four islands die at generation 1; the survivor finishes the
+  // search alone (min_islands = 1) and still produces a finite best.
+  const std::vector<tuner::RankKill> plan = {{0, 1}, {1, 1}, {3, 1}};
+  const auto outcome = run_survival_tune(space_, sim_, 4, plan);
+  EXPECT_EQ(outcome.kills_fired, 3u);
+  EXPECT_TRUE(std::isfinite(outcome.best_time_ms));
+  EXPECT_GT(outcome.unique_evals, 0u);
+}
+
+TEST_F(SurvivalFixture, DeadIslandCostsBudgetNotCorrectness) {
+  const auto clean = run_survival_tune(space_, sim_, 4, {});
+  const auto degraded =
+      run_survival_tune(space_, sim_, 4, {{0, 1}, {1, 1}, {3, 1}});
+  ASSERT_TRUE(std::isfinite(clean.best_time_ms));
+  ASSERT_TRUE(std::isfinite(degraded.best_time_ms));
+  // Losing islands shrinks the searched population, but the survivor must
+  // still land within tolerance of the full-ring optimum.
+  EXPECT_LE(degraded.best_time_ms, clean.best_time_ms * 2.0);
+}
+
+TEST_F(SurvivalFixture, DegradedRunResumesBitIdentically) {
+  const std::string dir = fresh_dir("survival_resume");
+  const std::vector<tuner::RankKill> plan = {{1, 2}};
+
+  SurvivalOutcome first;
+  std::size_t journaled_events = 0;
+  {
+    tuner::Checkpoint checkpoint(dir);
+    checkpoint.load();
+    first = run_survival_tune(space_, sim_, 4, plan, &checkpoint);
+    checkpoint.flush();
+    journaled_events = checkpoint.island_events().size();
+  }
+  ASSERT_EQ(first.kills_fired, 1u);
+  // The death (and the heal/adoption it caused) reached the journal.
+  ASSERT_GE(journaled_events, 1u);
+
+  // Resume: reload the journal, derive the kill plan from the recorded
+  // island deaths instead of passing it explicitly — the degraded topology
+  // replays from the journal alone.
+  tuner::Checkpoint resumed(dir);
+  ASSERT_GT(resumed.load(), 0u);
+  const auto replayed_plan = tuner::kill_plan_from_events(resumed.island_events());
+  ASSERT_EQ(replayed_plan.size(), 1u);
+  EXPECT_EQ(replayed_plan[0].rank, 1);
+  EXPECT_EQ(replayed_plan[0].generation, 2u);
+
+  const auto second =
+      run_survival_tune(space_, sim_, 4, replayed_plan, &resumed);
+  resumed.flush();
+
+  EXPECT_TRUE(first.best_setting == second.best_setting);
+  EXPECT_DOUBLE_EQ(first.best_time_ms, second.best_time_ms);
+  EXPECT_DOUBLE_EQ(first.virtual_time_s, second.virtual_time_s);
+  EXPECT_EQ(first.unique_evals, second.unique_evals);
+  // Re-emitting the same events during the resume must not grow the journal.
+  EXPECT_EQ(resumed.island_events().size(), journaled_events);
+}
+
+}  // namespace
+}  // namespace cstuner

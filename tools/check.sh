@@ -66,6 +66,25 @@ fault_storm() {
 }
 run_stage "fault-storm(CSTUNER_FAULT_RATE=0.2)" fault_storm || true
 
+# Rank-kill chaos gate (docs/fault-tolerance.md, "Distributed failures"):
+# first the deterministic recovery suites — recoverable minimpi, GA ring
+# healing/elite adoption, kill-plan scheduling, survival acceptance — under
+# the sanitizers and a 20% eval-fault rate, then an end-to-end 4-island
+# tune that loses an island at generation 2 while evaluations are failing.
+chaos_tests() {
+  CSTUNER_FAULT_RATE=0.2 ctest --test-dir "${BUILD}" --output-on-failure \
+    -j "$(nproc)" \
+    -R 'MiniMpiRecoverable|IslandGaSurvival|SurvivalFixture|FaultInjector\.KillPlan|cli_tune_kill'
+}
+run_stage "chaos-tests(rank-kill/ring-heal)" chaos_tests || true
+
+rank_kill_storm() {
+  CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
+    --universe 8000 --islands 4 --kill-rank 1@2 --min-islands 1 \
+    --json > /dev/null
+}
+run_stage "rank-kill-storm(--kill-rank 1@2)" rank_kill_storm || true
+
 if [[ ${status} -ne 0 ]]; then
   echo "sanitize(${SANITIZE}): FAILED stages: ${failed[*]}" >&2
 else

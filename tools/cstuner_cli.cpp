@@ -373,6 +373,22 @@ int cmd_tune(const Args& args) {
   policy.fault_budget_s = args.get_double("fault-budget", policy.fault_budget_s);
   evaluator.set_retry_policy(policy);
 
+  // Rank-kill chaos: each --kill-rank=R@G schedules island R of the
+  // distributed GA to die at generation G (deterministic, replayable).
+  std::vector<tuner::RankKill> kill_plan;
+  for (const auto& spec_str : args.get_all("kill-rank")) {
+    const auto at = spec_str.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 == spec_str.size()) {
+      std::cerr << "error: --kill-rank expects RANK@GENERATION, got: "
+                << spec_str << '\n';
+      return 1;
+    }
+    tuner::RankKill kill;
+    kill.rank = std::stoi(spec_str.substr(0, at));
+    kill.generation = std::stoull(spec_str.substr(at + 1));
+    kill_plan.push_back(kill);
+  }
+
   // Crash-safe checkpointing: journal + periodic snapshots in --checkpoint
   // <dir>; --resume replays the journal so the continuation is
   // bit-identical to a run that was never interrupted.
@@ -380,11 +396,30 @@ int cmd_tune(const Args& args) {
   if (args.has("checkpoint")) {
     checkpoint.emplace(args.get("checkpoint", "checkpoint"));
     if (args.has("resume")) {
+      if (!checkpoint->has_journal_file()) {
+        // Starting a fresh run here would silently discard the user's
+        // intent to continue an old one — refuse instead.
+        std::cerr << "error: --resume: no journal at "
+                  << checkpoint->journal_file()
+                  << " (use --checkpoint without --resume to start fresh)\n";
+        return 1;
+      }
       const auto recovered = checkpoint->load();
       std::cerr << "resuming from " << checkpoint->directory() << ": "
-                << recovered << " journaled evaluation(s)\n";
+                << recovered << " journaled evaluation(s), "
+                << checkpoint->island_events().size()
+                << " island event(s)\n";
+      // Journaled island deaths fold back into the kill plan so a
+      // degraded run resumes bit-identically without re-passing flags.
+      for (const tuner::RankKill& kill :
+           tuner::kill_plan_from_events(checkpoint->island_events())) {
+        kill_plan.push_back(kill);
+      }
     }
     evaluator.set_checkpoint(&*checkpoint);
+  }
+  if (!kill_plan.empty()) {
+    evaluator.set_kill_plan(std::move(kill_plan), spec.name);
   }
 
   const std::string method = args.get("method", "csTuner");
@@ -394,6 +429,10 @@ int cmd_tune(const Args& args) {
     options.universe_size =
         static_cast<std::size_t>(args.get_u64("universe", 8000));
     options.seed = seed;
+    options.ga.sub_populations = static_cast<int>(args.get_u64(
+        "islands", static_cast<std::uint64_t>(options.ga.sub_populations)));
+    options.ga.min_islands = static_cast<int>(args.get_u64(
+        "min-islands", static_cast<std::uint64_t>(options.ga.min_islands)));
     tuner = std::make_unique<core::CsTuner>(options);
   } else if (method == "garvey") {
     baselines::GarveyOptions options;
@@ -524,6 +563,7 @@ int usage() {
          "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
          "           [--precheck] [--fault-rate R] [--max-attempts N]\n"
          "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n"
+         "           [--islands N] [--min-islands N] [--kill-rank R@G ...]\n"
          "           [--trace-out file.json] [--metrics]\n"
          "  report   <current.json> --baseline <file> [--tol 10%]\n"
          "           [--ignore substr ...] [--allow-missing] [--json]\n";
