@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "common/math_util.hpp"
 #include "space/resource_model.hpp"
 #include "space/setting.hpp"
 #include "stencil/stencil_spec.hpp"
@@ -37,6 +38,48 @@ struct LaunchGeometry {
     return block[0] * block[1] * block[2];
   }
 };
+
+/// Setting-independent part of the launch-geometry computation — the grid
+/// extents. The gpusim invariants cache hoists this once per (arch,
+/// stencil) so the batch oracle only runs the inline division below.
+struct GeometryPartials {
+  std::int64_t extent[3] = {1, 1, 1};
+};
+
+inline GeometryPartials make_geometry_partials(
+    const stencil::StencilSpec& spec) {
+  GeometryPartials p;
+  for (int d = 0; d < 3; ++d) {
+    p.extent[d] = spec.grid[static_cast<std::size_t>(d)];
+  }
+  return p;
+}
+
+/// Launch geometry implied by a setting, from hoisted partials. Inline:
+/// this runs once per setting on the batch-oracle hot path.
+inline LaunchGeometry compute_launch_geometry(const GeometryPartials& partials,
+                                              const space::Setting& setting) {
+  LaunchGeometry g;
+  constexpr space::ParamId tb[] = {space::kTBx, space::kTBy, space::kTBz};
+  constexpr space::ParamId cm[] = {space::kCMx, space::kCMy, space::kCMz};
+  constexpr space::ParamId bm[] = {space::kBMx, space::kBMy, space::kBMz};
+  const bool streaming = setting.flag(space::kUseStreaming);
+  const int sd = static_cast<int>(setting.get(space::kSD)) - 1;
+  for (int d = 0; d < 3; ++d) {
+    g.block[d] = setting.get(tb[d]);
+    const std::int64_t extent = partials.extent[d];
+    if (streaming && d == sd) {
+      // Concurrent streaming: one block per SB-long tile of the streaming
+      // dimension (SB == extent degenerates to classic 2.5-D streaming).
+      g.grid[d] = ceil_div<std::int64_t>(extent, setting.get(space::kSB));
+    } else {
+      const std::int64_t coverage = setting.get(tb[d]) *
+                                    setting.get(cm[d]) * setting.get(bm[d]);
+      g.grid[d] = ceil_div<std::int64_t>(extent, coverage);
+    }
+  }
+  return g;
+}
 
 LaunchGeometry compute_launch_geometry(const stencil::StencilSpec& spec,
                                        const space::Setting& setting);

@@ -1,0 +1,64 @@
+#pragma once
+// Bump-pointer scratch arena for per-worker batch buffers. One contiguous
+// block is grown to the high-water mark on first use and then reused for
+// the rest of the process: reset() just rewinds the cursor, so steady-state
+// batch evaluation performs zero heap allocations per setting
+// (docs/performance.md). Only trivially-destructible element types are
+// allowed — nothing is destroyed on reset.
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace cstuner {
+
+class Arena {
+ public:
+  /// Uninitialized scratch span of `count` elements, aligned for T.
+  /// Invalidated by the next grow; allocate every span for a batch before
+  /// writing to any of them, or reserve() the total up front.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    static_assert(alignof(T) <= kAlign, "over-aligned type");
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t at = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    if (at + bytes > capacity()) grow(at + bytes);
+    used_ = at + bytes;
+    return {reinterpret_cast<T*>(data() + at), count};
+  }
+
+  /// Ensures at least `bytes` of capacity (one allocation, done early).
+  void reserve(std::size_t bytes) {
+    if (bytes > capacity()) grow(bytes);
+  }
+
+  /// Rewinds the cursor; capacity (and previous spans' memory) is reused.
+  void reset() { used_ = 0; }
+
+  std::size_t capacity() const { return storage_.size() * kAlign; }
+
+ private:
+  static constexpr std::size_t kAlign = 64;  // cache-line alignment
+
+  struct alignas(kAlign) Chunk {
+    unsigned char bytes[kAlign];
+  };
+
+  unsigned char* data() { return storage_.data()->bytes; }
+
+  void grow(std::size_t needed) {
+    std::size_t cap = capacity() == 0 ? 4096 : capacity();
+    while (cap < needed) cap *= 2;
+    storage_.resize(cap / kAlign);
+  }
+
+  // Vector of aligned chunks => data() is 64-byte aligned without the
+  // aligned-new machinery.
+  std::vector<Chunk> storage_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cstuner

@@ -1,0 +1,135 @@
+#pragma once
+// Flat open-addressing hash map for 64-bit keys (linear probing, power-of-2
+// capacity). Built for the evaluator's result cache: keys are already
+// well-mixed Setting hashes, entries are small PODs, there is no erase, and
+// the expected population (the tuning universe) is known up front — so one
+// reserve() at tune start makes the hot path a probe over a contiguous
+// array with no per-insert allocation, in contrast to the node-per-entry
+// std::unordered_map it replaces.
+//
+// Key 0 is reserved as the empty-slot sentinel; the (astronomically rare)
+// real zero key is carried in a dedicated side slot so correctness does not
+// depend on hash values never being zero.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cstuner {
+
+template <typename Value>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+
+  /// Number of stored entries.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Pre-sizes the table for `expected` entries so inserts up to that count
+  /// never rehash. Keeps existing entries.
+  void reserve(std::size_t expected) {
+    std::size_t want = kMinCapacity;
+    // Grow until `expected` fits under the load-factor ceiling.
+    while (want * kMaxLoadNum / kMaxLoadDen < expected + 1) want *= 2;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  Value* find(std::uint64_t key) {
+    if (key == 0) return has_zero_ ? &zero_slot_.value : nullptr;
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = key & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == 0) return nullptr;
+    }
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatHashMap*>(this)->find(key);
+  }
+
+  /// Inserts (key, value) unless the key is present; first writer wins.
+  /// Returns {slot value, inserted}.
+  std::pair<Value*, bool> try_emplace(std::uint64_t key, const Value& value) {
+    if (key == 0) {
+      if (!has_zero_) {
+        zero_slot_.value = value;
+        has_zero_ = true;
+        ++size_;
+        return {&zero_slot_.value, true};
+      }
+      return {&zero_slot_.value, false};
+    }
+    if (slots_.empty() ||
+        (size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = key & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return {&slot.value, false};
+      if (slot.key == 0) {
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return {&slot.value, true};
+      }
+    }
+  }
+
+  /// Drops every entry; keeps the allocated capacity.
+  void clear() {
+    for (auto& slot : slots_) slot.key = 0;
+    has_zero_ = false;
+    size_ = 0;
+  }
+
+  /// Calls fn(key, value) for every entry (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (has_zero_) fn(std::uint64_t{0}, zero_slot_.value);
+    for (const auto& slot : slots_) {
+      if (slot.key != 0) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  // 7/8 max load: linear probing stays short while wasting little memory.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  void rehash(std::size_t new_capacity) {
+    CSTUNER_CHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const std::size_t mask = new_capacity - 1;
+    for (const auto& slot : old) {
+      if (slot.key == 0) continue;
+      for (std::size_t i = slot.key & mask;; i = (i + 1) & mask) {
+        if (slots_[i].key == 0) {
+          slots_[i] = slot;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  Slot zero_slot_;
+  bool has_zero_ = false;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cstuner

@@ -4,39 +4,10 @@
 
 namespace cstuner {
 
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
-std::uint64_t SplitMix64::next() {
-  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-Rng::Rng(std::uint64_t seed) {
-  SplitMix64 sm(seed);
-  for (auto& word : s_) word = sm.next();
-  // Guard against the (astronomically unlikely) all-zero state.
-  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
+// The seeding constructor, next(), uniform() and normal() live in the
+// header: the measurement-noise path constructs a generator and draws one
+// normal per run, so those must inline into the caller (docs/performance.md).
+// The remaining entry points are cold enough to stay out of line.
 
 std::uint64_t Rng::bounded(std::uint64_t bound) {
   if (bound == 0) return 0;
@@ -58,26 +29,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(bounded(span));
 }
 
-double Rng::uniform() {
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  double u1 = uniform();
-  while (u1 <= 1e-300) u1 = uniform();
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * M_PI * u2;
-  cached_normal_ = r * std::sin(theta);
-  has_cached_normal_ = true;
-  return r * std::cos(theta);
-}
 
 double Rng::normal(double mean, double stddev) {
   return mean + stddev * normal();
@@ -90,22 +42,5 @@ std::size_t Rng::index(std::size_t size) {
 }
 
 Rng Rng::split() { return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
-
-std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
-  // Boost-style mix adapted to 64 bits.
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
-  SplitMix64 sm(h);
-  return sm.next();
-}
-
-std::uint64_t fnv1a(const void* data, std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 }  // namespace cstuner

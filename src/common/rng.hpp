@@ -6,6 +6,7 @@
 // SplitMix64, so every experiment is exactly reproducible from its seed.
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -18,7 +19,12 @@ class SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  std::uint64_t next();
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
 
  private:
   std::uint64_t state_;
@@ -30,7 +36,15 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+  // Construction and the single-normal draw are inline: the measurement
+  // noise path seeds a fresh generator and draws once per run, several
+  // million times per tune (docs/performance.md).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
@@ -38,7 +52,17 @@ class Rng {
   }
 
   result_type operator()() { return next(); }
-  std::uint64_t next();
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
   std::uint64_t bounded(std::uint64_t bound);
@@ -47,12 +71,15 @@ class Rng {
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
-  /// Standard normal via Box–Muller (cached second value).
+  /// Standard normal via Box–Muller. The pair's second value is cached as
+  /// (r, theta) and its sine evaluated only if a second draw is requested,
+  /// so single-draw consumers (measurement noise) skip the std::sin — with
+  /// values bit-identical to the eager implementation either way.
   double normal();
 
   /// Normal with given mean and standard deviation.
@@ -78,15 +105,50 @@ class Rng {
   }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   bool has_cached_normal_ = false;
-  double cached_normal_ = 0.0;
+  double cached_r_ = 0.0;      ///< Box–Muller radius of the pending pair
+  double cached_theta_ = 0.0;  ///< Box–Muller angle of the pending pair
 };
 
+inline double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_r_ * std::sin(cached_theta_);
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_r_ = r;
+  cached_theta_ = theta;
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
 /// Stable 64-bit hash mixing, for deriving seeds from structured keys.
-std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+/// Inline: Setting::hash chains 19 of these on the evaluator hot path.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  // Boost-style mix adapted to 64 bits.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  SplitMix64 sm(h);
+  return sm.next();
+}
 
 /// FNV-1a over a byte range; convenient for hashing strings into seeds.
-std::uint64_t fnv1a(const void* data, std::size_t n);
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 }  // namespace cstuner

@@ -87,6 +87,10 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
     report_.universe_count = universe.size();
   }
   CSTUNER_OBS_GAUGE("cstuner.universe_size", universe.size());
+  // The universe bounds the unique settings this tune can evaluate; sizing
+  // the result-cache shards now keeps the flat tables from rehashing
+  // mid-tune (docs/performance.md).
+  evaluator.reserve_cache(universe.size());
 
   // --- Pre-processing 1: parameter grouping (§IV-C). ----------------------
   t0 = Clock::now();

@@ -1,107 +1,22 @@
 #include "gpusim/compute_model.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/math_util.hpp"
+#include "gpusim/model_kernels.hpp"
+#include "gpusim/stencil_invariants.hpp"
 
 namespace cstuner::gpusim {
 
-using namespace space;
-
+// The model arithmetic lives in detail::compute_stage (model_kernels.hpp),
+// shared verbatim with the batch oracle; this standalone entry point hoists
+// the invariants for a single call. Hot paths go through Simulator, which
+// caches the invariants per (arch, stencil) instead.
 ComputeAnalysis analyze_compute(const GpuArch& arch,
                                 const stencil::StencilSpec& spec,
                                 const space::Setting& setting,
                                 const codegen::LaunchGeometry& geometry,
                                 const OccupancyResult& occ) {
-  ComputeAnalysis c;
-  const bool streaming = setting.flag(kUseStreaming);
-  const bool prefetch = setting.flag(kUsePrefetching);
-  const bool shared = setting.flag(kUseShared);
-  const bool constant = setting.flag(kUseConstant);
-  const bool retiming = setting.flag(kUseRetiming);
-
-  // --- ILP: unrolling exposes independent FMA chains; merging adds
-  // independent output accumulators (register-level reuse, §II-B1/B2).
-  const double unroll = static_cast<double>(
-      setting.get(kUFx) * setting.get(kUFy) * setting.get(kUFz));
-  const double merged = static_cast<double>(setting.points_per_thread());
-  c.ilp = 1.0 + 0.22 * std::log2(unroll) + 0.08 * std::log2(merged);
-  c.ilp = clamp(c.ilp, 1.0, 1.9);
-
-  // --- Loop/index overhead shrinks with unrolling.
-  c.instr_overhead = 1.0 + 0.22 / std::sqrt(unroll);
-
-  // --- Divergence: warp lanes idle in partial tiles at the grid boundary.
-  double lane_eff = 1.0;
-  const ParamId tb[] = {kTBx, kTBy, kTBz};
-  const ParamId cm[] = {kCMx, kCMy, kCMz};
-  const ParamId bm[] = {kBMx, kBMy, kBMz};
-  const int sd = static_cast<int>(setting.get(kSD)) - 1;
-  for (int d = 0; d < 3; ++d) {
-    std::int64_t coverage;
-    if (streaming && d == sd) {
-      coverage = setting.get(kSB);
-    } else {
-      coverage = setting.get(tb[d]) * setting.get(cm[d]) * setting.get(bm[d]);
-    }
-    const std::int64_t extent = spec.grid[static_cast<std::size_t>(d)];
-    const std::int64_t covered =
-        ceil_div<std::int64_t>(extent, coverage) * coverage;
-    lane_eff *= static_cast<double>(extent) / static_cast<double>(covered);
-  }
-  c.divergence_eff = clamp(lane_eff, 0.3, 1.0);
-
-  // --- Latency hiding of the FP64 pipeline: both occupancy (TLP) and ILP
-  // feed the issue slots; fully hidden around occ*ilp ~ 0.5.
-  const double hiding = clamp(
-      0.12 + 1.6 * std::pow(occ.occupancy * c.ilp, 0.65), 0.05, 1.0);
-
-  double eff = hiding * c.divergence_eff / c.instr_overhead;
-
-  // Constant memory serves the (broadcast) stencil coefficients from the
-  // constant cache: a win for coefficient-heavy kernels, a slight latency
-  // cost for trivial ones (§II-A).
-  if (constant) {
-    eff *= (spec.taps.size() >= 20) ? 1.06 : 0.97;
-  }
-  // Retiming shortens dependent accumulation chains for high-order
-  // stencils; for order-1 it only adds bookkeeping.
-  if (retiming) {
-    eff *= (spec.order >= 2) ? 1.07 : 0.95;
-  }
-  // Shared-memory pipelines insert LD/ST-unit work per tap.
-  if (shared) eff *= 0.94;
-
-  // Tail quantization: the last wave of blocks underfills the machine.
-  const double slots = static_cast<double>(arch.num_sms) *
-                       std::max(occ.blocks_per_sm, 1);
-  const double blocks = static_cast<double>(geometry.total_blocks());
-  const double waves = std::ceil(blocks / slots);
-  const double fill = blocks / (waves * slots);
-  eff *= clamp(fill, 0.05, 1.0);
-
-  c.fp64_eff = clamp(eff, 1e-4, 1.0);
-  c.flop_time_ms = spec.total_flops() / (arch.fp64_gflops * c.fp64_eff) / 1e6;
-
-  // --- Barrier cost: shared-memory tiles need __syncthreads per stage;
-  // streaming adds one rotation barrier per plane of the SB tile.
-  if (shared) {
-    double syncs_per_block = 2.0;
-    if (streaming) {
-      syncs_per_block = static_cast<double>(setting.get(kSB)) + 1.0;
-    }
-    // Barrier latency is hidden when other resident blocks can issue.
-    double sync_us = 0.9 * syncs_per_block * waves /
-                     std::sqrt(static_cast<double>(
-                         std::max(occ.blocks_per_sm, 1)));
-    if (prefetch) sync_us *= 0.45;  // overlap load with compute (§II-B3)
-    c.sync_time_ms = sync_us / 1e3;
-  } else if (streaming && prefetch) {
-    // Prefetch still overlaps the plane-shift dependency chain.
-    c.sync_time_ms = 0.0;
-  }
-  return c;
+  const StencilInvariants inv = make_stencil_invariants(arch, spec);
+  return detail::compute_stage(arch, inv, setting, geometry.total_blocks(),
+                               occ);
 }
 
 }  // namespace cstuner::gpusim

@@ -1,26 +1,14 @@
 #include "gpusim/memory_model.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-
-#include "common/math_util.hpp"
+#include "gpusim/model_kernels.hpp"
+#include "gpusim/stencil_invariants.hpp"
 
 namespace cstuner::gpusim {
 
-using namespace space;
-
-namespace {
-
-/// Taps reading each input array.
-std::map<int, int> taps_per_array(const stencil::StencilSpec& spec) {
-  std::map<int, int> counts;
-  for (const auto& t : spec.taps) ++counts[t.array];
-  return counts;
-}
-
-}  // namespace
-
+// The model arithmetic lives in detail::memory_stage (model_kernels.hpp),
+// shared verbatim with the batch oracle; this standalone entry point hoists
+// the invariants for a single call. Hot paths go through Simulator, which
+// caches the invariants per (arch, stencil) instead.
 MemoryAnalysis analyze_memory(const GpuArch& arch,
                               const stencil::StencilSpec& spec,
                               const space::Setting& setting,
@@ -28,131 +16,9 @@ MemoryAnalysis analyze_memory(const GpuArch& arch,
                               const OccupancyResult& occ,
                               const space::ResourceUsage& resources) {
   (void)resources;  // reserved for spill-traffic modeling
-  MemoryAnalysis m;
-  const double points = static_cast<double>(spec.points());
-  const bool shared = setting.flag(kUseShared);
-  const bool streaming = setting.flag(kUseStreaming);
-  const bool retiming = setting.flag(kUseRetiming);
-  const int sd = static_cast<int>(setting.get(kSD)) - 1;
-
-  // --- Coalescing (paper §II-B2: block merging in the innermost dimension
-  // disrupts memory coalescing; small TBx leaves transactions partially
-  // used). Cyclic merging keeps warp accesses contiguous.
-  const double tbx = static_cast<double>(setting.get(kTBx));
-  const double bmx = static_cast<double>(setting.get(kBMx));
-  // 32-byte DRAM sectors hold four doubles, so even fully scattered lanes
-  // waste at most 4x; block merging strides lanes apart by BMx elements
-  // (saturating at one double per sector) and sub-warp TBx rows split the
-  // 128-byte transaction.
-  double coal = 0.25 + 0.75 * std::min(1.0, tbx / 32.0);
-  coal /= 1.0 + 0.75 * (std::min(bmx, 4.0) - 1.0);
-  // Streaming along x makes each thread walk the unit-stride dimension:
-  // consecutive threads then touch different rows.
-  if (streaming && sd == 0) coal *= 0.5;
-  m.coalescing_eff = clamp(coal, 0.25 / 2.0, 1.0);
-
-  // --- Per-block tile footprint (elements incl. halo), for cache modeling.
-  const ParamId tb[] = {kTBx, kTBy, kTBz};
-  const ParamId cm[] = {kCMx, kCMy, kCMz};
-  const ParamId bm[] = {kBMx, kBMy, kBMz};
-  double tile_elems = 1.0;
-  double tile_interior = 1.0;
-  for (int d = 0; d < 3; ++d) {
-    double extent;
-    if (streaming && d == sd) {
-      // Sliding window of planes.
-      extent = static_cast<double>(2 * spec.order + 1);
-      tile_interior *= 1.0;
-    } else {
-      const double interior = static_cast<double>(
-          setting.get(tb[d]) * setting.get(cm[d]) * setting.get(bm[d]));
-      extent = interior + 2.0 * spec.order;
-      tile_interior *= interior;
-    }
-    tile_elems *= extent;
-  }
-  // Halo overhead of the block decomposition: loaded-but-not-computed ratio.
-  const double halo_factor = tile_elems / std::max(tile_interior, 1.0);
-
-  // --- L1: does the per-SM resident working set fit?
-  const double block_bytes =
-      tile_elems * 8.0 * static_cast<double>(spec.n_inputs);
-  const double sm_working_set =
-      block_bytes * std::max(occ.blocks_per_sm, 1);
-  double l1_fit = static_cast<double>(arch.l1_bytes_per_sm) /
-                  std::max(sm_working_set, 1.0);
-  m.l1_hit_rate = 0.80 * clamp(std::sqrt(l1_fit), 0.05, 1.0);
-  // Poorly coalesced access patterns also thrash L1 sectors.
-  m.l1_hit_rate *= 0.5 + 0.5 * m.coalescing_eff;
-
-  // --- L2: plane reuse across neighbouring blocks. One xy-plane of all
-  // input arrays must survive in L2 for vertical (z) neighbour reuse.
-  const double plane_bytes = static_cast<double>(spec.grid[0]) *
-                             static_cast<double>(spec.grid[1]) * 8.0 *
-                             static_cast<double>(spec.n_inputs);
-  const double l2_fit =
-      static_cast<double>(arch.l2_bytes) / std::max(plane_bytes, 1.0);
-  m.l2_hit_rate = 0.75 * clamp(l2_fit, 0.08, 1.0);
-
-  // --- DRAM read traffic. For each input array: one compulsory load per
-  // point (inflated by block halo), plus the neighbour re-reads that escape
-  // the on-chip capture chain (shared memory staging / streaming register
-  // window / retimed accumulation / L1 / L2).
-  const auto tap_counts = taps_per_array(spec);
-  const std::int64_t staged = std::min<std::int64_t>(spec.n_inputs, 2);
-  double dram_reads = 0.0;
-  for (const auto& [array, taps] : tap_counts) {
-    double reuse_misses = static_cast<double>(taps - 1);
-    if (shared && array < staged) {
-      // Staged arrays: intra-tile neighbour reads are served from smem;
-      // only the cooperative load itself touches DRAM.
-      reuse_misses *= 0.02;
-    } else {
-      // Streaming captures reuse along SD in the register/smem window.
-      if (streaming) reuse_misses *= 0.45;
-      // Retiming homogenizes accesses into per-axis partials held in
-      // registers — effective for high-order stencils (§II-B4).
-      if (retiming && spec.order >= 2) reuse_misses *= 0.55;
-      // What remains goes through L1/L2.
-      reuse_misses *= (1.0 - m.l1_hit_rate);
-      reuse_misses *= (1.0 - m.l2_hit_rate);
-    }
-    // Halo cells are re-read by neighbouring blocks, but those reads
-    // usually hit in L2 (the neighbour loaded them recently): only the
-    // L2-miss fraction of the halo overhead reaches DRAM.
-    const double compulsory =
-        1.0 + (halo_factor - 1.0) * (1.0 - m.l2_hit_rate);
-    dram_reads += points * 8.0 * (compulsory + reuse_misses);
-  }
-  // Uncoalesced transactions transfer full sectors for partial use.
-  dram_reads /= (0.25 + 0.75 * m.coalescing_eff);
-
-  double dram_writes =
-      points * 8.0 * static_cast<double>(spec.n_outputs);
-  dram_writes /= (0.4 + 0.6 * m.coalescing_eff);
-
-  m.dram_read_bytes = dram_reads;
-  m.dram_write_bytes = dram_writes;
-
-  // --- Bandwidth actually achievable: DRAM needs enough in-flight warps.
-  // ~50% occupancy saturates HBM on these parts.
-  const double hiding =
-      clamp(0.14 + 1.5 * std::pow(occ.occupancy, 0.62), 0.06, 1.0);
-  // An almost-empty grid cannot use all memory channels either.
-  const double grid_fill =
-      clamp(static_cast<double>(geometry.total_blocks()) /
-                static_cast<double>(arch.num_sms),
-            0.05, 1.0);
-  m.achieved_dram_gbps = arch.dram_gbps * hiding * std::sqrt(grid_fill);
-
-  const double dram_time_ms =
-      (dram_reads + dram_writes) / (m.achieved_dram_gbps * 1e6);
-  // L2-bound component: all traffic that reaches L2 (hits + misses).
-  const double l2_traffic =
-      (dram_reads + dram_writes) / std::max(1.0 - m.l2_hit_rate, 0.25);
-  const double l2_time_ms = l2_traffic / (arch.l2_gbps * hiding * 1e6);
-  m.mem_time_ms = std::max(dram_time_ms, l2_time_ms);
-  return m;
+  const StencilInvariants inv = make_stencil_invariants(arch, spec);
+  return detail::memory_stage(arch, inv, setting, geometry.total_blocks(),
+                              occ);
 }
 
 }  // namespace cstuner::gpusim

@@ -1,0 +1,75 @@
+#include "gpusim/stencil_invariants.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace cstuner::gpusim {
+
+std::uint64_t stencil_fingerprint(const GpuArch& arch,
+                                  const stencil::StencilSpec& spec) {
+  std::uint64_t h = fnv1a(arch.name.data(), arch.name.size());
+  h = hash_combine(h, fnv1a(spec.name.data(), spec.name.size()));
+  for (const int extent : spec.grid) {
+    h = hash_combine(h, static_cast<std::uint64_t>(extent));
+  }
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.order));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.flops));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.n_inputs));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.n_outputs));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.taps.size()));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.pointwise_ops));
+  return h;
+}
+
+StencilInvariants make_stencil_invariants(const GpuArch& arch,
+                                          const stencil::StencilSpec& spec) {
+  StencilInvariants inv;
+  inv.order = spec.order;
+  inv.n_inputs = spec.n_inputs;
+  inv.n_outputs = spec.n_outputs;
+  inv.points = static_cast<double>(spec.points());
+  inv.total_flops = spec.total_flops();
+  inv.geometry = codegen::make_geometry_partials(spec);
+
+  // Taps per input array via a flat vector indexed by array id (the old
+  // memory_model std::map built this on every call); the pair list keeps
+  // the map's ascending-id iteration order and skips arrays with no taps.
+  int max_array = -1;
+  for (const auto& t : spec.taps) max_array = std::max(max_array, t.array);
+  std::vector<int> counts(static_cast<std::size_t>(max_array + 1), 0);
+  for (const auto& t : spec.taps) ++counts[static_cast<std::size_t>(t.array)];
+  for (int array = 0; array <= max_array; ++array) {
+    const int taps = counts[static_cast<std::size_t>(array)];
+    if (taps > 0) inv.tap_counts.emplace_back(array, taps);
+  }
+
+  inv.staged = std::min<std::int64_t>(spec.n_inputs, 2);
+  inv.many_taps = spec.taps.size() >= 20;
+  inv.high_order = spec.order >= 2;
+  inv.window = static_cast<double>(2 * spec.order + 1);
+
+  inv.temporal_flop_coeff = 0.15 * spec.order;
+  inv.temporal_mem_coeff = 0.10 * spec.order;
+
+  // L2 plane-reuse hit rate (memory_model): one xy-plane of all input
+  // arrays must survive in L2 for vertical neighbour reuse. Entirely
+  // setting-independent, so evaluated here once.
+  const double plane_bytes = static_cast<double>(spec.grid[0]) *
+                             static_cast<double>(spec.grid[1]) * 8.0 *
+                             static_cast<double>(spec.n_inputs);
+  const double l2_fit =
+      static_cast<double>(arch.l2_bytes) / std::max(plane_bytes, 1.0);
+  inv.l2_hit_rate = 0.75 * clamp(l2_fit, 0.08, 1.0);
+
+  inv.launch_ms = arch.kernel_launch_us / 1e3;
+
+  inv.noise_seed_prefix =
+      hash_combine(fnv1a(arch.name.data(), arch.name.size()),
+                   fnv1a(spec.name.data(), spec.name.size()));
+  inv.fingerprint = stencil_fingerprint(arch, spec);
+  return inv;
+}
+
+}  // namespace cstuner::gpusim

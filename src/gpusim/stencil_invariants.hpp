@@ -1,0 +1,70 @@
+#pragma once
+// Per-(arch, stencil) invariants of the analytical GPU model: everything a
+// profile evaluation needs that does NOT depend on the setting, hoisted out
+// of the per-setting hot path and computed once per tune instead of once
+// per evaluation (docs/performance.md). Simulator caches one instance per
+// (arch, stencil) pair; the batch oracle and the scalar profile() both read
+// the same instance, so hoisting cannot introduce divergence.
+//
+// Bit-identity rule for adding fields: an invariant may pre-evaluate a
+// subexpression only if the original code evaluates exactly that grouping
+// (e.g. `0.15 * order` from the left-associative `0.15 * order * x`), so
+// the remaining per-setting arithmetic reproduces the scalar path bit for
+// bit.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "codegen/cuda_codegen.hpp"
+#include "gpusim/gpu_arch.hpp"
+#include "stencil/stencil_spec.hpp"
+
+namespace cstuner::gpusim {
+
+struct StencilInvariants {
+  // --- Stencil structure ---------------------------------------------------
+  int order = 1;
+  int n_inputs = 1;
+  int n_outputs = 1;
+  double points = 0.0;       ///< double(spec.points())
+  double total_flops = 0.0;  ///< spec.total_flops()
+  codegen::GeometryPartials geometry;  ///< grid extents for launch geometry
+  /// (array id, tap count) per input array actually read, ascending by id —
+  /// the flat-vector replacement for the old per-call std::map in
+  /// memory_model.cpp (same iteration order, zero-tap arrays skipped).
+  std::vector<std::pair<int, int>> tap_counts;
+  std::int64_t staged = 1;    ///< min(n_inputs, 2) smem-staged arrays
+  bool many_taps = false;     ///< taps.size() >= 20 (constant-memory win)
+  bool high_order = false;    ///< order >= 2 (retiming win)
+  double window = 1.0;        ///< 2*order+1 streaming-window extent
+
+  // --- Temporal-blocking coefficients (simulator.cpp overlap model) --------
+  double temporal_flop_coeff = 0.0;  ///< 0.15 * order
+  double temporal_mem_coeff = 0.0;   ///< 0.10 * order
+
+  // --- Arch-derived --------------------------------------------------------
+  /// L2 plane-reuse hit rate: depends only on the grid plane size and the
+  /// L2 capacity, so it is a full per-tune constant.
+  double l2_hit_rate = 0.0;
+  double launch_ms = 0.0;  ///< arch.kernel_launch_us / 1e3
+
+  // --- Identity ------------------------------------------------------------
+  /// hash_combine(fnv1a(arch.name), fnv1a(spec.name)) — the prefix of the
+  /// measurement-noise seed chain (simulator.cpp).
+  std::uint64_t noise_seed_prefix = 0;
+  /// Structural fingerprint keying the Simulator-side cache; covers name,
+  /// grid, order, flops and array counts so a same-named scaled variant
+  /// gets its own entry.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Fingerprint used to key the invariants cache (pure function).
+std::uint64_t stencil_fingerprint(const GpuArch& arch,
+                                  const stencil::StencilSpec& spec);
+
+/// Computes the invariants for one (arch, stencil) pair.
+StencilInvariants make_stencil_invariants(const GpuArch& arch,
+                                          const stencil::StencilSpec& spec);
+
+}  // namespace cstuner::gpusim

@@ -11,6 +11,26 @@ ConstraintChecker::ConstraintChecker(const stencil::StencilSpec& spec,
                                      const ResourceLimits& limits)
     : spec_(spec), parameters_(parameters), limits_(limits) {
   CSTUNER_CHECK(parameters_.size() == kParamCount);
+  // Admissibility bitmaps for the fast path. Parameter values are small
+  // (pow-2 factors up to the grid extent, unit-stride enums), so a dense
+  // bitmap over [min, max] fits easily; anything wider falls back to the
+  // parameter's own sorted lookup.
+  constexpr std::int64_t kMaxDenseSpan = 4096;
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    const auto& values = parameters_[i].values;
+    if (values.empty()) continue;
+    AdmissibleBits& bits = admissible_[i];
+    const std::int64_t min = values.front();
+    const std::int64_t max = values.back();
+    if (max - min >= kMaxDenseSpan) continue;
+    bits.min = min;
+    bits.max = max;
+    bits.words.assign(static_cast<std::size_t>((max - min) / 64 + 1), 0);
+    for (const std::int64_t v : values) {
+      const auto off = static_cast<std::uint64_t>(v - min);
+      bits.words[off >> 6] |= std::uint64_t{1} << (off & 63);
+    }
+  }
 }
 
 Setting ConstraintChecker::canonicalized(Setting setting) const {
@@ -119,6 +139,86 @@ Setting ConstraintChecker::repaired(Setting s) const {
     }
   }
   return s;
+}
+
+bool ConstraintChecker::is_valid(const Setting& setting,
+                                 ResourceUsage* usage_out) const {
+  // Mirrors violation() rule for rule (same order, same conditions) so the
+  // two entry points can never disagree; test_space cross-checks them.
+
+  // Rule 0: admissible values (bitmap fast path).
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    if (!admissible_[i].contains(setting.get(static_cast<ParamId>(i)),
+                                 parameters_[i])) {
+      return false;
+    }
+  }
+
+  // Rule 1: thread-block size limit.
+  if (setting.threads_per_block() > limits_.max_threads_per_block) {
+    return false;
+  }
+
+  const bool streaming = setting.flag(kUseStreaming);
+  const int sd = static_cast<int>(setting.get(kSD)) - 1;
+  const ParamId tb[] = {kTBx, kTBy, kTBz};
+  const ParamId uf[] = {kUFx, kUFy, kUFz};
+  const ParamId cm[] = {kCMx, kCMy, kCMz};
+  const ParamId bm[] = {kBMx, kBMy, kBMz};
+
+  // Rule 2: canonical encoding of the streaming-dependent parameters.
+  if (!streaming) {
+    if (setting.get(kSD) != 1 || setting.get(kSB) != 1) return false;
+    if (setting.flag(kUsePrefetching)) return false;
+  }
+
+  // Rule 3: per-dimension coverage within the grid.
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t coverage = setting.get(tb[d]) * setting.get(cm[d]) *
+                                  setting.get(bm[d]);
+    if (coverage > spec_.grid[static_cast<std::size_t>(d)]) return false;
+  }
+
+  if (streaming) {
+    // Rules 4-6: 2.5-D blocking shape, SB within the streamed extent,
+    // streamed-dimension unroll bounded by SB.
+    if (setting.get(tb[sd]) != 1 || setting.get(cm[sd]) != 1 ||
+        setting.get(bm[sd]) != 1) {
+      return false;
+    }
+    if (setting.get(kSB) > spec_.grid[static_cast<std::size_t>(sd)]) {
+      return false;
+    }
+    if (setting.get(uf[sd]) > setting.get(kSB)) return false;
+  }
+
+  // Rule 7: unroll bounded by the merged trip count.
+  for (int d = 0; d < 3; ++d) {
+    if (streaming && d == sd) continue;
+    if (setting.get(uf[d]) > setting.get(cm[d]) * setting.get(bm[d])) {
+      return false;
+    }
+  }
+
+  // Rule 10: temporal blocking needs a single-grid streaming pipeline.
+  if (setting.get(kTemporal) > 1) {
+    if (spec_.n_inputs != 1 || spec_.n_outputs != 1) return false;
+    if (!streaming) return false;
+  }
+
+  // Rules 8/8b/9: register spill, block register demand, shared memory.
+  const ResourceUsage usage = estimate_resources(spec_, setting, limits_);
+  if (usage.spilled) return false;
+  const std::int64_t warps = (setting.threads_per_block() + 31) / 32;
+  const std::int64_t regs_per_warp =
+      ((static_cast<std::int64_t>(usage.registers_per_thread) * 32 + 255) /
+       256) *
+      256;
+  if (warps * regs_per_warp > limits_.max_registers_per_block) return false;
+  if (usage.shared_mem_per_block > limits_.max_smem_per_block) return false;
+
+  if (usage_out != nullptr) *usage_out = usage;
+  return true;
 }
 
 std::optional<std::string> ConstraintChecker::violation(

@@ -2,7 +2,14 @@
 // Explicit and implicit constraint checking (§IV-B). Only settings passing
 // every rule are explored during auto-tuning; the checker reports the first
 // violated rule for diagnostics.
+//
+// Two entry points share the rule set: violation() builds a diagnostic
+// string for the first broken rule, and is_valid() answers the same
+// question as a branch-only fast path (admissibility via precomputed
+// per-parameter bitmaps, no allocation) — it sits on the evaluator's
+// per-setting hot path (docs/performance.md).
 
+#include <array>
 #include <optional>
 #include <string>
 
@@ -20,9 +27,12 @@ class ConstraintChecker {
   /// nullopt when valid; otherwise the first violated rule.
   std::optional<std::string> violation(const Setting& setting) const;
 
-  bool is_valid(const Setting& setting) const {
-    return !violation(setting).has_value();
-  }
+  /// Same verdict as !violation(setting).has_value(), without building
+  /// diagnostics. When `usage_out` is non-null and the setting is valid,
+  /// the rule-8 resource estimate is stored there so hot-path callers can
+  /// reuse it instead of recomputing.
+  bool is_valid(const Setting& setting,
+                ResourceUsage* usage_out = nullptr) const;
 
   /// Forces the canonical encoding of inactive optimizations: with streaming
   /// disabled SD/SB collapse to 1 and prefetching (which overlaps streaming
@@ -42,9 +52,25 @@ class ConstraintChecker {
   const ResourceLimits& limits() const { return limits_; }
 
  private:
+  /// Dense admissible-value bitmap for one parameter (covers [min, max]);
+  /// empty words fall back to the parameter's sorted-vector lookup.
+  struct AdmissibleBits {
+    std::int64_t min = 0;
+    std::int64_t max = -1;
+    std::vector<std::uint64_t> words;
+
+    bool contains(std::int64_t v, const Parameter& param) const {
+      if (words.empty()) return param.contains(v);
+      if (v < min || v > max) return false;
+      const auto off = static_cast<std::uint64_t>(v - min);
+      return (words[off >> 6] >> (off & 63)) & 1u;
+    }
+  };
+
   const stencil::StencilSpec& spec_;
   const std::vector<Parameter>& parameters_;
   ResourceLimits limits_;
+  std::array<AdmissibleBits, kParamCount> admissible_;
 };
 
 }  // namespace cstuner::space

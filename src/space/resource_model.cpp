@@ -20,81 +20,8 @@ std::int64_t smem_tile_extent(const stencil::StencilSpec& spec,
 ResourceUsage estimate_resources(const stencil::StencilSpec& spec,
                                  const Setting& setting,
                                  const ResourceLimits& limits) {
-  ResourceUsage usage;
-
-  const bool streaming = setting.flag(kUseStreaming);
-  const int sd = static_cast<int>(setting.get(kSD)) - 1;  // 0-based dim
-
-  // --- Registers -----------------------------------------------------------
-  // Base cost: thread/block index arithmetic, bounds checks, loop counters.
-  double regs = 22.0 + 2.0 * spec.order;
-
-  // Pointers and live values per input array referenced.
-  regs += 2.0 * spec.n_inputs + 1.5 * spec.n_outputs;
-
-  // Accumulators for merged output points: every merged point needs its own
-  // running sum per output array (the dominant pressure source).
-  const double merged = static_cast<double>(setting.points_per_thread());
-  regs += 1.6 * (merged - 1.0) * static_cast<double>(spec.n_outputs);
-
-  // Unrolled loop bodies keep extra neighbour values live.
-  const double unroll = static_cast<double>(
-      setting.get(kUFx) * setting.get(kUFy) * setting.get(kUFz));
-  regs += 2.2 * (unroll - 1.0);
-
-  // Streaming keeps a register plane of current/previous values per input;
-  // each fused time step (temporal blocking) adds another wavefront window.
-  if (streaming) {
-    regs += (2.0 * spec.order + 1.0) *
-            std::min<double>(spec.n_inputs, 3.0);
-    const double tf = static_cast<double>(setting.get(kTemporal));
-    regs += 1.8 * (2.0 * spec.order + 1.0) * (tf - 1.0);
-  }
-
-  // Prefetching double-buffers the next plane in registers.
-  if (setting.flag(kUsePrefetching)) {
-    regs += (2.0 * spec.order + 2.0) * std::min<double>(spec.n_inputs, 3.0);
-  }
-
-  // Without shared memory, neighbour reuse happens in registers instead.
-  if (!setting.flag(kUseShared)) {
-    regs += 2.0 * spec.order;
-  }
-
-  // Retiming homogenizes accesses and relieves pressure for high-order
-  // stencils (§II-B4); for low-order ones it just adds accumulators.
-  if (setting.flag(kUseRetiming)) {
-    if (spec.order >= 2) {
-      regs *= 0.82;
-    } else {
-      regs += 4.0;
-    }
-  }
-
-  usage.registers_per_thread = static_cast<int>(std::lround(regs));
-  usage.spilled =
-      usage.registers_per_thread > limits.max_registers_per_thread;
-
-  // --- Shared memory --------------------------------------------------------
-  if (setting.flag(kUseShared)) {
-    // Staged input arrays: generators stage at most a couple of the hottest
-    // arrays; the rest stay in global memory / caches.
-    const std::int64_t staged = std::min<std::int64_t>(spec.n_inputs, 2);
-    std::int64_t elems = 1;
-    for (int d = 0; d < 3; ++d) {
-      if (streaming && d == sd) {
-        // 2.5-D blocking holds a sliding window of planes along SD (one
-        // extra plane when prefetching; one window per fused time step).
-        elems *= (2 * spec.order + 1 +
-                  (setting.flag(kUsePrefetching) ? 1 : 0)) *
-                 setting.get(kTemporal);
-      } else {
-        elems *= smem_tile_extent(spec, setting, d);
-      }
-    }
-    usage.shared_mem_per_block = elems * 8 * staged;
-  }
-  return usage;
+  return estimate_resources_core(spec.order, spec.n_inputs, spec.n_outputs,
+                                 setting, limits);
 }
 
 }  // namespace cstuner::space

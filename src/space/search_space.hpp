@@ -27,8 +27,11 @@ class SearchSpace {
   }
   const ConstraintChecker& checker() const { return *checker_; }
 
-  bool is_valid(const Setting& setting) const {
-    return checker_->is_valid(setting);
+  /// Fast validity check; optionally hands back the rule-8 resource
+  /// estimate so hot-path callers don't recompute it (constraints.hpp).
+  bool is_valid(const Setting& setting,
+                ResourceUsage* usage_out = nullptr) const {
+    return checker_->is_valid(setting, usage_out);
   }
 
   /// One independently uniform draw per parameter, canonicalized; the result

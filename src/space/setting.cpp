@@ -7,10 +7,13 @@
 namespace cstuner::space {
 
 std::uint64_t Setting::hash() const {
+  const std::uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   std::uint64_t h = 0x435354554e4552ULL;  // "CSTUNER"
   for (std::int64_t v : values_) {
     h = hash_combine(h, static_cast<std::uint64_t>(v));
   }
+  hash_cache_.store(h, std::memory_order_relaxed);
   return h;
 }
 

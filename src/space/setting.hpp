@@ -2,6 +2,7 @@
 // A concrete parameter setting: one admissible value per Table I parameter.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,18 +12,38 @@ namespace cstuner::space {
 
 /// Value assignment for all 19 parameters. Stored as actual values (not
 /// indices) so constraint checks and models read naturally.
+///
+/// The content hash is memoized: samplers and tuners hash every setting at
+/// creation (universe dedup, cache keys), and the evaluation hot path reuses
+/// that value instead of re-chaining 19 hash rounds per call. Mutation
+/// through set() / the mutable operator[] invalidates the memo. The memo is
+/// a relaxed atomic so concurrent readers of a shared const Setting are
+/// race-free; it never changes the hash value itself.
 class Setting {
  public:
   Setting() { values_.fill(1); }
+
+  Setting(const Setting& other)
+      : values_(other.values_),
+        hash_cache_(other.hash_cache_.load(std::memory_order_relaxed)) {}
+  Setting& operator=(const Setting& other) {
+    values_ = other.values_;
+    hash_cache_.store(other.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   std::int64_t get(ParamId id) const {
     return values_[static_cast<std::size_t>(id)];
   }
   void set(ParamId id, std::int64_t value) {
+    hash_cache_.store(0, std::memory_order_relaxed);
     values_[static_cast<std::size_t>(id)] = value;
   }
 
   std::int64_t& operator[](ParamId id) {
+    // Handing out a mutable reference: assume the caller writes through it.
+    hash_cache_.store(0, std::memory_order_relaxed);
     return values_[static_cast<std::size_t>(id)];
   }
   std::int64_t operator[](ParamId id) const { return get(id); }
@@ -31,9 +52,12 @@ class Setting {
 
   const std::array<std::int64_t, kParamCount>& raw() const { return values_; }
 
-  bool operator==(const Setting& other) const = default;
+  bool operator==(const Setting& other) const {
+    return values_ == other.values_;
+  }
 
-  /// Stable content hash (for dedup, caches, and noise seeding).
+  /// Stable content hash (for dedup, caches, and noise seeding). Memoized;
+  /// the value is a pure function of the parameter values.
   std::uint64_t hash() const;
 
   /// "TBx=32 TBy=4 ... usePrefetching=off" for diagnostics.
@@ -52,6 +76,9 @@ class Setting {
 
  private:
   std::array<std::int64_t, kParamCount> values_;
+  /// Memoized hash(); 0 means "not computed" (a real zero hash — one in
+  /// 2^64 — merely recomputes every call).
+  mutable std::atomic<std::uint64_t> hash_cache_{0};
 };
 
 }  // namespace cstuner::space

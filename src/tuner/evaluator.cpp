@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <exception>
 
 #include "analysis/analyzer.hpp"
 #include "common/error.hpp"
@@ -18,9 +19,11 @@ Evaluator::Evaluator(const gpusim::Simulator& simulator,
                      std::uint64_t seed, ThreadPool* pool)
     : simulator_(simulator),
       space_(space),
+      inv_(&simulator.invariants(space.spec())),
       costs_(costs),
       run_salt_(hash_combine(seed, 0x4556414cULL)),
-      pool_(pool) {
+      pool_(pool),
+      usage_reusable_(space.checker().limits() == space::ResourceLimits{}) {
   CSTUNER_CHECK_MSG(costs_.runs_per_eval > 0,
                     "EvalCosts.runs_per_eval must be positive");
   // The most recently constructed evaluator owns the tracer's virtual
@@ -73,33 +76,53 @@ void Evaluator::set_checkpoint(Checkpoint* checkpoint) {
 }
 
 bool Evaluator::cache_lookup(std::uint64_t key, EvalResult& value_out) {
-  Shard& shard = shard_for(key);
+  // One shard-index computation serves both the table access and the hit
+  // counter below.
+  const std::size_t idx = shard_index(key);
+  Shard& shard = shards_[idx];
   bool hit = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (const auto it = shard.map.find(key); it != shard.map.end()) {
-      value_out = it->second;
+    if (const EvalResult* found = shard.map.find(key)) {
+      value_out = *found;
       hit = true;
     }
   }
-#if !defined(CSTUNER_OBS_DISABLED)
-  if (hit) {
-    // Per-shard hit counters expose cache skew (a hot shard means hash
-    // clustering); the counter references resolve once.
-    static const auto shard_hits = [] {
-      std::array<obs::Counter*, kCacheShards> counters{};
-      for (std::size_t s = 0; s < kCacheShards; ++s) {
-        counters[s] = &obs::metrics().counter(
-            "evaluator.cache_hits.shard" + std::to_string(s / 10) +
-            std::to_string(s % 10));
-      }
-      return counters;
-    }();
-    shard_hits[(key >> 56) & (kCacheShards - 1)]->add(1);
-    CSTUNER_OBS_COUNT("evaluator.cache_hits", 1);
-  }
-#endif
+  if (hit) count_cache_hits(idx, 1);
   return hit;
+}
+
+void Evaluator::count_cache_hits(std::size_t shard_idx, std::uint64_t hits) {
+#if !defined(CSTUNER_OBS_DISABLED)
+  // Per-shard hit counters expose cache skew (a hot shard means hash
+  // clustering); the counter references resolve once, so the hit path
+  // never builds a metric name.
+  static const auto shard_hits = [] {
+    std::array<obs::Counter*, kCacheShards> counters{};
+    std::string name = "evaluator.cache_hits.shard00";
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      name[name.size() - 2] = static_cast<char>('0' + s / 10);
+      name[name.size() - 1] = static_cast<char>('0' + s % 10);
+      counters[s] = &obs::metrics().counter(name);
+    }
+    return counters;
+  }();
+  shard_hits[shard_idx]->add(hits);
+  CSTUNER_OBS_COUNT("evaluator.cache_hits", hits);
+#else
+  (void)shard_idx;
+  (void)hits;
+#endif
+}
+
+void Evaluator::reserve_cache(std::size_t expected_unique) {
+  // Spread over the shards with headroom for hash skew; each shard table
+  // rounds up to a power of two under its 7/8 load ceiling.
+  const std::size_t per_shard = expected_unique / kCacheShards + 8;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.reserve(per_shard);
+  }
 }
 
 void Evaluator::precheck(const space::Setting& setting) const {
@@ -113,20 +136,34 @@ void Evaluator::precheck(const space::Setting& setting) const {
   }
 }
 
-double Evaluator::measure(std::uint64_t key,
-                          const space::Setting& setting) const {
-  CSTUNER_OBS_COUNT("evaluator.measure_runs", costs_.runs_per_eval);
+double Evaluator::noisy_mean_ms(std::uint64_t key,
+                                double noise_free_ms) const {
+  // (The "evaluator.measure_runs" counter is bumped by the callers —
+  // per measurement on the single path, aggregated per chunk on the batch
+  // path — so the totals are identical but the batch path pays one atomic
+  // per chunk instead of one per eval.)
+  // The evaluator key IS setting.hash() (evaluate_result), so the noise
+  // seeds below reproduce the historical measure_ms(spec, setting, run)
+  // chain bit for bit — the profile is just no longer recomputed per run.
+  const std::uint64_t base_run = hash_combine(run_salt_, key);
+  const std::uint64_t premixed = hash_combine(inv_->noise_seed_prefix, key);
   double sum_ms = 0.0;
   for (int run = 0; run < costs_.runs_per_eval; ++run) {
-    const auto run_index =
-        hash_combine(run_salt_, key) + static_cast<std::uint64_t>(run);
-    double ms = simulator_.measure_ms(space_.spec(), setting, run_index);
+    const auto run_index = base_run + static_cast<std::uint64_t>(run);
+    double ms =
+        gpusim::Simulator::noisy_time_from(premixed, noise_free_ms, run_index);
     if (injector_.has_value()) {
       ms *= injector_->noise_factor(key, static_cast<std::uint64_t>(run));
     }
     sum_ms += ms;
   }
   return sum_ms / costs_.runs_per_eval;
+}
+
+void Evaluator::finish_measure(std::uint64_t key, double noise_free_ms,
+                               Probe& probe) const {
+  probe.result.time_ms = noisy_mean_ms(key, noise_free_ms);
+  probe.needs_time = false;
 }
 
 int Evaluator::effective_max_attempts() const {
@@ -140,13 +177,13 @@ int Evaluator::effective_max_attempts() const {
 }
 
 Evaluator::Probe Evaluator::run_attempt_ladder(std::uint64_t key,
-                                               const space::Setting& setting,
                                                int max_attempts) const {
   Probe probe;
   probe.state = Probe::State::kMeasured;
 
   if (!injector_.has_value()) {
-    probe.result = {EvalStatus::kOk, measure(key, setting), 1};
+    probe.result = {EvalStatus::kOk, 0.0, 1};
+    probe.needs_time = true;
     return probe;
   }
 
@@ -160,8 +197,9 @@ Evaluator::Probe Evaluator::run_attempt_ladder(std::uint64_t key,
     }
     const gpusim::FaultKind kind = injector_->decide(key, attempt);
     if (kind == gpusim::FaultKind::kNone) {
-      probe.result = {EvalStatus::kOk, measure(key, setting),
+      probe.result = {EvalStatus::kOk, 0.0,
                       static_cast<std::uint8_t>(attempt)};
+      probe.needs_time = true;
       probe.overhead_ticks = ticks;
       return probe;
     }
@@ -210,13 +248,22 @@ Evaluator::Probe Evaluator::run_attempt_ladder(std::uint64_t key,
 Evaluator::Probe Evaluator::probe_one(std::uint64_t key,
                                       const space::Setting& setting,
                                       int max_attempts) {
-  Probe probe;
   if (EvalResult cached; cache_lookup(key, cached)) {
+    Probe probe;
     probe.state = Probe::State::kCached;
     probe.result = cached;
     return probe;
   }
-  {
+  return probe_uncached(key, setting, max_attempts);
+}
+
+Evaluator::Probe Evaluator::probe_uncached(std::uint64_t key,
+                                           const space::Setting& setting,
+                                           int max_attempts) {
+  Probe probe;
+  // Fault-free tunes never quarantine anything; the relaxed count check
+  // keeps the hot path off the fault mutex in that (common) case.
+  if (quarantine_count_.load(std::memory_order_acquire) != 0) {
     std::lock_guard<std::mutex> lock(fault_mutex_);
     if (quarantine_.contains(key)) {
       probe.state = Probe::State::kQuarantine;
@@ -225,7 +272,7 @@ Evaluator::Probe Evaluator::probe_one(std::uint64_t key,
       return probe;
     }
   }
-  if (!space_.is_valid(setting)) {
+  if (!space_.is_valid(setting, &probe.usage)) {
     probe.state = Probe::State::kInvalid;
     probe.result = {EvalStatus::kInvalid,
                     std::numeric_limits<double>::infinity(), 0};
@@ -242,12 +289,14 @@ Evaluator::Probe Evaluator::probe_one(std::uint64_t key,
       return probe;
     }
   }
-  return run_attempt_ladder(key, setting, max_attempts);
+  Probe measured = run_attempt_ladder(key, max_attempts);
+  measured.usage = probe.usage;  // keep the validity check's estimate
+  return measured;
 }
 
 EvalResult Evaluator::commit_one(std::uint64_t key,
                                  const space::Setting& setting,
-                                 const Probe& probe) {
+                                 const Probe& probe, CommitTotals* totals) {
   switch (probe.state) {
     case Probe::State::kCached:
     case Probe::State::kInvalid:
@@ -273,14 +322,14 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
   const bool cacheable = result.ok() ||
                          result.status == EvalStatus::kCompileFail ||
                          result.status == EvalStatus::kCrash;
-  {
+  if (!probe.cache_done) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (cacheable) {
-      const auto [it, inserted] = shard.map.emplace(key, result);
-      if (!inserted) return it->second;
-    } else if (const auto it = shard.map.find(key); it != shard.map.end()) {
-      return it->second;
+      const auto [slot, inserted] = shard.map.try_emplace(key, result);
+      if (!inserted) return *slot;
+    } else if (const EvalResult* found = shard.map.find(key)) {
+      return *found;
     }
   }
 
@@ -290,8 +339,13 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
   // degrades to a quarantine hit — matching what a serial re-evaluation
   // would have seen at probe time, and keeping clock/stat totals
   // independent of commit interleaving.
+  // A clean first-attempt success touches none of the fault state (no
+  // failure counters, no retries, no quarantine, no replay credit) — the
+  // overwhelmingly common commit skips the fault mutex altogether.
+  const bool clean_success =
+      result.ok() && result.attempts <= 1 && !probe.replayed;
   bool quarantined_now = false;
-  {
+  if (!clean_success) {
     std::lock_guard<std::mutex> lock(fault_mutex_);
     if (!cacheable && quarantine_.contains(key)) {
       CSTUNER_OBS_COUNT("evaluator.quarantine_hits", 1);
@@ -328,7 +382,10 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
           quarantined_now = quarantine_.insert(key).second;
         }
       }
-      if (quarantined_now) ++stats_.quarantined_settings;
+      if (quarantined_now) {
+        ++stats_.quarantined_settings;
+        quarantine_count_.store(quarantine_.size(), std::memory_order_release);
+      }
     }
     stats_.retries += result.attempts > 1 ? result.attempts - 1u : 0u;
     if (result.ok() && result.attempts > 1) ++stats_.recovered;
@@ -351,12 +408,18 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
                                     std::memory_order_acq_rel);
   }
   if (result.ok()) {
-    const double cost_s = costs_.compile_s +
-                          costs_.runs_per_eval * (result.time_ms / 1e3 +
-                                                  costs_.launch_overhead_s);
-    virtual_time_ticks_.fetch_add(to_ticks(cost_s), std::memory_order_acq_rel);
-    unique_evals_.fetch_add(1, std::memory_order_acq_rel);
-    CSTUNER_OBS_COUNT("evaluator.evals", 1);
+    const std::int64_t cost_ticks = success_cost_ticks(result.time_ms);
+    if (totals != nullptr) {
+      // Tick-quantized before accumulation, exactly like the direct
+      // fetch_add — integer sums are associative, so the flushed total is
+      // bit-identical to per-eval charging.
+      totals->virtual_ticks += cost_ticks;
+      ++totals->evals;
+    } else {
+      virtual_time_ticks_.fetch_add(cost_ticks, std::memory_order_acq_rel);
+      unique_evals_.fetch_add(1, std::memory_order_acq_rel);
+      CSTUNER_OBS_COUNT("evaluator.evals", 1);
+    }
   }
 
   // Journal the committed outcome (unless it *came* from the journal).
@@ -370,6 +433,21 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
     checkpoint_->append(entry);
   }
 
+  // Nothing to trace and no chance of a new best: skip the result mutex.
+  // best_bits_ mirrors best_time_ms_ (both written under the lock), so a
+  // stale read can only be *larger* than the true best — the pessimistic
+  // side, which falls through to the locked re-check below.
+  if (clean_success &&
+      !(result.time_ms <
+        std::bit_cast<double>(best_bits_.load(std::memory_order_acquire)))) {
+    return result;
+  }
+
+  // The trace record below reads the shared clock/counters; flush the
+  // batch-local charges first so it sees exactly what per-eval charging
+  // would have shown.
+  if (totals != nullptr) flush_commit_totals(*totals);
+
   std::lock_guard<std::mutex> lock(result_mutex_);
   if (result.failed()) {
     trace_.record_event(key, result.status, result.attempts);
@@ -379,15 +457,45 @@ EvalResult Evaluator::commit_one(std::uint64_t key,
   if (result.ok() && result.time_ms < best_time_ms_) {
     best_time_ms_ = result.time_ms;
     best_setting_ = setting;
+    best_bits_.store(std::bit_cast<std::uint64_t>(best_time_ms_),
+                     std::memory_order_release);
     trace_.record(iterations(), unique_evaluations(), virtual_time_s(),
                   best_time_ms_);
   }
   return result;
 }
 
+void Evaluator::flush_commit_totals(CommitTotals& totals) {
+  if (totals.virtual_ticks != 0) {
+    virtual_time_ticks_.fetch_add(totals.virtual_ticks,
+                                  std::memory_order_acq_rel);
+  }
+  if (totals.evals != 0) {
+    unique_evals_.fetch_add(totals.evals, std::memory_order_acq_rel);
+    CSTUNER_OBS_COUNT("evaluator.evals", totals.evals);
+  }
+  totals = CommitTotals{};
+}
+
 EvalResult Evaluator::evaluate_result(const space::Setting& setting) {
   const std::uint64_t key = setting.hash();
   Probe probe = probe_one(key, setting, effective_max_attempts());
+  if (probe.needs_time) {
+    CSTUNER_OBS_COUNT("evaluator.measure_runs", costs_.runs_per_eval);
+    // Single-element batch through the same oracle the chunked path uses,
+    // so serial and batched evaluation agree bit for bit.
+    double noise_free_ms = 0.0;
+    const std::span<const space::Setting> one(&setting, 1);
+    const std::span<double> time_out(&noise_free_ms, 1);
+    if (usage_reusable_) {
+      simulator_.profile_times(
+          *inv_, one,
+          std::span<const space::ResourceUsage>(&probe.usage, 1), time_out);
+    } else {
+      simulator_.profile_times(*inv_, one, time_out);
+    }
+    finish_measure(key, noise_free_ms, probe);
+  }
   return commit_one(key, setting, probe);
 }
 
@@ -404,39 +512,225 @@ std::vector<EvalResult> Evaluator::evaluate_batch(
   std::vector<EvalResult> results(n);
   std::vector<std::uint64_t> keys(n, 0);
   std::vector<Probe> probes(n);
+  std::vector<std::exception_ptr> errors(n);
   const int max_attempts = effective_max_attempts();
 
-  // Phase 2 (sequential, input order): commit exactly as a serial caller
-  // would have. Duplicate settings within the batch commit once; later
-  // occurrences read the freshly cached value. Probes that never ran (an
-  // exception stopped phase 1) default to kInvalid and commit nothing.
-  const auto commit_phase = [&] {
-    for (std::size_t i = 0; i < n; ++i) {
-      results[i] = commit_one(keys[i], settings[i], probes[i]);
-    }
-  };
+  // Phase 1 (parallel over fixed-size chunks): per slot, the pure decision
+  // pipeline (cache, quarantine, validity, replay, fault ladder); then one
+  // SoA pass through the simulator's batch oracle for every slot in the
+  // chunk that reached a real measurement, and the deterministic run noise
+  // on top. Chunk boundaries depend only on the batch size — never on the
+  // worker count — and nothing is committed yet, so thread scheduling
+  // cannot influence any result. A slot that throws is recorded and left
+  // kInvalid; its neighbours still measure.
+  const std::size_t chunks = (n + kProbeChunk - 1) / kProbeChunk;
+  const auto probe_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * kProbeChunk;
+    const std::size_t end = std::min(begin + kProbeChunk, n);
+    for (std::size_t i = begin; i < end; ++i) keys[i] = settings[i].hash();
 
-  // Phase 1 (parallel): cache/quarantine probes and pure measurements.
-  // Nothing is committed yet, so thread scheduling cannot influence any
-  // result.
-  const auto probe = [&](std::size_t i) {
-    keys[i] = settings[i].hash();
-    probes[i] = probe_one(keys[i], settings[i], max_attempts);
-  };
-  try {
-    if (pool_ != nullptr) {
-      pool_->parallel_for(n, probe);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) probe(i);
+    // Cache probes for the whole chunk, grouped by shard: one lock per
+    // shard touched instead of one per slot. A batch never mutates the
+    // cache during phase 1, so lookup order within the chunk is
+    // irrelevant; hits become kCached exactly as the per-slot lookup
+    // would have made them. The counting sort keeps the grouping O(chunk)
+    // instead of one sweep per shard.
+    std::array<std::uint8_t, kProbeChunk> chunk_order;
+    std::array<std::uint8_t, kCacheShards + 1> shard_start{};
+    for (std::size_t i = begin; i < end; ++i) {
+      ++shard_start[shard_index(keys[i]) + 1];
     }
-  } catch (...) {
-    // Drain, don't leak: parallel_for finishes every index before
-    // rethrowing, so commit whatever measured successfully (cache, clock,
-    // journal) and only then propagate. The throwing slots stayed kInvalid.
-    commit_phase();
-    throw;
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      shard_start[s + 1] =
+          static_cast<std::uint8_t>(shard_start[s + 1] + shard_start[s]);
+    }
+    std::array<std::uint8_t, kCacheShards> cursor;
+    std::copy_n(shard_start.begin(), kCacheShards, cursor.begin());
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk_order[cursor[shard_index(keys[i])]++] =
+          static_cast<std::uint8_t>(i - begin);
+    }
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      if (shard_start[s] == shard_start[s + 1]) continue;
+      Shard& shard = shards_[s];
+      std::uint64_t hits = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (std::size_t j = shard_start[s]; j < shard_start[s + 1]; ++j) {
+          const std::size_t i = begin + chunk_order[j];
+          if (const EvalResult* found = shard.map.find(keys[i])) {
+            probes[i].state = Probe::State::kCached;
+            probes[i].result = *found;
+            ++hits;
+          }
+        }
+      }
+      if (hits != 0) count_cache_hits(s, hits);
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      if (probes[i].state == Probe::State::kCached) continue;
+      try {
+        probes[i] = probe_uncached(keys[i], settings[i], max_attempts);
+      } catch (...) {
+        errors[i] = std::current_exception();  // probes[i] stays kInvalid
+      }
+    }
+    // Gather the measuring slots contiguously for the batch oracle. The
+    // buffers are per-worker and reused across chunks: no allocation in
+    // steady state.
+    thread_local std::vector<std::size_t> pending;
+    thread_local std::vector<space::Setting> pending_settings;
+    thread_local std::vector<space::ResourceUsage> pending_usages;
+    thread_local std::vector<double> pending_times;
+    pending.clear();
+    pending_usages.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (probes[i].needs_time) {
+        pending.push_back(i);
+        pending_usages.push_back(probes[i].usage);
+      }
+    }
+    if (pending.empty()) return;
+    // When every slot measures (the fresh-tune steady state), the pending
+    // list IS the chunk: hand the original subspan to the oracle instead of
+    // copying 64 Settings per chunk. Same elements in the same order, so
+    // the results are bit-identical to the gathered path.
+    std::span<const space::Setting> oracle_settings;
+    if (pending.size() == end - begin) {
+      oracle_settings = settings.subspan(begin, end - begin);
+    } else {
+      pending_settings.clear();
+      for (const std::size_t i : pending) {
+        pending_settings.push_back(settings[i]);
+      }
+      oracle_settings = pending_settings;
+    }
+    pending_times.assign(pending.size(), 0.0);
+    try {
+      if (usage_reusable_) {
+        simulator_.profile_times(*inv_, oracle_settings, pending_usages,
+                                 pending_times);
+      } else {
+        simulator_.profile_times(*inv_, oracle_settings, pending_times);
+      }
+    } catch (...) {
+      // Cannot happen for constraint-valid settings (validity implies
+      // launchability); if it ever does, fail the whole chunk's pending
+      // slots rather than commit half-measured results.
+      const std::exception_ptr err = std::current_exception();
+      for (const std::size_t i : pending) {
+        errors[i] = err;
+        probes[i] = Probe{};
+      }
+      return;
+    }
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      finish_measure(keys[pending[j]], pending_times[j], probes[pending[j]]);
+    }
+    CSTUNER_OBS_COUNT(
+        "evaluator.measure_runs",
+        pending.size() * static_cast<std::size_t>(costs_.runs_per_eval));
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(chunks, probe_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) probe_chunk(c);
   }
-  commit_phase();
+
+  // Phase 2a (sequential): the cache step of every measured slot, grouped
+  // by shard — one lock per shard per batch instead of one per slot.
+  // Within a shard the slots run in input order, the only order
+  // first-writer-wins can observe (keys in different shards never
+  // collide). A losing duplicate — earlier in this batch, or a concurrent
+  // batch's insert — converts to kCached carrying the winner's value, so
+  // the commit loop below serves it and charges nothing, exactly as the
+  // per-slot cache step did.
+  std::vector<std::uint32_t> measured_order;
+  measured_order.reserve(n);
+  std::array<std::uint32_t, kCacheShards + 1> measured_start{};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probes[i].state == Probe::State::kMeasured) {
+      ++measured_start[shard_index(keys[i]) + 1];
+    }
+  }
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    measured_start[s + 1] += measured_start[s];
+  }
+  measured_order.resize(measured_start[kCacheShards]);
+  {
+    std::array<std::uint32_t, kCacheShards> cursor;
+    std::copy_n(measured_start.begin(), kCacheShards, cursor.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (probes[i].state == Probe::State::kMeasured) {
+        measured_order[cursor[shard_index(keys[i])]++] =
+            static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    if (measured_start[s] == measured_start[s + 1]) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t j = measured_start[s]; j < measured_start[s + 1]; ++j) {
+      const std::size_t i = measured_order[j];
+      Probe& probe = probes[i];
+      const EvalResult& result = probe.result;
+      const bool cacheable = result.ok() ||
+                             result.status == EvalStatus::kCompileFail ||
+                             result.status == EvalStatus::kCrash;
+      if (cacheable) {
+        const auto [slot, inserted] = shard.map.try_emplace(keys[i], result);
+        if (inserted) {
+          probe.cache_done = true;
+        } else {
+          probe.state = Probe::State::kCached;
+          probe.result = *slot;
+        }
+      } else if (const EvalResult* found = shard.map.find(keys[i])) {
+        probe.state = Probe::State::kCached;
+        probe.result = *found;
+      } else {
+        probe.cache_done = true;
+      }
+    }
+  }
+
+  // Phase 2b (sequential, input order): commit exactly as a serial caller
+  // would have. Duplicate settings within the batch commit once; later
+  // occurrences read the freshly cached value. Slots that threw stayed
+  // kInvalid and commit nothing. Clean-success clock/counter charges
+  // accumulate locally and flush once at the end (or earlier, whenever a
+  // trace update needs the exact running totals).
+  CommitTotals totals;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inline fast path: a clean first-attempt success that phase 2a already
+    // cached and that cannot be a new best. This replicates commit_one's
+    // exact route for that case — accumulate the clock charge, skip the
+    // fault/journal/trace machinery — without the call; everything else
+    // (faults, replays, dups, new bests, active checkpoints) drops to the
+    // full commit.
+    const Probe& probe = probes[i];
+    if (probe.state == Probe::State::kMeasured && probe.cache_done &&
+        checkpoint_ == nullptr && probe.result.ok() &&
+        probe.result.attempts <= 1 && !probe.replayed &&
+        probe.overhead_ticks == 0 &&
+        !(probe.result.time_ms <
+          std::bit_cast<double>(best_bits_.load(std::memory_order_acquire)))) {
+      totals.virtual_ticks += success_cost_ticks(probe.result.time_ms);
+      ++totals.evals;
+      results[i] = probe.result;
+      continue;
+    }
+    results[i] = commit_one(keys[i], settings[i], probes[i], &totals);
+  }
+  flush_commit_totals(totals);
+
+  // Drain, don't leak: every completed slot is committed (cache, clock,
+  // journal) above; only then does the lowest-index failure propagate.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
   return results;
 }
 
@@ -523,10 +817,12 @@ void Evaluator::reset() {
     stats_ = FaultStats{};
     fail_counts_.clear();
     quarantine_.clear();
+    quarantine_count_.store(0, std::memory_order_release);
   }
   std::lock_guard<std::mutex> lock(result_mutex_);
   best_time_ms_ = std::numeric_limits<double>::infinity();
   best_setting_.reset();
+  best_bits_.store(0x7ff0000000000000ULL, std::memory_order_release);
   trace_.clear();
 }
 

@@ -49,6 +49,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/thread_pool.hpp"
 #include "gpusim/simulator.hpp"
 #include "space/search_space.hpp"
@@ -87,14 +88,25 @@ class Evaluator {
   double evaluate(const space::Setting& setting);
 
   /// Evaluates a batch of candidates, fanning the uncached measurements
-  /// across the thread pool. Results (cache, clock, best, trace) are
-  /// committed in input order after measurement, so the outcome is
-  /// bit-identical to evaluating the batch serially, for any worker count.
-  /// Exception-safe: if a measurement throws, every completed slot is still
-  /// committed (cache, clock, journal) before the exception propagates —
-  /// in-flight work is drained, not leaked.
+  /// across the thread pool in fixed-size chunks. Each chunk runs the pure
+  /// decision pipeline per slot, then profiles every slot that reached a
+  /// measurement through the simulator's batch oracle (profile_times) and
+  /// applies the per-run noise. Chunk boundaries depend only on the batch
+  /// size, and results (cache, clock, best, trace) are committed in input
+  /// order afterwards, so the outcome is bit-identical to evaluating the
+  /// batch serially, for any worker count (docs/threading.md,
+  /// docs/performance.md).
+  /// Exception-safe: if a slot throws, every other slot is still probed and
+  /// committed (cache, clock, journal) before the lowest-index exception
+  /// propagates — in-flight work is drained, not leaked.
   std::vector<EvalResult> evaluate_batch(
       std::span<const space::Setting> settings);
+
+  /// Sizes the result-cache shards for an expected number of unique
+  /// settings (typically the sampled universe size), so the flat tables
+  /// never rehash mid-tune. Call before tuning; safe to skip (shards grow
+  /// on demand) and to call concurrently with nothing in flight.
+  void reserve_cache(std::size_t expected_unique);
 
   /// Marks the end of one tuner iteration in the trace (iso-iteration
   /// data); flushes the checkpoint journal and snapshots periodically.
@@ -193,10 +205,17 @@ class Evaluator {
   /// ~2^62 ps (~50 virtual days) fit before overflow — far beyond any run.
   static constexpr double kTicksPerSecond = 1e12;
   static constexpr std::size_t kCacheShards = 16;
+  /// evaluate_batch probe granularity. Chunking is by batch position only —
+  /// never by worker count — so the chunk a slot lands in (and therefore
+  /// every bit of the result) is identical with 0 or 16 workers.
+  static constexpr std::size_t kProbeChunk = 64;
 
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<std::uint64_t, EvalResult> map;
+    /// Open-addressing flat table (common/flat_hash.hpp): setting keys are
+    /// already avalanched 64-bit hashes, so identity hashing plus linear
+    /// probing beats unordered_map's node allocations on the hot path.
+    FlatHashMap<EvalResult> map;
   };
 
   /// Outcome of the pure (parallel-phase) half of one evaluation.
@@ -211,34 +230,77 @@ class Evaluator {
     EvalResult result;
     std::int64_t overhead_ticks = 0;  ///< fault overhead of the ladder
     bool replayed = false;            ///< served from the resume journal
+    /// The ladder landed on a real measurement: result.time_ms is not yet
+    /// filled in; the batch oracle supplies the noise-free profile time and
+    /// finish_measure() applies the run noise.
+    bool needs_time = false;
+    /// Resource estimate the validity check handed back; reusable by the
+    /// batch oracle when the space's limits are the defaults the simulator
+    /// assumes (usage_reusable_).
+    space::ResourceUsage usage;
+    /// The batch commit pre-pass already ran this slot's cache step (under
+    /// a shard lock held once for the whole batch); commit_one must not
+    /// repeat it.
+    bool cache_done = false;
   };
 
-  Shard& shard_for(std::uint64_t key) {
-    // The low bits feed the unordered_map already; shard on higher ones.
-    return shards_[(key >> 56) & (kCacheShards - 1)];
+  /// Batch-local aggregation of the clean-success commit charges. Clock
+  /// ticks and counters are integers, so summing them locally and flushing
+  /// once per batch gives bit-identical totals to per-eval fetch_adds —
+  /// the flush just happens before anything (the convergence trace) reads
+  /// them.
+  struct CommitTotals {
+    std::int64_t virtual_ticks = 0;
+    std::uint64_t evals = 0;
+  };
+
+  static std::size_t shard_index(std::uint64_t key) {
+    // The low bits feed the flat table's probe already; shard on high ones.
+    return (key >> 56) & (kCacheShards - 1);
   }
+  Shard& shard_for(std::uint64_t key) { return shards_[shard_index(key)]; }
   bool cache_lookup(std::uint64_t key, EvalResult& value_out);
+  /// Bumps the per-shard and total cache-hit counters (no-op when the
+  /// observability layer is compiled out). Shared by the per-slot lookup
+  /// and the shard-grouped batch lookup.
+  static void count_cache_hits(std::size_t shard_idx, std::uint64_t hits);
   /// Debug-mode static analysis of the kernel for `setting`; throws
   /// ConstraintError when the analyzer reports an error-severity diagnostic.
   void precheck(const space::Setting& setting) const;
-  /// Pure measurement: mean of runs_per_eval noisy simulator runs (with the
-  /// injector's extra per-run noise when armed).
-  double measure(std::uint64_t key, const space::Setting& setting) const;
+  /// Pure measurement from the noise-free profile time: mean of
+  /// runs_per_eval deterministic noise draws (plus the injector's extra
+  /// per-run noise when armed). Bit-identical to the historical
+  /// measure-per-run path because the simulator's noise chain is seeded
+  /// from (arch, stencil, key, run) only.
+  double noisy_mean_ms(std::uint64_t key, double noise_free_ms) const;
+  /// Fills probe.result.time_ms for a needs_time probe.
+  void finish_measure(std::uint64_t key, double noise_free_ms,
+                      Probe& probe) const;
   /// The retry ladder: walks attempts through the fault oracle, accruing
-  /// backoff/deadline overhead, until a measurement lands or attempts run
-  /// out. Pure — safe to run in the parallel phase.
-  Probe run_attempt_ladder(std::uint64_t key, const space::Setting& setting,
-                           int max_attempts) const;
+  /// backoff/deadline overhead, until a measurement lands (needs_time set;
+  /// the caller fills the time from the batch oracle) or attempts run out.
+  /// Pure — safe to run in the parallel phase.
+  Probe run_attempt_ladder(std::uint64_t key, int max_attempts) const;
   /// Pure phase-1 work for one setting: cache probe, quarantine probe,
   /// validity, replay lookup, then the attempt ladder.
   Probe probe_one(std::uint64_t key, const space::Setting& setting,
                   int max_attempts);
+  /// probe_one minus the cache step, for callers (the batch probe phase)
+  /// that already resolved the cache under a shard-grouped lock.
+  Probe probe_uncached(std::uint64_t key, const space::Setting& setting,
+                       int max_attempts);
   /// Phase-2 commit for one probed setting: first-writer-wins cache insert,
   /// quarantine accounting (charges capped at the quarantine threshold per
   /// key, so clock totals are commit-order independent), clock charge,
   /// best/trace update, journal append. Runs in input order within a batch.
+  /// With `totals`, the clean-success clock/counter charges accumulate
+  /// there instead of hitting the shared atomics per eval; any path that
+  /// reads the shared state (trace/best updates) flushes first.
   EvalResult commit_one(std::uint64_t key, const space::Setting& setting,
-                        const Probe& probe);
+                        const Probe& probe, CommitTotals* totals = nullptr);
+  /// Adds the accumulated totals to the shared clock/counters and resets
+  /// them.
+  void flush_commit_totals(CommitTotals& totals);
   /// Retry allowance for the next evaluation: collapses to one attempt once
   /// the per-tune fault budget is spent.
   int effective_max_attempts() const;
@@ -246,12 +308,28 @@ class Evaluator {
   /// Rounds a cost to whole clock ticks (all charges are tick-quantized so
   /// accumulation order cannot change the total).
   static std::int64_t to_ticks(double seconds);
+  /// Virtual-clock charge of one successful measurement (compile plus
+  /// runs_per_eval timed launches), in ticks. Shared by commit_one and the
+  /// batch commit fast path so the two charge identically.
+  std::int64_t success_cost_ticks(double time_ms) const {
+    return to_ticks(costs_.compile_s +
+                    costs_.runs_per_eval *
+                        (time_ms / 1e3 + costs_.launch_overhead_s));
+  }
 
   const gpusim::Simulator& simulator_;
   const space::SearchSpace& space_;
+  /// Hoisted per-(arch, stencil) model constants — owned by the simulator's
+  /// invariants cache, resolved once here so the per-setting hot path never
+  /// re-fingerprints the spec.
+  const gpusim::StencilInvariants* inv_;
   EvalCosts costs_;
   std::uint64_t run_salt_;
   ThreadPool* pool_;
+  /// The space's resource limits equal the defaults the simulator profiles
+  /// under, so the validity check's resource estimate is bit-identical to
+  /// the one the oracle would recompute — hand it over instead.
+  bool usage_reusable_ = false;
   bool debug_precheck_ = false;
 
   std::optional<FaultInjector> injector_;
@@ -268,11 +346,19 @@ class Evaluator {
   FaultStats stats_;
   std::unordered_map<std::uint64_t, int> fail_counts_;
   std::unordered_set<std::uint64_t> quarantine_;
+  /// quarantine_.size(), readable without the fault mutex. Zero (the
+  /// fault-free steady state) lets probe_one skip the quarantine lock
+  /// entirely; written only while holding fault_mutex_.
+  std::atomic<std::size_t> quarantine_count_{0};
 
   mutable std::mutex result_mutex_;  // guards the three fields below
   double best_time_ms_ = std::numeric_limits<double>::infinity();
   std::optional<space::Setting> best_setting_;
   ConvergenceTrace trace_;
+  /// Bit pattern of best_time_ms_, readable without the result mutex.
+  /// commit_one consults it to skip the lock for results that cannot
+  /// improve the best; written only while holding result_mutex_.
+  std::atomic<std::uint64_t> best_bits_{0x7ff0000000000000ULL};  // +inf
 };
 
 /// Stop condition shared by all tuners: iteration cap (iso-iteration mode)
