@@ -1,0 +1,217 @@
+// Space-construction gate for the constraint-propagating enumerator
+// (docs/search-space.md). Builds a >= 10^9-raw-combination search space
+// (scaled j3d7pt under widened limits) and certifies the LazyUniverse
+// contract the tuner relies on:
+//
+//   - exactness: the block-count DP total equals the number of settings the
+//     chunked walk actually produces;
+//   - memory boundedness: the full ~19M-setting walk streams through
+//     fixed-size windows, so its RSS growth stays under a hard cap while a
+//     materialized universe of the same settings costs orders of magnitude
+//     more;
+//   - determinism: the full-walk digest and the spread-sample digest are
+//     bit-identical across 0/4/8 ThreadPool workers, and the first-N prefix
+//     of the walk equals take_all(N) (lazy vs materialized agreement).
+//
+// Payload is byte-stable: counts and 0/1 flags gate exactly under
+// `cstuner report` (CI uses --tol 0%); throughput and RSS readings vary by
+// machine and ride under "wall"/"info" keys the comparator ignores.
+//
+// Usage: bench_space_build [out.json]   (JSON also goes to stdout)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "space/lazy_universe.hpp"
+#include "stencil/stencils.hpp"
+
+using namespace cstuner;
+using namespace cstuner::space;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set size in MB (Linux ru_maxrss is in KB).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// FNV-1a over the raw parameter values, order-sensitive.
+std::uint64_t fold(std::uint64_t h, const Setting& s) {
+  for (std::size_t p = 0; p < kParamCount; ++p) {
+    auto v = static_cast<std::uint64_t>(s.get(static_cast<ParamId>(p)));
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ULL;
+
+SearchSpace make_space() {
+  // Scaled j3d7pt under widened limits: 10^10.3 raw combinations, ~19M
+  // valid — big enough that rejection sampling cannot see the structure,
+  // small enough that CI walks the whole valid space in seconds.
+  SpaceLimits limits;
+  limits.max_unroll = 8;
+  limits.max_merge = 8;
+  limits.max_tb_xy = 32;
+  limits.max_tb_z = 8;
+  return SearchSpace(stencil::scaled_stencil("j3d7pt", 32), limits);
+}
+
+struct WalkResult {
+  std::uint64_t count = 0;
+  std::uint64_t digest = kFnvSeed;
+  std::uint64_t prefix_digest = kFnvSeed;  ///< first `prefix` settings
+  double wall_s = 0.0;
+};
+
+WalkResult walk_all(LazyUniverse& lazy, std::uint64_t prefix) {
+  WalkResult r;
+  const double t0 = now_s();
+  lazy.for_each_chunk([&](const std::vector<Setting>& chunk) {
+    for (const Setting& s : chunk) {
+      r.digest = fold(r.digest, s);
+      if (r.count < prefix) r.prefix_digest = fold(r.prefix_digest, s);
+      ++r.count;
+    }
+  });
+  r.wall_s = now_s() - t0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kPrefix = 500000;     // materialized comparison
+  constexpr std::size_t kSample = 20000;        // spread-sample size
+  constexpr double kWalkRssCapMb = 256.0;       // memory-bounded gate
+  const double bench_t0 = now_s();
+
+  SearchSpace space = make_space();
+  const double log10_raw = space.log10_cartesian_size();
+  if (log10_raw < 9.0) {
+    std::cerr << "FAIL: bench space is only 10^" << log10_raw
+              << " raw combinations (need >= 10^9)\n";
+    return 1;
+  }
+
+  const double rss_before_mb = peak_rss_mb();
+  const double build_t0 = now_s();
+  LazyUniverse lazy(space);
+  const double wall_build_s = now_s() - build_t0;
+
+  // Serial reference walk: exact count check + memory boundedness.
+  WalkResult serial = walk_all(lazy, kPrefix);
+  const double rss_walk_mb = peak_rss_mb();
+  const bool count_exact = serial.count == lazy.valid_count();
+  const bool memory_bounded = rss_walk_mb - rss_before_mb <= kWalkRssCapMb;
+
+  // Lazy vs materialized: take_all(N) must reproduce the walk's prefix.
+  const double mat_t0 = now_s();
+  const auto materialized = lazy.take_all(kPrefix);
+  const double wall_materialize_s = now_s() - mat_t0;
+  std::uint64_t mat_digest = kFnvSeed;
+  for (const Setting& s : materialized) mat_digest = fold(mat_digest, s);
+  const bool lazy_vs_materialized = mat_digest == serial.prefix_digest;
+  const double rss_materialized_mb = peak_rss_mb();
+
+  // Worker sweep: full-walk and spread-sample digests for 0/4/8 workers.
+  bool walk_bit_identical = true;
+  bool sample_bit_identical = true;
+  std::uint64_t sample_serial = 0;
+  double walk_wall_4 = 0.0;
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{4},
+                                    std::size_t{8}}) {
+    ThreadPool pool(workers);
+    LazyUniverse worker_lazy(space, {}, &pool);
+    const WalkResult r = walk_all(worker_lazy, 0);
+    if (workers == 4) walk_wall_4 = r.wall_s;
+    walk_bit_identical &= r.digest == serial.digest;
+    std::uint64_t sd = kFnvSeed;
+    for (const Setting& s : worker_lazy.spread_sample(kSample)) {
+      sd = fold(sd, s);
+    }
+    if (workers == 0) sample_serial = sd;
+    sample_bit_identical &= sd == sample_serial;
+  }
+
+  const bool ok = count_exact && memory_bounded && lazy_vs_materialized &&
+                  walk_bit_identical && sample_bit_identical;
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("stencil", "j3d7pt");
+  json.field("scale", 32);
+  json.field("prefix", kPrefix);
+  json.field("sample", kSample);
+  json.field("walk_rss_cap_mb", kWalkRssCapMb);
+  json.end_object();
+  // Deterministic payload (gated at 0% tolerance in CI).
+  json.field("log10_raw", log10_raw);
+  json.field("valid_count", lazy.valid_count());
+  json.field("regions", lazy.regions().size());
+  json.field("blocks", lazy.block_count());
+  json.field("count_exact", count_exact ? 1 : 0);
+  json.field("memory_bounded", memory_bounded ? 1 : 0);
+  json.field("lazy_vs_materialized_identical", lazy_vs_materialized ? 1 : 0);
+  json.field("walk_bit_identical_workers", walk_bit_identical ? 1 : 0);
+  json.field("sample_bit_identical_workers", sample_bit_identical ? 1 : 0);
+  // Machine-dependent readings (ignored by the report comparator).
+  json.field("wall_build_s", wall_build_s);
+  json.field("wall_walk_s", serial.wall_s);
+  json.field("wall_walk_4_workers_s", walk_wall_4);
+  json.field("wall_materialize_s", wall_materialize_s);
+  json.key("info").begin_object();
+  json.field("settings_per_s",
+             static_cast<double>(serial.count) / serial.wall_s);
+  json.field("rss_before_mb", rss_before_mb);
+  json.field("rss_after_walk_mb", rss_walk_mb);
+  json.field("rss_after_materialize_mb", rss_materialized_mb);
+  json.end_object();
+  json.field("wall_s", now_s() - bench_t0);
+  json.end_object();
+
+  std::cout << json.str() << '\n';
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << argv[1] << '\n';
+      return 1;
+    }
+    out << json.str() << '\n';
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << argv[1] << '\n';
+      return 1;
+    }
+    std::cerr << "report written to " << argv[1] << '\n';
+  }
+  if (!ok) {
+    std::cerr << "FAIL: count_exact=" << count_exact
+              << " memory_bounded=" << memory_bounded
+              << " lazy_vs_materialized=" << lazy_vs_materialized
+              << " walk_bit_identical=" << walk_bit_identical
+              << " sample_bit_identical=" << sample_bit_identical << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -22,13 +22,14 @@ std::string Diagnostic::to_string() const {
   std::ostringstream os;
   os << severity_name(severity) << " [" << rule << "] " << location << ": "
      << message;
+  if (!verdict.empty()) os << " (" << verdict << ')';
   return os.str();
 }
 
 void Report::add(Severity severity, std::string rule, std::string location,
-                 std::string message) {
+                 std::string message, std::string verdict) {
   diagnostics_.push_back({severity, std::move(rule), std::move(location),
-                          std::move(message)});
+                          std::move(message), std::move(verdict)});
 }
 
 void Report::merge(const Report& other) {
@@ -74,6 +75,7 @@ void Report::write_json(JsonWriter& json) const {
     json.field("rule", d.rule);
     json.field("location", d.location);
     json.field("message", d.message);
+    if (!d.verdict.empty()) json.field("verdict", d.verdict);
     json.end_object();
   }
   json.end_array();

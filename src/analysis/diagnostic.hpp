@@ -23,6 +23,11 @@ struct Diagnostic {
   std::string rule;      ///< stable identifier, "<pass>.<check>"
   std::string location;  ///< "kernel:line N", "space:<param>", ...
   std::string message;
+  /// How the finding was established: "proven" (backed by a symbolic
+  /// certificate, see docs/static-analysis.md), "heuristic" (randomized
+  /// probing, may miss or over-report), or empty when the distinction does
+  /// not apply. Rendered as a suffix in text and as a field in JSON.
+  std::string verdict;
 
   std::string to_string() const;
 };
@@ -31,18 +36,21 @@ struct Diagnostic {
 class Report {
  public:
   void add(Severity severity, std::string rule, std::string location,
-           std::string message);
-  void note(std::string rule, std::string location, std::string message) {
+           std::string message, std::string verdict = "");
+  void note(std::string rule, std::string location, std::string message,
+            std::string verdict = "") {
     add(Severity::kNote, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(verdict));
   }
-  void warn(std::string rule, std::string location, std::string message) {
+  void warn(std::string rule, std::string location, std::string message,
+            std::string verdict = "") {
     add(Severity::kWarning, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(verdict));
   }
-  void error(std::string rule, std::string location, std::string message) {
+  void error(std::string rule, std::string location, std::string message,
+             std::string verdict = "") {
     add(Severity::kError, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(verdict));
   }
 
   /// Appends all diagnostics of `other`.

@@ -1,0 +1,78 @@
+#pragma once
+// Per-parameter abstract domains for the symbolic constraint-propagation
+// engine (propagate.hpp, docs/search-space.md). A ValueDomain is the set of
+// still-possible values of one parameter inside one case-split region,
+// represented as a bitmask over the parameter's sorted value list. On top of
+// the exact set it exposes the two abstractions the propagation rules reason
+// with: the interval [min, max] (coverage/threads/extent rules are threshold
+// rules, so clamping an endpoint is an exact arc-consistency step) and
+// divisibility structure (gcd / all-pow2 — the merge and unroll factors the
+// resource rules read only through products of domain values).
+//
+// Removing a value never makes an invalid setting valid (every rule's
+// left-hand side is monotone within a region), so domains only ever shrink:
+// propagation is a descending fixpoint over a finite lattice and must
+// terminate.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "space/parameter.hpp"
+
+namespace cstuner::analysis {
+
+class ValueDomain {
+ public:
+  ValueDomain() = default;
+  /// Full domain: every admissible value of the parameter. Requires
+  /// cardinality <= 64 (the engine bails out on wider parameters).
+  explicit ValueDomain(const space::Parameter& param);
+  /// Restricted domain: bit i of `mask` admits param.values[i].
+  ValueDomain(const space::Parameter& param, std::uint64_t mask);
+
+  const space::Parameter* parameter() const { return param_; }
+  std::uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  std::size_t count() const;
+  bool contains(std::int64_t value) const;
+
+  /// Removes one value; true when it was present.
+  bool remove(std::int64_t value);
+  /// Removes every value > hi (resp. < lo); returns how many were removed.
+  std::size_t clamp_max(std::int64_t hi);
+  std::size_t clamp_min(std::int64_t lo);
+
+  /// Interval abstraction. Undefined on an empty domain (checked).
+  std::int64_t min() const;
+  std::int64_t max() const;
+  std::pair<std::int64_t, std::int64_t> interval() const {
+    return {min(), max()};
+  }
+
+  /// Divisibility abstraction: gcd of the remaining values (0 when empty).
+  std::int64_t gcd() const;
+  /// Congruence abstraction: every remaining value a power of two.
+  bool all_pow2() const;
+
+  /// Smallest remaining value >= v, or -1 when none exists.
+  std::int64_t ceil_value(std::int64_t v) const;
+
+  /// "{1, 2, 4}" for small sets, "[1..64] pow2 x12" for larger ones.
+  std::string to_string() const;
+
+  /// Invokes fn(value) over remaining values in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (param_ == nullptr) return;
+    for (std::size_t i = 0; i < param_->values.size(); ++i) {
+      if (((mask_ >> i) & 1U) != 0) fn(param_->values[i]);
+    }
+  }
+
+ private:
+  const space::Parameter* param_ = nullptr;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace cstuner::analysis

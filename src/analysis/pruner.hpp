@@ -7,10 +7,12 @@
 // strategies probe candidates from the evaluator's thread pool.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/propagate.hpp"
 #include "space/search_space.hpp"
 
 namespace cstuner::analysis {
@@ -21,12 +23,23 @@ class StaticPruner {
     std::size_t checked = 0;    ///< total is_valid() queries
     std::size_t pruned = 0;     ///< queries answered "invalid"
     std::size_t memo_hits = 0;  ///< queries served from the memo table
+    /// Queries rejected by the propagated domains (region pin mismatch,
+    /// empty region, proven-dead value) before any per-setting rule ran.
+    std::size_t domain_pruned = 0;
   };
 
   explicit StaticPruner(const space::SearchSpace& space) : space_(space) {}
 
   StaticPruner(const StaticPruner&) = delete;
   StaticPruner& operator=(const StaticPruner&) = delete;
+
+  /// Consults propagated domains (analysis/propagate.hpp) before the full
+  /// per-setting check: settings whose split-parameter combination maps to
+  /// no region, land in a proven-empty region, mismatch a region pin, or
+  /// assign a value pruned from its region domain are rejected without
+  /// evaluating the resource model. Sound because propagation only removes
+  /// proven-dead values; the result must come from the same space.
+  void set_domains(std::shared_ptr<const PropagationResult> domains);
 
   /// Memoized constraint check (canonical-hash keyed).
   bool is_valid(const space::Setting& setting);
@@ -41,7 +54,13 @@ class StaticPruner {
   Stats stats() const;
 
  private:
+  /// True when the propagated result proves `canonical` invalid (region
+  /// pin mismatch, empty region, or pruned domain value).
+  bool domain_rejects(const PropagationResult& domains,
+                      const space::Setting& canonical) const;
+
   const space::SearchSpace& space_;
+  std::shared_ptr<const PropagationResult> domains_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, bool> memo_;
   Stats stats_;

@@ -1,6 +1,9 @@
 #include "analysis/space_lint.hpp"
 
+#include <cmath>
 #include <sstream>
+
+#include "analysis/propagate.hpp"
 
 namespace cstuner::analysis {
 
@@ -157,10 +160,76 @@ bool SpaceLintResult::value_is_live(ParamId id, std::int64_t value,
   return false;
 }
 
-SpaceLintResult lint_space(const space::SearchSpace& space,
-                           const SpaceLintOptions& options) {
-  SpaceLintResult result;
-  Rng rng(options.seed);
+namespace {
+
+/// Proven path: liveness, pairs, and the exact count come from the symbolic
+/// propagation engine; every verdict carries an unsat certificate.
+void lint_symbolic(const space::SearchSpace& space,
+                   const PropagationResult& propagation,
+                   SpaceLintResult& result) {
+  const auto& params = space.parameters();
+  result.proven = true;
+  result.valid_count = propagation.valid_count;
+
+  result.live.resize(params.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    result.live[p].assign(params[p].values.size(), 0);
+    for (std::size_t i = 0; i < params[p].values.size(); ++i) {
+      result.live[p][i] =
+          ((propagation.live_masks[p] >> i) & 1U) != 0 ? 1 : 0;
+    }
+  }
+  for (const DeadValue& dv : propagation.dead_values) {
+    ++result.dead_values;
+    const auto& param = params[static_cast<std::size_t>(dv.param)];
+    std::ostringstream msg;
+    msg << param.name << '=' << dv.value
+        << " appears in no valid setting (statically prunable); rule "
+        << dv.rule << ": " << dv.certificate;
+    result.report.warn("space.dead-value", "space:" + param.name, msg.str(),
+                       "proven");
+  }
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    if (params[p].values.empty() || propagation.live_masks[p] != 0) continue;
+    result.report.error("space.dead-parameter", "space:" + params[p].name,
+                        "every admissible value of " + params[p].name +
+                            " is dead: the space is empty",
+                        "proven");
+  }
+
+  for (const DeadPair& pair : propagation.dead_pairs) {
+    ++result.dead_pairs;
+    const auto& pa = params[static_cast<std::size_t>(pair.a)];
+    const auto& pb = params[static_cast<std::size_t>(pair.b)];
+    std::ostringstream msg;
+    msg << pa.name << '=' << pair.value_a << " with " << pb.name << '='
+        << pair.value_b
+        << " is jointly infeasible (statically prunable subspace): "
+        << pair.certificate;
+    result.report.note("space.dead-subspace",
+                       "space:" + pa.name + "x" + pb.name, msg.str(),
+                       "proven");
+  }
+  // Every candidate pair is decided from the region verdicts.
+  for (std::size_t a = 0; a < params.size(); ++a) {
+    if (params[a].kind == space::ParamKind::kPow2) continue;
+    for (std::size_t b = a + 1; b < params.size(); ++b) {
+      if (params[b].kind == space::ParamKind::kPow2) continue;
+      result.probed_pairs += params[a].values.size() *
+                             params[b].values.size();
+    }
+  }
+
+  std::ostringstream msg;
+  msg << result.valid_count << " valid settings (exact) out of 10^"
+      << space.log10_cartesian_size() << " raw combinations";
+  result.report.note("space.valid-count", "space", msg.str(), "proven");
+}
+
+/// Heuristic path: randomized witness probing, capped pair checks.
+void lint_heuristic(const space::SearchSpace& space,
+                    const SpaceLintOptions& options, Rng& rng,
+                    SpaceLintResult& result) {
   const auto& params = space.parameters();
 
   // --- Per-parameter value liveness. ---------------------------------------
@@ -181,17 +250,20 @@ SpaceLintResult lint_space(const space::SearchSpace& space,
         msg << param.name << '=' << value
             << " appears in no valid setting (statically prunable)";
         result.report.warn("space.dead-value", "space:" + param.name,
-                           msg.str());
+                           msg.str(), "heuristic");
       }
     }
     if (dead_here == param.values.size()) {
       result.report.error("space.dead-parameter", "space:" + param.name,
                           "every admissible value of " + param.name +
-                              " is dead: the space is empty");
+                              " is dead: the space is empty",
+                          "heuristic");
     }
   }
 
   // --- Pairwise subspace liveness over the small (bool/enum) parameters. ---
+  // Deterministic (parameter, parameter, value, value) order; probes past
+  // the cap are counted as skipped instead of silently run.
   if (options.check_pairs) {
     for (std::size_t a = 0; a < params.size(); ++a) {
       if (params[a].kind == space::ParamKind::kPow2) continue;
@@ -202,6 +274,11 @@ SpaceLintResult lint_space(const space::SearchSpace& space,
             if (result.live[a][i] == 0 || result.live[b][j] == 0) {
               continue;  // implied by a dead value; already reported
             }
+            if (result.probed_pairs >= options.max_pair_probes) {
+              ++result.skipped_pairs;
+              continue;
+            }
+            ++result.probed_pairs;
             const std::vector<Pin> pins = {
                 {params[a].id, params[a].values[i]},
                 {params[b].id, params[b].values[j]}};
@@ -214,15 +291,51 @@ SpaceLintResult lint_space(const space::SearchSpace& space,
               result.report.note("space.dead-subspace",
                                  "space:" + params[a].name + "x" +
                                      params[b].name,
-                                 msg.str());
+                                 msg.str(), "heuristic");
             }
           }
         }
       }
     }
+    if (result.skipped_pairs > 0) {
+      std::ostringstream msg;
+      msg << result.skipped_pairs << " of "
+          << result.probed_pairs + result.skipped_pairs
+          << " pair subspaces skipped by the probe cap ("
+          << options.max_pair_probes << ')';
+      result.report.note("space.pairs-skipped", "space", msg.str(),
+                         "heuristic");
+    }
   }
+}
+
+}  // namespace
+
+SpaceLintResult lint_space(const space::SearchSpace& space,
+                           const SpaceLintOptions& options) {
+  SpaceLintResult result;
+  Rng rng(options.seed);
+
+  bool symbolic_done = false;
+  if (options.use_symbolic) {
+    PropagateOptions popts;
+    popts.compute_counts = true;
+    const PropagationResult propagation = propagate(space, popts);
+    if (propagation.engine_applicable) {
+      lint_symbolic(space, propagation, result);
+      symbolic_done = true;
+    } else {
+      result.report.note("space.engine-inapplicable", "space",
+                         "symbolic engine unavailable: " +
+                             propagation.inapplicable_reason +
+                             "; falling back to randomized probing");
+    }
+  }
+  if (!symbolic_done) lint_heuristic(space, options, rng, result);
 
   // --- Valid fraction of the unconstrained cartesian space. ----------------
+  // Always sampled: it estimates rejection-sampling efficiency, which the
+  // symbolic count does not replace (and cross-checks it cheaply).
   if (options.validity_samples > 0) {
     std::size_t valid = 0;
     for (std::size_t i = 0; i < options.validity_samples; ++i) {
@@ -234,7 +347,8 @@ SpaceLintResult lint_space(const space::SearchSpace& space,
     std::ostringstream msg;
     msg << "~" << result.sampled_valid_fraction * 100.0
         << "% of independently-uniform draws satisfy all constraints";
-    result.report.note("space.valid-fraction", "space", msg.str());
+    result.report.note("space.valid-fraction", "space", msg.str(),
+                       "heuristic");
   }
 
   return result;

@@ -6,9 +6,11 @@
 #include <limits>
 #include <mutex>
 
+#include "analysis/propagate.hpp"
 #include "codegen/cuda_codegen.hpp"
 #include "core/grouping.hpp"
 #include "obs/obs.hpp"
+#include "space/lazy_universe.hpp"
 
 namespace cstuner::core {
 
@@ -45,6 +47,17 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
   report_ = PreprocessReport{};
   const auto& space = evaluator.space();
   analysis::StaticPruner pruner(space);
+  {
+    // Symbolic domain pre-pass: proven-dead values and empty regions reject
+    // grafted candidates before the per-setting resource model runs. Sound
+    // (propagation only removes proven-dead values), so tuning results are
+    // unchanged; counts are skipped because only verdicts are needed here.
+    analysis::PropagateOptions popts;
+    popts.compute_counts = false;
+    popts.pool = evaluator.thread_pool();
+    pruner.set_domains(std::make_shared<analysis::PropagationResult>(
+        analysis::propagate(space, popts)));
+  }
   Rng rng(options_.seed);
 
   // --- Offline: candidate universe + performance dataset (§IV-A). ---------
@@ -55,6 +68,16 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
     CSTUNER_TRACE_PHASE("cstuner.offline");
     if (preset_universe_.has_value()) {
       universe = *preset_universe_;
+    } else if (options_.enumerate_universe) {
+      // Constraint-propagating enumeration: exact count, then either the
+      // full valid space or a deterministic spread sample of it.
+      space::LazyUniverse lazy(space, {}, evaluator.thread_pool());
+      report_.universe_exact_count = lazy.valid_count();
+      if (lazy.valid_count() <= options_.universe_size) {
+        universe = lazy.take_all();
+      } else {
+        universe = lazy.spread_sample(options_.universe_size);
+      }
     } else {
       universe = space.sample_universe(rng, options_.universe_size);
     }

@@ -45,6 +45,13 @@ struct CsTunerOptions {
   /// text leave it off (the virtual clock already charges per-variant
   /// compile cost at evaluation time). Fig. 12 turns it on.
   bool generate_kernels = false;
+  /// Build the candidate universe by constraint-propagating enumeration
+  /// (space::LazyUniverse) instead of rejection sampling: the exact valid
+  /// count is computed, spaces no larger than universe_size are enumerated
+  /// in full, larger ones contribute a deterministic count-proportioned
+  /// spread sample. No RNG involved — the universe is a pure function of
+  /// the space, bit-identical across worker counts.
+  bool enumerate_universe = false;
   std::uint64_t seed = 7;
 };
 
@@ -63,6 +70,9 @@ struct PreprocessReport {
   /// Constraint-invalid settings dropped from the candidate universe before
   /// tuning (only preset universes can contain them).
   std::size_t universe_pruned = 0;
+  /// Exact valid-setting count of the whole space (enumerate_universe only;
+  /// 0 when rejection sampling was used).
+  std::uint64_t universe_exact_count = 0;
   /// Static-pruner counters over the whole run (universe + in-loop grafts).
   analysis::StaticPruner::Stats prune;
 };

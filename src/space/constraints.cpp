@@ -209,12 +209,11 @@ bool ConstraintChecker::is_valid(const Setting& setting,
   // Rules 8/8b/9: register spill, block register demand, shared memory.
   const ResourceUsage usage = estimate_resources(spec_, setting, limits_);
   if (usage.spilled) return false;
-  const std::int64_t warps = (setting.threads_per_block() + 31) / 32;
-  const std::int64_t regs_per_warp =
-      ((static_cast<std::int64_t>(usage.registers_per_thread) * 32 + 255) /
-       256) *
-      256;
-  if (warps * regs_per_warp > limits_.max_registers_per_block) return false;
+  if (block_registers(setting.threads_per_block(),
+                      usage.registers_per_thread) >
+      limits_.max_registers_per_block) {
+    return false;
+  }
   if (usage.shared_mem_per_block > limits_.max_smem_per_block) return false;
 
   if (usage_out != nullptr) *usage_out = usage;
@@ -327,12 +326,8 @@ std::optional<std::string> ConstraintChecker::violation(
   // register file or the kernel cannot launch at all.
   // Mirror the hardware's per-warp allocation granularity (256 registers)
   // so "valid" always implies "launchable" in the occupancy calculator.
-  const std::int64_t warps = (setting.threads_per_block() + 31) / 32;
-  const std::int64_t regs_per_warp =
-      ((static_cast<std::int64_t>(usage.registers_per_thread) * 32 + 255) /
-       256) *
-      256;
-  const std::int64_t block_regs = warps * regs_per_warp;
+  const std::int64_t block_regs = block_registers(
+      setting.threads_per_block(), usage.registers_per_thread);
   if (block_regs > limits_.max_registers_per_block) {
     std::ostringstream os;
     os << "block needs " << block_regs << " registers; register file holds "

@@ -136,6 +136,20 @@ inline ResourceUsage estimate_resources_core(int order, int n_inputs,
   return usage;
 }
 
+/// Register-file demand of a whole block: warps of 32 threads, each warp's
+/// allocation rounded up to the hardware granularity of 256 registers.
+/// Rule 8b (constraints.cpp) and the symbolic space engine (lazy_universe,
+/// analysis/propagate) share this body so "valid" and "proven valid" can
+/// never disagree on launchability.
+inline std::int64_t block_registers(std::int64_t threads_per_block,
+                                    int registers_per_thread) {
+  const std::int64_t warps = (threads_per_block + 31) / 32;
+  const std::int64_t regs_per_warp =
+      ((static_cast<std::int64_t>(registers_per_thread) * 32 + 255) / 256) *
+      256;
+  return warps * regs_per_warp;
+}
+
 /// Shared-memory tile element count along one dimension (tile + halo).
 std::int64_t smem_tile_extent(const stencil::StencilSpec& spec,
                               const Setting& setting, int dim);

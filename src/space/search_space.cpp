@@ -1,7 +1,6 @@
 #include "space/search_space.hpp"
 
 #include <cmath>
-#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -110,13 +109,15 @@ Setting SearchSpace::random_valid(Rng& rng, std::size_t max_tries) const {
 std::vector<Setting> SearchSpace::sample_universe(
     Rng& rng, std::size_t count, std::size_t max_tries_factor) const {
   std::vector<Setting> universe;
-  std::unordered_set<std::uint64_t> seen;
+  // Content-comparing dedup: a raw hash-set of 64-bit hashes would silently
+  // drop a distinct setting on collision.
+  SettingDedup seen;
   const std::size_t max_tries = count * max_tries_factor;
   for (std::size_t attempt = 0;
        attempt < max_tries && universe.size() < count; ++attempt) {
     Setting s = random_setting(rng);
     if (!checker_->is_valid(s)) continue;
-    if (seen.insert(s.hash()).second) universe.push_back(s);
+    if (seen.insert(s)) universe.push_back(s);
   }
   return universe;
 }

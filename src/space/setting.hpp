@@ -4,7 +4,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "space/parameter.hpp"
 
@@ -79,6 +82,36 @@ class Setting {
   /// Memoized hash(); 0 means "not computed" (a real zero hash — one in
   /// 2^64 — merely recomputes every call).
   mutable std::atomic<std::uint64_t> hash_cache_{0};
+};
+
+/// Collision-safe setting dedup: hash buckets hold the full settings and
+/// membership compares contents, so a 64-bit hash collision can never drop
+/// a distinct setting (it only costs one extra comparison). The hash
+/// function is injectable for tests that force collisions; production
+/// callers use the memoized content hash.
+class SettingDedup {
+ public:
+  SettingDedup() : hasher_([](const Setting& s) { return s.hash(); }) {}
+  explicit SettingDedup(std::function<std::uint64_t(const Setting&)> hasher)
+      : hasher_(std::move(hasher)) {}
+
+  /// True when the setting was not seen before (and records it).
+  bool insert(const Setting& setting) {
+    auto& bucket = buckets_[hasher_(setting)];
+    for (const Setting& seen : bucket) {
+      if (seen == setting) return false;
+    }
+    bucket.push_back(setting);
+    ++size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::function<std::uint64_t(const Setting&)> hasher_;
+  std::unordered_map<std::uint64_t, std::vector<Setting>> buckets_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace cstuner::space

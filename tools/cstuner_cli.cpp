@@ -22,12 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/propagate.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/grouping.hpp"
 #include "cstuner.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "space/lazy_universe.hpp"
 
 using namespace cstuner;
 
@@ -247,7 +249,142 @@ int cmd_validate(const Args& args) {
   return 0;
 }
 
+/// `analyze --space`: whole-space static analysis via the symbolic
+/// constraint-propagation engine — exact valid-setting counts, proven dead
+/// values/pairs with unsat certificates, per-rule pruning attribution, and
+/// (with --enumerate N) a checker-verified walk of the first N settings of
+/// the lazily enumerated universe. `--all` sweeps the built-in suite; the
+/// JSON document is stable enough to gate in CI at 0% tolerance.
+int cmd_analyze_space(const Args& args) {
+  std::vector<stencil::StencilSpec> specs;
+  if (args.has("all")) {
+    specs = stencil::all_stencils();
+  } else {
+    specs.push_back(resolve_spec(args));
+  }
+  const auto enumerate_limit = args.get_u64("enumerate", 0);
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  JsonWriter json;
+  const bool json_out = args.has("json");
+  if (json_out) {
+    json.begin_object();
+    json.key("spaces").begin_array();
+  }
+  for (const auto& spec : specs) {
+    space::SearchSpace space(spec);
+    const auto prop = analysis::propagate(space);
+
+    analysis::SpaceLintOptions lint_options;
+    lint_options.seed = args.get_u64("seed", 1);
+    const auto lint = analysis::lint_space(space, lint_options);
+    errors += lint.report.error_count();
+    warnings += lint.report.count(analysis::Severity::kWarning);
+
+    // Optional cross-check: enumerate the head of the valid universe in the
+    // deterministic LazyUniverse order and re-verify every setting against
+    // the full constraint checker.
+    std::uint64_t enumerated = 0;
+    std::uint64_t enumerate_mismatch = 0;
+    if (enumerate_limit > 0 && prop.engine_applicable) {
+      space::LazyUniverse lazy(space);
+      const auto settings =
+          lazy.take_all(static_cast<std::size_t>(enumerate_limit));
+      enumerated = settings.size();
+      for (const auto& s : settings) {
+        if (!space.is_valid(s)) ++enumerate_mismatch;
+      }
+      if (enumerate_mismatch > 0) ++errors;
+    }
+
+    std::size_t empty_regions = 0;
+    for (const auto& summary : prop.region_summaries) {
+      if (summary.empty) ++empty_regions;
+    }
+
+    if (json_out) {
+      json.begin_object();
+      json.field("stencil", spec.name);
+      json.field("engine_applicable", prop.engine_applicable ? 1 : 0);
+      json.field("proven", lint.proven ? 1 : 0);
+      json.field("log10_raw", space.log10_cartesian_size());
+      json.field("valid_count", prop.valid_count);
+      json.field("regions", prop.regions.size());
+      json.field("empty_regions", empty_regions);
+      json.field("dead_values", prop.dead_values.size());
+      json.field("dead_pairs", prop.dead_pairs.size());
+      json.key("rule_prunes").begin_object();
+      for (const auto& [rule, count] : prop.rule_prunes) {
+        json.field(rule, count);
+      }
+      json.end_object();
+      if (enumerate_limit > 0) {
+        json.field("enumerated", enumerated);
+        json.field("enumerate_mismatch", enumerate_mismatch);
+      }
+      json.key("space_lint");
+      lint.report.write_json(json);
+      json.end_object();
+    } else {
+      std::cout << "== " << spec.name << " ==\n";
+      if (!prop.engine_applicable) {
+        std::cout << "symbolic engine inapplicable: "
+                  << prop.inapplicable_reason << '\n';
+      } else {
+        std::cout << "valid settings: " << prop.valid_count << " (exact) of 10^"
+                  << static_cast<int>(space.log10_cartesian_size())
+                  << " raw combinations\n";
+        std::cout << "regions: " << prop.regions.size() << " ("
+                  << empty_regions << " proven empty)\n";
+        if (!prop.dead_values.empty()) {
+          std::cout << "proven-dead values:\n";
+          for (const auto& dead : prop.dead_values) {
+            std::cout << "  " << space::param_name(dead.param) << "="
+                      << dead.value << "  [rule " << dead.rule << "] "
+                      << dead.certificate << '\n';
+          }
+        }
+        if (!prop.dead_pairs.empty()) {
+          std::cout << "proven-dead pairs:\n";
+          for (const auto& dead : prop.dead_pairs) {
+            std::cout << "  (" << space::param_name(dead.a) << "="
+                      << dead.value_a << ", " << space::param_name(dead.b)
+                      << "=" << dead.value_b << ") " << dead.certificate
+                      << '\n';
+          }
+        }
+        if (!prop.rule_prunes.empty()) {
+          TextTable table({"rule", "domain values pruned"});
+          for (const auto& [rule, count] : prop.rule_prunes) {
+            table.add_row({rule, std::to_string(count)});
+          }
+          table.print(std::cout);
+        }
+        if (enumerate_limit > 0) {
+          std::cout << "enumerated " << enumerated
+                    << " setting(s) in deterministic order; "
+                    << enumerate_mismatch << " failed re-verification\n";
+        }
+      }
+      std::cout << "-- space lint\n" << lint.report.to_string();
+    }
+  }
+  if (json_out) {
+    json.end_array();
+    json.field("errors", errors);
+    json.field("warnings", warnings);
+    json.end_object();
+    std::cout << json.str() << '\n';
+  } else {
+    std::cout << specs.size() << " space(s) analyzed: " << errors
+              << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 int cmd_analyze(const Args& args) {
+  if (args.has("space")) return cmd_analyze_space(args);
   const auto spec = resolve_spec(args);
   space::SearchSpace space(spec);
   const auto arch = gpusim::arch_by_name(args.get("arch", "a100"));
@@ -424,6 +561,7 @@ int cmd_tune(const Args& args) {
 
   const std::string method = args.get("method", "csTuner");
   std::unique_ptr<tuner::Tuner> tuner;
+  core::CsTuner* cs_tuner = nullptr;  // for the enumerate-mode report
   if (method == "csTuner") {
     core::CsTunerOptions options;
     options.universe_size =
@@ -433,7 +571,12 @@ int cmd_tune(const Args& args) {
         "islands", static_cast<std::uint64_t>(options.ga.sub_populations)));
     options.ga.min_islands = static_cast<int>(args.get_u64(
         "min-islands", static_cast<std::uint64_t>(options.ga.min_islands)));
-    tuner = std::make_unique<core::CsTuner>(options);
+    // --enumerate: build the candidate universe by constraint-propagating
+    // enumeration instead of rejection sampling (exact count, no RNG).
+    options.enumerate_universe = args.has("enumerate");
+    auto cs = std::make_unique<core::CsTuner>(options);
+    cs_tuner = cs.get();
+    tuner = std::move(cs);
   } else if (method == "garvey") {
     baselines::GarveyOptions options;
     options.seed = seed;
@@ -489,6 +632,10 @@ int cmd_tune(const Args& args) {
     json.field("evaluations", evaluator.unique_evaluations());
     json.field("iterations", evaluator.iterations());
     json.field("virtual_time_s", evaluator.virtual_time_s());
+    if (cs_tuner != nullptr && args.has("enumerate")) {
+      json.field("universe_exact_count",
+                 cs_tuner->report().universe_exact_count);
+    }
     json.field("fault_rate", fault_rate);
     json.key("fault_stats");
     stats.write_json(json);
@@ -511,6 +658,11 @@ int cmd_tune(const Args& args) {
               << '\n'
               << "evaluations:   " << evaluator.unique_evaluations() << '\n'
               << "virtual time:  " << evaluator.virtual_time_s() << " s\n";
+    if (cs_tuner != nullptr && args.has("enumerate")) {
+      std::cout << "exact space:   "
+                << cs_tuner->report().universe_exact_count
+                << " valid setting(s)\n";
+    }
     if (stats.any() || fault_rate > 0.0) {
       std::cout << "failures:      " << stats.to_string() << '\n';
     }
@@ -559,8 +711,10 @@ int usage() {
          "  validate <stencil> [--scale S] [--trials N]\n"
          "  analyze  <stencil> [--arch ...] [--set name=value ...]\n"
          "           [--samples N] [--seed N] [--no-lint] [--json]\n"
+         "           [--space [--all] [--enumerate N]]   whole-space proofs\n"
          "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
          "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
+         "           [--enumerate]   exact universe via lazy enumeration\n"
          "           [--precheck] [--fault-rate R] [--max-attempts N]\n"
          "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n"
          "           [--islands N] [--min-islands N] [--kill-rank R@G ...]\n"
@@ -577,7 +731,12 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "list-stencils") return cmd_list_stencils();
     if (args.command == "report") return cmd_report(args);
-    if (args.positional.empty() && !args.has("spec")) return usage();
+    // "analyze --all --space" sweeps every built-in stencil, so it is the
+    // one stencil-scoped command that needs no positional.
+    if (args.positional.empty() && !args.has("spec") &&
+        !(args.command == "analyze" && args.has("all"))) {
+      return usage();
+    }
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "profile") return cmd_profile(args);
     if (args.command == "codegen") return cmd_codegen(args);

@@ -25,6 +25,23 @@ if command -v clang-tidy >/dev/null 2>&1; then
   if ! clang-tidy -p "${BUILD}" --quiet "${sources[@]}"; then
     status=1
   fi
+
+  # Strict pass for the symbolic space engine (ISSUE 7): the repo-wide
+  # config waives bugprone-narrowing-conversions, but the counting DP and
+  # the propagation engine do 64-bit index/exponent arithmetic where a
+  # silent truncation corrupts proofs — new code must pass it.
+  strict_sources=(
+    "${ROOT}/src/space/lazy_universe.cpp"
+    "${ROOT}/src/analysis/domain.cpp"
+    "${ROOT}/src/analysis/propagate.cpp"
+  )
+  echo "lint: strict clang-tidy (narrowing) over ${#strict_sources[@]} files"
+  if ! clang-tidy -p "${BUILD}" --quiet \
+      --checks='-*,bugprone-narrowing-conversions' \
+      --warnings-as-errors='bugprone-narrowing-conversions' \
+      "${strict_sources[@]}"; then
+    status=1
+  fi
 else
   echo "lint: clang-tidy not installed; skipping tidy checks"
 fi
