@@ -26,6 +26,8 @@ struct ScalingResult {
   std::size_t unique_evals = 0;
   double best_time_ms = 0.0;
   space::Setting best_setting;
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_inflight = 0;
 };
 
 ScalingResult run_session(const bench::ArtifactCache::Entry& entry,
@@ -56,6 +58,8 @@ ScalingResult run_session(const bench::ArtifactCache::Entry& entry,
       static_cast<double>(r.unique_evals) / std::max(wall_s, 1e-9);
   r.best_time_ms = evaluator.best_time_ms();
   r.best_setting = *evaluator.best_setting();
+  r.peak_queue_depth = pool.peak_queue_depth();
+  r.peak_inflight = pool.peak_inflight();
   return r;
 }
 
@@ -73,7 +77,8 @@ int main() {
             << " hardware threads) ===\n\n";
 
   TextTable table({"threads", "wall_s", "unique_evals", "evals_per_s",
-                   "speedup", "best_ms", "identical"});
+                   "speedup", "peak_queue", "peak_inflight", "best_ms",
+                   "identical"});
   ScalingResult baseline;
   bool all_identical = true;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -87,6 +92,8 @@ int main() {
                    std::to_string(r.unique_evals),
                    TextTable::fmt(r.evals_per_s, 1),
                    TextTable::fmt(r.evals_per_s / baseline.evals_per_s, 2),
+                   std::to_string(r.peak_queue_depth),
+                   std::to_string(r.peak_inflight),
                    TextTable::fmt(r.best_time_ms, 4),
                    identical ? "yes" : "NO"});
   }

@@ -30,6 +30,21 @@ class UsageError : public Error {
   using Error::Error;
 };
 
+/// An operation was cancelled cooperatively (session cancel, server drain).
+/// The throwing component guarantees it mutated no shared state for the
+/// cancelled work, so the caller may retry or resume later.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A deadline expired: the cancellation was initiated by a time budget (the
+/// evaluator's virtual-clock deadline), not by an explicit cancel.
+class DeadlineError : public CancelledError {
+ public:
+  using CancelledError::CancelledError;
+};
+
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);
 

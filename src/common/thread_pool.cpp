@@ -65,8 +65,37 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const std::size_t now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t peak = peak_inflight_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_inflight_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
     task();
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return peak_queue_depth_;
+}
+
+void ThreadPool::reset_peaks() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    peak_queue_depth_ = 0;
+  }
+  peak_inflight_.store(inflight_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void ThreadPool::note_queue_depth_locked() {
+  if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -79,6 +108,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push_back([packaged] { (*packaged)(); });
+    note_queue_depth_locked();
   }
   queue_cv_.notify_one();
   return future;
@@ -104,6 +134,7 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < helpers; ++i) {
       queue_.push_back([job] { run_job(*job); });
     }
+    note_queue_depth_locked();
   }
   queue_cv_.notify_all();
 

@@ -18,6 +18,7 @@
 // deadlock: every caller makes progress on its own job even when all
 // workers are busy elsewhere).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -52,6 +53,26 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// Tasks sitting in the queue right now: submitted closures plus
+  /// parallel_for helper jobs no worker has picked up yet. Instantaneous —
+  /// an admission controller reads it as a load signal, not an invariant.
+  std::size_t queue_depth() const;
+
+  /// Tasks currently executing on pool workers. Caller participation in
+  /// parallel_for is not counted (the caller is not a pool resource).
+  std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water marks of queue_depth()/inflight() since construction or the
+  /// last reset_peaks(); bench_parallel_scaling reports these per worker
+  /// count.
+  std::size_t peak_queue_depth() const;
+  std::size_t peak_inflight() const {
+    return peak_inflight_.load(std::memory_order_relaxed);
+  }
+  void reset_peaks();
+
   /// Process-wide shared pool, sized from CSTUNER_THREADS (worker count;
   /// 0 forces serial) or hardware_concurrency - 1, capped at 15 workers.
   /// Created on first use.
@@ -62,12 +83,18 @@ class ThreadPool {
 
   static void run_job(Job& job);
   void worker_loop();
+  /// Records the current queue size into the high-water mark; call with
+  /// queue_mutex_ held after pushing.
+  void note_queue_depth_locked();
 
   std::vector<std::thread> threads_;
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  std::size_t peak_queue_depth_ = 0;  // guarded by queue_mutex_
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> peak_inflight_{0};
 };
 
 }  // namespace cstuner

@@ -70,13 +70,18 @@ void CsTuner::tune(tuner::Evaluator& evaluator,
       universe = *preset_universe_;
     } else if (options_.enumerate_universe) {
       // Constraint-propagating enumeration: exact count, then either the
-      // full valid space or a deterministic spread sample of it.
+      // full valid space or a deterministic spread sample of it. The
+      // sample phase is salted from the tuner RNG (same discipline as
+      // sample_universe): an unsalted sample lands on every block's start,
+      // and block starts repeat the same inner lexicographic values, which
+      // collapses per-parameter diversity enough to starve the per-group
+      // GA of distinct tuples.
       space::LazyUniverse lazy(space, {}, evaluator.thread_pool());
       report_.universe_exact_count = lazy.valid_count();
       if (lazy.valid_count() <= options_.universe_size) {
         universe = lazy.take_all();
       } else {
-        universe = lazy.spread_sample(options_.universe_size);
+        universe = lazy.spread_sample(options_.universe_size, rng.next() | 1);
       }
     } else {
       universe = space.sample_universe(rng, options_.universe_size);

@@ -46,12 +46,14 @@ struct CsTunerOptions {
   /// compile cost at evaluation time). Fig. 12 turns it on.
   bool generate_kernels = false;
   /// Build the candidate universe by constraint-propagating enumeration
-  /// (space::LazyUniverse) instead of rejection sampling: the exact valid
-  /// count is computed, spaces no larger than universe_size are enumerated
-  /// in full, larger ones contribute a deterministic count-proportioned
-  /// spread sample. No RNG involved — the universe is a pure function of
-  /// the space, bit-identical across worker counts.
-  bool enumerate_universe = false;
+  /// (space::LazyUniverse): the exact valid count is computed, spaces no
+  /// larger than universe_size are enumerated in full, larger ones
+  /// contribute a deterministic count-proportioned spread sample. No RNG
+  /// involved — the universe is a pure function of the space, bit-identical
+  /// across worker counts. The default since sample_universe itself moved
+  /// onto the enumerator; false (`tune --no-enumerate`) routes through
+  /// sample_universe, whose spread phase is salted from the seed.
+  bool enumerate_universe = true;
   std::uint64_t seed = 7;
 };
 

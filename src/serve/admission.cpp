@@ -1,0 +1,61 @@
+#include "serve/admission.hpp"
+
+namespace cstuner::serve {
+
+AdmissionDecision AdmissionController::try_admit(const std::string& tenant) {
+  AdmissionDecision decision;
+  if (draining_) {
+    decision.reason = "draining";
+    decision.retry_after_s = retry_after();
+    return decision;
+  }
+  if (queued_ >= options_.max_queued) {
+    decision.reason = "queue_full";
+    decision.retry_after_s = retry_after();
+    return decision;
+  }
+  if (tenant_load(tenant) >= options_.tenant_quota) {
+    decision.reason = "tenant_quota";
+    decision.retry_after_s = retry_after();
+    return decision;
+  }
+  ++queued_;
+  ++tenant_load_[tenant];
+  decision.admitted = true;
+  return decision;
+}
+
+void AdmissionController::adopt(const std::string& tenant) {
+  ++queued_;
+  ++tenant_load_[tenant];
+}
+
+void AdmissionController::on_start() {
+  if (queued_ > 0) --queued_;
+  ++running_;
+}
+
+void AdmissionController::on_finish(const std::string& tenant) {
+  if (running_ > 0) --running_;
+  auto it = tenant_load_.find(tenant);
+  if (it != tenant_load_.end() && --it->second == 0) tenant_load_.erase(it);
+}
+
+void AdmissionController::on_abandon(const std::string& tenant) {
+  if (queued_ > 0) --queued_;
+  auto it = tenant_load_.find(tenant);
+  if (it != tenant_load_.end() && --it->second == 0) tenant_load_.erase(it);
+}
+
+std::size_t AdmissionController::tenant_load(const std::string& tenant) const {
+  auto it = tenant_load_.find(tenant);
+  return it == tenant_load_.end() ? 0 : it->second;
+}
+
+double AdmissionController::retry_after() const {
+  // Deeper backlog → longer hint, so shedding spreads resubmissions out
+  // instead of synchronizing a thundering herd at one instant.
+  return options_.retry_after_base_s * (1.0 + static_cast<double>(queued_));
+}
+
+}  // namespace cstuner::serve

@@ -1,0 +1,75 @@
+#pragma once
+// Admission control and backpressure for the serve daemon (docs/serving.md
+// §Quotas): bounded run/queue capacity, per-tenant quotas, and load shedding
+// with typed rejections carrying a retry_after hint that grows with queue
+// depth. Pure bookkeeping — no locks here; the SessionManager's mutex
+// serializes every call, which keeps admission decisions atomic with the
+// session-table updates they gate.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace cstuner::serve {
+
+struct AdmissionOptions {
+  std::size_t max_running = 2;   ///< sessions executing concurrently
+  std::size_t max_queued = 16;   ///< sessions waiting, all tenants combined
+  std::size_t tenant_quota = 8;  ///< queued+running cap per tenant
+  double retry_after_base_s = 0.5;
+};
+
+/// Outcome of one admission attempt. When !admitted, `reason` is one of
+/// "queue_full" | "tenant_quota" | "draining" and retry_after_s tells the
+/// client when resubmitting is likely to succeed.
+struct AdmissionDecision {
+  bool admitted = false;
+  std::string reason;
+  double retry_after_s = 0.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {})
+      : options_(options) {}
+
+  /// Decides whether a new session for `tenant` may enter the queue and, if
+  /// so, charges the queue and tenant counters.
+  AdmissionDecision try_admit(const std::string& tenant);
+
+  /// Re-admits a journaled session found on restart, bypassing the queue
+  /// bound — adopted sessions were already accepted once and must not be
+  /// dropped (zero dropped-but-accepted requests). Tenant accounting still
+  /// applies so quotas stay truthful.
+  void adopt(const std::string& tenant);
+
+  /// True when a queued session may move to running.
+  bool can_start() const { return running_ < options_.max_running; }
+  /// Queue → running transition.
+  void on_start();
+  /// Running session reached a resting state (final or interrupted).
+  void on_finish(const std::string& tenant);
+  /// Queued session left without ever running (cancel, drain).
+  void on_abandon(const std::string& tenant);
+
+  /// Draining daemons refuse all new work with reason "draining".
+  void set_draining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
+  std::size_t queued() const { return queued_; }
+  std::size_t running() const { return running_; }
+  std::size_t tenant_load(const std::string& tenant) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  double retry_after() const;
+
+  AdmissionOptions options_;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  std::map<std::string, std::size_t> tenant_load_;
+};
+
+}  // namespace cstuner::serve

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal POSIX TCP plumbing for the serve daemon (docs/serving.md): a
+// listener with poll-based accept (so the accept loop can notice a drain
+// signal between connections), a blocking client connect, and a buffered
+// line reader — the protocol is one JSON document per line, so lines are
+// the only framing the transport needs.
+
+#include <string>
+
+namespace cstuner::serve {
+
+/// Opens a listening TCP socket on host:port (port 0 = ephemeral; read the
+/// chosen one back with bound_port). Throws cstuner::Error on failure.
+int listen_on(const std::string& host, int port, int backlog = 16);
+
+/// The port a listening socket actually bound (resolves port 0).
+int bound_port(int listen_fd);
+
+/// Accepts one connection, waiting at most timeout_ms. Returns the
+/// connected fd, or -1 on timeout (no connection pending).
+int accept_with_timeout(int listen_fd, int timeout_ms);
+
+/// Connects to host:port, waiting at most timeout_ms for the connection to
+/// establish. Throws cstuner::Error on failure or timeout.
+int connect_to(const std::string& host, int port, int timeout_ms);
+
+/// Writes the whole buffer, resuming across short writes and EINTR.
+/// Throws cstuner::Error on a transport error.
+void send_all(int fd, const std::string& data);
+
+/// Buffered newline-delimited reader over one socket. Does not own the fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  enum class Status { kLine, kEof, kTimeout };
+
+  /// Reads one '\n'-terminated line (terminator stripped) into `out`.
+  /// kTimeout after timeout_ms with no complete line — the caller decides
+  /// whether to keep waiting (and can check a stop flag in between).
+  Status read_line(std::string& out, int timeout_ms);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace cstuner::serve

@@ -1,0 +1,241 @@
+#include "serve/server.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/obs.hpp"
+#include "serve/net.hpp"
+
+namespace cstuner::serve {
+
+namespace {
+
+/// Written by the signal handler, polled by every accept loop. sig_atomic_t
+/// is the only type async-signal-safe to write from a handler.
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void on_signal(int) { g_signal_stop = 1; }
+
+void write_status_fields(JsonWriter& json, const SessionStatus& status) {
+  json.field("id", status.id)
+      .field("state", std::string(session_state_name(status.state)))
+      .field("tenant", status.tenant)
+      .field("stencil", status.stencil);
+}
+
+std::string error_line(const std::string& type, const std::string& message) {
+  JsonWriter json;
+  json.begin_object().field("type", type).field("error", message).end_object();
+  return json.str();
+}
+
+}  // namespace
+
+void Server::install_signal_handlers() {
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  // A client hanging up mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+Server::Server(SessionManager& manager, ServerOptions options)
+    : manager_(manager), options_(std::move(options)) {
+  listen_fd_ = listen_on(options_.host, options_.port);
+  port_ = bound_port(listen_fd_);
+  if (!options_.port_file.empty()) {
+    write_file_atomic(options_.port_file, std::to_string(port_) + "\n");
+  }
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::run() {
+  std::cerr << "serve: listening on " << options_.host << ":" << port_
+            << " (state: " << manager_.options().state_dir << ")\n";
+  std::vector<std::thread> connections;
+  while (!stop_.load(std::memory_order_acquire) && g_signal_stop == 0) {
+    const int fd = accept_with_timeout(listen_fd_, 200);
+    if (fd < 0) continue;  // timeout or signal: re-check the stop flags
+    CSTUNER_OBS_COUNT("serve.connections", 1);
+    connections.emplace_back(&Server::serve_connection, this, fd);
+  }
+  std::cerr << "serve: draining (grace "
+            << manager_.options().drain_grace_s << " s)\n";
+  const bool rested = manager_.drain(manager_.options().drain_grace_s);
+  // Connections see the stop flag at their next read timeout.
+  for (std::thread& thread : connections) thread.join();
+  std::cerr << (rested ? "serve: drained cleanly\n"
+                       : "serve: drain grace expired; sessions checkpointed "
+                         "for the next start\n");
+}
+
+void Server::serve_connection(int fd) {
+  LineReader reader(fd);
+  std::string line;
+  // Poll in short slices so an idle connection notices a server stop
+  // quickly; the idle budget bounds the total wait.
+  double idle_left_s = options_.idle_timeout_s;
+  while (!stop_.load(std::memory_order_acquire) && g_signal_stop == 0 &&
+         idle_left_s > 0.0) {
+    const LineReader::Status status = reader.read_line(line, 250);
+    if (status == LineReader::Status::kEof) break;
+    if (status == LineReader::Status::kTimeout) {
+      idle_left_s -= 0.25;
+      continue;
+    }
+    idle_left_s = options_.idle_timeout_s;
+    if (line.empty()) continue;
+    std::string response;
+    try {
+      response = handle_line(fd, line);
+    } catch (const Error& e) {
+      response = error_line("bad_request", e.what());
+    } catch (const std::exception& e) {
+      response = error_line("error", e.what());
+    }
+    try {
+      send_all(fd, response + "\n");
+    } catch (const Error&) {
+      break;  // client went away
+    }
+  }
+  ::close(fd);
+}
+
+std::string Server::handle_line(int fd, const std::string& line) {
+  CSTUNER_TRACE_SPAN("serve", "request");
+  const JsonValue doc = json_parse(line);
+  const std::string op = doc.at("op").as_string();
+  JsonWriter json;
+
+  if (op == "submit") {
+    const SubmitOutcome out = manager_.submit(TuneRequest::from_json(doc));
+    json.begin_object();
+    if (out.accepted) {
+      json.field("type", "accepted").field("id", out.id);
+    } else {
+      json.field("type", "rejected")
+          .field("reason", out.reject_reason)
+          .field("retry_after_s", out.retry_after_s);
+    }
+    // Degraded-mode answer: whatever the warm store predicted goes back
+    // immediately, so even a shed request leaves with a usable setting.
+    if (!out.warm_setting.empty()) {
+      json.field("warm_setting", out.warm_setting)
+          .field("warm_predicted_ms", out.warm_predicted_ms);
+    }
+    json.end_object();
+    return json.str();
+  }
+
+  if (op == "status") {
+    const auto status = manager_.status(doc.at("id").as_u64());
+    if (!status.has_value()) return error_line("error", "unknown session id");
+    json.begin_object().field("type", "status");
+    write_status_fields(json, *status);
+    if (session_state_final(status->state) ||
+        status->state == SessionState::kInterrupted) {
+      json.key("result").begin_object();
+      status->result.write_fields(json);
+      json.end_object();
+    }
+    json.end_object();
+    return json.str();
+  }
+
+  if (op == "result") {
+    const std::uint64_t id = doc.at("id").as_u64();
+    double timeout_s = 60.0;
+    if (const JsonValue* m = doc.find("timeout_s")) {
+      timeout_s = m->as_double();
+    }
+    const auto result = manager_.result(id, timeout_s);
+    if (!result.has_value()) {
+      // Unknown id and still-running look different to status; here the
+      // client asked to block, so both come back as a retryable timeout.
+      if (!manager_.status(id).has_value()) {
+        return error_line("error", "unknown session id");
+      }
+      json.begin_object().field("type", "timeout").field("id", id).end_object();
+      return json.str();
+    }
+    json.begin_object().field("type", "result").field("id", id);
+    result->write_fields(json);
+    json.end_object();
+    return json.str();
+  }
+
+  if (op == "stream") {
+    const std::uint64_t id = doc.at("id").as_u64();
+    double poll_s = 0.5;
+    if (const JsonValue* m = doc.find("poll_s")) poll_s = m->as_double();
+    for (;;) {
+      const auto status = manager_.status(id);
+      if (!status.has_value()) {
+        return error_line("error", "unknown session id");
+      }
+      if (session_state_final(status->state) ||
+          status->state == SessionState::kInterrupted) {
+        json.begin_object().field("type", "result").field("id", id);
+        status->result.write_fields(json);
+        json.end_object();
+        return json.str();
+      }
+      if (stop_.load(std::memory_order_acquire) || g_signal_stop != 0) {
+        return error_line("error", "server stopping");
+      }
+      JsonWriter tick;
+      tick.begin_object().field("type", "status");
+      write_status_fields(tick, *status);
+      tick.end_object();
+      send_all(fd, tick.str() + "\n");
+      // Blocks until the session rests or the poll interval elapses.
+      manager_.result(id, poll_s);
+    }
+  }
+
+  if (op == "cancel") {
+    const bool ok = manager_.cancel(doc.at("id").as_u64());
+    json.begin_object()
+        .field("type", ok ? "ok" : "error")
+        .field("cancelled", ok);
+    if (!ok) json.field("error", "unknown or already-finished session");
+    json.end_object();
+    return json.str();
+  }
+
+  if (op == "stats") {
+    const ServeStats stats = manager_.stats();
+    json.begin_object()
+        .field("type", "stats")
+        .field("queued", static_cast<std::uint64_t>(stats.queued))
+        .field("running", static_cast<std::uint64_t>(stats.running))
+        .field("resting", static_cast<std::uint64_t>(stats.resting))
+        .field("adopted", static_cast<std::uint64_t>(stats.adopted))
+        .field("accepted_total",
+               static_cast<std::uint64_t>(stats.accepted_total))
+        .field("rejected_total",
+               static_cast<std::uint64_t>(stats.rejected_total))
+        .field("warm_entries", static_cast<std::uint64_t>(stats.warm_entries))
+        .end_object();
+    return json.str();
+  }
+
+  if (op == "shutdown") {
+    stop();
+    json.begin_object().field("type", "ok").field("draining", true).end_object();
+    return json.str();
+  }
+
+  return error_line("bad_request", "unknown op: " + op);
+}
+
+}  // namespace cstuner::serve

@@ -1,0 +1,66 @@
+#pragma once
+// The daemon's TCP front end (docs/serving.md): accepts connections, frames
+// newline-delimited JSON requests, and maps each op onto the
+// SessionManager. All policy — admission, quotas, deadlines, recovery —
+// lives in the manager; this layer only speaks the protocol.
+//
+// Shutdown: stop() (or SIGTERM/SIGINT via install_signal_handlers) makes
+// the accept loop wind down, drains the manager (running sessions
+// checkpoint and park), and returns. A SIGKILL skips the drain — which the
+// manager's construction-time recovery is explicitly built to survive.
+
+#include <atomic>
+#include <string>
+
+#include "serve/session_manager.hpp"
+
+namespace cstuner::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port lands in port_file
+  /// When non-empty, the bound port is published here (atomic write) once
+  /// the listener is up — how scripts find an ephemeral-port daemon.
+  std::string port_file;
+  /// Idle read timeout per connection before the daemon hangs up.
+  double idle_timeout_s = 120.0;
+};
+
+class Server {
+ public:
+  /// Binds the listener immediately (throws on failure); serving starts
+  /// with run().
+  Server(SessionManager& manager, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  int port() const { return port_; }
+
+  /// Serves until stop() is called or an installed signal handler fires.
+  /// Drains the manager before returning.
+  void run();
+
+  /// Requests shutdown; safe from any thread (the shutdown op uses it).
+  void stop() { stop_.store(true, std::memory_order_release); }
+
+  /// Routes SIGTERM and SIGINT to the graceful-drain path of every Server
+  /// in the process (a sig_atomic_t flag the accept loops poll).
+  static void install_signal_handlers();
+
+ private:
+  void serve_connection(int fd);
+  /// Handles one request line; returns the final response line. The stream
+  /// op additionally sends interim status lines on `fd` directly.
+  std::string handle_line(int fd, const std::string& line);
+
+  SessionManager& manager_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cstuner::serve

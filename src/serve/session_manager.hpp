@@ -1,0 +1,175 @@
+#pragma once
+// Session scheduling for the tuning daemon (docs/serving.md). A
+// SessionManager owns the session table, the admission controller, and the
+// warm-start store; the TCP server above it is a thin protocol shim.
+//
+// Lifecycle: submit() validates the request, asks the warm store for a
+// starting point, runs admission, and — only after the session manifest is
+// durably on disk — acknowledges the session. Accepted sessions queue until
+// a run slot frees; each running session gets a dedicated dispatch thread
+// and an Evaluator whose batches fan out over the shared ThreadPool
+// (docs/threading.md). Cooperative cancellation and virtual-clock deadlines
+// plumb straight into the evaluator, so a cancel/expiry never poisons the
+// shared cache or quarantine state of other sessions.
+//
+// Crash safety: the manifest is the unit of acceptance. Tune sessions
+// checkpoint (journal + snapshots) under their session directory; results
+// are published by atomic rename. On construction the manager re-adopts
+// every manifest without a result — whether the previous daemon drained
+// cleanly or died by SIGKILL — and resumes each from its journal, so the
+// final results are bit-identical to never-interrupted runs
+// (docs/fault-tolerance.md).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/warm_store.hpp"
+#include "tuner/checkpoint.hpp"
+
+namespace cstuner::serve {
+
+struct ServeOptions {
+  /// Root of all daemon state: sessions/<id>/{manifest.json, checkpoint/,
+  /// result.json} plus the warm-start store.
+  std::string state_dir = "serve-state";
+  AdmissionOptions admission;
+  /// Journal durability of session checkpoints (--checkpoint-sync).
+  tuner::Checkpoint::SyncPolicy checkpoint_sync =
+      tuner::Checkpoint::SyncPolicy::kBatch;
+  /// Wall-clock grace a drain waits for running sessions to reach their
+  /// next cancellation point and checkpoint.
+  double drain_grace_s = 30.0;
+  /// Consult/feed the warm-start store (--no-warm-start turns this off;
+  /// the recovery smoke test does, because predictions depend on which
+  /// sessions finished first and would differ across a restart).
+  bool warm_start = true;
+};
+
+/// submit() outcome: either an accepted session id or a typed rejection.
+/// Either way, when the warm store had a prediction for the request it is
+/// attached — under overload the client gets a usable setting immediately
+/// while the full refinement queues (or is retried later).
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;
+  std::string reject_reason;  ///< "queue_full" | "tenant_quota" | "draining"
+  double retry_after_s = 0.0;
+  std::string warm_setting;  ///< human-readable prediction ("" = none)
+  double warm_predicted_ms = 0.0;  ///< model-predicted time of the warm setting
+};
+
+/// Point-in-time view of one session for status responses.
+struct SessionStatus {
+  std::uint64_t id = 0;
+  SessionState state = SessionState::kQueued;
+  std::string tenant;
+  std::string stencil;
+  SessionResult result;  ///< meaningful once the session rests
+};
+
+/// Daemon-level counters for the stats op.
+struct ServeStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t resting = 0;
+  std::size_t adopted = 0;  ///< sessions re-adopted at startup
+  std::size_t accepted_total = 0;
+  std::size_t rejected_total = 0;
+  std::size_t warm_entries = 0;
+};
+
+class SessionManager {
+ public:
+  /// Opens (creating if needed) the state directory and immediately
+  /// re-adopts every journaled session found there — recovery is part of
+  /// construction so a restarted daemon can never forget accepted work.
+  explicit SessionManager(ServeOptions options = {});
+  /// Drains (cancel + checkpoint) anything still running.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Validates, warm-starts, admits, persists the manifest, and queues.
+  /// Throws UsageError for malformed requests (unknown stencil/arch/
+  /// method) — the caller maps that to a bad_request response.
+  SubmitOutcome submit(TuneRequest request);
+
+  /// nullopt for unknown ids.
+  std::optional<SessionStatus> status(std::uint64_t id) const;
+
+  /// Blocks until the session rests (final or interrupted) or `timeout_s`
+  /// wall seconds pass; nullopt on timeout or unknown id.
+  std::optional<SessionResult> result(std::uint64_t id, double timeout_s);
+
+  /// Requests cooperative cancellation. True if the session existed and
+  /// was not already resting.
+  bool cancel(std::uint64_t id);
+
+  /// Graceful drain: refuse new work, park queued sessions for the next
+  /// daemon, cancel running ones at their next batch boundary (they
+  /// checkpoint and rest as kInterrupted). Returns true when everything
+  /// rested within `grace_s` (then joins stragglers unconditionally —
+  /// cancellation guarantees forward progress).
+  bool drain(double grace_s);
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  /// Sessions re-adopted by the constructor's recovery pass.
+  std::size_t adopted() const { return adopted_; }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    TuneRequest request;
+    SessionState state = SessionState::kQueued;
+    SessionResult result;
+    std::string dir;
+    std::atomic<bool> cancel{false};
+    bool drain_requested = false;
+    std::thread thread;
+  };
+
+  std::string sessions_dir() const;
+  std::string session_dir(std::uint64_t id) const;
+  void write_manifest(const Session& session) const;
+  void write_result(const Session& session) const;
+  void recover_locked();
+  /// Starts queued sessions while run slots are free and reaps finished
+  /// dispatch threads. Call with mutex_ held.
+  void pump_locked();
+  void update_gauges_locked();
+  /// Session dispatch-thread body.
+  void run_session(Session* session);
+  void run_tune(Session& session);
+  void run_analyze(Session& session);
+  /// Transition to a resting state: bookkeeping + result publication +
+  /// wakeups. Called from the dispatch thread.
+  void finish_session(Session* session, SessionState state,
+                      SessionResult result);
+
+  ServeOptions options_;
+  WarmStore warm_store_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  AdmissionController admission_;
+  std::uint64_t next_id_ = 1;
+  std::size_t adopted_ = 0;
+  std::size_t accepted_total_ = 0;
+  std::size_t rejected_total_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace cstuner::serve

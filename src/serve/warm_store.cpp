@@ -1,0 +1,250 @@
+#include "serve/warm_store.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <filesystem>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+#include "serve/protocol.hpp"
+
+namespace cstuner::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Builds a Setting from raw values, snapping each to the nearest value the
+/// target space actually admits (stores may hold entries from spaces with
+/// different caps).
+space::Setting snapped_setting(const space::SearchSpace& space,
+                               const std::vector<double>& raw) {
+  space::Setting setting;
+  for (std::size_t i = 0; i < space::kParamCount && i < raw.size(); ++i) {
+    const auto id = static_cast<space::ParamId>(i);
+    const auto& values = space.parameter(id).values;
+    std::int64_t best = values.front();
+    double best_dist = std::abs(static_cast<double>(best) - raw[i]);
+    for (const std::int64_t v : values) {
+      const double dist = std::abs(static_cast<double>(v) - raw[i]);
+      if (dist < best_dist) {
+        best = v;
+        best_dist = dist;
+      }
+    }
+    setting.set(id, best);
+  }
+  return setting;
+}
+
+/// Canonicalize + repair + validate; nullopt when even repair cannot make
+/// the candidate valid.
+std::optional<space::Setting> validated(const space::SearchSpace& space,
+                                        space::Setting candidate) {
+  candidate = space.checker().repaired(
+      space.checker().canonicalized(std::move(candidate)));
+  if (space.is_valid(candidate)) return candidate;
+  return std::nullopt;
+}
+
+double feature_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double WarmEntry::best_time_ms() const {
+  return std::bit_cast<double>(best_time_bits);
+}
+
+WarmStore::WarmStore(std::string path) : path_(std::move(path)) { load(); }
+
+std::vector<double> WarmStore::features_of(const stencil::StencilSpec& spec) {
+  return {std::log2(static_cast<double>(spec.points())),
+          static_cast<double>(spec.order),
+          static_cast<double>(spec.flops),
+          static_cast<double>(spec.io_arrays),
+          static_cast<double>(spec.taps_per_point()),
+          std::log2(1.0 + spec.arithmetic_intensity())};
+}
+
+void WarmStore::load() {
+  if (path_.empty() || !fs::exists(path_)) return;
+  try {
+    const JsonValue doc = json_parse(read_file(path_));
+    std::vector<WarmEntry> entries;
+    for (const JsonValue& item : doc.at("entries").as_array()) {
+      WarmEntry entry;
+      entry.stencil = item.at("stencil").as_string();
+      entry.arch = item.at("arch").as_string();
+      entry.best_time_bits = item.at("best_time_bits").as_u64();
+      for (const JsonValue& f : item.at("features").as_array()) {
+        entry.features.push_back(f.as_double());
+      }
+      for (const JsonValue& v : item.at("setting").as_array()) {
+        entry.setting.push_back(v.as_i64());
+      }
+      entries.push_back(std::move(entry));
+    }
+    entries_ = std::move(entries);
+  } catch (const Error&) {
+    // A torn or stale store only loses warm starts, never correctness.
+    entries_.clear();
+  }
+}
+
+void WarmStore::persist_locked() const {
+  if (path_.empty()) return;
+  JsonWriter json;
+  json.begin_object().key("entries").begin_array();
+  for (const WarmEntry& entry : entries_) {
+    json.begin_object()
+        .field("stencil", entry.stencil)
+        .field("arch", entry.arch)
+        .field("best_time_bits", entry.best_time_bits)
+        .field("best_time_ms", entry.best_time_ms());
+    json.key("features").begin_array();
+    for (const double f : entry.features) json.value(f);
+    json.end_array();
+    json.key("setting").begin_array();
+    for (const std::int64_t v : entry.setting) json.value(v);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array().end_object();
+  write_file_atomic(path_, json.str() + "\n");
+}
+
+void WarmStore::add(const stencil::StencilSpec& spec, const std::string& arch,
+                    const space::Setting& setting, double best_time_ms) {
+  if (!std::isfinite(best_time_ms)) return;
+  WarmEntry entry;
+  entry.stencil = spec.name;
+  entry.arch = arch;
+  entry.features = features_of(spec);
+  entry.setting.assign(setting.raw().begin(), setting.raw().end());
+  entry.best_time_bits = std::bit_cast<std::uint64_t>(best_time_ms);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const WarmEntry& e) {
+                           return e.stencil == entry.stencil &&
+                                  e.arch == entry.arch;
+                         });
+  if (it != entries_.end()) {
+    if (it->best_time_ms() <= best_time_ms) return;  // keep the faster one
+    *it = std::move(entry);
+  } else {
+    entries_.push_back(std::move(entry));
+  }
+  persist_locked();
+}
+
+std::size_t WarmStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::optional<space::Setting> WarmStore::predict(
+    const space::SearchSpace& space, const std::string& arch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.empty()) return std::nullopt;
+  if (entries_.size() >= kForestThreshold) {
+    if (auto setting = predict_forest_locked(space)) return setting;
+  }
+  return predict_nearest_locked(space, arch);
+}
+
+std::optional<space::Setting> WarmStore::predict_forest_locked(
+    const space::SearchSpace& space) const {
+  // Train order is sorted by (stencil, arch) so the model — and therefore
+  // the prediction — depends only on store *content*, not on the order
+  // sessions happened to finish in.
+  std::vector<const WarmEntry*> order;
+  order.reserve(entries_.size());
+  for (const WarmEntry& entry : entries_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const WarmEntry* a, const WarmEntry* b) {
+              return std::tie(a->stencil, a->arch) <
+                     std::tie(b->stencil, b->arch);
+            });
+
+  const std::size_t n_features = features_of(space.spec()).size();
+  std::vector<double> table;
+  table.reserve(order.size() * n_features);
+  for (const WarmEntry* entry : order) {
+    for (std::size_t f = 0; f < n_features; ++f) {
+      table.push_back(f < entry->features.size() ? entry->features[f] : 0.0);
+    }
+  }
+  const ml::TableView x{table, order.size(), n_features};
+  const std::vector<double> target_features = features_of(space.spec());
+
+  ml::ForestConfig config;
+  config.n_trees = 16;
+  config.tree.max_features = 2;  // ~sqrt of the 6 shape features
+
+  std::vector<double> raw(space::kParamCount, 1.0);
+  for (std::size_t p = 0; p < space::kParamCount; ++p) {
+    std::vector<double> y;
+    y.reserve(order.size());
+    for (const WarmEntry* entry : order) {
+      y.push_back(p < entry->setting.size()
+                      ? static_cast<double>(entry->setting[p])
+                      : 1.0);
+    }
+    ml::RandomForest forest(ml::TreeTask::kRegression, config);
+    // Fixed seed per parameter: predictions are a pure function of store
+    // content, reproducible across daemon restarts.
+    Rng rng(hash_combine(0xF0125, static_cast<std::uint64_t>(p)));
+    forest.fit(x, y, rng);
+    raw[p] = forest.predict(target_features);
+  }
+  return validated(space, snapped_setting(space, raw));
+}
+
+std::optional<space::Setting> WarmStore::predict_nearest_locked(
+    const space::SearchSpace& space, const std::string& arch) const {
+  const std::vector<double> target = features_of(space.spec());
+  std::vector<const WarmEntry*> order;
+  order.reserve(entries_.size());
+  for (const WarmEntry& entry : entries_) order.push_back(&entry);
+  // Same-arch entries first, then by shape distance; ties broken by name so
+  // the scan order is deterministic.
+  std::sort(order.begin(), order.end(),
+            [&](const WarmEntry* a, const WarmEntry* b) {
+              const bool a_arch = a->arch == arch;
+              const bool b_arch = b->arch == arch;
+              if (a_arch != b_arch) return a_arch;
+              const double da = feature_distance(a->features, target);
+              const double db = feature_distance(b->features, target);
+              if (da != db) return da < db;
+              return std::tie(a->stencil, a->arch) <
+                     std::tie(b->stencil, b->arch);
+            });
+  for (const WarmEntry* entry : order) {
+    std::vector<double> raw;
+    raw.reserve(entry->setting.size());
+    for (const std::int64_t v : entry->setting) {
+      raw.push_back(static_cast<double>(v));
+    }
+    if (auto setting = validated(space, snapped_setting(space, raw))) {
+      return setting;
+    }
+    // Invalid in this space (different caps): try the next-nearest entry.
+  }
+  return std::nullopt;
+}
+
+}  // namespace cstuner::serve

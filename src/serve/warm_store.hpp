@@ -1,0 +1,80 @@
+#pragma once
+// Persistent cross-stencil warm-start store (docs/serving.md §Warm starts).
+// Every finished tuning session deposits its best (stencil, arch, setting,
+// time) tuple; later submissions for similar stencils get a predicted good
+// setting back immediately — under overload the daemon can answer with the
+// prediction alone while the full refinement waits in the queue.
+//
+// Prediction is two-tier: with few entries, nearest-neighbour by stencil
+// shape features (same-arch entries preferred); once the store holds enough
+// history, a per-parameter random-forest regressor (src/ml) maps shape
+// features to parameter values. Either way the raw prediction is snapped to
+// the target space's admissible values, canonicalized, repaired, and
+// validated before anyone sees it.
+//
+// Persistence is a single JSON file rewritten via tmp + fsync + rename, the
+// same crash-safety discipline as checkpoint snapshots: readers see the old
+// store or the new one, never a torn file.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "space/search_space.hpp"
+
+namespace cstuner::serve {
+
+/// One deposited tuning outcome.
+struct WarmEntry {
+  std::string stencil;
+  std::string arch;
+  std::vector<double> features;        ///< features_of() at deposit time
+  std::vector<std::int64_t> setting;   ///< raw parameter values
+  std::uint64_t best_time_bits = 0;    ///< IEEE-754 bits of best time (ms)
+
+  double best_time_ms() const;
+};
+
+class WarmStore {
+ public:
+  /// Loads the store at `path` if the file exists (empty path = in-memory
+  /// only, nothing persisted). A malformed file is ignored, not fatal — the
+  /// store is an accelerator, never a correctness dependency.
+  explicit WarmStore(std::string path = "");
+
+  /// Deposits a tuning outcome. One entry per (stencil, arch) is kept: a
+  /// slower duplicate is dropped, a faster one replaces. Persists when
+  /// backed by a file.
+  void add(const stencil::StencilSpec& spec, const std::string& arch,
+           const space::Setting& setting, double best_time_ms);
+
+  /// Predicted good setting for a new (space, arch), or nullopt when the
+  /// store has nothing usable. The result is always valid in `space`.
+  std::optional<space::Setting> predict(const space::SearchSpace& space,
+                                        const std::string& arch) const;
+
+  std::size_t size() const;
+
+  /// Shape features used for similarity: {log2 points, order, flops,
+  /// io_arrays, taps per point, log2(1 + arithmetic intensity)}.
+  static std::vector<double> features_of(const stencil::StencilSpec& spec);
+
+  /// Entries before the forest tier activates.
+  static constexpr std::size_t kForestThreshold = 8;
+
+ private:
+  void load();
+  void persist_locked() const;
+  std::optional<space::Setting> predict_forest_locked(
+      const space::SearchSpace& space) const;
+  std::optional<space::Setting> predict_nearest_locked(
+      const space::SearchSpace& space, const std::string& arch) const;
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::vector<WarmEntry> entries_;
+};
+
+}  // namespace cstuner::serve

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "common/rng.hpp"
 
 namespace cstuner::space {
 
@@ -761,7 +762,8 @@ std::vector<Setting> LazyUniverse::take_all(std::uint64_t limit) {
   return out;
 }
 
-std::vector<Setting> LazyUniverse::spread_sample(std::size_t k) {
+std::vector<Setting> LazyUniverse::spread_sample(std::size_t k,
+                                                 std::uint64_t salt) {
   if (k == 0 || total_count_ == 0) return {};
   if (k >= total_count_) return take_all();
 
@@ -794,11 +796,20 @@ std::vector<Setting> LazyUniverse::spread_sample(std::size_t k) {
     std::uint64_t stride =
         std::min(blocks_[i].count / q, options_.max_spread_stride);
     if (stride == 0) stride = 1;
+    std::uint64_t offset = 0;
+    if (salt != 0) {
+      // Deterministic per-block phase: the comb of q picks at spacing
+      // `stride` fits anywhere in [0, count - (q-1)*stride); hashing
+      // (salt, block) picks the phase, so different salts see different —
+      // but equally spread — settings without any rejection or RNG state.
+      const std::uint64_t slack = blocks_[i].count - (q - 1) * stride;
+      offset = hash_combine(salt, static_cast<std::uint64_t>(i)) % slack;
+    }
     picked[i].reserve(static_cast<std::size_t>(q));
     BlockCursor cursor(space_, regions_[blocks_[i].region], blocks_[i].tb);
     Setting s;
     std::uint64_t pos = 0;
-    std::uint64_t next_pick = 0;
+    std::uint64_t next_pick = offset;
     while (picked[i].size() < q && cursor.next(s)) {
       if (pos == next_pick) {
         picked[i].push_back(s);

@@ -173,7 +173,13 @@ class LazyUniverse {
   /// per-block quotas proportional to the exact counts (largest-remainder
   /// rounding, ties to the lower block index), strided picks inside each
   /// block. No RNG involved; bit-identical across worker counts.
-  std::vector<Setting> spread_sample(std::size_t k);
+  ///
+  /// `salt` rotates each block's strided comb by hash(salt, block) within
+  /// the slack the comb is free to move in, so callers with a seed contract
+  /// (SearchSpace::sample_universe) get seed-dependent — but equally
+  /// spread, still RNG-free — samples. salt == 0 keeps every pick at phase
+  /// zero, the digest-stable order the space-construction gate pins.
+  std::vector<Setting> spread_sample(std::size_t k, std::uint64_t salt = 0);
 
  private:
   struct BlockRef {

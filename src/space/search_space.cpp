@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "space/lazy_universe.hpp"
 
 namespace cstuner::space {
 
@@ -108,18 +109,40 @@ Setting SearchSpace::random_valid(Rng& rng, std::size_t max_tries) const {
 
 std::vector<Setting> SearchSpace::sample_universe(
     Rng& rng, std::size_t count, std::size_t max_tries_factor) const {
-  std::vector<Setting> universe;
+  // Constraint-propagating enumeration replaces the historical rejection
+  // sampler: the exact valid count is known up front, spaces no larger than
+  // `count` are taken whole, and larger ones contribute a count-proportioned
+  // spread sample whose phase is salted from the caller's RNG — still
+  // seed-dependent, but every pick lands on a distinct valid setting instead
+  // of rejecting (and occasionally under-filling) its way there. Exactly one
+  // RNG draw is consumed per call on this path, so downstream draws stay
+  // aligned across spaces of any size.
+  const std::uint64_t salt = rng.next() | 1;  // nonzero: 0 means "no phase"
+  try {
+    LazyUniverse lazy(*this);
+    if (lazy.valid_count() <= count) return lazy.take_all();
+    return lazy.spread_sample(count, salt);
+  } catch (const Error&) {
+    // A space the symbolic enumerator cannot decompose falls back to the
+    // constructive sampler below.
+  }
+  return sample_constructive(rng, count, max_tries_factor);
+}
+
+std::vector<Setting> SearchSpace::sample_constructive(
+    Rng& rng, std::size_t count, std::size_t max_tries_factor) const {
+  std::vector<Setting> out;
   // Content-comparing dedup: a raw hash-set of 64-bit hashes would silently
   // drop a distinct setting on collision.
   SettingDedup seen;
   const std::size_t max_tries = count * max_tries_factor;
-  for (std::size_t attempt = 0;
-       attempt < max_tries && universe.size() < count; ++attempt) {
+  for (std::size_t attempt = 0; attempt < max_tries && out.size() < count;
+       ++attempt) {
     Setting s = random_setting(rng);
     if (!checker_->is_valid(s)) continue;
-    if (seen.insert(s)) universe.push_back(s);
+    if (seen.insert(s)) out.push_back(s);
   }
-  return universe;
+  return out;
 }
 
 double SearchSpace::log10_cartesian_size() const {

@@ -41,11 +41,24 @@ class SearchSpace {
   /// Rejection-samples until a valid setting is found.
   Setting random_valid(Rng& rng, std::size_t max_tries = 100000) const;
 
-  /// `count` distinct valid settings (deduplicated by content hash). May
-  /// return fewer when the valid space is smaller than `count`; stops after
-  /// `max_tries_factor * count` rejection-sampling attempts.
+  /// `count` distinct valid settings. Built by exact lazy enumeration
+  /// (space::LazyUniverse): a valid space no larger than `count` is
+  /// returned whole, a larger one as a count-proportioned spread sample
+  /// whose phase is salted from `rng` — seed-dependent but rejection-free
+  /// and bit-identical across worker counts. Consumes exactly one RNG draw.
+  /// Spaces the enumerator cannot decompose fall back to rejection
+  /// sampling, bounded by `max_tries_factor * count` attempts.
   std::vector<Setting> sample_universe(Rng& rng, std::size_t count,
                                        std::size_t max_tries_factor = 64) const;
+
+  /// Up to `count` distinct valid settings drawn with the constructive
+  /// sampler (random_setting + rejection). Unlike sample_universe this is
+  /// per-parameter balanced rather than proportional to region mass, which
+  /// is what model training wants: a proportional sample at small `count`
+  /// collapses onto the few largest enumeration blocks and leaves flags and
+  /// values too unbalanced to fit (tuner::collect_dataset).
+  std::vector<Setting> sample_constructive(
+      Rng& rng, std::size_t count, std::size_t max_tries_factor = 64) const;
 
   /// log10 of the unconstrained cartesian product size (Table I scale).
   double log10_cartesian_size() const;

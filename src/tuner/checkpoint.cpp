@@ -1,5 +1,8 @@
 #include "tuner/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdio>
 #include <filesystem>
@@ -90,12 +93,43 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
+/// write(2) the whole buffer, resuming across short writes and EINTR.
+void write_all(int fd, const std::string& data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write failed: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Writes `data` to `path` (truncating) and fsyncs before closing, so the
+/// bytes are on the platter before any rename publishes the file.
+void write_file_synced(const std::string& path, const std::string& data) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("cannot write " + path);
+  try {
+    write_all(fd, data, path);
+    if (::fsync(fd) != 0) throw Error("fsync failed: " + path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) throw Error("close failed: " + path);
+}
+
 }  // namespace
 
+// Journal write half: buffered lines plus the open O_APPEND descriptor. A
+// raw fd instead of an ofstream because SyncPolicy::kEvery needs fsync,
+// which streams cannot express.
 struct Checkpoint::Writer {
   std::vector<std::string> pending;
-  std::ofstream out;
-  bool opened = false;
+  int fd = -1;
 };
 
 Checkpoint::Checkpoint(std::string directory)
@@ -112,6 +146,7 @@ Checkpoint::~Checkpoint() {
     // Destructor must not throw; an unflushed tail just loses the last
     // batch, which resume tolerates by design.
   }
+  if (writer_->fd >= 0) ::close(writer_->fd);
   delete writer_;
 }
 
@@ -121,6 +156,10 @@ std::string Checkpoint::journal_path() const {
 
 std::string Checkpoint::snapshot_path() const {
   return directory_ + "/snapshot.json";
+}
+
+std::string Checkpoint::snapshot_prev_path() const {
+  return directory_ + "/snapshot.prev.json";
 }
 
 bool Checkpoint::has_journal_file() const {
@@ -134,20 +173,12 @@ std::size_t Checkpoint::load() {
   loaded_dataset_.reset();
   loaded_stats_.reset();
 
-  // Snapshot first: it is either absent or complete (atomic rename).
-  if (fs::exists(snapshot_path())) {
-    JsonValue snap = json_parse(read_file(snapshot_path()));
-    if (const JsonValue* ds = snap.find("dataset"); ds && !ds->is_null()) {
-      loaded_dataset_ = parse_dataset(*ds);
-      // Re-register so the resumed run's snapshots keep embedding it even
-      // if the caller never calls set_dataset_json again.
-      dataset_json_ = serialize_dataset(*loaded_dataset_);
-    }
-    if (const JsonValue* ev = snap.find("evaluator"); ev && !ev->is_null()) {
-      if (const JsonValue* st = ev->find("stats")) {
-        loaded_stats_ = FaultStats::from_json(*st);
-      }
-    }
+  // Snapshot first. The rename publication makes it complete-or-absent on
+  // POSIX semantics; a torn or corrupt snapshot.json (crash mid-write on a
+  // weaker filesystem, disk damage) falls back to the preserved previous
+  // good snapshot instead of aborting the resume.
+  if (!try_load_snapshot(snapshot_path())) {
+    try_load_snapshot(snapshot_prev_path());
   }
 
   // Journal: accept every complete line; a torn tail (kill mid-write) is
@@ -185,11 +216,44 @@ std::size_t Checkpoint::load() {
   return replay_.size();
 }
 
+bool Checkpoint::try_load_snapshot(const std::string& path) {
+  if (!fs::exists(path)) return false;
+  // Parse into locals first: a snapshot that tears between the dataset and
+  // the evaluator state must not leave half-loaded fields behind when the
+  // caller falls back to the previous snapshot.
+  std::optional<PerfDataset> dataset;
+  std::optional<FaultStats> stats;
+  try {
+    JsonValue snap = json_parse(read_file(path));
+    if (const JsonValue* ds = snap.find("dataset"); ds && !ds->is_null()) {
+      dataset = parse_dataset(*ds);
+    }
+    if (const JsonValue* ev = snap.find("evaluator"); ev && !ev->is_null()) {
+      if (const JsonValue* st = ev->find("stats")) {
+        stats = FaultStats::from_json(*st);
+      }
+    }
+  } catch (const Error&) {
+    return false;  // torn or corrupt: caller tries the previous snapshot
+  }
+  loaded_dataset_ = std::move(dataset);
+  loaded_stats_ = std::move(stats);
+  if (loaded_dataset_.has_value()) {
+    // Re-register so the resumed run's snapshots keep embedding it even
+    // if the caller never calls set_dataset_json again.
+    dataset_json_ = serialize_dataset(*loaded_dataset_);
+  }
+  return true;
+}
+
+void Checkpoint::set_sync_policy(SyncPolicy policy) { sync_policy_ = policy; }
+
 void Checkpoint::append(const JournalEntry& entry) {
   CSTUNER_OBS_COUNT("checkpoint.appends", 1);
   std::string line = format_journal_line(entry);
   std::lock_guard<std::mutex> lock(writer_mutex_);
   writer_->pending.push_back(std::move(line));
+  if (sync_policy_ == SyncPolicy::kEvery) flush_locked(true);
 }
 
 void Checkpoint::append_island_event(const IslandEvent& event) {
@@ -202,22 +266,32 @@ void Checkpoint::append_island_event(const IslandEvent& event) {
   island_events_.push_back(event);
   CSTUNER_OBS_COUNT("checkpoint.island_events", 1);
   writer_->pending.push_back(std::move(line));
+  if (sync_policy_ == SyncPolicy::kEvery) flush_locked(true);
 }
 
 void Checkpoint::flush() {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  flush_locked(sync_policy_ == SyncPolicy::kEvery);
+}
+
+void Checkpoint::flush_locked(bool sync) {
   if (writer_->pending.empty()) return;
   CSTUNER_TRACE_SPAN("io", "checkpoint.flush");
   CSTUNER_OBS_COUNT("checkpoint.flushes", 1);
-  if (!writer_->opened) {
-    writer_->out.open(journal_path(), std::ios::binary | std::ios::app);
-    if (!writer_->out) throw Error("cannot open journal " + journal_path());
-    writer_->opened = true;
+  if (writer_->fd < 0) {
+    writer_->fd = ::open(journal_path().c_str(),
+                         O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (writer_->fd < 0) throw Error("cannot open journal " + journal_path());
   }
-  for (const std::string& line : writer_->pending) writer_->out << line;
+  // One write(2) per flush: appends of complete lines keep the torn-tail
+  // window to the final line, which load() already truncates away.
+  std::string block;
+  for (const std::string& line : writer_->pending) block += line;
+  write_all(writer_->fd, block, journal_path());
   writer_->pending.clear();
-  writer_->out.flush();
-  if (!writer_->out) throw Error("journal write failed: " + journal_path());
+  if (sync && ::fsync(writer_->fd) != 0) {
+    throw Error("journal fsync failed: " + journal_path());
+  }
 }
 
 void Checkpoint::set_dataset_json(std::string dataset_json) {
@@ -235,12 +309,23 @@ void Checkpoint::write_snapshot(const std::string& evaluator_json) {
   json.end_object();
 
   const std::string tmp = snapshot_path() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("cannot write snapshot temp " + tmp);
-    out << json.str();
-    out.flush();
-    if (!out) throw Error("snapshot write failed: " + tmp);
+  write_file_synced(tmp, json.str());
+  // Preserve the previous good snapshot before publishing the new one: a
+  // hard link keeps a complete snapshot on disk at every instant, so a
+  // crash that tears snapshot.json can always recover from the .prev copy
+  // (a filesystem without hard links degrades to a byte copy).
+  if (fs::exists(snapshot_path())) {
+    std::error_code ec;
+    fs::remove(snapshot_prev_path(), ec);
+    ec.clear();
+    fs::create_hard_link(snapshot_path(), snapshot_prev_path(), ec);
+    if (ec) {
+      ec.clear();
+      fs::copy_file(snapshot_path(), snapshot_prev_path(),
+                    fs::copy_options::overwrite_existing, ec);
+      // Best effort: losing the fallback copy only narrows recovery back
+      // to the rename's own atomicity.
+    }
   }
   std::error_code ec;
   fs::rename(tmp, snapshot_path(), ec);

@@ -92,9 +92,21 @@ class Checkpoint {
     return replay_;
   }
 
+  /// Journal durability policy (--checkpoint-sync):
+  ///   kBatch  appends buffer in memory until the next flush(), which
+  ///           writes them without fsync — a kill loses at most the batch
+  ///           since the last iteration mark (the historical behavior);
+  ///   kEvery  every append is written AND fsync'd immediately — nothing
+  ///           committed is ever lost, at one fsync per evaluation.
+  /// Snapshots are fsync'd before publication under both policies.
+  enum class SyncPolicy { kBatch, kEvery };
+  void set_sync_policy(SyncPolicy policy);
+  SyncPolicy sync_policy() const { return sync_policy_; }
+
   /// Appends one committed evaluation. Buffered; becomes durable at the
-  /// next flush(). Thread-safe: concurrent GA islands commit and journal
-  /// island events from their own threads.
+  /// next flush() (immediately under SyncPolicy::kEvery). Thread-safe:
+  /// concurrent GA islands commit and journal island events from their own
+  /// threads.
   void append(const JournalEntry& entry);
 
   /// Appends one island recovery event (rank death, ring heal, elite
@@ -122,8 +134,12 @@ class Checkpoint {
     return loaded_dataset_;
   }
 
-  /// Atomically writes snapshot.json. `evaluator_json` is the evaluator's
-  /// serialized mutable state (quarantine, statistics, counters).
+  /// Atomically writes snapshot.json (write temp, fsync, rename). The
+  /// previous good snapshot is preserved as snapshot.prev.json first, so a
+  /// snapshot torn by a crash at any point — even one that slips past the
+  /// rename barrier on a non-atomic filesystem — recovers to the last good
+  /// state on load(). `evaluator_json` is the evaluator's serialized
+  /// mutable state (quarantine, statistics, counters).
   void write_snapshot(const std::string& evaluator_json);
 
   /// Snapshot interval: write_snapshot is invoked by the evaluator every
@@ -140,9 +156,17 @@ class Checkpoint {
  private:
   std::string journal_path() const;
   std::string snapshot_path() const;
+  std::string snapshot_prev_path() const;
+  /// Parses one snapshot file into loaded_dataset_/loaded_stats_; returns
+  /// false (mutating nothing) when the file is absent, torn or corrupt.
+  bool try_load_snapshot(const std::string& path);
+  /// Writes pending journal lines with writer_mutex_ held; fsyncs when
+  /// `sync` is set.
+  void flush_locked(bool sync);
 
   std::string directory_;
   int snapshot_interval_ = 8;
+  SyncPolicy sync_policy_ = SyncPolicy::kBatch;
   std::string dataset_json_ = "null";
 
   std::unordered_map<std::uint64_t, JournalEntry> replay_;

@@ -477,7 +477,21 @@ void Evaluator::flush_commit_totals(CommitTotals& totals) {
   totals = CommitTotals{};
 }
 
+void Evaluator::check_cancelled() const {
+  if (cancel_flag_ != nullptr &&
+      cancel_flag_->load(std::memory_order_acquire)) {
+    throw CancelledError("evaluation cancelled");
+  }
+  if (virtual_time_s() >= virtual_deadline_s_) {
+    throw DeadlineError("virtual deadline of " +
+                        std::to_string(virtual_deadline_s_) +
+                        " s expired at " + std::to_string(virtual_time_s()) +
+                        " s of virtual time");
+  }
+}
+
 EvalResult Evaluator::evaluate_result(const space::Setting& setting) {
+  check_cancelled();
   const std::uint64_t key = setting.hash();
   Probe probe = probe_one(key, setting, effective_max_attempts());
   if (probe.needs_time) {
@@ -505,6 +519,11 @@ double Evaluator::evaluate(const space::Setting& setting) {
 
 std::vector<EvalResult> Evaluator::evaluate_batch(
     std::span<const space::Setting> settings) {
+  // Cooperative cancellation point: the check runs before any shared state
+  // is touched, so a cancelled or deadline-expired batch leaves the cache,
+  // clock, quarantine and statistics exactly as the previous batch left
+  // them — a batch that starts always commits whole.
+  check_cancelled();
   CSTUNER_TRACE_SPAN("eval", "evaluator.batch");
   CSTUNER_OBS_COUNT("evaluator.batches", 1);
   CSTUNER_OBS_OBSERVE("evaluator.batch_size", settings.size());

@@ -174,6 +174,28 @@ class Evaluator {
   /// Quarantined keys in sorted order (deterministic for snapshots/tests).
   std::vector<std::uint64_t> quarantined_keys() const;
 
+  // --- Cooperative cancellation / deadlines -------------------------------
+
+  /// Arms cooperative cancellation: while `flag` (owned by the caller —
+  /// typically a serve session; never mutated here) reads true, evaluate /
+  /// evaluate_batch throw CancelledError *before* touching any shared
+  /// state. The cache, clock, quarantine and statistics are left exactly as
+  /// the last completed call left them, so other sessions sharing this
+  /// engine are unaffected and the cancelled run can resume later. A batch
+  /// that has already started always commits whole (the cancellation
+  /// granularity is one batch). nullptr disarms.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  const std::atomic<bool>* cancel_flag() const { return cancel_flag_; }
+
+  /// Per-request deadline charged to the virtual clock: once
+  /// virtual_time_s() has reached `seconds`, the next evaluation throws
+  /// DeadlineError. Because the comparison is against the deterministic
+  /// virtual clock — not wall time — the expiry point is bit-identical
+  /// across worker counts and across checkpoint/resume cycles. Infinity
+  /// (the default) disables.
+  void set_virtual_deadline(double seconds) { virtual_deadline_s_ = seconds; }
+  double virtual_deadline_s() const { return virtual_deadline_s_; }
+
   // --- Checkpoint/resume --------------------------------------------------
 
   /// Attaches a checkpoint (non-owning; may be nullptr to detach). Journal
@@ -259,6 +281,9 @@ class Evaluator {
     return (key >> 56) & (kCacheShards - 1);
   }
   Shard& shard_for(std::uint64_t key) { return shards_[shard_index(key)]; }
+  /// Throws CancelledError/DeadlineError at the evaluation entry points;
+  /// mutates nothing.
+  void check_cancelled() const;
   bool cache_lookup(std::uint64_t key, EvalResult& value_out);
   /// Bumps the per-shard and total cache-hit counters (no-op when the
   /// observability layer is compiled out). Shared by the per-slot lookup
@@ -335,6 +360,8 @@ class Evaluator {
   std::optional<FaultInjector> injector_;
   RetryPolicy policy_;
   Checkpoint* checkpoint_ = nullptr;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  double virtual_deadline_s_ = std::numeric_limits<double>::infinity();
 
   std::vector<Shard> shards_{kCacheShards};
   std::atomic<std::int64_t> virtual_time_ticks_{0};

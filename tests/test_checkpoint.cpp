@@ -213,6 +213,71 @@ TEST(Checkpoint, SnapshotIsAtomicAndLoadable) {
   EXPECT_EQ(cp.loaded_stats()->quarantined_settings, 1u);
 }
 
+TEST(Checkpoint, TornSnapshotRecoversPreviousGoodSnapshot) {
+  const auto spec = stencil::make_stencil("j3d7pt");
+  space::SearchSpace space(spec);
+  gpusim::Simulator sim(gpusim::a100());
+  Rng rng(33);
+  const PerfDataset first = collect_dataset(space, sim, 12, rng, nullptr);
+  const PerfDataset second = collect_dataset(space, sim, 20, rng, nullptr);
+
+  const std::string dir = fresh_dir("torn_snapshot");
+  {
+    Checkpoint cp(dir);
+    cp.set_dataset_json(serialize_dataset(first));
+    cp.write_snapshot("{}");
+    cp.set_dataset_json(serialize_dataset(second));
+    cp.write_snapshot("{}");  // demotes the first snapshot to .prev
+  }
+  ASSERT_TRUE(fs::exists(dir + "/snapshot.prev.json"));
+  {
+    // A crash that tears snapshot.json itself (e.g. rename promoted a file
+    // whose data pages never hit disk): truncate it mid-object.
+    const std::string torn =
+        read_file(dir + "/snapshot.json").substr(0, 40);
+    std::ofstream out(dir + "/snapshot.json",
+                      std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+  Checkpoint cp(dir);
+  cp.load();
+  ASSERT_TRUE(cp.loaded_dataset().has_value());
+  // The torn current snapshot is skipped; the previous good one answers.
+  EXPECT_EQ(cp.loaded_dataset()->settings.size(), first.settings.size());
+  for (std::size_t i = 0; i < first.settings.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cp.loaded_dataset()->times_ms[i]),
+              std::bit_cast<std::uint64_t>(first.times_ms[i]));
+  }
+}
+
+TEST(Checkpoint, SyncEveryMakesAppendsDurableWithoutFlush) {
+  const std::string dir = fresh_dir("sync_every");
+  Checkpoint cp(dir);
+  cp.set_sync_policy(Checkpoint::SyncPolicy::kEvery);
+  cp.append(make_entry(1, EvalStatus::kOk, 1.25, 1, 0));
+  cp.append(make_entry(2, EvalStatus::kOk, 2.5, 1, 0));
+  // No flush(), no destructor: a SIGKILL here must lose nothing. A second
+  // reader sees both entries already on disk.
+  Checkpoint reader(dir);
+  EXPECT_EQ(reader.load(), 2u);
+  EXPECT_TRUE(reader.replay().contains(1));
+  EXPECT_TRUE(reader.replay().contains(2));
+}
+
+TEST(Checkpoint, SyncBatchBuffersUntilFlush) {
+  const std::string dir = fresh_dir("sync_batch");
+  Checkpoint cp(dir);  // kBatch is the default
+  EXPECT_EQ(cp.sync_policy(), Checkpoint::SyncPolicy::kBatch);
+  cp.append(make_entry(1, EvalStatus::kOk, 1.25, 1, 0));
+  {
+    Checkpoint reader(dir);
+    EXPECT_EQ(reader.load(), 0u);  // still buffered in memory
+  }
+  cp.flush();
+  Checkpoint reader(dir);
+  EXPECT_EQ(reader.load(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance test: kill a tune after a random batch, resume it, and the
 // final state must be bit-identical to the uninterrupted run.

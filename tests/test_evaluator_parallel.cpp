@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <future>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -87,6 +90,52 @@ TEST(ThreadPool, ConcurrentParallelForCallersDoNotDeadlock) {
   }
   for (auto& t : callers) t.join();
   EXPECT_EQ(total.load(), 4u * 20u * 32u);
+}
+
+TEST(ThreadPool, QueueDepthAndInflightTrackLoad) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.inflight(), 0u);
+
+  // Block both workers, then pile tasks behind them: the queue depth and
+  // the inflight count become observable and the peaks latch them.
+  std::mutex gate;
+  std::unique_lock<std::mutex> hold(gate);
+  std::condition_variable started_cv;
+  std::mutex started_mutex;
+  std::size_t started = 0;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(started_mutex);
+        ++started;
+      }
+      started_cv.notify_all();
+      std::lock_guard<std::mutex> wait(gate);
+    }));
+  }
+  {
+    std::unique_lock<std::mutex> lock(started_mutex);
+    started_cv.wait(lock, [&] { return started == 2; });
+  }
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  EXPECT_EQ(pool.inflight(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 3u);
+  EXPECT_GE(pool.peak_inflight(), 2u);
+  EXPECT_GE(pool.peak_queue_depth(), 3u);
+
+  hold.unlock();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.inflight(), 0u);
+  // Peaks survive the drain until explicitly reset.
+  EXPECT_GE(pool.peak_inflight(), 2u);
+  pool.reset_peaks();
+  EXPECT_EQ(pool.peak_queue_depth(), 0u);
+  EXPECT_EQ(pool.peak_inflight(), 0u);
 }
 
 // ---------------------------------------------------------------------------

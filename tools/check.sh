@@ -78,6 +78,18 @@ chaos_tests() {
 }
 run_stage "chaos-tests(rank-kill/ring-heal)" chaos_tests || true
 
+# Serve recovery gate (docs/serving.md): the daemon's concurrent session
+# scheduling, drain/park/re-adopt resume and deadline isolation run under
+# the sanitizers (the TSan configuration is the interesting one — sessions
+# are real threads sharing the admission controller and warm store), then
+# the cross-process smoke kills a live daemon and diffs the recovered
+# results byte for byte.
+serve_tests() {
+  ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)" \
+    -R 'SessionManagerTest|Admission\.|WarmStoreTest|cli_serve_smoke'
+}
+run_stage "serve-tests(kill/recover/overload)" serve_tests || true
+
 rank_kill_storm() {
   CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
     --universe 8000 --islands 4 --kill-rank 1@2 --min-islands 1 \

@@ -10,9 +10,13 @@
 //   analyze   <stencil> [--set k=v ...] static analysis of generated kernels
 //   tune      <stencil> [--method M] [--budget S] [--json]   run a tuner
 //   report    <current.json> --baseline <file> [--tol 10%]   bench gate
+//   serve     [--port N] [--state-dir D]       tuning-as-a-service daemon
+//   client    --request '<json>' [--port N]    one request to a daemon
 //
 // Common flags: --arch a100|v100 (default a100), --seed N. Flags accept
 // both "--key value" and "--key=value".
+
+#include <unistd.h>
 
 #include <cstring>
 #include <fstream>
@@ -29,6 +33,8 @@
 #include "cstuner.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
 #include "space/lazy_universe.hpp"
 
 using namespace cstuner;
@@ -532,6 +538,16 @@ int cmd_tune(const Args& args) {
   std::optional<tuner::Checkpoint> checkpoint;
   if (args.has("checkpoint")) {
     checkpoint.emplace(args.get("checkpoint", "checkpoint"));
+    // --checkpoint-sync=every fsyncs each journaled evaluation; batch (the
+    // default) buffers until the per-iteration flush.
+    const std::string sync = args.get("checkpoint-sync", "batch");
+    if (sync == "every") {
+      checkpoint->set_sync_policy(tuner::Checkpoint::SyncPolicy::kEvery);
+    } else if (sync != "batch") {
+      std::cerr << "error: --checkpoint-sync expects every|batch, got: "
+                << sync << '\n';
+      return 1;
+    }
     if (args.has("resume")) {
       if (!checkpoint->has_journal_file()) {
         // Starting a fresh run here would silently discard the user's
@@ -571,9 +587,10 @@ int cmd_tune(const Args& args) {
         "islands", static_cast<std::uint64_t>(options.ga.sub_populations)));
     options.ga.min_islands = static_cast<int>(args.get_u64(
         "min-islands", static_cast<std::uint64_t>(options.ga.min_islands)));
-    // --enumerate: build the candidate universe by constraint-propagating
-    // enumeration instead of rejection sampling (exact count, no RNG).
-    options.enumerate_universe = args.has("enumerate");
+    // Exact enumeration builds the candidate universe by default;
+    // --no-enumerate falls back to seed-salted universe sampling
+    // (--enumerate is still accepted for compatibility).
+    options.enumerate_universe = !args.has("no-enumerate");
     auto cs = std::make_unique<core::CsTuner>(options);
     cs_tuner = cs.get();
     tuner = std::move(cs);
@@ -632,7 +649,7 @@ int cmd_tune(const Args& args) {
     json.field("evaluations", evaluator.unique_evaluations());
     json.field("iterations", evaluator.iterations());
     json.field("virtual_time_s", evaluator.virtual_time_s());
-    if (cs_tuner != nullptr && args.has("enumerate")) {
+    if (cs_tuner != nullptr && cs_tuner->report().universe_exact_count > 0) {
       json.field("universe_exact_count",
                  cs_tuner->report().universe_exact_count);
     }
@@ -658,7 +675,7 @@ int cmd_tune(const Args& args) {
               << '\n'
               << "evaluations:   " << evaluator.unique_evaluations() << '\n'
               << "virtual time:  " << evaluator.virtual_time_s() << " s\n";
-    if (cs_tuner != nullptr && args.has("enumerate")) {
+    if (cs_tuner != nullptr && cs_tuner->report().universe_exact_count > 0) {
       std::cout << "exact space:   "
                 << cs_tuner->report().universe_exact_count
                 << " valid setting(s)\n";
@@ -700,6 +717,83 @@ int cmd_report(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  options.state_dir = args.get("state-dir", "serve-state");
+  options.admission.max_running = static_cast<std::size_t>(
+      args.get_u64("max-running", options.admission.max_running));
+  options.admission.max_queued = static_cast<std::size_t>(
+      args.get_u64("max-queued", options.admission.max_queued));
+  options.admission.tenant_quota = static_cast<std::size_t>(
+      args.get_u64("tenant-quota", options.admission.tenant_quota));
+  options.drain_grace_s = args.get_double("drain-grace", options.drain_grace_s);
+  options.warm_start = !args.has("no-warm-start");
+  const std::string sync = args.get("checkpoint-sync", "batch");
+  if (sync == "every") {
+    options.checkpoint_sync = tuner::Checkpoint::SyncPolicy::kEvery;
+  } else if (sync != "batch") {
+    std::cerr << "error: --checkpoint-sync expects every|batch, got: " << sync
+              << '\n';
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.host = args.get("host", "127.0.0.1");
+  server_options.port = static_cast<int>(args.get_u64("port", 0));
+  server_options.port_file = args.get("port-file", "");
+
+  // SIGTERM/SIGINT route to the graceful drain; install before the manager
+  // starts resuming adopted sessions so an early signal still drains.
+  serve::Server::install_signal_handlers();
+  serve::SessionManager manager(options);
+  serve::Server server(manager, server_options);
+  server.run();
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string request = args.get("request", "");
+  if (request.empty()) {
+    std::cerr << "usage: cstuner client --request '<json>' [--port N]\n"
+                 "       [--port-file file] [--host H] [--timeout seconds]\n";
+    return 2;
+  }
+  int port = static_cast<int>(args.get_u64("port", 0));
+  if (port == 0 && args.has("port-file")) {
+    std::ifstream in(args.get("port-file", ""));
+    in >> port;
+  }
+  if (port == 0) {
+    std::cerr << "error: client needs --port or --port-file\n";
+    return 2;
+  }
+  const std::string host = args.get("host", "127.0.0.1");
+  const int timeout_ms =
+      static_cast<int>(args.get_double("timeout", 120.0) * 1000.0);
+
+  const int fd = serve::connect_to(host, port, timeout_ms);
+  serve::send_all(fd, request + "\n");
+  const bool streaming =
+      json_parse(request).at("op").as_string() == "stream";
+  serve::LineReader reader(fd);
+  std::string line;
+  std::string last_type;
+  for (;;) {
+    const auto status = reader.read_line(line, timeout_ms);
+    if (status != serve::LineReader::Status::kLine) {
+      ::close(fd);
+      std::cerr << "error: no response from daemon\n";
+      return 1;
+    }
+    std::cout << line << '\n';
+    last_type = json_parse(line).at("type").as_string();
+    // A stream keeps emitting "status" lines until the terminal response.
+    if (!streaming || last_type != "status") break;
+  }
+  ::close(fd);
+  return (last_type == "error" || last_type == "bad_request") ? 1 : 0;
+}
+
 int usage() {
   std::cerr
       << "usage: cstuner <command> [args]\n"
@@ -720,7 +814,13 @@ int usage() {
          "           [--islands N] [--min-islands N] [--kill-rank R@G ...]\n"
          "           [--trace-out file.json] [--metrics]\n"
          "  report   <current.json> --baseline <file> [--tol 10%]\n"
-         "           [--ignore substr ...] [--allow-missing] [--json]\n";
+         "           [--ignore substr ...] [--allow-missing] [--json]\n"
+         "  serve    [--host H] [--port N] [--port-file file]\n"
+         "           [--state-dir dir] [--max-running N] [--max-queued N]\n"
+         "           [--tenant-quota N] [--checkpoint-sync every|batch]\n"
+         "           [--drain-grace seconds] [--no-warm-start]\n"
+         "  client   --request '<json>' [--port N | --port-file file]\n"
+         "           [--host H] [--timeout seconds]\n";
   return 2;
 }
 
@@ -731,6 +831,8 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "list-stencils") return cmd_list_stencils();
     if (args.command == "report") return cmd_report(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "client") return cmd_client(args);
     // "analyze --all --space" sweeps every built-in stencil, so it is the
     // one stencil-scoped command that needs no positional.
     if (args.positional.empty() && !args.has("spec") &&

@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the tuning daemon (docs/serving.md): a real cstuner
+# binary serving real TCP clients, covering the three guarantees the serve
+# subsystem makes and the unit tests cannot exercise across a process kill:
+#
+#   1. crash recovery — SIGKILL the daemon mid-tune, restart it on the same
+#      state directory, and require every session's final result line to be
+#      byte-identical to an uninterrupted reference daemon's;
+#   2. overload — with a bounded queue, a submit burst gets typed
+#      "rejected" responses carrying retry_after_s > 0, and every session
+#      that was *accepted* still runs to a "done" result (zero
+#      dropped-but-accepted);
+#   3. deadlines — a request whose virtual-clock deadline is tighter than
+#      its budget comes back "expired", not hung and not "done".
+#
+# Usage: serve_smoke.sh /path/to/cstuner [workdir]
+# The workdir (default: a fresh mktemp -d) is wiped per phase, not shared.
+set -uo pipefail
+
+CLI="${1:?usage: serve_smoke.sh /path/to/cstuner [workdir]}"
+WORK="${2:-$(mktemp -d /tmp/serve_smoke.XXXXXX)}"
+mkdir -p "${WORK}"
+
+status=0
+daemon_pid=0
+port_file=""
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  status=1
+}
+
+cleanup() {
+  if [[ ${daemon_pid} -ne 0 ]] && kill -0 "${daemon_pid}" 2>/dev/null; then
+    kill -9 "${daemon_pid}" 2>/dev/null
+    wait "${daemon_pid}" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+# start_daemon <state-dir> <flags...>: launches the daemon on an ephemeral
+# port and waits for the port file. The PID lands in $daemon_pid — only $!
+# is ever killed, never a pattern match.
+start_daemon() {
+  local state_dir="$1"
+  shift
+  port_file="${state_dir}.port"
+  rm -f "${port_file}"
+  "${CLI}" serve --state-dir "${state_dir}" --port-file "${port_file}" \
+    "$@" 2>>"${WORK}/daemon.log" &
+  daemon_pid=$!
+  for _ in $(seq 1 200); do
+    [[ -s "${port_file}" ]] && return 0
+    kill -0 "${daemon_pid}" 2>/dev/null || break
+    sleep 0.05
+  done
+  echo "serve_smoke: daemon failed to start (see ${WORK}/daemon.log)" >&2
+  exit 1
+}
+
+stop_daemon() {
+  client '{"op":"shutdown"}' >/dev/null
+  wait "${daemon_pid}" 2>/dev/null
+  daemon_pid=0
+}
+
+client() {
+  "${CLI}" client --port-file "${port_file}" --timeout 120 --request "$1"
+}
+
+# json_field <json-line> <key>: first raw value of "key" (quotes kept).
+json_field() {
+  sed -n 's/.*"'"$2"'":\([^,}]*\).*/\1/p' <<<"$1"
+}
+
+# Long enough to be killed mid-flight, deterministic across runs. With
+# --max-running 1 the second submit queues behind the first, so SIGKILL
+# right after the submit burst always interrupts at least one session.
+submit_a='{"op":"submit","kind":"tune","stencil":"j3d7pt","seed":11,"budget_s":600,"universe":20000,"fault_rate":0.2}'
+submit_b='{"op":"submit","kind":"tune","stencil":"j3d27pt","seed":12,"budget_s":600,"universe":20000,"fault_rate":0.2}'
+
+# --------------------------------------------------------------------------
+echo "== phase 1: SIGKILL mid-tune, restart, bit-identical results"
+# Warm start stays off in this phase: a warm hint depends on what finished
+# before the kill, which is exactly the nondeterminism the bit-identity
+# comparison must not see. --checkpoint-sync every makes the journal
+# durable per append, so the restart replays it instead of recomputing.
+ref_flags=(--no-warm-start --checkpoint-sync every --max-running 1)
+
+start_daemon "${WORK}/ref" "${ref_flags[@]}"
+ref_a_id=$(json_field "$(client "${submit_a}")" id)
+ref_b_id=$(json_field "$(client "${submit_b}")" id)
+client "{\"op\":\"result\",\"id\":${ref_a_id},\"timeout_s\":120}" \
+  >"${WORK}/ref_a.json"
+client "{\"op\":\"result\",\"id\":${ref_b_id},\"timeout_s\":120}" \
+  >"${WORK}/ref_b.json"
+stop_daemon
+grep -q '"state":"done"' "${WORK}/ref_a.json" || fail "reference A not done"
+grep -q '"state":"done"' "${WORK}/ref_b.json" || fail "reference B not done"
+
+start_daemon "${WORK}/crash" "${ref_flags[@]}"
+a_id=$(json_field "$(client "${submit_a}")" id)
+b_id=$(json_field "$(client "${submit_b}")" id)
+[[ "${a_id}" == "${ref_a_id}" && "${b_id}" == "${ref_b_id}" ]] ||
+  fail "session ids diverged from reference (${a_id},${b_id})"
+kill -9 "${daemon_pid}"
+wait "${daemon_pid}" 2>/dev/null
+daemon_pid=0
+# The kill must have landed mid-flight: B was queued behind A, so its
+# result cannot have been published yet.
+[[ -f "${WORK}/crash/sessions/${b_id}/result.json" ]] &&
+  fail "session B already finished before SIGKILL — kill landed too late"
+
+start_daemon "${WORK}/crash" "${ref_flags[@]}"
+stats=$(client '{"op":"stats"}')
+adopted=$(json_field "${stats}" adopted)
+[[ "${adopted:-0}" -ge 1 ]] || fail "restart adopted no sessions (${stats})"
+client "{\"op\":\"result\",\"id\":${a_id},\"timeout_s\":120}" \
+  >"${WORK}/crash_a.json"
+client "{\"op\":\"result\",\"id\":${b_id},\"timeout_s\":120}" \
+  >"${WORK}/crash_b.json"
+stop_daemon
+cmp -s "${WORK}/ref_a.json" "${WORK}/crash_a.json" ||
+  fail "session A result not byte-identical after recovery"
+cmp -s "${WORK}/ref_b.json" "${WORK}/crash_b.json" ||
+  fail "session B result not byte-identical after recovery"
+
+# --------------------------------------------------------------------------
+echo "== phase 2: overload sheds typed rejections, accepted sessions finish"
+start_daemon "${WORK}/overload" --no-warm-start --max-running 1 \
+  --max-queued 2 --tenant-quota 16
+accepted_ids=()
+rejected=0
+for seed in 41 42 43 44 45; do
+  line=$(client "{\"op\":\"submit\",\"kind\":\"tune\",\"stencil\":\"j3d7pt\",\"seed\":${seed},\"budget_s\":600,\"universe\":20000}")
+  case "$(json_field "${line}" type)" in
+    '"accepted"')
+      accepted_ids+=("$(json_field "${line}" id)")
+      ;;
+    '"rejected"')
+      rejected=$((rejected + 1))
+      [[ "$(json_field "${line}" reason)" == '"queue_full"' ]] ||
+        fail "rejection reason not queue_full: ${line}"
+      retry=$(json_field "${line}" retry_after_s)
+      awk -v r="${retry:-0}" 'BEGIN { exit !(r > 0) }' ||
+        fail "rejected without positive retry_after_s: ${line}"
+      ;;
+    *)
+      fail "submit answered neither accepted nor rejected: ${line}"
+      ;;
+  esac
+done
+[[ ${rejected} -ge 1 ]] || fail "burst of 5 onto a 1+2 daemon shed nothing"
+[[ ${#accepted_ids[@]} -ge 3 ]] ||
+  fail "expected >=3 accepted sessions, got ${#accepted_ids[@]}"
+for id in "${accepted_ids[@]}"; do
+  line=$(client "{\"op\":\"result\",\"id\":${id},\"timeout_s\":120}")
+  grep -q '"state":"done"' <<<"${line}" ||
+    fail "accepted session ${id} did not finish: ${line}"
+done
+stats=$(client '{"op":"stats"}')
+[[ "$(json_field "${stats}" accepted_total)" == "${#accepted_ids[@]}" ]] ||
+  fail "accepted_total disagrees with client count (${stats})"
+[[ "$(json_field "${stats}" rejected_total)" == "${rejected}" ]] ||
+  fail "rejected_total disagrees with client count (${stats})"
+stop_daemon
+
+# --------------------------------------------------------------------------
+echo "== phase 3: virtual-clock deadline expires the session, not the daemon"
+start_daemon "${WORK}/deadline" --no-warm-start
+line=$(client '{"op":"submit","kind":"tune","stencil":"helmholtz","seed":20,"budget_s":600,"deadline_s":0.05,"universe":20000}')
+id=$(json_field "${line}" id)
+[[ -n "${id}" ]] || fail "deadline submit rejected: ${line}"
+if [[ -n "${id}" ]]; then
+  line=$(client "{\"op\":\"result\",\"id\":${id},\"timeout_s\":120}")
+  grep -q '"state":"expired"' <<<"${line}" ||
+    fail "deadlined session not expired: ${line}"
+fi
+# The daemon itself must still be healthy after expiring a session.
+line=$(client "${submit_a}")
+id=$(json_field "${line}" id)
+[[ -n "${id}" ]] || fail "daemon unhealthy after deadline expiry: ${line}"
+client "{\"op\":\"result\",\"id\":${id},\"timeout_s\":120}" |
+  grep -q '"state":"done"' || fail "post-deadline session did not finish"
+stop_daemon
+
+if [[ ${status} -eq 0 ]]; then
+  echo "serve_smoke: OK"
+else
+  echo "serve_smoke: FAILED (daemon log: ${WORK}/daemon.log)" >&2
+fi
+exit "${status}"
