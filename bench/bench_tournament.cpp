@@ -1,0 +1,51 @@
+// Iso-budget optimizer tournament for the CI tournament gate. A reduced,
+// fixed-seed profile (two stencils, every registered optimizer, 10 virtual
+// seconds per cell) runs through search::run_tournament and emits the
+// byte-stable leaderboard JSON. CI diffs it against the committed
+// bench/baseline_tournament.json with `cstuner report --tol 0%`: ranks,
+// best times and eval counts gate exactly; wall-clock keys carry the
+// "wall" prefix the comparator ignores.
+//
+// The profile is intentionally hard-coded (no CSTUNER_* env knobs): a 0%
+// gate only means something when every run races the same workload.
+//
+// Usage: bench_tournament [out.json]   (JSON also goes to stdout)
+
+#include <fstream>
+#include <iostream>
+
+#include "search/tournament.hpp"
+
+using namespace cstuner;
+
+int main(int argc, char** argv) {
+  search::TournamentOptions options;  // fixed gate profile
+  options.stencils = {"j3d7pt", "helmholtz"};
+  options.budget_s = 10.0;
+  options.seed = 4242;
+  // options.optimizers left empty: every registered optimizer races, so a
+  // newly added optimizer fails the gate until the baseline is regenerated.
+
+  const search::TournamentResult result = search::run_tournament(options);
+  const std::string json = search::tournament_json(result);
+
+  search::print_tournament(result, std::cerr);
+  std::cerr << "wall: " << result.wall_s << " s\n";
+
+  std::cout << json << '\n';
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << argv[1] << '\n';
+      return 1;
+    }
+    out << json << '\n';
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << argv[1] << '\n';
+      return 1;
+    }
+    std::cerr << "leaderboard written to " << argv[1] << '\n';
+  }
+  return 0;
+}

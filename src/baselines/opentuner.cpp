@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "analysis/pruner.hpp"
+#include "baselines/subspace.hpp"
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 
@@ -13,50 +14,6 @@ namespace cstuner::baselines {
 using space::kParamCount;
 using space::ParamId;
 using space::Setting;
-
-namespace {
-
-double fitness_of(double time_ms) {
-  if (!std::isfinite(time_ms) || time_ms <= 0.0) return 1e-9;
-  return 1000.0 / time_ms;
-}
-
-Setting genome_to_setting(const space::SearchSpace& space,
-                          const ga::Genome& genome) {
-  Setting s;
-  for (std::size_t i = 0; i < kParamCount; ++i) {
-    const auto& p = space.parameters()[i];
-    s.set(static_cast<ParamId>(i), p.values[genome[i] % p.values.size()]);
-  }
-  // The global GA searches the raw Table I space; only the trivial
-  // streaming-field canonicalization is applied. Invalid combinations
-  // evaluate to a penalty fitness — the blindness to stencil-specific
-  // structure the paper attributes to OpenTuner (§II-C).
-  return space.checker().canonicalized(s);
-}
-
-ga::Genome setting_to_genome(const space::SearchSpace& space,
-                             const Setting& setting) {
-  ga::Genome genome(kParamCount);
-  for (std::size_t i = 0; i < kParamCount; ++i) {
-    const auto& p = space.parameters()[i];
-    genome[i] = static_cast<std::uint32_t>(
-        p.value_index(setting.get(static_cast<ParamId>(i))));
-  }
-  return genome;
-}
-
-std::vector<std::uint32_t> parameter_cardinalities(
-    const space::SearchSpace& space) {
-  std::vector<std::uint32_t> cards;
-  cards.reserve(kParamCount);
-  for (const auto& p : space.parameters()) {
-    cards.push_back(static_cast<std::uint32_t>(p.cardinality()));
-  }
-  return cards;
-}
-
-}  // namespace
 
 OpenTuner::OpenTuner(OpenTunerOptions options) : options_(options) {}
 

@@ -1,5 +1,6 @@
 #include "baselines/subspace.hpp"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -72,6 +73,43 @@ space::Setting apply_combo(const space::SearchSpace& space,
   // both Garvey and Artemis generate compilable variants, so repair into
   // the valid space rather than discarding the sample.
   return space.checker().repaired(setting);
+}
+
+double fitness_of(double time_ms) {
+  if (!std::isfinite(time_ms) || time_ms <= 0.0) return 1e-9;
+  return 1000.0 / time_ms;
+}
+
+space::Setting genome_to_setting(const space::SearchSpace& space,
+                                 const ga::Genome& genome) {
+  space::Setting s;
+  for (std::size_t i = 0; i < space::kParamCount; ++i) {
+    const auto& p = space.parameters()[i];
+    s.set(static_cast<space::ParamId>(i),
+          p.values[genome[i] % p.values.size()]);
+  }
+  return space.checker().canonicalized(s);
+}
+
+ga::Genome setting_to_genome(const space::SearchSpace& space,
+                             const space::Setting& setting) {
+  ga::Genome genome(space::kParamCount);
+  for (std::size_t i = 0; i < space::kParamCount; ++i) {
+    const auto& p = space.parameters()[i];
+    genome[i] = static_cast<std::uint32_t>(
+        p.value_index(setting.get(static_cast<space::ParamId>(i))));
+  }
+  return genome;
+}
+
+std::vector<std::uint32_t> parameter_cardinalities(
+    const space::SearchSpace& space) {
+  std::vector<std::uint32_t> cards;
+  cards.reserve(space::kParamCount);
+  for (const auto& p : space.parameters()) {
+    cards.push_back(static_cast<std::uint32_t>(p.cardinality()));
+  }
+  return cards;
 }
 
 }  // namespace cstuner::baselines

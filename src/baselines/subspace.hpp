@@ -1,11 +1,15 @@
 #pragma once
-// Shared helper for the Garvey and Artemis baselines: enumerate (or
-// random-sample, when too large) the cartesian value combinations of a
-// subset of parameters.
+// Shared helpers for the baseline searchers and the optimizer-zoo ports
+// (search/ported.cpp): subset-combination enumeration (Garvey, Artemis) and
+// the genome/setting encoding the GA-style searchers use (OpenTuner). The
+// encoding lives here — not in each searcher — so the baseline and its port
+// can never drift apart; the regression pins in tests/test_optimizer_zoo.cpp
+// depend on both producing the same settings for the same genomes.
 
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ga/gene.hpp"
 #include "space/search_space.hpp"
 
 namespace cstuner::baselines {
@@ -22,5 +26,25 @@ std::vector<Combo> enumerate_combos(const space::SearchSpace& space,
 space::Setting apply_combo(const space::SearchSpace& space,
                            const std::vector<space::ParamId>& params,
                            const Combo& combo, space::Setting setting);
+
+/// Penalty fitness mapping shared by the GA-style searchers: 1000/time for
+/// finite positive times, 1e-9 (near-zero, not zero) otherwise so roulette
+/// selection stays well-defined when a whole neighbourhood is invalid.
+double fitness_of(double time_ms);
+
+/// Decodes a genome (one value index per parameter, possibly out of range —
+/// indices wrap) into a setting, applying only the trivial canonicalization.
+/// Invalid combinations are left for the penalty fitness: the blindness to
+/// stencil-specific structure the paper attributes to OpenTuner (§II-C).
+space::Setting genome_to_setting(const space::SearchSpace& space,
+                                 const ga::Genome& genome);
+
+/// Inverse encoding: one value index per parameter of `setting`.
+ga::Genome setting_to_genome(const space::SearchSpace& space,
+                             const space::Setting& setting);
+
+/// Per-parameter value-set sizes, in ParamId order.
+std::vector<std::uint32_t> parameter_cardinalities(
+    const space::SearchSpace& space);
 
 }  // namespace cstuner::baselines

@@ -21,6 +21,10 @@
 #include "core/cs_tuner.hpp"
 #include "exec/cpu_executor.hpp"
 #include "gpusim/simulator.hpp"
+#include "search/meta_tuner.hpp"
+#include "search/optimizer.hpp"
+#include "search/registry.hpp"
+#include "search/tournament.hpp"
 #include "space/search_space.hpp"
 #include "stencil/dsl.hpp"
 #include "stencil/stencils.hpp"

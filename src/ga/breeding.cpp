@@ -1,0 +1,51 @@
+#include "ga/breeding.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cstuner::ga {
+
+std::vector<Genome> breed_generation(
+    const std::vector<Genome>& genomes, const std::vector<double>& fitnesses,
+    const std::vector<std::uint32_t>& cardinalities, double crossover_rate,
+    double mutation_rate, Rng& rng) {
+  CSTUNER_CHECK(genomes.size() == fitnesses.size());
+  CSTUNER_CHECK(genomes.size() >= 2);
+  const int pop_size = static_cast<int>(genomes.size());
+  std::vector<Genome> offspring;
+  offspring.reserve(genomes.size());
+  for (int i = 0; i < pop_size; ++i) {
+    if (rng.bernoulli(crossover_rate)) {
+      const int hood[4] = {(i - 2 + pop_size) % pop_size,
+                           (i - 1 + pop_size) % pop_size, (i + 1) % pop_size,
+                           (i + 2) % pop_size};
+      auto pick = [&]() -> std::size_t {
+        // Roulette over shifted fitness (fitnesses may be <= 0).
+        double lo = fitnesses[static_cast<std::size_t>(hood[0])];
+        for (int h : hood) {
+          lo = std::min(lo, fitnesses[static_cast<std::size_t>(h)]);
+        }
+        double total = 0.0;
+        for (int h : hood) {
+          total += fitnesses[static_cast<std::size_t>(h)] - lo + 1e-12;
+        }
+        double ticket = rng.uniform() * total;
+        for (int h : hood) {
+          ticket -= fitnesses[static_cast<std::size_t>(h)] - lo + 1e-12;
+          if (ticket <= 0.0) return static_cast<std::size_t>(h);
+        }
+        return static_cast<std::size_t>(hood[3]);
+      };
+      const std::size_t pa = pick();
+      const std::size_t pb = pick();
+      offspring.push_back(uniform_crossover(genomes[pa], genomes[pb], rng));
+    } else {
+      offspring.push_back(genomes[static_cast<std::size_t>(i)]);
+    }
+    mutate_genome(offspring.back(), cardinalities, mutation_rate, rng);
+  }
+  return offspring;
+}
+
+}  // namespace cstuner::ga

@@ -1,0 +1,27 @@
+#pragma once
+// One island's breeding step (Fig. 6): fitness-proportional neighbourhood
+// selection over the four ring neighbours, uniform crossover, then bit
+// mutation of every offspring. Extracted from IslandGa so the serial
+// optimizer-zoo port (search/ported.cpp) breeds bit-identically to the
+// concurrent island GA — both call this one function with the same RNG
+// stream, so the draw order can never drift between them.
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/gene.hpp"
+
+namespace cstuner::ga {
+
+/// Breeds one full generation of offspring from `genomes`/`fitnesses`
+/// (parallel arrays, one slot per individual). Each slot crosses over with
+/// probability `crossover_rate`, picking both parents by roulette over
+/// shifted fitness from its ring neighbourhood {i-2, i-1, i+1, i+2}, and is
+/// always mutated. Consumes `rng` in a fixed order: one bernoulli per slot,
+/// one uniform per roulette pick, then the crossover/mutation draws.
+std::vector<Genome> breed_generation(
+    const std::vector<Genome>& genomes, const std::vector<double>& fitnesses,
+    const std::vector<std::uint32_t>& cardinalities, double crossover_rate,
+    double mutation_rate, Rng& rng);
+
+}  // namespace cstuner::ga

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "ga/breeding.hpp"
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
 
@@ -155,43 +156,20 @@ GaResult IslandGa::run(
     for (std::size_t gen = 1; gen <= options_.max_generations; ++gen) {
       maybe_die(gen);
       // --- Breeding: each slot breeds from its four ring neighbours with
-      // fitness-proportional parent choice (Fig. 6 description). All
-      // offspring are bred first (breeding reads only the parents), then
-      // the whole generation is evaluated as one batch.
-      std::vector<Genome> offspring;
-      offspring.reserve(static_cast<std::size_t>(pop_size));
-      for (int i = 0; i < pop_size; ++i) {
-        if (rng.bernoulli(options_.crossover_rate)) {
-          const int hood[4] = {(i - 2 + pop_size) % pop_size,
-                               (i - 1 + pop_size) % pop_size,
-                               (i + 1) % pop_size, (i + 2) % pop_size};
-          auto pick = [&]() -> const Individual& {
-            // Roulette over shifted fitness (fitnesses may be <= 0).
-            double lo = pop[static_cast<std::size_t>(hood[0])].fitness;
-            for (int h : hood) {
-              lo = std::min(lo, pop[static_cast<std::size_t>(h)].fitness);
-            }
-            double total = 0.0;
-            for (int h : hood) {
-              total += pop[static_cast<std::size_t>(h)].fitness - lo + 1e-12;
-            }
-            double ticket = rng.uniform() * total;
-            for (int h : hood) {
-              ticket -=
-                  pop[static_cast<std::size_t>(h)].fitness - lo + 1e-12;
-              if (ticket <= 0.0) return pop[static_cast<std::size_t>(h)];
-            }
-            return pop[static_cast<std::size_t>(hood[3])];
-          };
-          const Individual& pa = pick();
-          const Individual& pb = pick();
-          offspring.push_back(uniform_crossover(pa.genome, pb.genome, rng));
-        } else {
-          offspring.push_back(pop[static_cast<std::size_t>(i)].genome);
-        }
-        mutate_genome(offspring.back(), cardinalities_,
-                      options_.mutation_rate, rng);
+      // fitness-proportional parent choice (Fig. 6 description, shared with
+      // the serial optimizer-zoo port via ga/breeding.hpp). All offspring
+      // are bred first (breeding reads only the parents), then the whole
+      // generation is evaluated as one batch.
+      std::vector<Genome> parents(pop.size());
+      std::vector<double> fitnesses(pop.size());
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        parents[i] = pop[i].genome;
+        fitnesses[i] = pop[i].fitness;
       }
+      std::vector<Genome> offspring =
+          breed_generation(parents, fitnesses, cardinalities_,
+                           options_.crossover_rate, options_.mutation_rate,
+                           rng);
       std::vector<Individual> next(pop.size());
       evaluate_into(next, std::move(offspring));
       // Elitism: the best parent survives over the worst child.

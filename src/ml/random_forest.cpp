@@ -58,6 +58,15 @@ double RandomForest::predict(std::span<const double> features) const {
   return best;
 }
 
+std::vector<double> RandomForest::tree_predictions(
+    std::span<const double> features) const {
+  CSTUNER_CHECK(!trees_.empty());
+  std::vector<double> out;
+  out.reserve(trees_.size());
+  for (const auto& tree : trees_) out.push_back(tree.predict(features));
+  return out;
+}
+
 std::vector<std::pair<double, double>> RandomForest::vote_fractions(
     std::span<const double> features) const {
   CSTUNER_CHECK(!trees_.empty());

@@ -31,6 +31,11 @@ class RandomForest {
   std::vector<std::pair<double, double>> vote_fractions(
       std::span<const double> features) const;
 
+  /// Every tree's raw prediction at `features`, in tree order — the
+  /// forest's empirical predictive distribution. The surrogate-guided
+  /// optimizer reads mean and spread off it to score expected improvement.
+  std::vector<double> tree_predictions(std::span<const double> features) const;
+
   std::size_t tree_count() const { return trees_.size(); }
 
  private:

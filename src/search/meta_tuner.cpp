@@ -1,0 +1,100 @@
+#include "search/meta_tuner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "search/registry.hpp"
+
+namespace cstuner::search {
+
+namespace {
+
+/// One training row: the stencil it came from (features are derived at
+/// construction so the table can never drift from features_of) and the
+/// optimizer that won its tournament leaderboard.
+struct TrainingRow {
+  const char* stencil;
+  const char* winner;
+};
+
+/// Per-stencil winners of the full-suite local tournament (budget 10
+/// virtual seconds, seed 4242, every registered optimizer — the same
+/// profile bench_tournament runs). Regenerate with
+/// `cstuner tournament --all` after changing any optimizer.
+constexpr TrainingRow kTrainingRows[] = {
+    {"j3d7pt", "opentuner-ga"}, {"j3d27pt", "surrogate"},
+    {"helmholtz", "opentuner-ga"}, {"cheby", "artemis"},
+    {"hypterm", "artemis"},     {"addsgd4", "artemis"},
+    {"addsgd6", "artemis"},     {"rhs4center", "artemis"},
+};
+
+constexpr std::uint64_t kMetaTunerSeed = 0x4D455441;  // "META"
+
+}  // namespace
+
+std::vector<double> MetaTuner::features_of(const stencil::StencilSpec& spec) {
+  return {
+      static_cast<double>(spec.order),
+      static_cast<double>(spec.flops),
+      static_cast<double>(spec.io_arrays),
+      static_cast<double>(spec.n_inputs),
+      static_cast<double>(spec.n_outputs),
+      static_cast<double>(spec.taps.size()),
+      static_cast<double>(spec.shape == stencil::Shape::kStar ? 0 : 1),
+      std::log2(static_cast<double>(std::max<std::int64_t>(1, spec.points()))),
+      static_cast<double>(spec.grid[2] > 1 ? 3 : (spec.grid[1] > 1 ? 2 : 1)),
+      spec.arithmetic_intensity(),
+  };
+}
+
+MetaTuner::MetaTuner()
+    : forest_(ml::TreeTask::kClassification, [] {
+        ml::ForestConfig config;
+        config.n_trees = 16;
+        // Tiny table: let every tree see (almost) the whole of it.
+        config.tree.max_depth = 6;
+        config.tree.min_samples_leaf = 1;
+        config.tree.min_samples_split = 2;
+        return config;
+      }()) {
+  std::vector<double> features;
+  std::vector<double> targets;
+  std::size_t n_features = 0;
+  for (const auto& row : kTrainingRows) {
+    const auto feats = features_of(stencil::make_stencil(row.stencil));
+    n_features = feats.size();
+    features.insert(features.end(), feats.begin(), feats.end());
+    // Labels are indices into labels_, deduplicated in first-seen order.
+    std::size_t label = labels_.size();
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] == row.winner) {
+        label = i;
+        break;
+      }
+    }
+    if (label == labels_.size()) labels_.emplace_back(row.winner);
+    targets.push_back(static_cast<double>(label));
+  }
+  CSTUNER_CHECK(!labels_.empty());
+  ml::TableView table{features, targets.size(), n_features};
+  Rng rng(kMetaTunerSeed);
+  forest_.fit(table, targets, rng);
+}
+
+std::string MetaTuner::pick(const stencil::StencilSpec& spec) const {
+  const double label = forest_.predict(features_of(spec));
+  auto index = static_cast<std::size_t>(label);
+  if (index >= labels_.size()) index = 0;
+  const std::string& name = labels_[index];
+  // The embedded table could name an optimizer a downstream build removed
+  // from the registry; never hand back an unmakeable name.
+  if (optimizer_registry().contains(name)) return name;
+  const auto names = optimizer_registry().names();
+  if (names.empty()) {
+    throw UsageError("no optimizers registered (available: none)");
+  }
+  return names.front();
+}
+
+}  // namespace cstuner::search

@@ -1,0 +1,36 @@
+#pragma once
+// MetaTuner: picks an optimizer from stencil features (docs/optimizers.md,
+// "Automatic optimizer selection"). A small classification random forest
+// (src/ml) is trained at construction on an embedded table of per-stencil
+// tournament winners — the committed bench/baseline_tournament.json
+// leaderboard — so `tune --optimizer=auto` resolves to a concrete
+// registered optimizer deterministically, including for stencils the
+// tournament never raced (the forest generalizes over the features).
+
+#include <string>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "stencil/stencils.hpp"
+
+namespace cstuner::search {
+
+class MetaTuner {
+ public:
+  /// Trains the selection forest on the embedded winner table (fixed seed;
+  /// construction is deterministic).
+  MetaTuner();
+
+  /// Feature vector the forest classifies on: radius/flops/footprint shape
+  /// of the stencil plus its grid extents.
+  static std::vector<double> features_of(const stencil::StencilSpec& spec);
+
+  /// The chosen optimizer for `spec`. Always a registered name.
+  std::string pick(const stencil::StencilSpec& spec) const;
+
+ private:
+  std::vector<std::string> labels_;
+  ml::RandomForest forest_;
+};
+
+}  // namespace cstuner::search

@@ -1,0 +1,51 @@
+#include "search/optimizer.hpp"
+
+#include "obs/obs.hpp"
+
+namespace cstuner::search {
+
+void Optimizer::serialize_state(JsonWriter& json) const {
+  json.begin_object();
+  json.field("optimizer", name());
+  json.field("steps", static_cast<std::uint64_t>(completed_steps_));
+  json.end_object();
+}
+
+bool Optimizer::restore_state(const JsonValue& state) {
+  (void)state;
+  return false;
+}
+
+DriveResult run_optimizer(Optimizer& optimizer, tuner::Evaluator& evaluator,
+                          const tuner::StopCriteria& stop) {
+  CSTUNER_TRACE_PHASE("tune.optimizer");
+  optimizer.bind(evaluator);
+  DriveResult out;
+  bool stop_allowed = optimizer.stop_check_allowed();
+  for (;;) {
+    if (stop_allowed && stop.reached(evaluator)) break;
+    const std::vector<space::Setting> batch = optimizer.propose();
+    if (batch.empty()) {
+      out.exhausted = true;
+      break;
+    }
+    const auto results = evaluator.evaluate_batch(batch);
+    optimizer.observe(batch, results);
+    optimizer.note_step();
+    ++out.steps;
+    out.proposals += batch.size();
+    if (optimizer.iteration_boundary()) {
+      if (tuner::Checkpoint* cp = evaluator.checkpoint()) {
+        JsonWriter state;
+        optimizer.serialize_state(state);
+        cp->set_optimizer_state_json(state.str());
+      }
+      evaluator.mark_iteration();
+    }
+    stop_allowed = optimizer.stop_check_allowed();
+  }
+  optimizer.finish(evaluator);
+  return out;
+}
+
+}  // namespace cstuner::search

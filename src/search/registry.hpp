@@ -1,0 +1,56 @@
+#pragma once
+// Name -> factory registry for the optimizer zoo. The global registry ships
+// with every built-in optimizer pre-registered; downstream code can add its
+// own (docs/optimizers.md, "Registering a new optimizer").
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ga/island_ga.hpp"
+#include "search/optimizer.hpp"
+
+namespace cstuner::search {
+
+/// Knobs shared across factories. Per-optimizer parameters keep their
+/// searcher's historical defaults; only the cross-cutting ones are here.
+struct OptimizerOptions {
+  std::uint64_t seed = 21;
+  /// GA shape (population/crossover/migration) for the GA-family ports;
+  /// also sizes the OpenTuner hill/DE populations, as in the baselines.
+  ga::GaOptions ga;
+};
+
+class OptimizerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Optimizer>(const OptimizerOptions&)>;
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  /// Instantiates by name. Throws UsageError — listing every registered
+  /// name — when the name is unknown or the registry is empty, so the CLI
+  /// error message always tells the user what they can ask for.
+  std::unique_ptr<Optimizer> make(const std::string& name,
+                                  const OptimizerOptions& options = {}) const;
+
+  bool contains(const std::string& name) const;
+  /// Registered names, sorted (the registry iterates deterministically).
+  std::vector<std::string> names() const;
+  std::size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry, populated with the built-in zoo on first use:
+/// the ported searchers (island-ga, opentuner-ga, opentuner-de, hill,
+/// garvey, artemis, random, spread) and the native ones (anneal, pso, de,
+/// surrogate).
+OptimizerRegistry& optimizer_registry();
+
+}  // namespace cstuner::search

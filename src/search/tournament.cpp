@@ -1,0 +1,219 @@
+#include "search/tournament.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "gpusim/fault_model.hpp"
+#include "gpusim/gpu_arch.hpp"
+#include "gpusim/simulator.hpp"
+#include "obs/obs.hpp"
+#include "search/registry.hpp"
+#include "space/search_space.hpp"
+#include "stencil/stencils.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace cstuner::search {
+
+namespace {
+
+/// Finite best times rank ahead of "found nothing"; ties break on fewer
+/// evaluations (cheaper search wins), then name, so the order is total and
+/// reproducible.
+bool leaderboard_less(const TournamentCell& a, const TournamentCell& b) {
+  const bool fa = std::isfinite(a.best_ms);
+  const bool fb = std::isfinite(b.best_ms);
+  if (fa != fb) return fa;
+  if (fa && a.best_ms != b.best_ms) return a.best_ms < b.best_ms;
+  if (a.evals != b.evals) return a.evals < b.evals;
+  return a.optimizer < b.optimizer;
+}
+
+/// JSON has no infinity; an optimizer that found nothing reports -1.
+double json_ms(double best_ms) {
+  return std::isfinite(best_ms) ? best_ms : -1.0;
+}
+
+}  // namespace
+
+std::vector<const TournamentCell*> TournamentResult::stencil_cells(
+    const std::string& stencil) const {
+  std::vector<const TournamentCell*> out;
+  for (const auto& cell : cells) {
+    if (cell.stencil == stencil) out.push_back(&cell);
+  }
+  return out;
+}
+
+double TournamentResult::mean_rank(const std::string& optimizer) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& cell : cells) {
+    if (cell.optimizer != optimizer) continue;
+    sum += static_cast<double>(cell.rank);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t TournamentResult::wins(const std::string& optimizer) const {
+  std::size_t count = 0;
+  for (const auto& cell : cells) {
+    if (cell.optimizer == optimizer && cell.rank == 1) ++count;
+  }
+  return count;
+}
+
+TournamentResult run_tournament(const TournamentOptions& options) {
+  CSTUNER_TRACE_PHASE("tournament");
+  TournamentResult result;
+  result.options = options;
+  if (result.options.stencils.empty()) {
+    result.options.stencils = stencil::stencil_names();
+  }
+  if (result.options.optimizers.empty()) {
+    result.options.optimizers = optimizer_registry().names();
+  }
+  const auto& registry = optimizer_registry();
+  // Validate up front so a typo fails before any cell has run.
+  for (const auto& name : result.options.optimizers) {
+    if (!registry.contains(name)) (void)registry.make(name);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double fault_rate = gpusim::FaultConfig::rate_from_env();
+  const tuner::StopCriteria stop{.max_virtual_seconds =
+                                     result.options.budget_s};
+
+  for (const auto& stencil_name : result.options.stencils) {
+    const auto spec = stencil::make_stencil(stencil_name);
+    const space::SearchSpace space(spec);
+    const gpusim::Simulator simulator(
+        gpusim::arch_by_name(result.options.arch));
+    std::vector<TournamentCell> stencil_cells;
+    for (const auto& optimizer_name : result.options.optimizers) {
+      // Fresh evaluator per cell, identical seed: iso noise, iso budget.
+      tuner::Evaluator evaluator(simulator, space, {}, result.options.seed);
+      if (fault_rate > 0.0) {
+        evaluator.set_fault_injection(
+            gpusim::FaultConfig::uniform(fault_rate, result.options.seed),
+            spec.name);
+      }
+      OptimizerOptions opt_options;
+      opt_options.seed = result.options.seed;
+      opt_options.ga = result.options.ga;
+      const auto optimizer = registry.make(optimizer_name, opt_options);
+      const auto cell_start = std::chrono::steady_clock::now();
+      const DriveResult drive = run_optimizer(*optimizer, evaluator, stop);
+      TournamentCell cell;
+      cell.stencil = stencil_name;
+      cell.optimizer = optimizer_name;
+      cell.best_ms = evaluator.best_time_ms();
+      cell.virtual_s = evaluator.virtual_time_s();
+      cell.evals = evaluator.unique_evaluations();
+      cell.iterations = evaluator.iterations();
+      cell.steps = drive.steps;
+      cell.exhausted = drive.exhausted;
+      cell.wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - cell_start)
+                        .count();
+      stencil_cells.push_back(std::move(cell));
+    }
+    std::sort(stencil_cells.begin(), stencil_cells.end(), leaderboard_less);
+    for (std::size_t i = 0; i < stencil_cells.size(); ++i) {
+      stencil_cells[i].rank = i + 1;
+      result.cells.push_back(std::move(stencil_cells[i]));
+    }
+  }
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  return result;
+}
+
+std::string tournament_json(const TournamentResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("arch", result.options.arch);
+  json.field("budget_s", result.options.budget_s);
+  json.field("seed", result.options.seed);
+  json.field("optimizer_count",
+             static_cast<std::uint64_t>(result.options.optimizers.size()));
+  json.end_object();
+
+  json.key("stencils").begin_object();
+  for (const auto& stencil : result.options.stencils) {
+    const auto cells = result.stencil_cells(stencil);
+    json.key(stencil).begin_object();
+    // Leaderboard order as numeric leaves keyed by optimizer name: the
+    // report comparator gates numbers and treats strings as informational,
+    // so the order itself must be numbers to gate at 0%.
+    json.key("ranks").begin_object();
+    for (const auto* cell : cells) {
+      json.field(cell->optimizer, static_cast<std::uint64_t>(cell->rank));
+    }
+    json.end_object();
+    json.key("best_ms").begin_object();
+    for (const auto* cell : cells) {
+      json.field(cell->optimizer, json_ms(cell->best_ms));
+    }
+    json.end_object();
+    json.key("evals").begin_object();
+    for (const auto* cell : cells) {
+      json.field(cell->optimizer, static_cast<std::uint64_t>(cell->evals));
+    }
+    json.end_object();
+    json.key("virtual_s").begin_object();
+    for (const auto* cell : cells) {
+      json.field(cell->optimizer, cell->virtual_s);
+    }
+    json.end_object();
+    json.key("leaderboard").begin_array();
+    for (const auto* cell : cells) json.value(cell->optimizer);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("overall").begin_object();
+  json.key("mean_rank").begin_object();
+  for (const auto& name : result.options.optimizers) {
+    json.field(name, result.mean_rank(name));
+  }
+  json.end_object();
+  json.key("wins").begin_object();
+  for (const auto& name : result.options.optimizers) {
+    json.field(name, static_cast<std::uint64_t>(result.wins(name)));
+  }
+  json.end_object();
+  json.end_object();
+
+  json.field("wall_s", result.wall_s);
+  json.end_object();
+  return json.str();
+}
+
+void print_tournament(const TournamentResult& result, std::ostream& os) {
+  TextTable table(
+      {"stencil", "rank", "optimizer", "best_ms", "evals", "virtual_s"});
+  for (const auto& cell : result.cells) {
+    table.add_row({cell.stencil, std::to_string(cell.rank), cell.optimizer,
+                   TextTable::fmt(json_ms(cell.best_ms), 4),
+                   std::to_string(cell.evals),
+                   TextTable::fmt(cell.virtual_s, 2)});
+  }
+  table.print(os);
+  TextTable overall({"optimizer", "mean_rank", "wins"});
+  for (const auto& name : result.options.optimizers) {
+    overall.add_row({name, TextTable::fmt(result.mean_rank(name), 2),
+                     std::to_string(result.wins(name))});
+  }
+  overall.print(os);
+}
+
+}  // namespace cstuner::search

@@ -1,0 +1,76 @@
+#pragma once
+// Iso-budget optimizer tournament (docs/optimizers.md): every registered
+// optimizer runs against every stencil under the same virtual-time budget,
+// same seed and a fresh evaluator per cell, then cells are ranked per
+// stencil by best time. The JSON leaderboard is byte-stable — fixed key
+// order, ranks and best times as numeric leaves keyed by optimizer name —
+// so CI gates it against bench/baseline_tournament.json with
+// `cstuner report --tol 0%` (wall-clock keys carry the "wall" prefix the
+// comparator ignores).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ga/island_ga.hpp"
+
+namespace cstuner::search {
+
+struct TournamentOptions {
+  /// Stencils to race on; empty = all stencils in the registry.
+  std::vector<std::string> stencils;
+  std::string arch = "a100";
+  /// Iso-time budget per (stencil, optimizer) cell, virtual seconds.
+  double budget_s = 10.0;
+  std::uint64_t seed = 4242;
+  /// Optimizer subset; empty = everything in the optimizer registry.
+  std::vector<std::string> optimizers;
+  /// GA shape handed to the GA-family optimizers.
+  ga::GaOptions ga;
+};
+
+/// One (stencil, optimizer) race outcome.
+struct TournamentCell {
+  std::string stencil;
+  std::string optimizer;
+  double best_ms = 0.0;
+  double virtual_s = 0.0;
+  std::size_t evals = 0;
+  std::size_t iterations = 0;
+  std::size_t steps = 0;
+  bool exhausted = false;
+  std::size_t rank = 0;  ///< 1-based within the stencil
+  double wall_s = 0.0;   ///< informational; never gated
+};
+
+struct TournamentResult {
+  TournamentOptions options;
+  /// Stencil-major, then leaderboard order (rank 1 first).
+  std::vector<TournamentCell> cells;
+  double wall_s = 0.0;
+
+  /// All cells of one stencil, in leaderboard order.
+  std::vector<const TournamentCell*> stencil_cells(
+      const std::string& stencil) const;
+  /// Mean rank of one optimizer across every stencil raced.
+  double mean_rank(const std::string& optimizer) const;
+  /// Number of stencils the optimizer won (rank 1).
+  std::size_t wins(const std::string& optimizer) const;
+};
+
+/// Runs the full tournament. Every cell gets a fresh SearchSpace /
+/// Simulator / Evaluator seeded identically (iso noise), so cells are
+/// independent and the whole result is a pure function of the options.
+/// Fault injection is armed from CSTUNER_FAULT_RATE like the bench
+/// harness; CI runs the gate without it.
+TournamentResult run_tournament(const TournamentOptions& options = {});
+
+/// The byte-stable leaderboard JSON (see header comment for the gating
+/// contract).
+std::string tournament_json(const TournamentResult& result);
+
+/// Human-readable leaderboard table.
+void print_tournament(const TournamentResult& result, std::ostream& os);
+
+}  // namespace cstuner::search

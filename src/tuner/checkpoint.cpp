@@ -172,6 +172,7 @@ std::size_t Checkpoint::load() {
   known_events_.clear();
   loaded_dataset_.reset();
   loaded_stats_.reset();
+  loaded_optimizer_state_.reset();
 
   // Snapshot first. The rename publication makes it complete-or-absent on
   // POSIX semantics; a torn or corrupt snapshot.json (crash mid-write on a
@@ -223,6 +224,7 @@ bool Checkpoint::try_load_snapshot(const std::string& path) {
   // caller falls back to the previous snapshot.
   std::optional<PerfDataset> dataset;
   std::optional<FaultStats> stats;
+  std::optional<JsonValue> optimizer_state;
   try {
     JsonValue snap = json_parse(read_file(path));
     if (const JsonValue* ds = snap.find("dataset"); ds && !ds->is_null()) {
@@ -233,11 +235,15 @@ bool Checkpoint::try_load_snapshot(const std::string& path) {
         stats = FaultStats::from_json(*st);
       }
     }
+    if (const JsonValue* op = snap.find("optimizer"); op && !op->is_null()) {
+      optimizer_state = *op;
+    }
   } catch (const Error&) {
     return false;  // torn or corrupt: caller tries the previous snapshot
   }
   loaded_dataset_ = std::move(dataset);
   loaded_stats_ = std::move(stats);
+  loaded_optimizer_state_ = std::move(optimizer_state);
   if (loaded_dataset_.has_value()) {
     // Re-register so the resumed run's snapshots keep embedding it even
     // if the caller never calls set_dataset_json again.
@@ -298,6 +304,10 @@ void Checkpoint::set_dataset_json(std::string dataset_json) {
   dataset_json_ = std::move(dataset_json);
 }
 
+void Checkpoint::set_optimizer_state_json(std::string state_json) {
+  optimizer_state_json_ = std::move(state_json);
+}
+
 void Checkpoint::write_snapshot(const std::string& evaluator_json) {
   CSTUNER_TRACE_SPAN("io", "checkpoint.snapshot");
   CSTUNER_OBS_COUNT("checkpoint.snapshots", 1);
@@ -306,6 +316,7 @@ void Checkpoint::write_snapshot(const std::string& evaluator_json) {
   json.field("format", std::int64_t{1});
   json.raw_field("dataset", dataset_json_);
   json.raw_field("evaluator", evaluator_json);
+  json.raw_field("optimizer", optimizer_state_json_);
   json.end_object();
 
   const std::string tmp = snapshot_path() + ".tmp";

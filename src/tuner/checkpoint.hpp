@@ -134,6 +134,20 @@ class Checkpoint {
     return loaded_dataset_;
   }
 
+  /// Registers the optimizer's serialized step state to embed in snapshots.
+  /// The search driver (search/optimizer.cpp) refreshes this at every
+  /// iteration boundary, just before the mark flushes the journal, so a
+  /// published snapshot always carries a state at least as old as its last
+  /// journaled evaluation — a restored optimizer replays forward from
+  /// there, never backward past measurements it has already consumed.
+  void set_optimizer_state_json(std::string state_json);
+  /// Optimizer state recovered from a loaded snapshot, if any. Ports that
+  /// resume by journal replay ignore it; the natively-checkpointable
+  /// optimizers restore their populations/walkers from it.
+  const std::optional<JsonValue>& loaded_optimizer_state() const {
+    return loaded_optimizer_state_;
+  }
+
   /// Atomically writes snapshot.json (write temp, fsync, rename). The
   /// previous good snapshot is preserved as snapshot.prev.json first, so a
   /// snapshot torn by a crash at any point — even one that slips past the
@@ -168,6 +182,7 @@ class Checkpoint {
   int snapshot_interval_ = 8;
   SyncPolicy sync_policy_ = SyncPolicy::kBatch;
   std::string dataset_json_ = "null";
+  std::string optimizer_state_json_ = "null";
 
   std::unordered_map<std::uint64_t, JournalEntry> replay_;
   std::vector<IslandEvent> island_events_;
@@ -177,6 +192,7 @@ class Checkpoint {
   std::set<std::tuple<int, int, std::uint64_t, int>> known_events_;
   std::optional<PerfDataset> loaded_dataset_;
   std::optional<FaultStats> loaded_stats_;
+  std::optional<JsonValue> loaded_optimizer_state_;
 
   // Journal write half: buffered lines + the open append stream. The mutex
   // serializes appends/flushes from concurrent island threads.

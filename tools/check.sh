@@ -90,6 +90,17 @@ serve_tests() {
 }
 run_stage "serve-tests(kill/recover/overload)" serve_tests || true
 
+# Optimizer-zoo gate (docs/optimizers.md): the pluggable-searcher suite —
+# worker determinism, regression pins against the pre-refactor searchers,
+# journal/native resume, tournament byte-stability, the zoo CLI paths —
+# under the sanitizers while a fifth of all evaluations are failing.
+optimizer_suite() {
+  CSTUNER_FAULT_RATE=0.2 ctest --test-dir "${BUILD}" --output-on-failure \
+    -j "$(nproc)" \
+    -R 'Registry\.|ZooFixture|Tournament\.|MetaTuner\.|ResumeTest|cli_tune_optimizer|cli_tournament'
+}
+run_stage "optimizer-suite(zoo under fault storm)" optimizer_suite || true
+
 rank_kill_storm() {
   CSTUNER_FAULT_RATE=0.2 "${BUILD}/tools/cstuner" tune j3d7pt \
     --universe 8000 --islands 4 --kill-rank 1@2 --min-islands 1 \

@@ -9,6 +9,7 @@
 //   validate  <stencil> [--scale S]     tiled executor vs reference oracle
 //   analyze   <stencil> [--set k=v ...] static analysis of generated kernels
 //   tune      <stencil> [--method M] [--budget S] [--json]   run a tuner
+//   tournament [stencil ...] [--budget S] [--json]  optimizer leaderboard
 //   report    <current.json> --baseline <file> [--tol 10%]   bench gate
 //   serve     [--port N] [--state-dir D]       tuning-as-a-service daemon
 //   client    --request '<json>' [--port N]    one request to a daemon
@@ -578,7 +579,23 @@ int cmd_tune(const Args& args) {
   const std::string method = args.get("method", "csTuner");
   std::unique_ptr<tuner::Tuner> tuner;
   core::CsTuner* cs_tuner = nullptr;  // for the enumerate-mode report
-  if (method == "csTuner") {
+  std::unique_ptr<search::Optimizer> optimizer;  // --optimizer zoo path
+  if (args.has("optimizer")) {
+    // The optimizer zoo (docs/optimizers.md): any registered optimizer by
+    // name, or "auto" to let the MetaTuner pick from stencil features.
+    std::string opt_name = args.get("optimizer", "auto");
+    if (opt_name == "auto") {
+      opt_name = search::MetaTuner().pick(spec);
+      std::cerr << "optimizer: auto -> " << opt_name << '\n';
+    }
+    search::OptimizerOptions options;
+    options.seed = seed;
+    options.ga.sub_populations = static_cast<int>(args.get_u64(
+        "islands", static_cast<std::uint64_t>(options.ga.sub_populations)));
+    // Unknown names throw UsageError listing every registered optimizer;
+    // main() routes that to stderr with exit code 1.
+    optimizer = search::optimizer_registry().make(opt_name, options);
+  } else if (method == "csTuner") {
     core::CsTunerOptions options;
     options.universe_size =
         static_cast<std::size_t>(args.get_u64("universe", 8000));
@@ -614,7 +631,21 @@ int cmd_tune(const Args& args) {
 
   tuner::StopCriteria stop;
   stop.max_virtual_seconds = args.get_double("budget", 60.0);
-  tuner->tune(evaluator, stop);
+  if (optimizer != nullptr) {
+    // Natively-checkpointable optimizers restore their state from the
+    // snapshot; the rest return false and resume by journal replay.
+    if (checkpoint.has_value() &&
+        checkpoint->loaded_optimizer_state().has_value() &&
+        optimizer->restore_state(*checkpoint->loaded_optimizer_state())) {
+      std::cerr << "optimizer state restored from snapshot ("
+                << optimizer->completed_steps() << " step(s))\n";
+    }
+    search::run_optimizer(*optimizer, evaluator, stop);
+  } else {
+    tuner->tune(evaluator, stop);
+  }
+  const std::string algo_name =
+      optimizer != nullptr ? optimizer->name() : tuner->name();
 
   if (checkpoint.has_value()) {
     // Final durability point: everything committed is journaled and the
@@ -643,7 +674,8 @@ int cmd_tune(const Args& args) {
     json.begin_object();
     json.field("stencil", spec.name);
     json.field("arch", sim.arch().name);
-    json.field("method", tuner->name());
+    json.field("method", algo_name);
+    if (optimizer != nullptr) json.field("optimizer", optimizer->name());
     json.field("best_time_ms", evaluator.best_time_ms());
     json.field("best_setting", evaluator.best_setting()->to_string());
     json.field("evaluations", evaluator.unique_evaluations());
@@ -669,7 +701,7 @@ int cmd_tune(const Args& args) {
     json.end_object();
     std::cout << json.str() << '\n';
   } else {
-    std::cout << "method:        " << tuner->name() << '\n'
+    std::cout << "method:        " << algo_name << '\n'
               << "best time:     " << evaluator.best_time_ms() << " ms\n"
               << "best setting:  " << evaluator.best_setting()->to_string()
               << '\n'
@@ -688,6 +720,41 @@ int cmd_tune(const Args& args) {
       obs::metrics().write_json(metrics_json);
       std::cout << "metrics:       " << metrics_json.str() << '\n';
     }
+  }
+  return 0;
+}
+
+int cmd_tournament(const Args& args) {
+  // Iso-budget optimizer tournament: every optimizer races every stencil
+  // under the same virtual budget and seed; positional args narrow the
+  // stencils (none, or --all, races the whole suite) and repeatable
+  // --optimizer flags narrow the roster.
+  search::TournamentOptions options;
+  if (!args.has("all")) {
+    for (const auto& name : args.positional) options.stencils.push_back(name);
+  }
+  options.arch = args.get("arch", options.arch);
+  options.budget_s = args.get_double("budget", options.budget_s);
+  options.seed = args.get_u64("seed", options.seed);
+  for (const auto& name : args.get_all("optimizer")) {
+    options.optimizers.push_back(name);
+  }
+
+  const search::TournamentResult result = search::run_tournament(options);
+  const std::string json = search::tournament_json(result);
+  if (args.has("out")) {
+    const std::string path = args.get("out", "tournament.json");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write leaderboard " + path);
+    out << json << '\n';
+    out.flush();
+    if (!out) throw Error("leaderboard write failed: " + path);
+    std::cerr << "leaderboard written to " << path << '\n';
+  }
+  if (args.has("json")) {
+    std::cout << json << '\n';
+  } else {
+    search::print_tournament(result, std::cout);
   }
   return 0;
 }
@@ -807,12 +874,17 @@ int usage() {
          "           [--samples N] [--seed N] [--no-lint] [--json]\n"
          "           [--space [--all] [--enumerate N]]   whole-space proofs\n"
          "  tune     <stencil> [--method csTuner|garvey|opentuner|artemis]\n"
+         "           [--optimizer <name>|auto]   optimizer zoo (see\n"
+         "           `tournament` for names; auto = MetaTuner selection)\n"
          "           [--budget seconds] [--arch ...] [--seed N] [--json]\n"
          "           [--enumerate]   exact universe via lazy enumeration\n"
          "           [--precheck] [--fault-rate R] [--max-attempts N]\n"
          "           [--fault-budget seconds] [--checkpoint dir] [--resume]\n"
          "           [--islands N] [--min-islands N] [--kill-rank R@G ...]\n"
          "           [--trace-out file.json] [--metrics]\n"
+         "  tournament [stencil ...] [--all] [--budget seconds]\n"
+         "           [--arch ...] [--seed N] [--optimizer name ...]\n"
+         "           [--json] [--out file.json]   iso-budget leaderboard\n"
          "  report   <current.json> --baseline <file> [--tol 10%]\n"
          "           [--ignore substr ...] [--allow-missing] [--json]\n"
          "  serve    [--host H] [--port N] [--port-file file]\n"
@@ -831,6 +903,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "list-stencils") return cmd_list_stencils();
     if (args.command == "report") return cmd_report(args);
+    if (args.command == "tournament") return cmd_tournament(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "client") return cmd_client(args);
     // "analyze --all --space" sweeps every built-in stencil, so it is the
