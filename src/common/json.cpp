@@ -208,7 +208,9 @@ const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
 /// the stack.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text,
+                      const JsonLimits& limits = JsonLimits{})
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value(0);
@@ -218,8 +220,6 @@ class JsonParser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
-
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
@@ -247,7 +247,14 @@ class JsonParser {
   }
 
   JsonValue parse_value(int depth) {
-    if (depth > kMaxDepth) parse_fail(pos_, "nesting too deep");
+    if (depth > limits_.max_depth) {
+      throw JsonLimitError("JSON nesting exceeds depth limit " +
+                           std::to_string(limits_.max_depth));
+    }
+    if (limits_.max_nodes != 0 && ++nodes_ > limits_.max_nodes) {
+      throw JsonLimitError("JSON document exceeds node limit " +
+                           std::to_string(limits_.max_nodes));
+    }
     skip_ws();
     JsonValue v;
     const char c = peek();
@@ -406,11 +413,17 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t nodes_ = 0;
 };
 
 JsonValue json_parse(std::string_view text) {
   return JsonParser(text).parse_document();
+}
+
+JsonValue json_parse(std::string_view text, const JsonLimits& limits) {
+  return JsonParser(text, limits).parse_document();
 }
 
 }  // namespace cstuner

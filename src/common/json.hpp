@@ -9,12 +9,15 @@
 // doubles are written as null (JSON has no Inf/NaN); loaders that need an
 // explicit infinity encode status separately.
 
+#include <cstddef>
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace cstuner {
 
@@ -95,7 +98,26 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> object_;
 };
 
+/// Thrown when a document exceeds caller-supplied JsonLimits. Distinct from
+/// the generic parse Error so the serving layer can answer hostile input
+/// with a typed rejected{reason:"oversized"} instead of bad_request.
+class JsonLimitError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Resource bounds for parsing untrusted input. The defaults match the
+/// parser's built-in recursion guard; a zero max_nodes means unlimited.
+struct JsonLimits {
+  int max_depth = 64;
+  std::size_t max_nodes = 0;  ///< total values (scalars + containers)
+};
+
 /// Parses one JSON document (throws cstuner::Error on malformed input).
 JsonValue json_parse(std::string_view text);
+
+/// Parses with explicit resource bounds; throws JsonLimitError when the
+/// document exceeds them. Use this for every network-facing parse.
+JsonValue json_parse(std::string_view text, const JsonLimits& limits);
 
 }  // namespace cstuner

@@ -1,0 +1,314 @@
+#include "io/fault_vfs.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "obs/obs.hpp"
+
+namespace cstuner::io {
+
+namespace {
+
+// Fault-draw categories. Each (seed, op index, category) triple yields an
+// independent deterministic draw, so enabling one fault class never
+// perturbs the schedule of another.
+constexpr std::uint64_t kCatWriteError = 0;
+constexpr std::uint64_t kCatReadError = 1;
+constexpr std::uint64_t kCatFsyncError = 2;
+constexpr std::uint64_t kCatShortWrite = 3;
+constexpr std::uint64_t kCatShortLen = 4;
+constexpr std::uint64_t kCatTornLen = 5;
+
+bool is_root(const std::string& path) { return path == "." || path == "/"; }
+
+}  // namespace
+
+FaultVfs::FaultVfs(FaultSchedule schedule) : schedule_(schedule) {}
+
+void FaultVfs::op_gate(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // documents that the caller holds the mutex
+  ++stats_.ops;
+  if (!cut_) {
+    const std::int64_t armed = schedule_.power_cut_after_ops;
+    if (armed >= 0 && static_cast<std::int64_t>(stats_.ops) > armed) {
+      cut_ = true;
+      ++stats_.power_cuts;
+      CSTUNER_OBS_COUNT("io.power_cuts", 1);
+    }
+  }
+  if (cut_) {
+    throw PowerCutError("simulated power cut at op " +
+                        std::to_string(stats_.ops));
+  }
+}
+
+double FaultVfs::draw(std::uint64_t cat) const {
+  return Rng(hash_combine(hash_combine(schedule_.seed, stats_.ops), cat))
+      .uniform();
+}
+
+std::uint64_t FaultVfs::draw_u64(std::uint64_t cat) const {
+  return Rng(hash_combine(hash_combine(schedule_.seed, stats_.ops), cat))
+      .next();
+}
+
+void FaultVfs::maybe_inject(double rate, std::uint64_t cat, VfsErrc errc,
+                            const std::string& what) {
+  if (rate > 0.0 && draw(cat) < rate) {
+    ++stats_.faults_injected;
+    CSTUNER_OBS_COUNT("io.faults_injected", 1);
+    throw VfsError(errc, what + " (injected " +
+                             std::string(vfs_errc_name(errc)) + " at op " +
+                             std::to_string(stats_.ops) + ")");
+  }
+}
+
+FaultVfs::InodePtr& FaultVfs::live_inode(const std::string& path) {
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    throw VfsError(VfsErrc::kNotFound, "no such file: " + path);
+  }
+  return it->second;
+}
+
+std::string FaultVfs::read_file(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  maybe_inject(schedule_.read_error_rate, kCatReadError, VfsErrc::kIoError,
+               "cannot read " + path);
+  return live_inode(path)->live;
+}
+
+bool FaultVfs::exists(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  return is_root(path) || live_.count(path) != 0 || dirs_.count(path) != 0;
+}
+
+void FaultVfs::mkdirs(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  if (is_root(path)) return;
+  // Register every component; directories are durable on creation (see the
+  // header — the crash model targets file data and rename atomicity).
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    const std::string prefix =
+        pos == std::string::npos ? path : path.substr(0, pos);
+    if (!prefix.empty() && !is_root(prefix)) dirs_.insert(prefix);
+  }
+}
+
+std::vector<std::string> FaultVfs::list_dir(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  if (!is_root(path) && dirs_.count(path) == 0) {
+    throw VfsError(VfsErrc::kNotFound, "no such directory: " + path);
+  }
+  const auto basename = [](const std::string& p) {
+    const std::size_t slash = p.find_last_of('/');
+    return slash == std::string::npos ? p : p.substr(slash + 1);
+  };
+  std::vector<std::string> names;
+  for (const auto& [p, inode] : live_) {
+    (void)inode;
+    if (parent_dir(p) == path) names.push_back(basename(p));
+  }
+  for (const auto& d : dirs_) {
+    if (parent_dir(d) == path) names.push_back(basename(d));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FaultVfs::rename(const std::string& from, const std::string& to) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    throw VfsError(VfsErrc::kNotFound, "cannot rename " + from + ": missing");
+  }
+  // Live namespace only — the durable namespace catches up at
+  // fsync_dir(parent), which is what makes torn renames possible.
+  live_[to] = it->second;
+  live_.erase(from);
+}
+
+void FaultVfs::unlink(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  live_.erase(path);
+}
+
+void FaultVfs::truncate(const std::string& path, std::uint64_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  live_inode(path)->live.resize(static_cast<std::size_t>(size), '\0');
+}
+
+void FaultVfs::fsync_dir(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  ++stats_.fsyncs;
+  CSTUNER_OBS_COUNT("io.fsyncs", 1);
+  maybe_inject(schedule_.fsync_error_rate, kCatFsyncError, VfsErrc::kIoError,
+               "fsync failed on directory " + path);
+  // Commit this directory's namespace: durable entries under `path` become
+  // exactly the live entries under `path`. Data durability is separate —
+  // an entry-durable file with unsynced data recovers to a torn prefix.
+  for (auto it = disk_.begin(); it != disk_.end();) {
+    if (parent_dir(it->first) == path) {
+      it = disk_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [p, inode] : live_) {
+    if (parent_dir(p) == path) disk_[p] = inode;
+  }
+}
+
+void FaultVfs::copy_file(const std::string& from, const std::string& to) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  auto it = live_.find(from);
+  if (it == live_.end()) return;  // best effort, by contract
+  auto inode = std::make_shared<Inode>();
+  inode->live = it->second->live;
+  live_[to] = std::move(inode);  // volatile: neither entry nor data synced
+}
+
+Vfs::Handle FaultVfs::open(const std::string& path, OpenMode mode) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  const std::string parent = parent_dir(path);
+  if (!is_root(parent) && dirs_.count(parent) == 0) {
+    throw VfsError(VfsErrc::kNotFound, "no such directory: " + parent);
+  }
+  auto it = live_.find(path);
+  InodePtr inode;
+  if (it != live_.end()) {
+    // Same inode as on a real filesystem: an O_TRUNC open clears the page
+    // cache view but the previously fsync'd image survives a crash until
+    // the next fsync(handle) commits the new content.
+    inode = it->second;
+    if (mode == OpenMode::kTruncate) inode->live.clear();
+  } else {
+    inode = std::make_shared<Inode>();
+    live_[path] = inode;
+  }
+  const Handle handle = next_handle_++;
+  handles_[handle] = std::move(inode);
+  return handle;
+}
+
+std::size_t FaultVfs::write(Handle handle, const char* data,
+                            std::size_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    throw VfsError(VfsErrc::kIoError, "write on stale handle");
+  }
+  maybe_inject(schedule_.write_error_rate, kCatWriteError, VfsErrc::kNoSpace,
+               "write failed");
+  std::size_t n = size;
+  if (size > 1 && schedule_.short_write_rate > 0.0 &&
+      draw(kCatShortWrite) < schedule_.short_write_rate) {
+    n = 1 + static_cast<std::size_t>(draw_u64(kCatShortLen) % (size - 1));
+    ++stats_.short_writes;
+    CSTUNER_OBS_COUNT("io.short_writes", 1);
+  }
+  it->second->live.append(data, n);
+  return n;
+}
+
+void FaultVfs::fsync(Handle handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    throw VfsError(VfsErrc::kIoError, "fsync on stale handle");
+  }
+  ++stats_.fsyncs;
+  CSTUNER_OBS_COUNT("io.fsyncs", 1);
+  maybe_inject(schedule_.fsync_error_rate, kCatFsyncError, VfsErrc::kIoError,
+               "fsync failed");
+  it->second->disk = it->second->live;
+  it->second->disk_valid = true;
+}
+
+void FaultVfs::close(Handle handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  op_gate(lock);
+  if (handles_.erase(handle) == 0) {
+    throw VfsError(VfsErrc::kIoError, "close on stale handle");
+  }
+}
+
+void FaultVfs::arm_power_cut(std::int64_t after_ops) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  schedule_.power_cut_after_ops = after_ops;
+}
+
+bool FaultVfs::cut() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cut_;
+}
+
+void FaultVfs::restart() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Account for what the cut destroyed before rebuilding the live view.
+  std::set<const Inode*> durable;
+  for (const auto& [p, inode] : disk_) {
+    (void)p;
+    durable.insert(inode.get());
+  }
+  for (const auto& [p, inode] : live_) {
+    auto it = disk_.find(p);
+    if (it == disk_.end() || it->second != inode) {
+      ++stats_.renames_dropped;
+      CSTUNER_OBS_COUNT("io.torn_renames_survived", 1);
+    }
+    if (durable.count(inode.get()) == 0) ++stats_.files_dropped;
+  }
+  // The machine reboots onto exactly the durable state: durable entries
+  // only; files whose data was never fsync'd come back as a deterministic
+  // torn prefix of whatever the page cache held.
+  std::map<std::string, InodePtr> recovered;
+  for (const auto& [p, inode] : disk_) {
+    auto fresh = std::make_shared<Inode>();
+    if (inode->disk_valid) {
+      fresh->live = inode->disk;
+    } else {
+      const std::uint64_t len =
+          Rng(hash_combine(hash_combine(schedule_.seed,
+                                        fnv1a(p.data(), p.size())),
+                           kCatTornLen))
+              .bounded(inode->live.size() + 1);
+      fresh->live = inode->live.substr(0, static_cast<std::size_t>(len));
+      ++stats_.torn_files;
+    }
+    fresh->disk = fresh->live;
+    fresh->disk_valid = true;
+    recovered[p] = std::move(fresh);
+  }
+  live_ = recovered;
+  disk_ = std::move(recovered);
+  handles_.clear();
+  cut_ = false;
+  schedule_.power_cut_after_ops = -1;  // recovery runs without a second cut
+}
+
+std::uint64_t FaultVfs::op_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_.ops;
+}
+
+FaultVfsStats FaultVfs::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cstuner::io

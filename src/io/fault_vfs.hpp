@@ -1,0 +1,126 @@
+#pragma once
+// Memory-backed Vfs with deterministic fault injection and simulated power
+// cuts (docs/durability.md) — the storage-boundary sibling of the PR 3
+// evaluation fault oracle. Durability code runs against a FaultVfs exactly
+// as it runs against the real filesystem; the test harness then dials in
+// disk-full errors, short writes and power cuts and asserts the recovery
+// invariants.
+//
+// Crash model. Each file is an inode with two byte strings:
+//
+//   live   what the running process reads back (page cache + disk),
+//   disk   what survives a power cut (platter only).
+//
+// write() touches live; fsync() copies live to disk. The *namespace*
+// (which name maps to which inode) is likewise two-tiered: creations,
+// renames and unlinks take effect in the live namespace immediately but
+// reach the durable namespace only at fsync_dir(parent). A power cut
+// replaces live with disk: files whose directory entry was never synced
+// vanish; files whose entry is durable but whose data was never fsync'd
+// survive with a torn prefix of their live content (the hostile-but-real
+// outcome on actual hardware). Directories themselves are durable on
+// creation — a deliberate simplification; the sweep targets file data and
+// rename atomicity, not mkdir.
+//
+// Determinism: every fault decision derives from (seed, op index), so a
+// given schedule replays identically and a crash-consistency sweep can
+// enumerate cut points exhaustively.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "io/vfs.hpp"
+
+namespace cstuner::io {
+
+/// Deterministic fault schedule. Rates are per-operation probabilities
+/// drawn from (seed, op index); power_cut_after_ops arms a cut that fires
+/// on the first operation after that many have completed (-1 = never).
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  double write_error_rate = 0.0;   ///< ENOSPC on write()
+  double read_error_rate = 0.0;    ///< EIO on read_file()
+  double fsync_error_rate = 0.0;   ///< EIO on fsync()/fsync_dir()
+  double short_write_rate = 0.0;   ///< write() consumes a strict prefix
+  std::int64_t power_cut_after_ops = -1;
+};
+
+/// Counters for chaos-run observability; also exported as io.* obs metrics.
+struct FaultVfsStats {
+  std::uint64_t ops = 0;
+  std::uint64_t faults_injected = 0;  ///< injected ENOSPC/EIO errors
+  std::uint64_t short_writes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t power_cuts = 0;
+  std::uint64_t renames_dropped = 0;  ///< namespace ops undone by cuts
+  std::uint64_t files_dropped = 0;    ///< never-durable files lost to cuts
+  std::uint64_t torn_files = 0;       ///< survived a cut with a torn prefix
+};
+
+class FaultVfs final : public Vfs {
+ public:
+  explicit FaultVfs(FaultSchedule schedule = {});
+
+  // --- Vfs interface ------------------------------------------------------
+  std::string read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void mkdirs(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void unlink(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void fsync_dir(const std::string& path) override;
+  void copy_file(const std::string& from, const std::string& to) override;
+  Handle open(const std::string& path, OpenMode mode) override;
+  std::size_t write(Handle handle, const char* data, std::size_t size) override;
+  void fsync(Handle handle) override;
+  void close(Handle handle) override;
+
+  // --- Chaos controls -----------------------------------------------------
+  /// Arms (or disarms, with -1) the power cut: the first operation after
+  /// `after_ops` total operations throws PowerCutError, as does every
+  /// operation until restart().
+  void arm_power_cut(std::int64_t after_ops);
+  /// True once the cut has fired (every op now throws PowerCutError).
+  bool cut() const;
+  /// "Reboots the machine": the live state becomes exactly what a power
+  /// cut preserves — durable entries only, torn prefixes for unsynced
+  /// data — open handles are invalidated, and operations work again.
+  void restart();
+
+  std::uint64_t op_count() const;
+  FaultVfsStats stats() const;
+
+ private:
+  struct Inode {
+    std::string live;
+    std::string disk;
+    bool disk_valid = false;  ///< disk holds a complete fsync'd image
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  /// Per-operation entry: counts the op and fires the armed power cut.
+  void op_gate(std::unique_lock<std::mutex>& lock);
+  /// Deterministic uniform draw for fault category `cat` at the current op.
+  double draw(std::uint64_t cat) const;
+  std::uint64_t draw_u64(std::uint64_t cat) const;
+  void maybe_inject(double rate, std::uint64_t cat, VfsErrc errc,
+                    const std::string& what);
+  InodePtr& live_inode(const std::string& path);
+
+  FaultSchedule schedule_;
+  mutable std::mutex mutex_;
+  std::map<std::string, InodePtr> live_;  ///< live namespace: path -> inode
+  std::map<std::string, InodePtr> disk_;  ///< durable namespace
+  std::set<std::string> dirs_;
+  std::map<Handle, InodePtr> handles_;
+  Handle next_handle_ = 3;
+  bool cut_ = false;
+  FaultVfsStats stats_;
+};
+
+}  // namespace cstuner::io

@@ -1,0 +1,211 @@
+#include "io/vfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace cstuner::io {
+
+namespace fs = std::filesystem;
+
+const char* vfs_errc_name(VfsErrc code) {
+  switch (code) {
+    case VfsErrc::kNoSpace:
+      return "no_space";
+    case VfsErrc::kIoError:
+      return "io_error";
+    case VfsErrc::kNotFound:
+      return "not_found";
+    case VfsErrc::kPowerCut:
+      return "power_cut";
+  }
+  return "unknown";
+}
+
+namespace {
+
+VfsErrc errc_from_errno(int err) {
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return VfsErrc::kNoSpace;
+    case ENOENT:
+      return VfsErrc::kNotFound;
+    default:
+      return VfsErrc::kIoError;
+  }
+}
+
+[[noreturn]] void fail(int err, const std::string& what) {
+  throw VfsError(errc_from_errno(err), what + ": " + std::strerror(err));
+}
+
+/// POSIX passthrough. Handles are raw file descriptors.
+class RealVfs final : public Vfs {
+ public:
+  std::string read_file(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw VfsError(VfsErrc::kNotFound, "cannot read " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) throw VfsError(VfsErrc::kIoError, "read failed: " + path);
+    return text.str();
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  void mkdirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+      throw VfsError(VfsErrc::kIoError, "cannot create directory " + path);
+    }
+  }
+
+  std::vector<std::string> list_dir(const std::string& path) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) throw VfsError(VfsErrc::kIoError, "cannot list " + path);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      fail(errno, "cannot rename " + from + " -> " + to);
+    }
+  }
+
+  void unlink(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      fail(errno, "cannot unlink " + path);
+    }
+  }
+
+  void truncate(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      fail(errno, "cannot truncate " + path);
+    }
+  }
+
+  void fsync_dir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) fail(errno, "cannot open directory " + path);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    // Some filesystems refuse directory fsync (EINVAL); the rename is then
+    // only as durable as the filesystem's own journaling — nothing better
+    // is available, so that is not an error.
+    if (rc != 0 && err != EINVAL && err != EROFS) {
+      fail(err, "fsync failed on directory " + path);
+    }
+    CSTUNER_OBS_COUNT("io.fsyncs", 1);
+  }
+
+  void copy_file(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::remove(to, ec);
+    ec.clear();
+    fs::create_hard_link(from, to, ec);
+    if (ec) {
+      ec.clear();
+      fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+      // Best effort by contract: a lost copy only narrows recovery.
+    }
+  }
+
+  Handle open(const std::string& path, OpenMode mode) override {
+    const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                      (mode == OpenMode::kAppend ? O_APPEND : O_TRUNC);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) fail(errno, "cannot open " + path);
+    return fd;
+  }
+
+  std::size_t write(Handle handle, const char* data,
+                    std::size_t size) override {
+    for (;;) {
+      const ssize_t n = ::write(handle, data, size);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      fail(errno, "write failed");
+    }
+  }
+
+  void fsync(Handle handle) override {
+    if (::fsync(handle) != 0) fail(errno, "fsync failed");
+    CSTUNER_OBS_COUNT("io.fsyncs", 1);
+  }
+
+  void close(Handle handle) override {
+    if (::close(handle) != 0) fail(errno, "close failed");
+  }
+};
+
+}  // namespace
+
+void Vfs::write_all(Handle handle, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    off += write(handle, data.data() + off, data.size() - off);
+  }
+}
+
+void Vfs::write_file_synced(const std::string& path, const std::string& data) {
+  const Handle handle = open(path, OpenMode::kTruncate);
+  try {
+    write_all(handle, data);
+    fsync(handle);
+  } catch (...) {
+    try {
+      close(handle);
+    } catch (const VfsError&) {
+      // The original failure is the interesting one.
+    }
+    throw;
+  }
+  close(handle);
+}
+
+Vfs& Vfs::real() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void write_file_atomic(Vfs& vfs, const std::string& path,
+                       const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  vfs.write_file_synced(tmp, data);
+  vfs.rename(tmp, path);
+  // The rename reached the directory, not the platter: sync the parent so
+  // an immediate power cut cannot roll the publication back.
+  vfs.fsync_dir(parent_dir(path));
+}
+
+}  // namespace cstuner::io

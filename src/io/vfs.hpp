@@ -1,0 +1,131 @@
+#pragma once
+// Injectable virtual filesystem boundary (docs/durability.md). Every
+// durability path in the framework — checkpoint journals and snapshots,
+// session manifests and results, the warm-start store — performs its I/O
+// through an io::Vfs instead of calling POSIX directly, so the storage
+// layer itself can be fault-injected and crash-simulated in tests:
+//
+//   RealVfs    POSIX passthrough; the production implementation.
+//   FaultVfs   memory-backed filesystem with a deterministic, seedable
+//              fault schedule (ENOSPC, EIO, short writes) and simulated
+//              power cuts that drop everything not yet fsync'd
+//              (io/fault_vfs.hpp).
+//
+// The interface is deliberately narrow: whole-file reads, handle-based
+// writes (truncate-create or append), fsync, rename, unlink, truncate,
+// directory create/list/fsync. That is exactly the vocabulary the
+// durability code uses, and a small surface keeps the fault model honest —
+// there is no way to sneak a byte to disk around the schedule.
+//
+// Durability contract (shared by RealVfs and the FaultVfs crash model):
+//   - written data is volatile until fsync(handle);
+//   - a newly created file's directory entry — and any rename or unlink —
+//     is volatile until fsync_dir(parent);
+//   - write() may be short; use write_all() to resume.
+// write_file_atomic() below packages the full discipline (tmp + fsync +
+// rename + parent fsync): after it returns, a crash at any point yields
+// either the old file or the new one, never a torn or missing entry.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cstuner::io {
+
+/// Typed failure cause, so callers can map storage failures to their own
+/// degraded modes without parsing message strings.
+enum class VfsErrc {
+  kNoSpace,   ///< ENOSPC: the disk is full
+  kIoError,   ///< EIO or any other unrecoverable device error
+  kNotFound,  ///< missing file or directory
+  kPowerCut,  ///< simulated power cut: the machine is "off" (FaultVfs only)
+};
+
+const char* vfs_errc_name(VfsErrc code);
+
+/// Every Vfs failure is a VfsError; the code distinguishes degradable
+/// conditions (disk full) from bugs (missing file where one must exist).
+class VfsError : public Error {
+ public:
+  VfsError(VfsErrc code, const std::string& what)
+      : Error(what), code_(code) {}
+  VfsErrc code() const { return code_; }
+
+ private:
+  VfsErrc code_;
+};
+
+/// Thrown by FaultVfs for every operation after the scheduled cut point:
+/// the simulated machine has lost power. FaultVfs::restart() "reboots" it.
+class PowerCutError : public VfsError {
+ public:
+  explicit PowerCutError(const std::string& what)
+      : VfsError(VfsErrc::kPowerCut, what) {}
+};
+
+class Vfs {
+ public:
+  /// Opaque file handle; valid until close(). Only writing handles exist —
+  /// reads are whole-file, which is how all durability code consumes them.
+  using Handle = int;
+
+  enum class OpenMode {
+    kTruncate,  ///< create or truncate to empty
+    kAppend,    ///< create if missing, append at the end
+  };
+
+  virtual ~Vfs() = default;
+
+  // --- Whole-file / namespace operations ---------------------------------
+  virtual std::string read_file(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual void mkdirs(const std::string& path) = 0;
+  /// Names (not paths) of the entries directly inside `path`, sorted.
+  virtual std::vector<std::string> list_dir(const std::string& path) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  /// Missing files are tolerated (remove-if-present semantics).
+  virtual void unlink(const std::string& path) = 0;
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+  /// Persists directory-entry metadata: file creations, renames and
+  /// unlinks inside `path` survive a crash only after this returns.
+  virtual void fsync_dir(const std::string& path) = 0;
+  /// Best-effort copy for snapshot fallbacks (RealVfs hard-links when the
+  /// filesystem allows). Not fsync'd: losing the copy only narrows
+  /// recovery, never correctness.
+  virtual void copy_file(const std::string& from, const std::string& to) = 0;
+
+  // --- Handle operations --------------------------------------------------
+  virtual Handle open(const std::string& path, OpenMode mode) = 0;
+  /// Writes up to `size` bytes; may be short. Throws VfsError on failure.
+  virtual std::size_t write(Handle handle, const char* data,
+                            std::size_t size) = 0;
+  virtual void fsync(Handle handle) = 0;
+  virtual void close(Handle handle) = 0;
+
+  // --- Helpers built on the primitives ------------------------------------
+  /// Writes the whole buffer, resuming across short writes.
+  void write_all(Handle handle, std::string_view data);
+  /// Writes `data` to `path` (truncating) and fsyncs before closing.
+  void write_file_synced(const std::string& path, const std::string& data);
+
+  /// The process-wide RealVfs.
+  static Vfs& real();
+};
+
+/// Durably publishes `data` at `path`: write `path`.tmp, fsync it, rename
+/// over `path`, then fsync the parent directory so the rename itself is on
+/// the platter (without the parent fsync POSIX does not guarantee the new
+/// entry survives a power cut). Readers see the old file or the new one,
+/// never a torn write — checkpoint snapshots, session manifests/results and
+/// the warm store all publish through this.
+void write_file_atomic(Vfs& vfs, const std::string& path,
+                       const std::string& data);
+
+/// The directory component of `path` ("." when there is none).
+std::string parent_dir(const std::string& path);
+
+}  // namespace cstuner::io

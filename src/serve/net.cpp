@@ -8,9 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cstuner::serve {
 
@@ -103,6 +105,12 @@ void send_all(int fd, const std::string& data) {
     );
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped draining. Give up on the
+        // connection instead of wedging the serving thread behind it.
+        CSTUNER_OBS_COUNT("serve.net.send_timeouts", 1);
+        throw Error("send() timed out");
+      }
       throw Error("send() failed");
     }
     off += static_cast<std::size_t>(n);
@@ -110,15 +118,36 @@ void send_all(int fd, const std::string& data) {
 }
 
 LineReader::Status LineReader::read_line(std::string& out, int timeout_ms) {
+  // One deadline for the whole call: a peer trickling one byte per poll
+  // interval exhausts this budget instead of resetting it per chunk.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
+      if (discarding_) {
+        // Tail of an oversized line: drop it and report the rejection now
+        // that the stream is aligned on the next line.
+        buffer_.erase(0, nl + 1);
+        discarding_ = false;
+        return Status::kOversized;
+      }
       out.assign(buffer_, 0, nl);
       buffer_.erase(0, nl + 1);
       return Status::kLine;
     }
+    if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+      // Line limit blown: stop buffering, start discarding to the next
+      // newline. Memory stays bounded no matter how much the peer sends.
+      buffer_.clear();
+      discarding_ = true;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (remaining <= 0) return Status::kTimeout;
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
     if (ready < 0) {
       if (errno == EINTR) return Status::kTimeout;
       throw Error("poll() failed on connection");
@@ -134,6 +163,7 @@ LineReader::Status LineReader::read_line(std::string& out, int timeout_ms) {
       // Peer closed; a trailing unterminated line is not a request.
       return Status::kEof;
     }
+    CSTUNER_OBS_COUNT("serve.net.bytes_in", n);
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

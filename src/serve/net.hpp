@@ -5,6 +5,7 @@
 // line reader — the protocol is one JSON document per line, so lines are
 // the only framing the transport needs.
 
+#include <cstddef>
 #include <string>
 
 namespace cstuner::serve {
@@ -25,23 +26,43 @@ int accept_with_timeout(int listen_fd, int timeout_ms);
 int connect_to(const std::string& host, int port, int timeout_ms);
 
 /// Writes the whole buffer, resuming across short writes and EINTR.
-/// Throws cstuner::Error on a transport error.
+/// Throws cstuner::Error on a transport error — including a send timeout
+/// when the socket carries SO_SNDTIMEO (a receiver that stops draining must
+/// kill the connection, not wedge the serving thread).
 void send_all(int fd, const std::string& data);
 
 /// Buffered newline-delimited reader over one socket. Does not own the fd.
+///
+/// Hostile-input posture: `max_line_bytes` bounds buffering — once a line
+/// exceeds it the partial bytes are dropped and the stream is consumed up
+/// to the next newline, which reports kOversized so the server can answer
+/// with a typed rejection and keep the connection. Each read_line call
+/// observes one deadline computed on entry, so a client trickling a byte
+/// per poll interval cannot extend the wait forever (slow-loris).
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  /// `max_line_bytes` of 0 means unbounded (trusted local use only).
+  explicit LineReader(int fd, std::size_t max_line_bytes = 0)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
-  enum class Status { kLine, kEof, kTimeout };
+  enum class Status { kLine, kEof, kTimeout, kOversized };
 
   /// Reads one '\n'-terminated line (terminator stripped) into `out`.
   /// kTimeout after timeout_ms with no complete line — the caller decides
   /// whether to keep waiting (and can check a stop flag in between).
+  /// kOversized when a line blew past max_line_bytes (the oversized line
+  /// has been fully discarded; the stream is aligned on the next line).
   Status read_line(std::string& out, int timeout_ms);
+
+  /// True when an incomplete line (or an oversized line still being
+  /// discarded) is pending — the server uses this to hold a trickling
+  /// connection to an overall deadline across read_line calls.
+  bool has_partial() const { return !buffer_.empty() || discarding_; }
 
  private:
   int fd_;
+  std::size_t max_line_bytes_;
+  bool discarding_ = false;
   std::string buffer_;
 };
 

@@ -1,14 +1,6 @@
 #include "serve/protocol.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/error.hpp"
 
@@ -151,33 +143,13 @@ SessionResult SessionResult::from_json(const JsonValue& v) {
   return result;
 }
 
-void write_file_atomic(const std::string& path, const std::string& data) {
-  const std::string tmp = path + ".tmp";
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) throw Error("cannot open " + tmp + ": " + std::strerror(errno));
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      throw Error("cannot write " + tmp + ": " + std::strerror(err));
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  ::fsync(fd);
-  ::close(fd);
-  std::filesystem::rename(tmp, path);
+void write_file_atomic(const std::string& path, const std::string& data,
+                       io::Vfs* vfs) {
+  io::write_file_atomic(vfs != nullptr ? *vfs : io::Vfs::real(), path, data);
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot read " + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
+std::string read_file(const std::string& path, io::Vfs* vfs) {
+  return (vfs != nullptr ? *vfs : io::Vfs::real()).read_file(path);
 }
 
 }  // namespace cstuner::serve

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "io/vfs.hpp"
 
 namespace cstuner::serve {
 
@@ -83,13 +84,15 @@ struct SessionResult {
   static SessionResult from_json(const JsonValue& v);
 };
 
-/// Durably writes `data` to `path` via tmp + fsync + rename: readers see
-/// the old file or the new one, never a torn write. The same discipline as
-/// checkpoint snapshots — manifests, results and the warm store all publish
-/// through this.
-void write_file_atomic(const std::string& path, const std::string& data);
+/// Durably writes `data` to `path` via tmp + fsync + rename + parent-dir
+/// fsync (io::write_file_atomic): readers see the old file or the new one,
+/// never a torn write, and the publication survives a power cut. The same
+/// discipline as checkpoint snapshots — manifests, results and the warm
+/// store all publish through this. `vfs` defaults to the real filesystem.
+void write_file_atomic(const std::string& path, const std::string& data,
+                       io::Vfs* vfs = nullptr);
 
 /// Whole-file read; throws cstuner::Error when unreadable.
-std::string read_file(const std::string& path);
+std::string read_file(const std::string& path, io::Vfs* vfs = nullptr);
 
 }  // namespace cstuner::serve

@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <csignal>
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <iostream>
@@ -32,6 +34,19 @@ void write_status_fields(JsonWriter& json, const SessionStatus& status) {
 std::string error_line(const std::string& type, const std::string& message) {
   JsonWriter json;
   json.begin_object().field("type", type).field("error", message).end_object();
+  return json.str();
+}
+
+/// Typed rejection for hostile-input limits (oversized lines, JSON bombs):
+/// the client learns exactly why and the connection stays usable.
+std::string rejected_line(const std::string& reason,
+                          const std::string& message) {
+  JsonWriter json;
+  json.begin_object()
+      .field("type", "rejected")
+      .field("reason", reason)
+      .field("error", message)
+      .end_object();
   return json.str();
 }
 
@@ -78,24 +93,61 @@ void Server::run() {
 }
 
 void Server::serve_connection(int fd) {
-  LineReader reader(fd);
+  // A peer that accepts responses but never drains them would otherwise
+  // park this thread inside a blocking send forever.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(options_.send_timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (options_.send_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  LineReader reader(fd, options_.max_line_bytes);
   std::string line;
   // Poll in short slices so an idle connection notices a server stop
-  // quickly; the idle budget bounds the total wait.
+  // quickly; the idle budget bounds the total wait, and the partial budget
+  // bounds how long a trickling (slow-loris) client can hold a half line.
   double idle_left_s = options_.idle_timeout_s;
+  double partial_left_s = options_.partial_line_deadline_s;
   while (!stop_.load(std::memory_order_acquire) && g_signal_stop == 0 &&
          idle_left_s > 0.0) {
     const LineReader::Status status = reader.read_line(line, 250);
     if (status == LineReader::Status::kEof) break;
     if (status == LineReader::Status::kTimeout) {
       idle_left_s -= 0.25;
+      if (reader.has_partial()) {
+        partial_left_s -= 0.25;
+        if (partial_left_s <= 0.0) {
+          CSTUNER_OBS_COUNT("serve.net.slow_loris_closes", 1);
+          break;
+        }
+      } else {
+        partial_left_s = options_.partial_line_deadline_s;
+      }
       continue;
     }
     idle_left_s = options_.idle_timeout_s;
+    partial_left_s = options_.partial_line_deadline_s;
+    if (status == LineReader::Status::kOversized) {
+      CSTUNER_OBS_COUNT("serve.net.oversized", 1);
+      try {
+        send_all(fd, rejected_line("oversized",
+                                   "request line exceeds " +
+                                       std::to_string(options_.max_line_bytes) +
+                                       " bytes") +
+                         "\n");
+      } catch (const Error&) {
+        break;
+      }
+      continue;
+    }
     if (line.empty()) continue;
+    CSTUNER_OBS_COUNT("serve.net.lines", 1);
     std::string response;
     try {
       response = handle_line(fd, line);
+    } catch (const JsonLimitError& e) {
+      CSTUNER_OBS_COUNT("serve.net.oversized", 1);
+      response = rejected_line("oversized", e.what());
     } catch (const Error& e) {
       response = error_line("bad_request", e.what());
     } catch (const std::exception& e) {
@@ -112,7 +164,8 @@ void Server::serve_connection(int fd) {
 
 std::string Server::handle_line(int fd, const std::string& line) {
   CSTUNER_TRACE_SPAN("serve", "request");
-  const JsonValue doc = json_parse(line);
+  const JsonValue doc = json_parse(
+      line, JsonLimits{options_.max_json_depth, options_.max_json_nodes});
   const std::string op = doc.at("op").as_string();
   JsonWriter json;
 

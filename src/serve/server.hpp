@@ -10,6 +10,7 @@
 // manager's construction-time recovery is explicitly built to survive.
 
 #include <atomic>
+#include <cstddef>
 #include <string>
 
 #include "serve/session_manager.hpp"
@@ -24,6 +25,22 @@ struct ServerOptions {
   std::string port_file;
   /// Idle read timeout per connection before the daemon hangs up.
   double idle_timeout_s = 120.0;
+
+  // Hostile-input bounds (docs/durability.md). Every limit answers with a
+  // typed response or a closed connection — never unbounded buffering.
+  /// Longest accepted request line; longer lines are discarded and
+  /// answered with rejected{reason:"oversized"}.
+  std::size_t max_line_bytes = std::size_t{1} << 20;
+  /// JSON parse limits for request documents (JsonLimitError maps to the
+  /// same typed oversized rejection).
+  int max_json_depth = 16;
+  std::size_t max_json_nodes = 4096;
+  /// A connection may hold an incomplete request line at most this long
+  /// before the daemon hangs up (slow-loris defense).
+  double partial_line_deadline_s = 10.0;
+  /// SO_SNDTIMEO per connection: a peer that stops draining responses gets
+  /// disconnected instead of wedging the serving thread.
+  double send_timeout_s = 10.0;
 };
 
 class Server {

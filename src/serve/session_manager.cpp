@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
-#include <filesystem>
 #include <iostream>
 #include <limits>
 
@@ -21,8 +21,6 @@
 #include "tuner/evaluator.hpp"
 
 namespace cstuner::serve {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -82,14 +80,55 @@ std::unique_ptr<tuner::Tuner> make_tuner(const TuneRequest& request) {
                    " (csTuner|garvey|opentuner|artemis)");
 }
 
+/// Hostile-input validation, before anything is charged or persisted.
+/// UsageError maps to a bad_request response at the server.
+void validate_request(const TuneRequest& request, const RequestLimits& lim) {
+  const auto check_name = [&](const char* field, const std::string& value) {
+    if (value.size() > lim.max_name_bytes) {
+      throw UsageError(std::string(field) + " exceeds " +
+                       std::to_string(lim.max_name_bytes) + " bytes");
+    }
+  };
+  check_name("kind", request.kind);
+  check_name("stencil", request.stencil);
+  check_name("arch", request.arch);
+  check_name("method", request.method);
+  check_name("tenant", request.tenant);
+  if (!(request.budget_s >= 0.0) || request.budget_s > lim.max_budget_s) {
+    throw UsageError("budget_s out of range [0, " +
+                     std::to_string(lim.max_budget_s) + "]");
+  }
+  if (!(request.deadline_s >= 0.0) ||
+      request.deadline_s > lim.max_deadline_s) {
+    throw UsageError("deadline_s out of range [0, " +
+                     std::to_string(lim.max_deadline_s) + "]");
+  }
+  if (!(request.fault_rate >= 0.0) || request.fault_rate > 1.0) {
+    throw UsageError("fault_rate out of range [0, 1]");
+  }
+  if (request.universe == 0 || request.universe > lim.max_universe) {
+    throw UsageError("universe out of range [1, " +
+                     std::to_string(lim.max_universe) + "]");
+  }
+  if (request.samples > lim.max_samples) {
+    throw UsageError("samples exceeds " + std::to_string(lim.max_samples));
+  }
+  if (request.warm.size() > lim.max_warm_values) {
+    throw UsageError("warm setting exceeds " +
+                     std::to_string(lim.max_warm_values) + " values");
+  }
+}
+
 }  // namespace
 
 SessionManager::SessionManager(ServeOptions options)
     : options_(std::move(options)),
+      vfs_(options_.vfs != nullptr ? options_.vfs : &io::Vfs::real()),
       warm_store_(options_.warm_start ? options_.state_dir + "/warm_store.json"
-                                      : std::string()),
+                                      : std::string(),
+                  vfs_),
       admission_(options_.admission) {
-  fs::create_directories(sessions_dir());
+  vfs_->mkdirs(sessions_dir());
   std::lock_guard<std::mutex> lock(mutex_);
   recover_locked();
 }
@@ -109,7 +148,7 @@ void SessionManager::write_manifest(const Session& session) const {
   json.begin_object().field("id", session.id);
   session.request.write_fields(json);
   json.end_object();
-  write_file_atomic(session.dir + "/manifest.json", json.str() + "\n");
+  write_file_atomic(session.dir + "/manifest.json", json.str() + "\n", vfs_);
 }
 
 void SessionManager::write_result(const Session& session) const {
@@ -117,7 +156,7 @@ void SessionManager::write_result(const Session& session) const {
   json.begin_object().field("id", session.id);
   session.result.write_fields(json);
   json.end_object();
-  write_file_atomic(session.dir + "/result.json", json.str() + "\n");
+  write_file_atomic(session.dir + "/result.json", json.str() + "\n", vfs_);
 }
 
 void SessionManager::recover_locked() {
@@ -126,9 +165,7 @@ void SessionManager::recover_locked() {
   // same here, by design) — re-adopt and let the checkpoint replay carry
   // the run to the same final bits an uninterrupted run would produce.
   std::vector<std::uint64_t> ids;
-  for (const auto& entry : fs::directory_iterator(sessions_dir())) {
-    if (!entry.is_directory()) continue;
-    const std::string name = entry.path().filename().string();
+  for (const std::string& name : vfs_->list_dir(sessions_dir())) {
     char* end = nullptr;
     const std::uint64_t id = std::strtoull(name.c_str(), &end, 10);
     if (end == nullptr || *end != '\0' || id == 0) continue;
@@ -140,7 +177,8 @@ void SessionManager::recover_locked() {
     const std::string dir = session_dir(id);
     TuneRequest request;
     try {
-      request = TuneRequest::from_json(json_parse(read_file(dir + "/manifest.json")));
+      request = TuneRequest::from_json(
+          json_parse(read_file(dir + "/manifest.json", vfs_)));
     } catch (const Error&) {
       // No (or torn) manifest: the submit never completed, so the session
       // was never acknowledged — nothing to recover.
@@ -150,10 +188,10 @@ void SessionManager::recover_locked() {
     session->id = id;
     session->request = std::move(request);
     session->dir = dir;
-    if (fs::exists(dir + "/result.json")) {
+    if (vfs_->exists(dir + "/result.json")) {
       try {
-        session->result =
-            SessionResult::from_json(json_parse(read_file(dir + "/result.json")));
+        session->result = SessionResult::from_json(
+            json_parse(read_file(dir + "/result.json", vfs_)));
         session->state = session->result.state;
       } catch (const Error&) {
         session->state = SessionState::kQueued;  // torn result: rerun
@@ -178,8 +216,11 @@ void SessionManager::recover_locked() {
 
 SubmitOutcome SessionManager::submit(TuneRequest request) {
   SubmitOutcome out;
-  // Validate before taking the lock or charging quotas: malformed requests
-  // must never consume admission capacity.
+  // Validate before taking the lock or charging quotas: malformed or
+  // hostile requests must never consume admission capacity — and the limit
+  // checks run first, so a 10 MB stencil name is rejected before anything
+  // tries to look it up.
+  validate_request(request, options_.limits);
   const stencil::StencilSpec spec = stencil::make_stencil(request.stencil);
   const gpusim::GpuArch& arch = gpusim::arch_by_name(request.arch);
   if (request.kind == "tune") make_tuner(request);  // validates method
@@ -220,7 +261,7 @@ SubmitOutcome SessionManager::submit(TuneRequest request) {
   session->request = std::move(request);
   session->dir = session_dir(id);
   try {
-    fs::create_directories(session->dir);
+    vfs_->mkdirs(session->dir);
     // The durable manifest IS the acceptance: once this rename lands, no
     // crash can drop the session (zero dropped-but-accepted requests).
     write_manifest(*session);
@@ -425,7 +466,7 @@ void SessionManager::run_tune(Session& session) {
         spec.name);
   }
 
-  tuner::Checkpoint checkpoint(session.dir + "/checkpoint");
+  tuner::Checkpoint checkpoint(session.dir + "/checkpoint", vfs_);
   checkpoint.set_sync_policy(options_.checkpoint_sync);
   if (checkpoint.has_journal_file()) {
     const std::size_t recovered = checkpoint.load();
@@ -465,6 +506,16 @@ void SessionManager::run_tune(Session& session) {
     checkpoint_and_rest(session.drain_requested ? SessionState::kInterrupted
                                                 : SessionState::kCancelled,
                         e.what());
+    return;
+  } catch (const tuner::CheckpointError& e) {
+    // The storage failed, not the tuning. Degrade exactly this session:
+    // the evaluator's shared state is untouched (the typed error already
+    // guarantees no partial mutation), no result.json means a later daemon
+    // re-adopts and retries from whatever the journal durably holds.
+    CSTUNER_OBS_COUNT("serve.checkpoint_failures", 1);
+    SessionResult result = result_from(evaluator, SessionState::kFailed);
+    result.error = e.what();
+    finish_session(&session, SessionState::kFailed, std::move(result));
     return;
   }
 

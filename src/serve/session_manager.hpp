@@ -38,11 +38,25 @@
 
 namespace cstuner::serve {
 
+/// Upper bounds on request parameters, enforced at submit before anything
+/// is charged or persisted: a hostile (or fuzzed) request must not be able
+/// to commit the daemon to unbounded work or unbounded strings. Defaults
+/// sit far above every legitimate workload in the repo.
+struct RequestLimits {
+  double max_budget_s = 3600.0;        ///< virtual tuning budget
+  double max_deadline_s = 86400.0;     ///< virtual-clock deadline
+  std::uint64_t max_universe = 10'000'000;
+  std::uint64_t max_samples = 100'000;  ///< analyze sample cap
+  std::size_t max_warm_values = 64;     ///< warm-start vector length
+  std::size_t max_name_bytes = 64;      ///< tenant/stencil/arch/method/kind
+};
+
 struct ServeOptions {
   /// Root of all daemon state: sessions/<id>/{manifest.json, checkpoint/,
   /// result.json} plus the warm-start store.
   std::string state_dir = "serve-state";
   AdmissionOptions admission;
+  RequestLimits limits;
   /// Journal durability of session checkpoints (--checkpoint-sync).
   tuner::Checkpoint::SyncPolicy checkpoint_sync =
       tuner::Checkpoint::SyncPolicy::kBatch;
@@ -53,6 +67,9 @@ struct ServeOptions {
   /// the recovery smoke test does, because predictions depend on which
   /// sessions finished first and would differ across a restart).
   bool warm_start = true;
+  /// Filesystem boundary for all daemon state; nullptr = the real
+  /// filesystem. The crash-consistency sweep injects a FaultVfs here.
+  io::Vfs* vfs = nullptr;
 };
 
 /// submit() outcome: either an accepted session id or a typed rejection.
@@ -159,6 +176,7 @@ class SessionManager {
                       SessionResult result);
 
   ServeOptions options_;
+  io::Vfs* vfs_;
   WarmStore warm_store_;
 
   mutable std::mutex mutex_;

@@ -3,18 +3,17 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <filesystem>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/obs.hpp"
 #include "serve/protocol.hpp"
 
 namespace cstuner::serve {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -68,7 +67,11 @@ double WarmEntry::best_time_ms() const {
   return std::bit_cast<double>(best_time_bits);
 }
 
-WarmStore::WarmStore(std::string path) : path_(std::move(path)) { load(); }
+WarmStore::WarmStore(std::string path, io::Vfs* vfs)
+    : path_(std::move(path)),
+      vfs_(vfs != nullptr ? vfs : &io::Vfs::real()) {
+  load();
+}
 
 std::vector<double> WarmStore::features_of(const stencil::StencilSpec& spec) {
   return {std::log2(static_cast<double>(spec.points())),
@@ -80,9 +83,13 @@ std::vector<double> WarmStore::features_of(const stencil::StencilSpec& spec) {
 }
 
 void WarmStore::load() {
-  if (path_.empty() || !fs::exists(path_)) return;
   try {
-    const JsonValue doc = json_parse(read_file(path_));
+    if (path_.empty() || !vfs_->exists(path_)) return;
+  } catch (const Error&) {
+    return;
+  }
+  try {
+    const JsonValue doc = json_parse(read_file(path_, vfs_));
     std::vector<WarmEntry> entries;
     for (const JsonValue& item : doc.at("entries").as_array()) {
       WarmEntry entry;
@@ -98,9 +105,14 @@ void WarmStore::load() {
       entries.push_back(std::move(entry));
     }
     entries_ = std::move(entries);
-  } catch (const Error&) {
-    // A torn or stale store only loses warm starts, never correctness.
+  } catch (const Error& e) {
+    // A torn or stale store only loses warm starts, never correctness:
+    // load empty, warn, count — and never let the corruption poison
+    // predictions or crash the daemon.
     entries_.clear();
+    CSTUNER_OBS_COUNT("serve.warm_store.corrupt", 1);
+    CSTUNER_WARN << "warm store " << path_
+                 << " is corrupt; starting empty (" << e.what() << ")";
   }
 }
 
@@ -123,7 +135,15 @@ void WarmStore::persist_locked() const {
     json.end_object();
   }
   json.end_array().end_object();
-  write_file_atomic(path_, json.str() + "\n");
+  try {
+    write_file_atomic(path_, json.str() + "\n", vfs_);
+  } catch (const Error& e) {
+    // Deposits are an accelerator too: a full disk must not fail the
+    // session that just finished tuning.
+    CSTUNER_OBS_COUNT("serve.warm_store.persist_failures", 1);
+    CSTUNER_WARN << "warm store " << path_
+                 << ": persist failed (" << e.what() << ")";
+  }
 }
 
 void WarmStore::add(const stencil::StencilSpec& spec, const std::string& arch,

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.hpp"
 #include "space/search_space.hpp"
 
 namespace cstuner::serve {
@@ -40,9 +41,11 @@ struct WarmEntry {
 class WarmStore {
  public:
   /// Loads the store at `path` if the file exists (empty path = in-memory
-  /// only, nothing persisted). A malformed file is ignored, not fatal — the
-  /// store is an accelerator, never a correctness dependency.
-  explicit WarmStore(std::string path = "");
+  /// only, nothing persisted). A malformed file — truncated at any byte,
+  /// or garbage — loads as empty with a warning, never fatal and never
+  /// poisoning predictions: the store is an accelerator, not a correctness
+  /// dependency. I/O goes through `vfs` (default: the real filesystem).
+  explicit WarmStore(std::string path = "", io::Vfs* vfs = nullptr);
 
   /// Deposits a tuning outcome. One entry per (stencil, arch) is kept: a
   /// slower duplicate is dropped, a faster one replaces. Persists when
@@ -73,6 +76,7 @@ class WarmStore {
       const space::SearchSpace& space, const std::string& arch) const;
 
   std::string path_;
+  io::Vfs* vfs_;
   mutable std::mutex mutex_;
   std::vector<WarmEntry> entries_;
 };

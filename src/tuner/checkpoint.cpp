@@ -1,20 +1,12 @@
 #include "tuner/checkpoint.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 
 namespace cstuner::tuner {
-
-namespace fs = std::filesystem;
 
 double JournalEntry::time_ms() const {
   return std::bit_cast<double>(time_bits);
@@ -85,58 +77,35 @@ std::tuple<int, int, std::uint64_t, int> event_key(const IslandEvent& e) {
   return {static_cast<int>(e.kind), e.rank, e.generation, e.peer};
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot read " + path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-/// write(2) the whole buffer, resuming across short writes and EINTR.
-void write_all(int fd, const std::string& data, const std::string& path) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw Error("write failed: " + path);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-/// Writes `data` to `path` (truncating) and fsyncs before closing, so the
-/// bytes are on the platter before any rename publishes the file.
-void write_file_synced(const std::string& path, const std::string& data) {
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) throw Error("cannot write " + path);
+/// Reruns a Vfs operation as a checkpoint operation: any storage failure
+/// surfaces as CheckpointError, the typed, non-poisoning signal callers
+/// degrade on (a failed flush must never masquerade as a tuning bug).
+template <typename Fn>
+auto guard(const char* what, Fn&& fn) -> decltype(fn()) {
   try {
-    write_all(fd, data, path);
-    if (::fsync(fd) != 0) throw Error("fsync failed: " + path);
-  } catch (...) {
-    ::close(fd);
-    throw;
+    return fn();
+  } catch (const io::VfsError& e) {
+    throw CheckpointError(std::string(what) + ": " + e.what());
   }
-  if (::close(fd) != 0) throw Error("close failed: " + path);
 }
 
 }  // namespace
 
-// Journal write half: buffered lines plus the open O_APPEND descriptor. A
-// raw fd instead of an ofstream because SyncPolicy::kEvery needs fsync,
+// Journal write half: buffered lines plus the open append handle. A Vfs
+// handle instead of an ofstream because SyncPolicy::kEvery needs fsync,
 // which streams cannot express.
 struct Checkpoint::Writer {
   std::vector<std::string> pending;
-  int fd = -1;
+  io::Vfs::Handle handle = -1;
+  bool open = false;
 };
 
-Checkpoint::Checkpoint(std::string directory)
-    : directory_(std::move(directory)), writer_(new Writer) {
-  std::error_code ec;
-  fs::create_directories(directory_, ec);
-  if (ec) throw Error("cannot create checkpoint dir " + directory_);
+Checkpoint::Checkpoint(std::string directory, io::Vfs* vfs)
+    : directory_(std::move(directory)),
+      vfs_(vfs != nullptr ? vfs : &io::Vfs::real()),
+      writer_(new Writer) {
+  guard("cannot create checkpoint dir",
+        [&] { vfs_->mkdirs(directory_); });
 }
 
 Checkpoint::~Checkpoint() {
@@ -146,7 +115,13 @@ Checkpoint::~Checkpoint() {
     // Destructor must not throw; an unflushed tail just loses the last
     // batch, which resume tolerates by design.
   }
-  if (writer_->fd >= 0) ::close(writer_->fd);
+  if (writer_->open) {
+    try {
+      vfs_->close(writer_->handle);
+    } catch (...) {
+      // Nothing useful to do with a failed close on teardown.
+    }
+  }
   delete writer_;
 }
 
@@ -163,7 +138,8 @@ std::string Checkpoint::snapshot_prev_path() const {
 }
 
 bool Checkpoint::has_journal_file() const {
-  return fs::exists(journal_path());
+  return guard("cannot stat journal",
+               [&] { return vfs_->exists(journal_path()); });
 }
 
 std::size_t Checkpoint::load() {
@@ -179,13 +155,17 @@ std::size_t Checkpoint::load() {
   // weaker filesystem, disk damage) falls back to the preserved previous
   // good snapshot instead of aborting the resume.
   if (!try_load_snapshot(snapshot_path())) {
-    try_load_snapshot(snapshot_prev_path());
+    if (try_load_snapshot(snapshot_prev_path())) {
+      CSTUNER_OBS_COUNT("checkpoint.snapshot_fallbacks", 1);
+    }
   }
 
   // Journal: accept every complete line; a torn tail (kill mid-write) is
   // truncated away so subsequent appends produce a well-formed file.
-  if (fs::exists(journal_path())) {
-    const std::string text = read_file(journal_path());
+  if (guard("cannot stat journal",
+            [&] { return vfs_->exists(journal_path()); })) {
+    const std::string text = guard(
+        "cannot read journal", [&] { return vfs_->read_file(journal_path()); });
     std::size_t valid = 0;  // byte offset past the last complete good line
     std::size_t pos = 0;
     while (pos < text.size()) {
@@ -209,16 +189,20 @@ std::size_t Checkpoint::load() {
       pos = valid = nl + 1;
     }
     if (valid < text.size()) {
-      std::error_code ec;
-      fs::resize_file(journal_path(), valid, ec);
-      if (ec) throw Error("cannot truncate torn journal " + journal_path());
+      CSTUNER_OBS_COUNT("checkpoint.torn_tail_truncations", 1);
+      guard("cannot truncate torn journal",
+            [&] { vfs_->truncate(journal_path(), valid); });
     }
   }
   return replay_.size();
 }
 
 bool Checkpoint::try_load_snapshot(const std::string& path) {
-  if (!fs::exists(path)) return false;
+  try {
+    if (!vfs_->exists(path)) return false;
+  } catch (const io::VfsError&) {
+    return false;
+  }
   // Parse into locals first: a snapshot that tears between the dataset and
   // the evaluator state must not leave half-loaded fields behind when the
   // caller falls back to the previous snapshot.
@@ -226,7 +210,7 @@ bool Checkpoint::try_load_snapshot(const std::string& path) {
   std::optional<FaultStats> stats;
   std::optional<JsonValue> optimizer_state;
   try {
-    JsonValue snap = json_parse(read_file(path));
+    JsonValue snap = json_parse(vfs_->read_file(path));
     if (const JsonValue* ds = snap.find("dataset"); ds && !ds->is_null()) {
       dataset = parse_dataset(*ds);
     }
@@ -284,19 +268,25 @@ void Checkpoint::flush_locked(bool sync) {
   if (writer_->pending.empty()) return;
   CSTUNER_TRACE_SPAN("io", "checkpoint.flush");
   CSTUNER_OBS_COUNT("checkpoint.flushes", 1);
-  if (writer_->fd < 0) {
-    writer_->fd = ::open(journal_path().c_str(),
-                         O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-    if (writer_->fd < 0) throw Error("cannot open journal " + journal_path());
+  if (!writer_->open) {
+    writer_->handle = guard("cannot open journal", [&] {
+      return vfs_->open(journal_path(), io::Vfs::OpenMode::kAppend);
+    });
+    writer_->open = true;
+    // Make the journal's directory entry itself durable: without this a
+    // power cut right after the first flush could lose the whole file even
+    // though its bytes were fsync'd (the entry never reached the platter).
+    guard("cannot sync checkpoint dir", [&] { vfs_->fsync_dir(directory_); });
   }
-  // One write(2) per flush: appends of complete lines keep the torn-tail
+  // One write per flush: appends of complete lines keep the torn-tail
   // window to the final line, which load() already truncates away.
   std::string block;
   for (const std::string& line : writer_->pending) block += line;
-  write_all(writer_->fd, block, journal_path());
+  guard("journal write failed",
+        [&] { vfs_->write_all(writer_->handle, block); });
   writer_->pending.clear();
-  if (sync && ::fsync(writer_->fd) != 0) {
-    throw Error("journal fsync failed: " + journal_path());
+  if (sync) {
+    guard("journal fsync failed", [&] { vfs_->fsync(writer_->handle); });
   }
 }
 
@@ -319,28 +309,24 @@ void Checkpoint::write_snapshot(const std::string& evaluator_json) {
   json.raw_field("optimizer", optimizer_state_json_);
   json.end_object();
 
-  const std::string tmp = snapshot_path() + ".tmp";
-  write_file_synced(tmp, json.str());
-  // Preserve the previous good snapshot before publishing the new one: a
-  // hard link keeps a complete snapshot on disk at every instant, so a
-  // crash that tears snapshot.json can always recover from the .prev copy
-  // (a filesystem without hard links degrades to a byte copy).
-  if (fs::exists(snapshot_path())) {
-    std::error_code ec;
-    fs::remove(snapshot_prev_path(), ec);
-    ec.clear();
-    fs::create_hard_link(snapshot_path(), snapshot_prev_path(), ec);
-    if (ec) {
-      ec.clear();
-      fs::copy_file(snapshot_path(), snapshot_prev_path(),
-                    fs::copy_options::overwrite_existing, ec);
-      // Best effort: losing the fallback copy only narrows recovery back
-      // to the rename's own atomicity.
+  guard("cannot publish snapshot", [&] {
+    const std::string tmp = snapshot_path() + ".tmp";
+    vfs_->write_file_synced(tmp, json.str());
+    // Preserve the previous good snapshot before publishing the new one,
+    // so a snapshot torn by a crash at any point — even one that slips
+    // past the rename barrier on a non-atomic filesystem — can always
+    // recover from the .prev copy. Best effort by copy_file's contract:
+    // losing the fallback only narrows recovery back to the rename's own
+    // atomicity.
+    if (vfs_->exists(snapshot_path())) {
+      vfs_->unlink(snapshot_prev_path());
+      vfs_->copy_file(snapshot_path(), snapshot_prev_path());
     }
-  }
-  std::error_code ec;
-  fs::rename(tmp, snapshot_path(), ec);
-  if (ec) throw Error("cannot publish snapshot " + snapshot_path());
+    vfs_->rename(tmp, snapshot_path());
+    // The rename reached the directory, not the platter: sync the parent
+    // so a power cut cannot roll the publication back.
+    vfs_->fsync_dir(directory_);
+  });
 }
 
 void Checkpoint::set_snapshot_interval(int interval) {

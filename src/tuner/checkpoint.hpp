@@ -36,10 +36,22 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "io/vfs.hpp"
 #include "tuner/dataset.hpp"
 #include "tuner/fault.hpp"
 
 namespace cstuner::tuner {
+
+/// Typed wrapper for storage failures inside the checkpoint layer. Every
+/// io::VfsError crossing the Checkpoint boundary is rethrown as this, so
+/// callers (the serve session runner, the tune CLI) can degrade the one
+/// affected run — mark the session failed, keep serving — without ever
+/// confusing a disk problem with a tuning bug or poisoning shared
+/// evaluator state.
+class CheckpointError : public Error {
+ public:
+  using Error::Error;
+};
 
 /// One committed evaluation, as journaled. `time_bits` is the IEEE-754 bit
 /// pattern of the result time (the bit pattern of +inf for failures), so
@@ -63,8 +75,10 @@ struct JournalEntry {
 class Checkpoint {
  public:
   /// Opens (and creates if needed) the checkpoint directory. Nothing is
-  /// read; call load() first to resume.
-  explicit Checkpoint(std::string directory);
+  /// read; call load() first to resume. All I/O goes through `vfs`
+  /// (defaulting to the real filesystem), so tests and the crash sweep can
+  /// substitute a FaultVfs.
+  explicit Checkpoint(std::string directory, io::Vfs* vfs = nullptr);
   ~Checkpoint();
 
   Checkpoint(const Checkpoint&) = delete;
@@ -179,6 +193,7 @@ class Checkpoint {
   void flush_locked(bool sync);
 
   std::string directory_;
+  io::Vfs* vfs_;
   int snapshot_interval_ = 8;
   SyncPolicy sync_policy_ = SyncPolicy::kBatch;
   std::string dataset_json_ = "null";

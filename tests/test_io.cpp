@@ -1,0 +1,380 @@
+// io::Vfs layer: RealVfs passthrough, FaultVfs crash model (volatile data
+// and namespace entries, torn prefixes, deterministic fault draws), the
+// write_file_atomic old-or-new invariant at every power-cut point, and the
+// Checkpoint's typed-error + torn-tail behavior when its storage misbehaves.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/fault_vfs.hpp"
+#include "io/vfs.hpp"
+#include "tuner/checkpoint.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace cstuner::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "cstuner_io_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// --- parent_dir ------------------------------------------------------------
+
+TEST(ParentDir, CoversRootRelativeAndNested) {
+  EXPECT_EQ(parent_dir("a/b/c.json"), "a/b");
+  EXPECT_EQ(parent_dir("c.json"), ".");
+  EXPECT_EQ(parent_dir("/c.json"), "/");
+  EXPECT_EQ(parent_dir("/a/c.json"), "/a");
+}
+
+// --- RealVfs ---------------------------------------------------------------
+
+TEST(RealVfs, RoundTripsThroughHelpers) {
+  Vfs& vfs = Vfs::real();
+  const std::string dir = fresh_dir("real");
+  vfs.mkdirs(dir + "/nested");
+  EXPECT_TRUE(vfs.exists(dir + "/nested"));
+
+  vfs.write_file_synced(dir + "/nested/a.txt", "hello");
+  EXPECT_EQ(vfs.read_file(dir + "/nested/a.txt"), "hello");
+
+  const Vfs::Handle h = vfs.open(dir + "/nested/a.txt", Vfs::OpenMode::kAppend);
+  vfs.write_all(h, " world");
+  vfs.fsync(h);
+  vfs.close(h);
+  EXPECT_EQ(vfs.read_file(dir + "/nested/a.txt"), "hello world");
+
+  vfs.rename(dir + "/nested/a.txt", dir + "/nested/b.txt");
+  EXPECT_FALSE(vfs.exists(dir + "/nested/a.txt"));
+  const std::vector<std::string> names = vfs.list_dir(dir + "/nested");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "b.txt");
+
+  vfs.truncate(dir + "/nested/b.txt", 5);
+  EXPECT_EQ(vfs.read_file(dir + "/nested/b.txt"), "hello");
+  vfs.unlink(dir + "/nested/b.txt");
+  vfs.unlink(dir + "/nested/b.txt");  // remove-if-present: no throw
+  EXPECT_FALSE(vfs.exists(dir + "/nested/b.txt"));
+}
+
+TEST(RealVfs, MissingFileReadIsTypedNotFound) {
+  try {
+    Vfs::real().read_file(fresh_dir("missing") + "/nope");
+    FAIL() << "expected VfsError";
+  } catch (const VfsError& e) {
+    EXPECT_EQ(e.code(), VfsErrc::kNotFound);
+  }
+}
+
+TEST(RealVfs, WriteFileAtomicReplacesAndLeavesNoTmp) {
+  Vfs& vfs = Vfs::real();
+  const std::string dir = fresh_dir("atomic");
+  vfs.mkdirs(dir);
+  write_file_atomic(vfs, dir + "/f.json", "old");
+  write_file_atomic(vfs, dir + "/f.json", "new");
+  EXPECT_EQ(vfs.read_file(dir + "/f.json"), "new");
+  for (const std::string& name : vfs.list_dir(dir)) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+}
+
+// --- FaultVfs crash model --------------------------------------------------
+
+/// Creates `path` with `data` fully durable: data fsync'd, entry fsync'd.
+void put_durable(FaultVfs& vfs, const std::string& path,
+                 const std::string& data) {
+  vfs.write_file_synced(path, data);
+  vfs.fsync_dir(parent_dir(path));
+}
+
+TEST(FaultVfs, LiveNamespaceBehavesLikeAFilesystem) {
+  FaultVfs vfs;
+  vfs.mkdirs("d/e");
+  vfs.write_file_synced("d/e/x", "1");
+  vfs.write_file_synced("d/y", "2");
+  EXPECT_TRUE(vfs.exists("d/e/x"));
+  EXPECT_EQ(vfs.read_file("d/y"), "2");
+  const std::vector<std::string> names = vfs.list_dir("d");
+  ASSERT_EQ(names.size(), 2u);  // sorted: the subdir and the file
+  EXPECT_EQ(names[0], "e");
+  EXPECT_EQ(names[1], "y");
+  EXPECT_THROW(vfs.list_dir("nosuch"), VfsError);
+  EXPECT_THROW(vfs.open("nosuch/f", Vfs::OpenMode::kTruncate), VfsError);
+}
+
+TEST(FaultVfs, UnsyncedEntryVanishesAtPowerCut) {
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  // Data fsync'd, but the directory entry never was: the file must vanish.
+  vfs.write_file_synced("d/f", "payload");
+  vfs.arm_power_cut(vfs.op_count());
+  EXPECT_THROW(vfs.exists("d/f"), PowerCutError);
+  EXPECT_TRUE(vfs.cut());
+  vfs.restart();
+  EXPECT_FALSE(vfs.exists("d/f"));
+  EXPECT_EQ(vfs.stats().files_dropped, 1u);
+}
+
+TEST(FaultVfs, DurableEntryWithUnsyncedDataSurvivesTorn) {
+  FaultSchedule schedule;
+  schedule.seed = 42;
+  FaultVfs vfs(schedule);
+  vfs.mkdirs("d");
+  // Entry made durable while the file is empty; the payload is written
+  // afterwards and never fsync'd — a cut keeps the name with a torn prefix.
+  const Vfs::Handle h = vfs.open("d/f", Vfs::OpenMode::kTruncate);
+  vfs.fsync(h);
+  vfs.fsync_dir("d");
+  const std::string payload = "0123456789abcdef";
+  vfs.write_all(h, payload);
+  vfs.close(h);
+  vfs.arm_power_cut(vfs.op_count());
+  vfs.restart();
+  ASSERT_TRUE(vfs.exists("d/f"));
+  const std::string torn = vfs.read_file("d/f");
+  EXPECT_LT(torn.size(), payload.size());
+  EXPECT_EQ(torn, payload.substr(0, torn.size()));  // a prefix, not garbage
+
+  // Same seed, same ops => identical torn prefix (sweeps replay exactly).
+  FaultVfs replay(schedule);
+  replay.mkdirs("d");
+  const Vfs::Handle h2 = replay.open("d/f", Vfs::OpenMode::kTruncate);
+  replay.fsync(h2);
+  replay.fsync_dir("d");
+  replay.write_all(h2, payload);
+  replay.close(h2);
+  replay.arm_power_cut(replay.op_count());
+  replay.restart();
+  EXPECT_EQ(replay.read_file("d/f"), torn);
+}
+
+TEST(FaultVfs, FsyncedDataSurvivesPowerCutIntact) {
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  put_durable(vfs, "d/f", "all sixteen bytes");
+  vfs.arm_power_cut(vfs.op_count());
+  vfs.restart();
+  EXPECT_EQ(vfs.read_file("d/f"), "all sixteen bytes");
+  EXPECT_EQ(vfs.stats().torn_files, 0u);
+}
+
+TEST(FaultVfs, RenameIsVolatileUntilDirFsync) {
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  put_durable(vfs, "d/old", "x");
+  vfs.rename("d/old", "d/new");
+  EXPECT_TRUE(vfs.exists("d/new"));
+  EXPECT_FALSE(vfs.exists("d/old"));
+  // No fsync_dir: the cut rolls the namespace back to the durable image.
+  vfs.arm_power_cut(vfs.op_count());
+  vfs.restart();
+  EXPECT_TRUE(vfs.exists("d/old"));
+  EXPECT_FALSE(vfs.exists("d/new"));
+  EXPECT_GE(vfs.stats().renames_dropped, 1u);
+
+  // With the fsync the rename is durable.
+  vfs.rename("d/old", "d/new");
+  vfs.fsync_dir("d");
+  vfs.arm_power_cut(vfs.op_count());
+  vfs.restart();
+  EXPECT_TRUE(vfs.exists("d/new"));
+  EXPECT_FALSE(vfs.exists("d/old"));
+}
+
+TEST(FaultVfs, ShortWritesAreResumedByWriteAll) {
+  FaultSchedule schedule;
+  schedule.short_write_rate = 1.0;  // every write() consumes a strict prefix
+  FaultVfs vfs(schedule);
+  vfs.mkdirs("d");
+  const Vfs::Handle h = vfs.open("d/f", Vfs::OpenMode::kTruncate);
+  const std::string payload(257, 'z');
+  vfs.write_all(h, payload);
+  vfs.fsync(h);
+  vfs.close(h);
+  EXPECT_EQ(vfs.read_file("d/f"), payload);
+  EXPECT_GT(vfs.stats().short_writes, 0u);
+}
+
+TEST(FaultVfs, InjectedErrorsAreTyped) {
+  {
+    FaultSchedule schedule;
+    schedule.write_error_rate = 1.0;
+    FaultVfs vfs(schedule);
+    vfs.mkdirs("d");
+    const Vfs::Handle h = vfs.open("d/f", Vfs::OpenMode::kTruncate);
+    try {
+      vfs.write(h, "x", 1);
+      FAIL() << "expected injected ENOSPC";
+    } catch (const VfsError& e) {
+      EXPECT_EQ(e.code(), VfsErrc::kNoSpace);
+    }
+  }
+  {
+    FaultSchedule schedule;
+    schedule.read_error_rate = 1.0;
+    FaultVfs vfs(schedule);
+    vfs.mkdirs("d");
+    // Bypass the read fault by writing through a zero-rate sibling? No:
+    // creation goes through write paths, which have no read faults.
+    put_durable(vfs, "d/f", "x");
+    try {
+      vfs.read_file("d/f");
+      FAIL() << "expected injected EIO";
+    } catch (const VfsError& e) {
+      EXPECT_EQ(e.code(), VfsErrc::kIoError);
+    }
+    EXPECT_GE(vfs.stats().faults_injected, 1u);
+  }
+}
+
+TEST(FaultVfs, ArmedCutFiresExactlyAfterTheArmedOpCount) {
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  put_durable(vfs, "d/f", "x");
+  const std::uint64_t base = vfs.op_count();
+  vfs.arm_power_cut(static_cast<std::int64_t>(base) + 2);
+  EXPECT_TRUE(vfs.exists("d/f"));   // op base+1: allowed
+  EXPECT_EQ(vfs.read_file("d/f"), "x");  // op base+2: allowed
+  EXPECT_THROW(vfs.exists("d/f"), PowerCutError);  // op base+3: the cut
+  EXPECT_THROW(vfs.read_file("d/f"), PowerCutError);  // machine stays off
+  vfs.restart();
+  EXPECT_EQ(vfs.read_file("d/f"), "x");
+  EXPECT_EQ(vfs.stats().power_cuts, 1u);
+}
+
+TEST(FaultVfs, TruncateOpenDiscardsLiveButKeepsDurableImageUntilFsync) {
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  put_durable(vfs, "d/f", "original");
+  // O_TRUNC reuses the inode: live is empty now, but the durable image
+  // still holds the old bytes until the new data is fsync'd.
+  const Vfs::Handle h = vfs.open("d/f", Vfs::OpenMode::kTruncate);
+  vfs.write_all(h, "re");
+  vfs.close(h);
+  vfs.arm_power_cut(vfs.op_count());
+  vfs.restart();
+  EXPECT_EQ(vfs.read_file("d/f"), "original");
+}
+
+// The tentpole invariant in miniature: write_file_atomic interrupted by a
+// power cut at EVERY possible operation must leave the old content or the
+// new content — never a torn file, never a missing entry.
+TEST(FaultVfs, WriteFileAtomicIsOldOrNewAtEveryCutPoint) {
+  const std::string old_data = "old contents, fully durable";
+  const std::string new_data = "replacement contents, longer than the old";
+
+  // Reference run: count the ops one atomic publish costs.
+  std::uint64_t publish_ops = 0;
+  {
+    FaultVfs vfs;
+    vfs.mkdirs("d");
+    put_durable(vfs, "d/f", old_data);
+    const std::uint64_t before = vfs.op_count();
+    write_file_atomic(vfs, "d/f", new_data);
+    publish_ops = vfs.op_count() - before;
+  }
+  ASSERT_GT(publish_ops, 3u);
+
+  for (std::uint64_t cut = 0; cut < publish_ops; ++cut) {
+    FaultVfs vfs;
+    vfs.mkdirs("d");
+    put_durable(vfs, "d/f", old_data);
+    vfs.arm_power_cut(static_cast<std::int64_t>(vfs.op_count() + cut));
+    EXPECT_THROW(write_file_atomic(vfs, "d/f", new_data), PowerCutError);
+    vfs.restart();
+    ASSERT_TRUE(vfs.exists("d/f")) << "entry lost at cut " << cut;
+    const std::string got = vfs.read_file("d/f");
+    EXPECT_TRUE(got == old_data || got == new_data)
+        << "torn state at cut " << cut << ": \"" << got << "\"";
+  }
+
+  // And once the publish ran to completion, a cut immediately after must
+  // preserve the NEW content — the parent-dir fsync made the rename stick.
+  FaultVfs vfs;
+  vfs.mkdirs("d");
+  put_durable(vfs, "d/f", old_data);
+  vfs.arm_power_cut(static_cast<std::int64_t>(vfs.op_count() + publish_ops));
+  write_file_atomic(vfs, "d/f", new_data);  // exactly fills the allowance
+  vfs.restart();
+  EXPECT_EQ(vfs.read_file("d/f"), new_data);
+}
+
+// --- Checkpoint on a FaultVfs ----------------------------------------------
+
+tuner::JournalEntry entry_for(std::uint64_t key, double time_ms) {
+  tuner::JournalEntry e;
+  e.key = key;
+  e.status = tuner::EvalStatus::kOk;
+  e.time_bits = std::bit_cast<std::uint64_t>(time_ms);
+  e.attempts = 1;
+  return e;
+}
+
+TEST(CheckpointOnFaultVfs, StorageFailuresSurfaceAsCheckpointError) {
+  FaultSchedule schedule;
+  schedule.write_error_rate = 1.0;
+  FaultVfs vfs(schedule);
+  tuner::Checkpoint cp("ckpt", &vfs);
+  cp.set_sync_policy(tuner::Checkpoint::SyncPolicy::kEvery);
+  EXPECT_THROW(cp.append(entry_for(1, 2.0)), tuner::CheckpointError);
+}
+
+TEST(CheckpointOnFaultVfs, SyncedEntriesSurviveAPowerCutMidAppend) {
+  FaultVfs vfs;
+  {
+    tuner::Checkpoint cp("ckpt", &vfs);
+    cp.set_sync_policy(tuner::Checkpoint::SyncPolicy::kEvery);
+    cp.append(entry_for(1, 2.0));
+    cp.append(entry_for(2, 3.0));
+    // The cut lands somewhere inside the third append; entries 1 and 2 are
+    // already on the platter (kEvery fsyncs each one).
+    vfs.arm_power_cut(vfs.op_count() + 1);
+    EXPECT_THROW(cp.append(entry_for(3, 4.0)), tuner::CheckpointError);
+  }
+  vfs.restart();
+  tuner::Checkpoint resumed("ckpt", &vfs);
+  const std::size_t recovered = resumed.load();
+  EXPECT_GE(recovered, 2u);
+  EXPECT_TRUE(resumed.replay().contains(1));
+  EXPECT_TRUE(resumed.replay().contains(2));
+  EXPECT_EQ(resumed.replay().at(1).time_ms(), 2.0);
+  EXPECT_EQ(resumed.replay().at(2).time_ms(), 3.0);
+}
+
+TEST(CheckpointOnFaultVfs, TornJournalTailIsTruncatedNotFatal) {
+  FaultVfs vfs;
+  {
+    tuner::Checkpoint cp("ckpt", &vfs);
+    cp.set_sync_policy(tuner::Checkpoint::SyncPolicy::kEvery);
+    cp.append(entry_for(1, 2.0));
+    cp.append(entry_for(2, 3.0));
+  }
+  // Simulate the torn tail a crash leaves: half a JSON line, no newline.
+  const Vfs::Handle h = vfs.open("ckpt/journal.jsonl", Vfs::OpenMode::kAppend);
+  vfs.write_all(h, "{\"key\":3,\"st");
+  vfs.fsync(h);
+  vfs.close(h);
+
+  tuner::Checkpoint resumed("ckpt", &vfs);
+  EXPECT_EQ(resumed.load(), 2u);
+  EXPECT_FALSE(resumed.replay().contains(3));
+  // And the file was truncated back, so the next append produces a valid
+  // journal rather than splicing onto the torn fragment.
+  resumed.set_sync_policy(tuner::Checkpoint::SyncPolicy::kEvery);
+  resumed.append(entry_for(3, 4.0));
+  tuner::Checkpoint again("ckpt", &vfs);
+  EXPECT_EQ(again.load(), 3u);
+  EXPECT_TRUE(again.replay().contains(3));
+}
+
+}  // namespace
+}  // namespace cstuner::io

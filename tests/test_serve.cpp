@@ -274,6 +274,58 @@ TEST(WarmStoreTest, MalformedFileIsIgnoredNotFatal) {
   EXPECT_EQ(store.size(), 0u);
 }
 
+TEST(WarmStoreTest, TruncationAtEveryByteLoadsEmptyNeverCrashes) {
+  // The exhaustive corruption sweep (docs/durability.md): a store file cut
+  // at EVERY byte prefix — and a garbage-suffixed one — must load as empty
+  // (or, at full length, intact), keep predicting without poisoning, and
+  // never throw out of the constructor.
+  const std::string dir = fresh_dir("warm_torn");
+  const std::string good_path = dir + "/warm_store.json";
+  const auto spec = stencil::make_stencil("j3d7pt");
+  space::SearchSpace space(spec);
+  Rng rng(23);
+  {
+    WarmStore store(good_path);
+    store.add(spec, "a100", space.random_valid(rng), 3.0);
+    store.add(stencil::make_stencil("cheby"), "v100",
+              space::SearchSpace(stencil::make_stencil("cheby"))
+                  .random_valid(rng),
+              5.0);
+  }
+  const std::string good = read_file(good_path);
+  ASSERT_GT(good.size(), 2u);
+
+  const std::string torn_path = dir + "/torn.json";
+  for (std::size_t len = 0; len <= good.size(); ++len) {
+    write_file_atomic(torn_path, good.substr(0, len));
+    WarmStore store(torn_path);
+    // All-or-nothing: either the prefix still parses as the complete
+    // document (the final bytes are just the trailing newline) and every
+    // entry loads, or the store starts empty. Never a partial load.
+    EXPECT_TRUE(store.size() == 0u || store.size() == 2u)
+        << "partial load (" << store.size() << " entries) at prefix " << len;
+    if (len == good.size()) {
+      EXPECT_EQ(store.size(), 2u) << "intact store must load fully";
+    }
+    // A corrupt store must degrade predictions to "none", not garbage.
+    const auto predicted = store.predict(space, "a100");
+    if (store.size() == 0) {
+      EXPECT_FALSE(predicted.has_value());
+    } else {
+      ASSERT_TRUE(predicted.has_value());
+      EXPECT_TRUE(space.is_valid(*predicted));
+    }
+  }
+  // Garbage variants: binary noise alone, and noise spliced after a torn
+  // prefix. Must load empty (or fully, never partially) without throwing.
+  write_file_atomic(torn_path, std::string("\x00\xff\x13garbage", 10));
+  WarmStore garbaged(torn_path);
+  EXPECT_EQ(garbaged.size(), 0u);
+  write_file_atomic(torn_path, good.substr(0, good.size() / 2) + "\xfe\x01[");
+  WarmStore spliced(torn_path);
+  EXPECT_EQ(spliced.size(), 0u);
+}
+
 // --- SessionManager --------------------------------------------------------
 
 TEST(SessionManagerTest, RejectsUnknownStencilWithoutChargingQuota) {

@@ -108,6 +108,24 @@ rank_kill_storm() {
 }
 run_stage "rank-kill-storm(--kill-rank 1@2)" rank_kill_storm || true
 
+# I/O-chaos gate (docs/durability.md): the Vfs fault layer, the protocol
+# fuzzer's 10k-frame storm and the crash-consistency sweep — power cuts
+# after every k-th Vfs operation of a tune and a serve run, restart,
+# recover, assert bit-identical resume / clean re-adoption — all under the
+# sanitizers, where a torn-state bug shows up as a concrete read of freed
+# or uninitialized memory instead of silent corruption.
+io_chaos_tests() {
+  ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)" \
+    -R 'FaultVfs|RealVfs|ParentDir|CheckpointOnFaultVfs|ServeFuzzFixture|crash_sweep_smoke'
+}
+run_stage "io-chaos(fault-vfs/fuzzer/crash-sweep)" io_chaos_tests || true
+
+io_chaos_sweep() {
+  "${BUILD}/tools/crash_sweep" --mode all --stride 7 --budget 0.5 \
+    --universe 200 --json > /dev/null
+}
+run_stage "io-chaos-sweep(--stride 7)" io_chaos_sweep || true
+
 if [[ ${status} -ne 0 ]]; then
   echo "sanitize(${SANITIZE}): FAILED stages: ${failed[*]}" >&2
 else

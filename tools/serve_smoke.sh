@@ -14,12 +14,18 @@
 #      its budget comes back "expired", not hung and not "done".
 #
 # Usage: serve_smoke.sh /path/to/cstuner [workdir]
-# The workdir (default: a fresh mktemp -d) is wiped per phase, not shared.
+# Each phase uses its own state directory under the workdir.
 set -uo pipefail
 
 CLI="${1:?usage: serve_smoke.sh /path/to/cstuner [workdir]}"
 WORK="${2:-$(mktemp -d /tmp/serve_smoke.XXXXXX)}"
 mkdir -p "${WORK}"
+# A previous aborted run (e.g. a ctest timeout mid-phase) leaves session
+# state behind; a daemon restarted on it would re-adopt those sessions and
+# shift every id this run compares. Start from clean state directories.
+rm -rf "${WORK:?}/ref" "${WORK:?}/crash" "${WORK:?}/overload" \
+       "${WORK:?}/deadline"
+: >"${WORK}/daemon.log"
 
 status=0
 daemon_pid=0
